@@ -1,0 +1,534 @@
+(* The benchmark harness: regenerates every figure and table of the
+   paper's evaluation (§5 and §6) from the simulated testbed, plus the
+   ablation studies called out in DESIGN.md.
+
+   Usage:  dune exec bench/main.exe [-- SECTION...]
+   where SECTION is any of: fig4 fig5 fig6 fig7 eq16k fig10 fig11
+   ablations bechamel. With no argument everything runs. Numbers are
+   deterministic: two runs print identical series. *)
+
+module Time = Marcel.Time
+module H = Harness
+
+let sizes_small =
+  [ 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+
+let iters n = if n <= 1024 then 20 else if n <= 65536 then 8 else 3
+
+let line = String.make 72 '-'
+
+let header text =
+  Printf.printf "\n%s\n%s\n%s\n" line text line
+
+let lat_us span = Time.to_us span
+let bw n span = Time.rate_mb_s ~bytes_count:n span
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  header
+    "Fig. 4 -- Madeleine II over SISCI/SCI (paper: 3.9 us min latency,\n\
+     82 MB/s peak, dual-buffering kink above 8 kB)";
+  Printf.printf "%-10s %12s %12s\n" "size(B)" "latency(us)" "bw(MB/s)";
+  List.iter
+    (fun n ->
+      let t = H.mad_pingpong (H.sisci_world ()) ~bytes_count:n ~iters:(iters n) in
+      Printf.printf "%-10d %12.2f %12.2f\n%!" n (lat_us t) (bw n t))
+    sizes_small
+
+let fig5 () =
+  header
+    "Fig. 5 -- Madeleine II over BIP/Myrinet vs raw BIP (paper: 7 vs 5 us,\n\
+     122 vs 126 MB/s)";
+  Printf.printf "%-10s %12s %12s %12s %12s\n" "size(B)" "mad lat(us)"
+    "mad bw" "raw lat(us)" "raw bw";
+  List.iter
+    (fun n ->
+      let m = H.mad_pingpong (H.bip_world ()) ~bytes_count:n ~iters:(iters n) in
+      let r = H.raw_bip_pingpong ~bytes_count:n ~iters:(iters n) in
+      Printf.printf "%-10d %12.2f %12.2f %12.2f %12.2f\n%!" n (lat_us m)
+        (bw n m) (lat_us r) (bw n r))
+    sizes_small
+
+let fig6 () =
+  header
+    "Fig. 6 -- MPI implementations over SCI (paper: MPICH/Mad-II has the\n\
+     worst latency but the best bandwidth from 32 kB up)";
+  Printf.printf "%-10s | %10s %10s %10s %10s  (latency us)\n" "size(B)"
+    "mad-raw" "chmad" "sci-mpich" "scampi";
+  let series n =
+    let raw = H.mad_pingpong (H.sisci_world ()) ~bytes_count:n ~iters:(iters n) in
+    let chmad = H.mpi_pingpong H.Chmad ~bytes_count:n ~iters:(iters n) in
+    let scim =
+      H.mpi_pingpong (H.Scidirect Mpilite.Dev_scidirect.sci_mpich) ~bytes_count:n
+        ~iters:(iters n)
+    in
+    let scam =
+      H.mpi_pingpong (H.Scidirect Mpilite.Dev_scidirect.scampi) ~bytes_count:n
+        ~iters:(iters n)
+    in
+    (raw, chmad, scim, scam)
+  in
+  let rows = List.map (fun n -> (n, series n)) sizes_small in
+  List.iter
+    (fun (n, (raw, chmad, scim, scam)) ->
+      Printf.printf "%-10d | %10.2f %10.2f %10.2f %10.2f\n%!" n (lat_us raw)
+        (lat_us chmad) (lat_us scim) (lat_us scam))
+    rows;
+  Printf.printf "\n%-10s | %10s %10s %10s %10s  (bandwidth MB/s)\n" "size(B)"
+    "mad-raw" "chmad" "sci-mpich" "scampi";
+  List.iter
+    (fun (n, (raw, chmad, scim, scam)) ->
+      Printf.printf "%-10d | %10.2f %10.2f %10.2f %10.2f\n%!" n (bw n raw)
+        (bw n chmad) (bw n scim) (bw n scam))
+    rows
+
+let fig7 () =
+  header
+    "Fig. 7 -- Nexus/Madeleine II over SISCI and TCP (paper: <25 us min\n\
+     latency on SCI; SCI the more interesting cluster solution)";
+  Printf.printf "%-10s %13s %13s %13s %13s\n" "size(B)" "sci lat(us)"
+    "sci bw" "tcp lat(us)" "tcp bw";
+  List.iter
+    (fun n ->
+      let s = H.nexus_roundtrip H.Nexus_mad_sisci ~bytes_count:n ~iters:(iters n) in
+      let t = H.nexus_roundtrip H.Nexus_mad_tcp ~bytes_count:n ~iters:(iters n) in
+      Printf.printf "%-10d %13.2f %13.2f %13.2f %13.2f\n%!" n (lat_us s)
+        (bw n s) (lat_us t) (bw n t))
+    [ 4; 64; 1024; 4096; 16384; 65536; 262144 ]
+
+let eq16k () =
+  header
+    "Sec. 6.2.1 -- the 16 kB equal-cost point (paper: both networks near\n\
+     250 us / 60 MB/s at 16 kB, suggesting the gateway packet size)";
+  let n = 16384 in
+  let s = H.mad_pingpong (H.sisci_world ()) ~bytes_count:n ~iters:10 in
+  let b = H.mad_pingpong (H.bip_world ()) ~bytes_count:n ~iters:10 in
+  Printf.printf "  Madeleine/SISCI @16kB: %7.1f us  %6.1f MB/s\n" (lat_us s)
+    (bw n s);
+  Printf.printf "  Madeleine/BIP   @16kB: %7.1f us  %6.1f MB/s\n" (lat_us b)
+    (bw n b)
+
+let mtu_sweep = [ 8192; 16384; 32768; 65536; 131072 ]
+
+let fig10 () =
+  header
+    "Fig. 10 -- forwarding bandwidth SCI -> Myrinet (paper: 36.5 MB/s at\n\
+     8 kB packets, rising to ~49.5 at 128 kB; PCI full-duplex limit)";
+  Printf.printf "%-10s %12s %14s\n" "mtu(B)" "bw(MB/s)" "gw-pci-util";
+  List.iter
+    (fun mtu ->
+      let v, util =
+        H.forwarding_run ~mtu ~src:0 ~dst:2 ~bytes_count:(1 lsl 20) ()
+      in
+      Printf.printf "%-10d %12.2f %13.0f%%\n%!" mtu v (100.0 *. util))
+    mtu_sweep
+
+let fig11 () =
+  header
+    "Fig. 11 -- forwarding bandwidth Myrinet -> SCI (paper: 29 MB/s at\n\
+     8 kB, staying under ~36.5: Myrinet DMA starves the gateway's PIO)";
+  Printf.printf "%-10s %12s %14s\n" "mtu(B)" "bw(MB/s)" "gw-pci-util";
+  List.iter
+    (fun mtu ->
+      let v, util =
+        H.forwarding_run ~mtu ~src:2 ~dst:0 ~bytes_count:(1 lsl 20) ()
+      in
+      Printf.printf "%-10d %12.2f %13.0f%%\n%!" mtu v (100.0 *. util))
+    mtu_sweep
+
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations -- the design choices called out in DESIGN.md";
+
+  (* 1. SISCI dual buffering. *)
+  let bw_slots slots =
+    let config = { Madeleine.Config.default with sisci_ring_slots = slots } in
+    let t =
+      H.mad_pingpong (H.sisci_world ~config ()) ~bytes_count:(1 lsl 18) ~iters:4
+    in
+    bw (1 lsl 18) t
+  in
+  Printf.printf "A1. SISCI regular-TM ring depth (256 kB messages):\n";
+  List.iter
+    (fun s -> Printf.printf "      %d slot(s): %6.1f MB/s\n%!" s (bw_slots s))
+    [ 1; 2; 3 ];
+
+  (* 2. The disabled DMA TM. *)
+  let bw_dma use_dma =
+    let config = { Madeleine.Config.default with sisci_use_dma = use_dma } in
+    let t =
+      H.mad_pingpong (H.sisci_world ~config ()) ~bytes_count:(1 lsl 18) ~iters:4
+    in
+    bw (1 lsl 18) t
+  in
+  Printf.printf "A2. SISCI large-block engine (256 kB messages):\n";
+  Printf.printf "      PIO regular TM: %6.1f MB/s\n%!" (bw_dma false);
+  Printf.printf
+    "      DMA TM:         %6.1f MB/s  (why the paper ships it disabled)\n%!"
+    (bw_dma true);
+
+  (* 3. Aggregation in the dynamic BMMs, over TCP's expensive syscalls. *)
+  let tcp_multi_field aggregation =
+    let config = { Madeleine.Config.default with aggregation } in
+    let w = H.tcp_world ~config () in
+    let module Mad = Madeleine.Api in
+    let ep0 = Madeleine.Channel.endpoint w.H.channel ~rank:0 in
+    let ep1 = Madeleine.Channel.endpoint w.H.channel ~rank:1 in
+    let fields = List.init 8 (fun i -> H.payload 64 (Int64.of_int i)) in
+    let finish = ref Time.zero in
+    Marcel.Engine.spawn w.H.engine ~name:"s" (fun () ->
+        let oc = Mad.begin_packing ep0 ~remote:1 in
+        List.iter (Mad.pack oc) fields;
+        Mad.end_packing oc);
+    Marcel.Engine.spawn w.H.engine ~name:"r" (fun () ->
+        let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
+        List.iter (fun f -> Mad.unpack ic (Bytes.create (Bytes.length f))) fields;
+        Mad.end_unpacking ic;
+        finish := Marcel.Engine.now w.H.engine);
+    Marcel.Engine.run w.H.engine;
+    Time.to_us !finish
+  in
+  Printf.printf "A3. BMM aggregation over TCP (8-field message, one-way):\n";
+  Printf.printf "      grouped (writev): %7.1f us\n%!" (tcp_multi_field true);
+  Printf.printf "      eager per-field:  %7.1f us\n%!" (tcp_multi_field false);
+
+  (* 4. Gateway software overhead. *)
+  Printf.printf "A4. Gateway per-packet overhead (SCI->Myrinet, 8 kB packets):\n";
+  List.iter
+    (fun us ->
+      let v =
+        H.forwarding_bandwidth ~gateway_overhead:(Time.us us) ~mtu:8192 ~src:0
+          ~dst:2 ~bytes_count:(1 lsl 19) ()
+      in
+      Printf.printf "      %5.0f us/step: %6.1f MB/s\n%!" us v)
+    [ 0.; 25.; 50.; 100.; 200. ];
+
+  (* 5. The zero-copy gateway receive (static-buffer borrowing, 6.1). *)
+  Printf.printf "A5. Gateway buffer borrowing (32 kB packets):\n";
+  let zc =
+    H.forwarding_bandwidth ~mtu:32768 ~src:0 ~dst:2 ~bytes_count:(1 lsl 19) ()
+  in
+  let copy =
+    H.forwarding_bandwidth ~extra_gateway_copy:true ~mtu:32768 ~src:0 ~dst:2
+      ~bytes_count:(1 lsl 19) ()
+  in
+  Printf.printf "      borrow outgoing static buffer: %6.1f MB/s\n" zc;
+  Printf.printf "      naive temporary + extra copy:  %6.1f MB/s\n%!" copy;
+
+  (* 6. Express flushing: the latency cost of receive_EXPRESS on a
+     network where it is not free. *)
+  let express_cost r_mode =
+    let w = H.tcp_world () in
+    let module Mad = Madeleine.Api in
+    let ep0 = Madeleine.Channel.endpoint w.H.channel ~rank:0 in
+    let ep1 = Madeleine.Channel.endpoint w.H.channel ~rank:1 in
+    let finish = ref Time.zero in
+    Marcel.Engine.spawn w.H.engine ~name:"s" (fun () ->
+        let oc = Mad.begin_packing ep0 ~remote:1 in
+        for _ = 1 to 4 do
+          Mad.pack oc ~r_mode (Bytes.create 32)
+        done;
+        Mad.end_packing oc);
+    Marcel.Engine.spawn w.H.engine ~name:"r" (fun () ->
+        let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
+        for _ = 1 to 4 do
+          Mad.unpack ic ~r_mode (Bytes.create 32)
+        done;
+        Mad.end_unpacking ic;
+        finish := Marcel.Engine.now w.H.engine);
+    Marcel.Engine.run w.H.engine;
+    Time.to_us !finish
+  in
+  Printf.printf
+    "A6. receive mode on TCP (4 small fields; EXPRESS forces per-field\n\
+    \     flushes where CHEAPER lets them group):\n";
+  Printf.printf "      all CHEAPER: %7.1f us\n%!"
+    (express_cost Madeleine.Iface.Receive_cheaper);
+  Printf.printf "      all EXPRESS: %7.1f us\n%!"
+    (express_cost Madeleine.Iface.Receive_express);
+
+  (* 7. Gateway bandwidth control: the paper's future work ("some
+     sophisticated bandwidth control mechanism is needed to regulate the
+     incoming communication flow on gateways"), implemented. Pacing the
+     Myrinet ingress keeps its DMA from starving the outgoing SCI PIO. *)
+  Printf.printf
+    "A7. Gateway ingress regulation, Myrinet->SCI at 32 kB packets (the\n\
+    \     paper's proposed future work, implemented):\n";
+  List.iter
+    (fun cap ->
+      let v =
+        match cap with
+        | None ->
+            H.forwarding_bandwidth ~mtu:32768 ~src:2 ~dst:0
+              ~bytes_count:(1 lsl 20) ()
+        | Some c ->
+            H.forwarding_bandwidth ~ingress_cap_mb_s:c ~mtu:32768 ~src:2 ~dst:0
+              ~bytes_count:(1 lsl 20) ()
+      in
+      Printf.printf "      ingress %-9s %6.1f MB/s\n%!"
+        (match cap with None -> "unlimited:" | Some c -> Printf.sprintf "%.0f MB/s:" c)
+        v)
+    [ None; Some 60.; Some 45.; Some 40. ];
+
+  (* 8. Adaptive polling/interrupts: the other future-work item of §7,
+     implemented. Hot ping-pongs should keep polling latency; the win of
+     interrupts is the bounded CPU burn while waiting. *)
+  let rx_run rx_interaction ~gap_us =
+    let config = { Madeleine.Config.default with rx_interaction } in
+    let w = H.sisci_world ~config () in
+    let module Mad = Madeleine.Api in
+    let ep0 = Madeleine.Channel.endpoint w.H.channel ~rank:0 in
+    let ep1 = Madeleine.Channel.endpoint w.H.channel ~rank:1 in
+    let iters = 20 in
+    let lat = ref 0L in
+    Marcel.Engine.spawn w.H.engine ~name:"s" (fun () ->
+        for _ = 1 to iters do
+          (* The receiver is already waiting when the message leaves:
+             idle gaps between messages are where polling burns CPU. *)
+          Marcel.Engine.sleep (Time.us gap_us);
+          let t0 = Marcel.Engine.now w.H.engine in
+          let oc = Mad.begin_packing ep0 ~remote:1 in
+          Mad.pack oc ~r_mode:Madeleine.Iface.Receive_express (Bytes.create 4);
+          Mad.end_packing oc;
+          let ic = Mad.begin_unpacking_from ep0 ~remote:1 in
+          Mad.unpack ic ~r_mode:Madeleine.Iface.Receive_express (Bytes.create 4);
+          Mad.end_unpacking ic;
+          lat :=
+            Int64.add !lat (Time.diff (Marcel.Engine.now w.H.engine) t0)
+        done);
+    Marcel.Engine.spawn w.H.engine ~name:"r" (fun () ->
+        for _ = 1 to iters do
+          let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
+          Mad.unpack ic ~r_mode:Madeleine.Iface.Receive_express (Bytes.create 4);
+          Mad.end_unpacking ic;
+          let oc = Mad.begin_packing ep1 ~remote:0 in
+          Mad.pack oc ~r_mode:Madeleine.Iface.Receive_express (Bytes.create 4);
+          Mad.end_packing oc
+        done);
+    Marcel.Engine.run w.H.engine;
+    Time.to_us (Int64.div !lat (Int64.of_int (2 * iters)))
+  in
+  Printf.printf
+    "A8. Receive interaction (4 B round trips with 1 ms think time;\n\
+    \     one-way latency -- interrupts trade latency for bounded CPU burn):\n";
+  Printf.printf "      polling:           %6.2f us\n%!"
+    (rx_run Madeleine.Config.Rx_poll ~gap_us:1000.0);
+  Printf.printf "      interrupts:        %6.2f us\n%!"
+    (rx_run Madeleine.Config.Rx_interrupt ~gap_us:1000.0);
+  Printf.printf "      adaptive (30 us):  %6.2f us\n%!"
+    (rx_run
+       (Madeleine.Config.Rx_adaptive Madeleine.Config.default_adaptive_window)
+       ~gap_us:1000.0);
+
+  (* 9. Multiple adapters per node (§2.1): striping one transfer across
+     two Myrinet rails. The node's single 33 MHz PCI bus, not the wire,
+     is the ceiling — so on this hardware a second rail does not pay. *)
+  let dual_rail_bw rails =
+    let module Mad = Madeleine.Api in
+    let module Channel = Madeleine.Channel in
+    let engine = Marcel.Engine.create () in
+    let fabrics =
+      List.init rails (fun i ->
+          Simnet.Fabric.create engine
+            ~name:(Printf.sprintf "myri-%d" i)
+            ~link:Simnet.Netparams.myrinet)
+    in
+    let n0 = Simnet.Node.create engine ~name:"n0" ~id:0 in
+    let n1 = Simnet.Node.create engine ~name:"n1" ~id:1 in
+    List.iter
+      (fun f ->
+        Simnet.Fabric.attach f n0;
+        Simnet.Fabric.attach f n1)
+      fabrics;
+    let session = Madeleine.Session.create engine in
+    let channels =
+      List.map
+        (fun f ->
+          let net = Bip.make_net engine f in
+          let e0 = Bip.attach net n0 and e1 = Bip.attach net n1 in
+          Channel.create session
+            (Madeleine.Pmm_bip.driver (function 0 -> e0 | _ -> e1))
+            ~ranks:[ 0; 1 ] ())
+        fabrics
+    in
+    let per_rail = 1 lsl 20 / rails in
+    List.iter
+      (fun chan ->
+        Marcel.Engine.spawn engine ~name:"s" (fun () ->
+            let oc = Mad.begin_packing (Channel.endpoint chan ~rank:0) ~remote:1 in
+            Mad.pack oc (Bytes.create per_rail);
+            Mad.end_packing oc);
+        Marcel.Engine.spawn engine ~name:"r" (fun () ->
+            let ic =
+              Mad.begin_unpacking_from (Channel.endpoint chan ~rank:1) ~remote:0
+            in
+            Mad.unpack ic (Bytes.create per_rail);
+            Mad.end_unpacking ic))
+      channels;
+    Marcel.Engine.run engine;
+    Time.rate_mb_s ~bytes_count:(1 lsl 20) (Marcel.Engine.now engine)
+  in
+  Printf.printf
+    "A9. Multi-adapter striping over Myrinet rails (1 MB transfer):\n";
+  List.iter
+    (fun rails ->
+      Printf.printf "      %d rail(s): %6.1f MB/s\n%!" rails (dual_rail_bw rails))
+    [ 1; 2; 3 ];
+
+  (* 10. Incast: several senders converge on one SCI receiver. The
+     receiver's PCI bus (NIC-write class) is the shared bottleneck. *)
+  let incast senders =
+    let module Mad = Madeleine.Api in
+    let w = H.make_world ~n:(senders + 1) H.sisci_driver Simnet.Netparams.sci in
+    let n = 1 lsl 19 in
+    for s = 1 to senders do
+      Marcel.Engine.spawn w.H.engine ~name:(Printf.sprintf "s%d" s) (fun () ->
+          let oc =
+            Mad.begin_packing
+              (Madeleine.Channel.endpoint w.H.channel ~rank:s)
+              ~remote:0
+          in
+          Mad.pack oc (Bytes.create n);
+          Mad.end_packing oc)
+    done;
+    for _ = 1 to senders do
+      Marcel.Engine.spawn w.H.engine ~name:"r" (fun () ->
+          let ic =
+            Mad.begin_unpacking (Madeleine.Channel.endpoint w.H.channel ~rank:0)
+          in
+          Mad.unpack ic (Bytes.create n);
+          Mad.end_unpacking ic)
+    done;
+    Marcel.Engine.run w.H.engine;
+    Time.rate_mb_s ~bytes_count:(senders * n) (Marcel.Engine.now w.H.engine)
+  in
+  Printf.printf
+    "A10. Incast over SCI (concurrent senders to one receiver, aggregate):\n";
+  List.iter
+    (fun s -> Printf.printf "      %d sender(s): %6.1f MB/s\n%!" s (incast s))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: wall-clock cost of simulating each
+   experiment (one Test.make per reproduced figure). *)
+
+let bechamel () =
+  header "Bechamel -- wall-clock cost of each experiment's simulation";
+  let open Bechamel in
+  let open Toolkit in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [
+      stage "fig4.sisci-pingpong" (fun () ->
+          ignore (H.mad_pingpong (H.sisci_world ()) ~bytes_count:8192 ~iters:2));
+      stage "fig5.bip-pingpong" (fun () ->
+          ignore (H.mad_pingpong (H.bip_world ()) ~bytes_count:8192 ~iters:2));
+      stage "fig6.chmad-pingpong" (fun () ->
+          ignore (H.mpi_pingpong H.Chmad ~bytes_count:8192 ~iters:2));
+      stage "fig7.nexus-rsr" (fun () ->
+          ignore
+            (H.nexus_roundtrip H.Nexus_mad_sisci ~bytes_count:1024 ~iters:2));
+      stage "fig10.forwarding" (fun () ->
+          ignore
+            (H.forwarding_bandwidth ~mtu:16384 ~src:0 ~dst:2
+               ~bytes_count:(1 lsl 17) ()));
+      stage "fig11.forwarding-reverse" (fun () ->
+          ignore
+            (H.forwarding_bandwidth ~mtu:16384 ~src:2 ~dst:0
+               ~bytes_count:(1 lsl 17) ()));
+    ]
+  in
+  let test = Test.make_grouped ~name:"madeleine2" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Bechamel.Time.second 0.25) ~kde:None ()
+  in
+  let raw_results = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _measure per_test ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-36s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        per_test)
+    merged
+
+(* ------------------------------------------------------------------ *)
+
+let simspeed () =
+  header "Simulator throughput -- discrete events per host CPU second";
+  let run label f =
+    let t0 = Sys.time () in
+    let events = f () in
+    let dt = Sys.time () -. t0 in
+    Printf.printf "  %-34s %9d events, %8.2f Mev/s\n%!" label events
+      (float_of_int events /. 1e6 /. Float.max 1e-9 dt)
+  in
+  run "sisci 1MB ping-pong" (fun () ->
+      let w = H.sisci_world () in
+      ignore (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
+      Marcel.Engine.events_processed w.H.engine);
+  run "gateway forwarding 1MB @16kB" (fun () ->
+      let w = H.two_cluster_world () in
+      let vc =
+        Madeleine.Vchannel.create w.H.cw_session ~mtu:16384
+          [ w.H.ch_sci; w.H.ch_myri ]
+      in
+      let fin = ref false in
+      Marcel.Engine.spawn w.H.cw_engine ~name:"s" (fun () ->
+          let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2 in
+          Madeleine.Vchannel.pack oc (Bytes.create (1 lsl 20));
+          Madeleine.Vchannel.end_packing oc);
+      Marcel.Engine.spawn w.H.cw_engine ~name:"r" (fun () ->
+          let ic = Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0 in
+          Madeleine.Vchannel.unpack ic (Bytes.create (1 lsl 20));
+          Madeleine.Vchannel.end_unpacking ic;
+          fin := true);
+      Marcel.Engine.run w.H.cw_engine;
+      assert !fin;
+      Marcel.Engine.events_processed w.H.cw_engine)
+
+let sections =
+  [
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("eq16k", eq16k);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("ablations", ablations);
+    ("report", fun () ->
+      header "Replication report -- paper vs measured, judged";
+      ignore (Report.run ()));
+    ("simspeed", simspeed);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat " " (List.map fst sections));
+          exit 2)
+    requested;
+  Printf.printf "\nbench: all requested sections completed.\n"

@@ -1,0 +1,320 @@
+(* madbench: a command-line front end to the simulated testbeds.
+
+     madbench pingpong --net sisci --size 8192 --iters 10
+     madbench sweep --net bip
+     madbench forward --direction sci-to-myri --mtu 16384
+     madbench mpi --device chmad --size 65536
+     madbench nexus --proto sci --size 1024
+
+   All numbers are simulated time on the paper's calibrated testbed
+   (dual PII-450, 33 MHz PCI, BIP/Myrinet + SISCI/SCI + Fast Ethernet). *)
+
+module Time = Marcel.Time
+module H = Harness
+open Cmdliner
+
+let report ~what ~bytes_count span =
+  Format.printf "%s: size=%d B  one-way=%.2f us  bandwidth=%.2f MB/s@." what
+    bytes_count (Time.to_us span)
+    (Time.rate_mb_s ~bytes_count span)
+
+(* -------- pingpong -------- *)
+
+type net = Sisci_net | Bip_net | Tcp_net | Via_net | Sbp_net
+
+let net_conv =
+  Arg.enum
+    [
+      ("sisci", Sisci_net); ("bip", Bip_net); ("tcp", Tcp_net);
+      ("via", Via_net); ("sbp", Sbp_net);
+    ]
+
+let net_arg =
+  Arg.(value & opt net_conv Sisci_net & info [ "net" ] ~docv:"NET"
+         ~doc:"Network interface: sisci, bip, tcp, via or sbp.")
+
+let size_arg =
+  Arg.(value & opt int 4 & info [ "size" ] ~docv:"BYTES"
+         ~doc:"Message payload size in bytes.")
+
+let iters_arg =
+  Arg.(value & opt int 10 & info [ "iters" ] ~docv:"N"
+         ~doc:"Ping-pong iterations to average over.")
+
+let world_of_net = function
+  | Sisci_net -> ("madeleine/sisci", H.sisci_world ())
+  | Bip_net -> ("madeleine/bip", H.bip_world ())
+  | Tcp_net -> ("madeleine/tcp", H.tcp_world ())
+  | Via_net -> ("madeleine/via", H.via_world ())
+  | Sbp_net -> ("madeleine/sbp", H.sbp_world ())
+
+let pingpong net size iters =
+  let name, world = world_of_net net in
+  report ~what:name ~bytes_count:size
+    (H.mad_pingpong world ~bytes_count:size ~iters)
+
+let pingpong_cmd =
+  Cmd.v
+    (Cmd.info "pingpong" ~doc:"One Madeleine ping-pong measurement.")
+    Term.(const pingpong $ net_arg $ size_arg $ iters_arg)
+
+(* -------- sweep -------- *)
+
+let sweep net =
+  let name, _ = world_of_net net in
+  Format.printf "# %s latency/bandwidth sweep@." name;
+  Format.printf "%-10s %12s %12s@." "size(B)" "latency(us)" "bw(MB/s)";
+  List.iter
+    (fun n ->
+      let _, world = world_of_net net in
+      let iters = if n <= 4096 then 10 else 3 in
+      let t = H.mad_pingpong world ~bytes_count:n ~iters in
+      Format.printf "%-10d %12.2f %12.2f@." n (Time.to_us t)
+        (Time.rate_mb_s ~bytes_count:n t))
+    [ 4; 64; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Full message-size sweep on one interface.")
+    Term.(const sweep $ net_arg)
+
+(* -------- forward -------- *)
+
+type direction = Sci_to_myri | Myri_to_sci
+
+let dir_conv =
+  Arg.enum [ ("sci-to-myri", Sci_to_myri); ("myri-to-sci", Myri_to_sci) ]
+
+let dir_arg =
+  Arg.(value & opt dir_conv Sci_to_myri & info [ "direction" ] ~docv:"DIR"
+         ~doc:"Forwarding direction: sci-to-myri or myri-to-sci.")
+
+let mtu_arg =
+  Arg.(value & opt int 16384 & info [ "mtu" ] ~docv:"BYTES"
+         ~doc:"Generic-TM packet size used along the route.")
+
+let ovh_arg =
+  Arg.(value & opt float 50.0 & info [ "gateway-overhead" ] ~docv:"US"
+         ~doc:"Per-packet gateway software overhead in microseconds.")
+
+let cap_arg =
+  Arg.(value & opt (some float) None & info [ "ingress-cap" ] ~docv:"MB/S"
+         ~doc:"Gateway ingress bandwidth regulation (the paper's \
+               future-work mechanism); unset = unregulated.")
+
+let forward direction mtu ovh cap =
+  let src, dst, label =
+    match direction with
+    | Sci_to_myri -> (0, 2, "SCI->Myrinet")
+    | Myri_to_sci -> (2, 0, "Myrinet->SCI")
+  in
+  let v =
+    H.forwarding_bandwidth ~gateway_overhead:(Time.us ovh)
+      ?ingress_cap_mb_s:cap ~mtu ~src ~dst ~bytes_count:(1 lsl 20) ()
+  in
+  Format.printf "%s  mtu=%d B  gateway-overhead=%.0f us%s: %.2f MB/s@." label
+    mtu ovh
+    (match cap with
+    | None -> ""
+    | Some c -> Printf.sprintf "  ingress-cap=%.0f MB/s" c)
+    v
+
+let forward_cmd =
+  Cmd.v
+    (Cmd.info "forward"
+       ~doc:"Inter-cluster forwarding bandwidth through the gateway.")
+    Term.(const forward $ dir_arg $ mtu_arg $ ovh_arg $ cap_arg)
+
+(* -------- mpi -------- *)
+
+type mpi_dev = Dev_chmad | Dev_scimpich | Dev_scampi
+
+let dev_conv =
+  Arg.enum
+    [ ("chmad", Dev_chmad); ("sci-mpich", Dev_scimpich); ("scampi", Dev_scampi) ]
+
+let dev_arg =
+  Arg.(value & opt dev_conv Dev_chmad & info [ "device" ] ~docv:"DEV"
+         ~doc:"MPI device: chmad, sci-mpich or scampi.")
+
+let mpi dev size iters =
+  let kind, name =
+    match dev with
+    | Dev_chmad -> (H.Chmad, "mpich/madeleine")
+    | Dev_scimpich -> (H.Scidirect Mpilite.Dev_scidirect.sci_mpich, "sci-mpich")
+    | Dev_scampi -> (H.Scidirect Mpilite.Dev_scidirect.scampi, "scampi")
+  in
+  report ~what:name ~bytes_count:size
+    (H.mpi_pingpong kind ~bytes_count:size ~iters)
+
+let mpi_cmd =
+  Cmd.v
+    (Cmd.info "mpi" ~doc:"MPI ping-pong on one of the three devices.")
+    Term.(const mpi $ dev_arg $ size_arg $ iters_arg)
+
+(* -------- nexus -------- *)
+
+type nx_proto = Nx_sci | Nx_tcp
+
+let proto_conv = Arg.enum [ ("sci", Nx_sci); ("tcp", Nx_tcp) ]
+
+let proto_arg =
+  Arg.(value & opt proto_conv Nx_sci & info [ "proto" ] ~docv:"PROTO"
+         ~doc:"Nexus transport: sci (Madeleine/SISCI) or tcp (Madeleine/TCP).")
+
+let nexus proto size iters =
+  let kind, name =
+    match proto with
+    | Nx_sci -> (H.Nexus_mad_sisci, "nexus/madeleine/sci")
+    | Nx_tcp -> (H.Nexus_mad_tcp, "nexus/madeleine/tcp")
+  in
+  report ~what:name ~bytes_count:size
+    (H.nexus_roundtrip kind ~bytes_count:size ~iters)
+
+let nexus_cmd =
+  Cmd.v
+    (Cmd.info "nexus" ~doc:"Nexus RSR echo measurement.")
+    Term.(const nexus $ proto_arg $ size_arg $ iters_arg)
+
+(* -------- describe / config-driven runs -------- *)
+
+let config_arg =
+  Arg.(required & opt (some file) None & info [ "config" ] ~docv:"FILE"
+         ~doc:"Cluster description file (see docs and \
+               examples/clusters/two_cluster.cfg).")
+
+let describe config =
+  let module Cf = Clusterfile in
+  let t = Cf.load_file config in
+  Format.printf "networks: %s@." (String.concat ", " (Cf.networks t));
+  Format.printf "nodes:   ";
+  List.iter
+    (fun n -> Format.printf " %s(rank %d)" n (Cf.rank_of t n))
+    (Cf.nodes t);
+  Format.printf "@.channels: %s@." (String.concat ", " (Cf.channels t));
+  List.iter
+    (fun vc_name ->
+      let vc = Cf.vchannel t vc_name in
+      Format.printf "vchannel %s spans ranks %s@." vc_name
+        (String.concat ", "
+           (List.map string_of_int (Madeleine.Vchannel.ranks vc)));
+      let nodes = Cf.nodes t in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a <> b then
+                match
+                  Madeleine.Vchannel.route_length vc ~src:(Cf.rank_of t a)
+                    ~dst:(Cf.rank_of t b)
+                with
+                | hops -> Format.printf "  %s -> %s: %d hop(s)@." a b hops
+                | exception Not_found ->
+                    Format.printf "  %s -> %s: unreachable@." a b)
+            nodes)
+        nodes)
+    (Cf.vchannels t)
+
+let describe_cmd =
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Print the inventory and routes of a cluster file.")
+    Term.(const describe $ config_arg)
+
+let config_pingpong config chan_name from_name to_name size iters =
+  let module Cf = Clusterfile in
+  let module Mad = Madeleine.Api in
+  let t = Cf.load_file config in
+  let src = Cf.rank_of t from_name and dst = Cf.rank_of t to_name in
+  let run_pingpong ~send_one ~recv_one =
+    let t0 = ref Marcel.Time.zero and t1 = ref Marcel.Time.zero in
+    Marcel.Engine.spawn (Cf.engine t) ~name:"ping" (fun () ->
+        t0 := Marcel.Engine.now (Cf.engine t);
+        for _ = 1 to iters do
+          send_one ~me:src ~peer:dst;
+          recv_one ~me:src ~peer:dst
+        done;
+        t1 := Marcel.Engine.now (Cf.engine t));
+    Marcel.Engine.spawn (Cf.engine t) ~name:"pong" (fun () ->
+        for _ = 1 to iters do
+          recv_one ~me:dst ~peer:src;
+          send_one ~me:dst ~peer:src
+        done);
+    Marcel.Engine.run (Cf.engine t);
+    Int64.div (Marcel.Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+  in
+  let span =
+    match
+      (List.mem chan_name (Cf.channels t), List.mem chan_name (Cf.vchannels t))
+    with
+    | true, _ ->
+        let chan = Cf.channel t chan_name in
+        run_pingpong
+          ~send_one:(fun ~me ~peer ->
+            let oc =
+              Mad.begin_packing (Madeleine.Channel.endpoint chan ~rank:me)
+                ~remote:peer
+            in
+            Mad.pack oc (Bytes.create size);
+            Mad.end_packing oc)
+          ~recv_one:(fun ~me ~peer ->
+            let ic =
+              Mad.begin_unpacking_from
+                (Madeleine.Channel.endpoint chan ~rank:me)
+                ~remote:peer
+            in
+            Mad.unpack ic (Bytes.create size);
+            Mad.end_unpacking ic)
+    | false, true ->
+        let vc = Cf.vchannel t chan_name in
+        run_pingpong
+          ~send_one:(fun ~me ~peer ->
+            let oc = Madeleine.Vchannel.begin_packing vc ~me ~remote:peer in
+            Madeleine.Vchannel.pack oc (Bytes.create size);
+            Madeleine.Vchannel.end_packing oc)
+          ~recv_one:(fun ~me ~peer ->
+            let ic =
+              Madeleine.Vchannel.begin_unpacking_from vc ~me ~remote:peer
+            in
+            Madeleine.Vchannel.unpack ic (Bytes.create size);
+            Madeleine.Vchannel.end_unpacking ic)
+    | false, false ->
+        Format.eprintf "no channel or vchannel named %S@." chan_name;
+        exit 2
+  in
+  report
+    ~what:(Printf.sprintf "%s %s->%s" chan_name from_name to_name)
+    ~bytes_count:size span
+
+let chan_arg =
+  Arg.(required & opt (some string) None & info [ "channel" ] ~docv:"NAME"
+         ~doc:"Channel or vchannel name from the cluster file.")
+
+let from_arg =
+  Arg.(required & opt (some string) None & info [ "from" ] ~docv:"NODE")
+
+let to_arg =
+  Arg.(required & opt (some string) None & info [ "to" ] ~docv:"NODE")
+
+let config_pingpong_cmd =
+  Cmd.v
+    (Cmd.info "config-pingpong"
+       ~doc:"Ping-pong over a channel of a cluster-file world.")
+    Term.(const config_pingpong $ config_arg $ chan_arg $ from_arg $ to_arg
+          $ size_arg $ iters_arg)
+
+(* -------- main -------- *)
+
+let () =
+  let info =
+    Cmd.info "madbench" ~version:"1.0"
+      ~doc:
+        "Measurements on the simulated Madeleine II testbed (CLUSTER 2000 \
+         reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            pingpong_cmd; sweep_cmd; forward_cmd; mpi_cmd; nexus_cmd;
+            describe_cmd; config_pingpong_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/cluster_of_clusters.ml: Bip Bytes Format Hashtbl Int64 List Madeleine Marcel Printf Simnet Sisci String

@@ -1,0 +1,1 @@
+examples/cluster_of_clusters.mli:

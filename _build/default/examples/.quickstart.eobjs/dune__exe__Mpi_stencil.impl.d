@@ -1,0 +1,1 @@
+examples/mpi_stencil.ml: Array Bytes Format Fun Int64 List Madeleine Marcel Mpilite Printf Simnet Sisci

@@ -1,0 +1,1 @@
+examples/mpi_stencil.mli:

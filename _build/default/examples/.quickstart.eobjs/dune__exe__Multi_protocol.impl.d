@@ -1,0 +1,1 @@
+examples/multi_protocol.ml: Array Bytes Format Int32 Int64 List Madeleine Marcel Simnet Sisci Tcpnet

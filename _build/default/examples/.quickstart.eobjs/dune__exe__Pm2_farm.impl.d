@@ -1,0 +1,1 @@
+examples/pm2_farm.ml: Array Bytes Format Fun Int64 List Madeleine Marcel Pm2 Printf Simnet Sisci

@@ -1,0 +1,1 @@
+examples/pm2_farm.mli:

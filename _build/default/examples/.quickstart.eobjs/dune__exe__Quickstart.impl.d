@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bip Bytes Format Int32 Madeleine Marcel Simnet

@@ -1,0 +1,1 @@
+examples/rpc_server.ml: Array Bytes Char Format Hashtbl Madeleine Marcel Nexus Option Printf Simnet Sisci String Tcpnet

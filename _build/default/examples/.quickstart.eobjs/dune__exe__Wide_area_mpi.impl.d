@@ -1,0 +1,1 @@
+examples/wide_area_mpi.ml: Array Bytes Clusterfile Format Int64 List Madeleine Marcel Mpilite Sys

@@ -1,0 +1,1 @@
+lib/harness/clusterfile.ml: Bip Hashtbl List Madeleine Marcel Printf Sbp Simnet Sisci String Tcpnet Via

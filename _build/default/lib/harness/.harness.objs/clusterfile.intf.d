@@ -1,0 +1,1 @@
+lib/harness/clusterfile.mli: Madeleine Marcel Simnet

@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Bytes Madeleine Marcel Mpilite Nexus Simnet

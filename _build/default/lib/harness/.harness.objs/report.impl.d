@@ -1,0 +1,1 @@
+lib/harness/report.ml: Float Harness List Marcel Printf String

@@ -1,0 +1,300 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Channel = Madeleine.Channel
+module Config = Madeleine.Config
+
+exception Parse_error of int * string
+
+type net_kind = Sisci_k | Bip_k | Tcp_k | Via_k | Sbp_k
+
+(* A network: its fabric plus the per-rank protocol endpoint factory,
+   built lazily as nodes join. *)
+type network = {
+  kind : net_kind;
+  fabric : Fabric.t;
+  mutable attach_node : Node.t -> unit;
+  mutable driver_of : unit -> Madeleine.Driver.t;
+}
+
+type t = {
+  cf_engine : Engine.t;
+  cf_session : Madeleine.Session.t;
+  nets : (string, network) Hashtbl.t;
+  node_tbl : (string, Node.t) Hashtbl.t;
+  mutable node_order : string list; (* reverse declaration order *)
+  chan_tbl : (string, Channel.t) Hashtbl.t;
+  mutable chan_order : string list;
+  vchan_tbl : (string, Madeleine.Vchannel.t) Hashtbl.t;
+  mutable vchan_order : string list;
+  mutable net_order : string list;
+}
+
+let engine t = t.cf_engine
+let session t = t.cf_session
+let networks t = List.rev t.net_order
+let nodes t = List.rev t.node_order
+let channels t = List.rev t.chan_order
+let vchannels t = List.rev t.vchan_order
+let node t name = Hashtbl.find t.node_tbl name
+let rank_of t name = (node t name).Node.id
+let channel t name = Hashtbl.find t.chan_tbl name
+let vchannel t name = Hashtbl.find t.vchan_tbl name
+
+(* ------------------------------------------------------------------ *)
+(* Per-kind glue: how to attach a node and build a driver. *)
+
+let make_network engine kind name =
+  let link =
+    match kind with
+    | Sisci_k -> Netparams.sci
+    | Bip_k -> Netparams.myrinet
+    | Tcp_k | Via_k | Sbp_k -> Netparams.fast_ethernet
+  in
+  let fabric = Fabric.create engine ~name ~link in
+  match kind with
+  | Sisci_k ->
+      let net = Sisci.make_net engine fabric in
+      let eps = Hashtbl.create 8 in
+      {
+        kind;
+        fabric;
+        attach_node =
+          (fun n ->
+            Fabric.attach fabric n;
+            Hashtbl.add eps n.Node.id (Sisci.attach net n));
+        driver_of =
+          (fun () -> Madeleine.Pmm_sisci.driver (Hashtbl.find eps));
+      }
+  | Bip_k ->
+      let net = Bip.make_net engine fabric in
+      let eps = Hashtbl.create 8 in
+      {
+        kind;
+        fabric;
+        attach_node =
+          (fun n ->
+            Fabric.attach fabric n;
+            Hashtbl.add eps n.Node.id (Bip.attach net n));
+        driver_of = (fun () -> Madeleine.Pmm_bip.driver (Hashtbl.find eps));
+      }
+  | Tcp_k ->
+      let net = Tcpnet.make_net engine fabric in
+      let eps = Hashtbl.create 8 in
+      {
+        kind;
+        fabric;
+        attach_node =
+          (fun n ->
+            Fabric.attach fabric n;
+            Hashtbl.add eps n.Node.id (Tcpnet.attach net n));
+        driver_of = (fun () -> Madeleine.Pmm_tcp.driver (Hashtbl.find eps));
+      }
+  | Via_k ->
+      let net = Via.make_net engine fabric in
+      let eps = Hashtbl.create 8 in
+      {
+        kind;
+        fabric;
+        attach_node =
+          (fun n ->
+            Fabric.attach fabric n;
+            Hashtbl.add eps n.Node.id (Via.attach net n));
+        driver_of = (fun () -> Madeleine.Pmm_via.driver (Hashtbl.find eps));
+      }
+  | Sbp_k ->
+      let net = Sbp.make_net engine fabric in
+      let eps = Hashtbl.create 8 in
+      {
+        kind;
+        fabric;
+        attach_node =
+          (fun n ->
+            Fabric.attach fabric n;
+            Hashtbl.add eps n.Node.id (Sbp.attach net n));
+        driver_of = (fun () -> Madeleine.Pmm_sbp.driver (Hashtbl.find eps));
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let tokenize line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let split_kv lineno tok =
+  match String.index_opt tok '=' with
+  | None -> raise (Parse_error (lineno, Printf.sprintf "expected key=value, got %S" tok))
+  | Some i ->
+      (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+
+let parse_bool lineno key v =
+  match v with
+  | "true" -> true
+  | "false" -> false
+  | _ -> raise (Parse_error (lineno, Printf.sprintf "%s expects true/false, got %S" key v))
+
+let parse_int lineno key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> raise (Parse_error (lineno, Printf.sprintf "%s expects an integer, got %S" key v))
+
+let parse_float lineno key v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> raise (Parse_error (lineno, Printf.sprintf "%s expects a number, got %S" key v))
+
+let comma v = String.split_on_char ',' v |> List.filter (fun s -> s <> "")
+
+let kind_of_string lineno = function
+  | "sisci" -> Sisci_k
+  | "bip" -> Bip_k
+  | "tcp" -> Tcp_k
+  | "via" -> Via_k
+  | "sbp" -> Sbp_k
+  | other -> raise (Parse_error (lineno, Printf.sprintf "unknown network type %S" other))
+
+let find_or lineno table what name =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None -> raise (Parse_error (lineno, Printf.sprintf "unknown %s %S" what name))
+
+let declare lineno table what name v =
+  if Hashtbl.mem table name then
+    raise (Parse_error (lineno, Printf.sprintf "duplicate %s %S" what name));
+  Hashtbl.add table name v
+
+let parse_line t lineno line =
+  match tokenize line with
+  | [] -> ()
+  | "network" :: name :: opts ->
+      let kind = ref None in
+      List.iter
+        (fun tok ->
+          match split_kv lineno tok with
+          | "type", v -> kind := Some (kind_of_string lineno v)
+          | k, _ -> raise (Parse_error (lineno, "unknown network option " ^ k)))
+        opts;
+      let kind =
+        match !kind with
+        | Some k -> k
+        | None -> raise (Parse_error (lineno, "network needs type="))
+      in
+      declare lineno t.nets "network" name (make_network t.cf_engine kind name);
+      t.net_order <- name :: t.net_order
+  | "node" :: name :: opts ->
+      let nets = ref [] in
+      List.iter
+        (fun tok ->
+          match split_kv lineno tok with
+          | "nets", v -> nets := comma v
+          | k, _ -> raise (Parse_error (lineno, "unknown node option " ^ k)))
+        opts;
+      let id = Hashtbl.length t.node_tbl in
+      let n = Node.create t.cf_engine ~name ~id in
+      declare lineno t.node_tbl "node" name n;
+      t.node_order <- name :: t.node_order;
+      List.iter
+        (fun net_name -> (find_or lineno t.nets "network" net_name).attach_node n)
+        !nets
+  | "channel" :: name :: opts ->
+      let net = ref None and members = ref [] in
+      let config = ref Config.default in
+      List.iter
+        (fun tok ->
+          match split_kv lineno tok with
+          | "net", v -> net := Some (find_or lineno t.nets "network" v)
+          | "nodes", v -> members := comma v
+          | "aggregation", v ->
+              config := { !config with aggregation = parse_bool lineno "aggregation" v }
+          | "checked", v ->
+              config := { !config with checked = parse_bool lineno "checked" v }
+          | "slots", v ->
+              config := { !config with sisci_ring_slots = parse_int lineno "slots" v }
+          | "dma", v ->
+              config := { !config with sisci_use_dma = parse_bool lineno "dma" v }
+          | "rx", v ->
+              let rx_interaction =
+                match v with
+                | "poll" -> Config.Rx_poll
+                | "interrupt" -> Config.Rx_interrupt
+                | "adaptive" -> Config.Rx_adaptive Config.default_adaptive_window
+                | _ -> raise (Parse_error (lineno, "rx expects poll|interrupt|adaptive"))
+              in
+              config := { !config with rx_interaction }
+          | k, _ -> raise (Parse_error (lineno, "unknown channel option " ^ k)))
+        opts;
+      let net =
+        match !net with
+        | Some n -> n
+        | None -> raise (Parse_error (lineno, "channel needs net="))
+      in
+      let ranks =
+        List.map (fun node_name -> rank_of t node_name) !members
+      in
+      if ranks = [] then raise (Parse_error (lineno, "channel needs nodes="));
+      let chan =
+        Channel.create t.cf_session (net.driver_of ()) ~config:!config ~ranks ()
+      in
+      declare lineno t.chan_tbl "channel" name chan;
+      t.chan_order <- name :: t.chan_order
+  | "vchannel" :: name :: opts ->
+      let chans = ref [] and mtu = ref None in
+      let overhead = ref None and cap = ref None in
+      List.iter
+        (fun tok ->
+          match split_kv lineno tok with
+          | "channels", v ->
+              chans :=
+                List.map (fun cn -> find_or lineno t.chan_tbl "channel" cn) (comma v)
+          | "mtu", v -> mtu := Some (parse_int lineno "mtu" v)
+          | "gateway_overhead_us", v ->
+              overhead := Some (Time.us (parse_float lineno "gateway_overhead_us" v))
+          | "ingress_cap", v -> cap := Some (parse_float lineno "ingress_cap" v)
+          | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
+        opts;
+      if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
+      let vc =
+        Madeleine.Vchannel.create t.cf_session ?mtu:!mtu
+          ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap !chans
+      in
+      declare lineno t.vchan_tbl "vchannel" name vc;
+      t.vchan_order <- name :: t.vchan_order
+  | keyword :: _ ->
+      raise (Parse_error (lineno, Printf.sprintf "unknown declaration %S" keyword))
+
+let load text =
+  let cf_engine = Engine.create () in
+  let t =
+    {
+      cf_engine;
+      cf_session = Madeleine.Session.create cf_engine;
+      nets = Hashtbl.create 8;
+      node_tbl = Hashtbl.create 16;
+      node_order = [];
+      chan_tbl = Hashtbl.create 8;
+      chan_order = [];
+      vchan_tbl = Hashtbl.create 4;
+      vchan_order = [];
+      net_order = [];
+    }
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some j -> String.sub line 0 j
+           | None -> line
+         in
+         parse_line t (i + 1) line);
+  t
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let buf = really_input_string ic n in
+  close_in ic;
+  load buf

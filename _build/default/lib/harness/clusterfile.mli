@@ -1,0 +1,58 @@
+(** Declarative cluster descriptions.
+
+    Real Madeleine II sessions were launched from configuration files
+    naming the machines, networks and channels (the later PM2 stack
+    called the launcher Leonie). This module provides the equivalent for
+    the simulated testbed: a small line-based description builds the
+    whole world — fabrics, nodes, protocol instances, channels and
+    virtual channels — ready to run.
+
+    {v
+    # the paper's 6.2 testbed
+    network sci   type=sisci
+    network myri  type=bip
+
+    node a   nets=sci
+    node gw  nets=sci,myri
+    node b   nets=myri
+
+    channel  c-sci   net=sci   nodes=a,gw
+    channel  c-myri  net=myri  nodes=gw,b
+    vchannel wan     channels=c-sci,c-myri  mtu=16384
+    v}
+
+    Syntax: one declaration per line — [network NAME type=T],
+    [node NAME nets=N1,N2...], [channel NAME net=N nodes=A,B,...] and
+    [vchannel NAME channels=C1,C2,... \[mtu=BYTES\]
+    \[gateway_overhead_us=US\] \[ingress_cap=MB_S\]]. Channel options:
+    [aggregation=BOOL], [checked=BOOL], [slots=INT], [dma=BOOL],
+    [rx=poll|interrupt|adaptive]. Network types: [sisci], [bip], [tcp],
+    [via], [sbp]. [#] starts a comment. Declarations must appear in
+    dependency order (networks, then nodes, then channels, then virtual
+    channels). Node ranks are assigned in declaration order. *)
+
+type t
+
+exception Parse_error of int * string
+(** Line number (1-based) and explanation. *)
+
+val load : string -> t
+(** Builds the world from a description. All protocol resources are
+    created immediately, as at session initialization. *)
+
+val load_file : string -> t
+
+val engine : t -> Marcel.Engine.t
+val session : t -> Madeleine.Session.t
+
+val networks : t -> string list
+val nodes : t -> string list
+val channels : t -> string list
+val vchannels : t -> string list
+
+val node : t -> string -> Simnet.Node.t
+(** Raises [Not_found] for unknown names, as do the lookups below. *)
+
+val rank_of : t -> string -> int
+val channel : t -> string -> Madeleine.Channel.t
+val vchannel : t -> string -> Madeleine.Vchannel.t

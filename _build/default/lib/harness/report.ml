@@ -1,0 +1,184 @@
+(* The replication report: every headline number of the paper, measured
+   on the spot and judged against a tolerance band. This is the
+   machine-checkable version of EXPERIMENTS.md's summary table. *)
+
+module Time = Marcel.Time
+module H = Harness
+
+type verdict = Match | Close | Off
+
+type row = {
+  quantity : string;
+  paper : float;
+  unit : string;
+  measure : unit -> float;
+  (* relative tolerance for Match; 2x for Close *)
+  tol : float;
+}
+
+let lat_of span = Time.to_us span
+let bw_of n span = Time.rate_mb_s ~bytes_count:n span
+let mb = 1 lsl 20
+
+let rows =
+  [
+    {
+      quantity = "Fig4  Madeleine/SISCI min latency";
+      paper = 3.9;
+      unit = "us";
+      measure =
+        (fun () ->
+          lat_of (H.mad_pingpong (H.sisci_world ()) ~bytes_count:4 ~iters:30));
+      tol = 0.10;
+    };
+    {
+      quantity = "Fig4  Madeleine/SISCI peak bandwidth";
+      paper = 82.0;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          bw_of mb (H.mad_pingpong (H.sisci_world ()) ~bytes_count:mb ~iters:3));
+      tol = 0.05;
+    };
+    {
+      quantity = "S6.2  Madeleine/SISCI @8kB";
+      paper = 58.0;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          bw_of 8192
+            (H.mad_pingpong (H.sisci_world ()) ~bytes_count:8192 ~iters:10));
+      tol = 0.15;
+    };
+    {
+      quantity = "Fig5  Madeleine/BIP min latency";
+      paper = 7.0;
+      unit = "us";
+      measure =
+        (fun () ->
+          lat_of (H.mad_pingpong (H.bip_world ()) ~bytes_count:4 ~iters:30));
+      tol = 0.10;
+    };
+    {
+      quantity = "Fig5  Madeleine/BIP peak bandwidth";
+      paper = 122.0;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          bw_of mb (H.mad_pingpong (H.bip_world ()) ~bytes_count:mb ~iters:3));
+      tol = 0.05;
+    };
+    {
+      quantity = "Fig5  raw BIP min latency";
+      paper = 5.0;
+      unit = "us";
+      measure = (fun () -> lat_of (H.raw_bip_pingpong ~bytes_count:4 ~iters:30));
+      tol = 0.10;
+    };
+    {
+      quantity = "Fig5  raw BIP peak bandwidth";
+      paper = 126.0;
+      unit = "MB/s";
+      measure =
+        (fun () -> bw_of mb (H.raw_bip_pingpong ~bytes_count:mb ~iters:3));
+      tol = 0.05;
+    };
+    {
+      quantity = "S6.2  Madeleine/BIP @8kB";
+      paper = 47.0;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          bw_of 8192
+            (H.mad_pingpong (H.bip_world ()) ~bytes_count:8192 ~iters:10));
+      tol = 0.15;
+    };
+    {
+      quantity = "Fig6  MPICH/Mad 1MB bandwidth (~raw)";
+      paper = 82.0;
+      unit = "MB/s";
+      measure =
+        (fun () -> bw_of mb (H.mpi_pingpong H.Chmad ~bytes_count:mb ~iters:3));
+      tol = 0.05;
+    };
+    {
+      quantity = "Fig7  Nexus/Mad/SCI min latency";
+      paper = 24.0;
+      unit = "us";
+      measure =
+        (fun () ->
+          lat_of
+            (H.nexus_roundtrip H.Nexus_mad_sisci ~bytes_count:4 ~iters:20));
+      tol = 0.10;
+    };
+    {
+      quantity = "Fig10 SCI->Myri @8kB packets";
+      paper = 36.5;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          H.forwarding_bandwidth ~mtu:8192 ~src:0 ~dst:2 ~bytes_count:mb ());
+      tol = 0.05;
+    };
+    {
+      quantity = "Fig10 SCI->Myri @128kB packets";
+      paper = 49.5;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          H.forwarding_bandwidth ~mtu:(128 * 1024) ~src:0 ~dst:2 ~bytes_count:mb ());
+      tol = 0.05;
+    };
+    {
+      quantity = "Fig11 Myri->SCI @8kB packets";
+      paper = 29.0;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          H.forwarding_bandwidth ~mtu:8192 ~src:2 ~dst:0 ~bytes_count:mb ());
+      tol = 0.06;
+    };
+    {
+      quantity = "Fig11 Myri->SCI asymptote";
+      paper = 36.5;
+      unit = "MB/s";
+      measure =
+        (fun () ->
+          H.forwarding_bandwidth ~mtu:(128 * 1024) ~src:2 ~dst:0 ~bytes_count:mb ());
+      tol = 0.06;
+    };
+  ]
+
+let judge row measured =
+  let rel = Float.abs (measured -. row.paper) /. row.paper in
+  if rel <= row.tol then Match else if rel <= 2.0 *. row.tol then Close else Off
+
+let run () =
+  Printf.printf "%-40s %10s %10s %8s  %s\n" "quantity" "paper" "measured"
+    "delta" "verdict";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let worst = ref Match in
+  List.iter
+    (fun row ->
+      let measured = row.measure () in
+      let verdict = judge row measured in
+      (match (verdict, !worst) with
+      | Off, _ -> worst := Off
+      | Close, Match -> worst := Close
+      | _ -> ());
+      Printf.printf "%-40s %7.1f %-3s %6.1f %-3s %+7.1f%%  %s\n%!" row.quantity
+        row.paper row.unit measured row.unit
+        (100.0 *. (measured -. row.paper) /. row.paper)
+        (match verdict with
+        | Match -> "MATCH"
+        | Close -> "close"
+        | Off -> "OFF"))
+    rows;
+  Printf.printf "%s\n" (String.make 78 '-');
+  (match !worst with
+  | Match -> Printf.printf "replication report: all quantities within tolerance.\n"
+  | Close ->
+      Printf.printf
+        "replication report: all quantities within 2x tolerance (some close).\n"
+  | Off -> Printf.printf "replication report: DEVIATIONS PRESENT.\n");
+  !worst <> Off

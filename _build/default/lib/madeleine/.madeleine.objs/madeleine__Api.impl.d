@@ -1,0 +1,1 @@
+lib/madeleine/api.ml: Array Bmm Buf Channel Config Iface Link Marcel

@@ -1,0 +1,1 @@
+lib/madeleine/api.mli: Bytes Channel Iface

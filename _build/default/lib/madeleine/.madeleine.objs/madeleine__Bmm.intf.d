@@ -1,0 +1,1 @@
+lib/madeleine/bmm.mli: Buf Iface Tm

@@ -1,0 +1,1 @@
+lib/madeleine/buf.ml: Bytes Option

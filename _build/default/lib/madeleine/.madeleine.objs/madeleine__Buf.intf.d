@@ -1,0 +1,1 @@
+lib/madeleine/buf.mli: Bytes

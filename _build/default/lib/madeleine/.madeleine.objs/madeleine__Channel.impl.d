@@ -1,0 +1,1 @@
+lib/madeleine/channel.ml: Config Driver Format Hashtbl Iface Link List Marcel Printf Session

@@ -1,0 +1,1 @@
+lib/madeleine/channel.mli: Config Driver Iface Link Session

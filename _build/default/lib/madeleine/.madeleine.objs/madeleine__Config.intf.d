@@ -1,0 +1,1 @@
+lib/madeleine/config.mli: Marcel

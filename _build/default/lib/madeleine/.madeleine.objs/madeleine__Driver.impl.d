@@ -1,0 +1,1 @@
+lib/madeleine/driver.ml: Config Hashtbl Link

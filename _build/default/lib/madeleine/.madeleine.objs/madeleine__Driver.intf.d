@@ -1,0 +1,1 @@
+lib/madeleine/driver.mli: Config Link

@@ -1,0 +1,1 @@
+lib/madeleine/generic_tm.ml: Bytes Char Config Iface Int32

@@ -1,0 +1,1 @@
+lib/madeleine/generic_tm.mli: Bytes Iface

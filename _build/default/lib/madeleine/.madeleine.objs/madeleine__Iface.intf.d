@@ -1,0 +1,1 @@
+lib/madeleine/iface.mli: Format

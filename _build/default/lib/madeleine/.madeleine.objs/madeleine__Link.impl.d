@@ -1,0 +1,1 @@
+lib/madeleine/link.ml: Array Bmm Iface Marcel

@@ -1,0 +1,1 @@
+lib/madeleine/link.mli: Bmm Iface Marcel

@@ -1,0 +1,1 @@
+lib/madeleine/pmm_bip.ml: Array Bip Bmm Buf Bytes Config Driver Link List Marcel Printf Simnet Tm

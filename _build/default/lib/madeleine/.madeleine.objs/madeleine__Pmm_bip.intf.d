@@ -1,0 +1,1 @@
+lib/madeleine/pmm_bip.mli: Bip Driver Iface

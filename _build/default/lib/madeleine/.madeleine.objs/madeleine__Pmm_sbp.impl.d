@@ -1,0 +1,1 @@
+lib/madeleine/pmm_sbp.ml: Bmm Buf Config Driver Link Sbp Simnet Tm

@@ -1,0 +1,1 @@
+lib/madeleine/pmm_sbp.mli: Driver Iface Sbp

@@ -1,0 +1,1 @@
+lib/madeleine/pmm_sisci.ml: Array Bmm Buf Bytes Config Driver Hashtbl Int32 Link List Marcel Simnet Sisci Tm

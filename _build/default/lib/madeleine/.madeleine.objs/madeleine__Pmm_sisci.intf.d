@@ -1,0 +1,1 @@
+lib/madeleine/pmm_sisci.mli: Config Driver Iface Sisci

@@ -1,0 +1,1 @@
+lib/madeleine/pmm_tcp.ml: Bmm Buf Config Driver Hashtbl Link List Marcel Tcpnet Tm

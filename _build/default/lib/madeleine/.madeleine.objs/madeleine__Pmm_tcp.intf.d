@@ -1,0 +1,1 @@
+lib/madeleine/pmm_tcp.mli: Driver Iface Tcpnet

@@ -1,0 +1,1 @@
+lib/madeleine/pmm_via.ml: Bmm Buf Bytes Config Driver Hashtbl Link List Simnet Tm Via

@@ -1,0 +1,1 @@
+lib/madeleine/pmm_via.mli: Driver Iface Via

@@ -1,0 +1,1 @@
+lib/madeleine/session.ml: Marcel

@@ -1,0 +1,1 @@
+lib/madeleine/session.mli: Marcel

@@ -1,0 +1,1 @@
+lib/madeleine/tm.mli: Buf

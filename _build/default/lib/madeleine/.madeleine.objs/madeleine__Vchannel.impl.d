@@ -1,0 +1,1 @@
+lib/madeleine/vchannel.ml: Api Buf Bytes Channel Config Format Generic_tm Hashtbl Iface List Marcel Printf Queue Session Simnet

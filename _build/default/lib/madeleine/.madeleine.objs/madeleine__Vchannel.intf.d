@@ -1,0 +1,1 @@
+lib/madeleine/vchannel.mli: Bytes Channel Iface Marcel Session

@@ -1,0 +1,60 @@
+(** The Madeleine II functional interface (paper Table 1).
+
+    Message emission: {!begin_packing} → a sequence of {!pack} →
+    {!end_packing}. Reception is strictly symmetric: {!begin_unpacking}
+    (or {!begin_unpacking_from}) → the mirror sequence of {!unpack} →
+    {!end_unpacking}. Messages are not self-described, so the unpack
+    sequence must replay the pack sequence exactly — sizes and mode
+    combinations (checked channels raise {!Config.Symmetry_violation}
+    instead of the paper's "unspecified behavior").
+
+    All calls must run inside a {!Marcel.Engine} thread belonging to the
+    endpoint's simulated node. *)
+
+type out_connection
+type in_connection
+
+val begin_packing : Channel.endpoint -> remote:int -> out_connection
+(** Initiates a new message toward [remote]. Blocks while another message
+    to the same peer on this channel is in flight (connections are
+    point-to-point FIFO worlds). *)
+
+val pack :
+  out_connection ->
+  ?s_mode:Iface.send_mode ->
+  ?r_mode:Iface.recv_mode ->
+  ?off:int ->
+  ?len:int ->
+  Bytes.t ->
+  unit
+(** Appends a data block to the message. Defaults: [Send_cheaper],
+    [Receive_cheaper], the whole byte sequence. *)
+
+val end_packing : out_connection -> unit
+(** Flushes every delayed packet and closes the connection object. *)
+
+val begin_unpacking : Channel.endpoint -> in_connection
+(** Starts extraction of the first incoming message on the channel,
+    whichever peer sent it. Blocks until a message is visible. *)
+
+val begin_unpacking_from : Channel.endpoint -> remote:int -> in_connection
+(** Starts extraction of the next message from a known peer — the fast
+    path when the application knows its communication partner. *)
+
+val remote_rank : in_connection -> int
+(** The sending node of the message being unpacked. *)
+
+val unpack :
+  in_connection ->
+  ?s_mode:Iface.send_mode ->
+  ?r_mode:Iface.recv_mode ->
+  ?off:int ->
+  ?len:int ->
+  Bytes.t ->
+  unit
+(** Extracts the next data block into the given slice. With
+    [Receive_express] the data is available when [unpack] returns; with
+    [Receive_cheaper] only after {!end_unpacking}. *)
+
+val end_unpacking : in_connection -> unit
+(** Completes all deferred extractions and closes the connection. *)

@@ -1,0 +1,224 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+
+type send = {
+  bs_name : string;
+  append : Buf.t -> Iface.send_mode -> Iface.recv_mode -> unit;
+  commit : unit -> unit;
+}
+
+type recv = {
+  br_name : string;
+  extract : Buf.t -> Iface.send_mode -> Iface.recv_mode -> unit;
+  checkout : unit -> unit;
+}
+
+(* Staging a SAFER buffer is a real memcpy on the host. *)
+let stage_copy buf =
+  Simnet.Cost.memcpy (Buf.length buf);
+  Buf.make (Buf.to_bytes buf)
+
+(* A buffer as queued for a delayed send. SAFER is staged immediately;
+   LATER and CHEAPER keep the user reference, so LATER picks up
+   modifications made before the flush — its defining semantics. *)
+let queued_view buf = function
+  | Iface.Send_safer -> stage_copy buf
+  | Iface.Send_later | Iface.Send_cheaper -> buf
+
+let eager_dynamic_send (d : Tm.dynamic_send) =
+  let held = Queue.create () in
+  let flush () =
+    if not (Queue.is_empty held) then begin
+      let bufs = List.of_seq (Queue.to_seq held) in
+      Queue.clear held;
+      d.Tm.send_buffer_group bufs
+    end
+  in
+  let append buf s _r =
+    match s with
+    | Iface.Send_later -> Queue.push buf held
+    | Iface.Send_safer | Iface.Send_cheaper ->
+        (* Order: anything behind a pending LATER buffer must wait too. *)
+        if Queue.is_empty held then d.Tm.send_buffer buf
+        else Queue.push (queued_view buf s) held
+  in
+  { bs_name = "eager-dynamic"; append; commit = flush }
+
+let aggregating_dynamic_send (d : Tm.dynamic_send) =
+  let held = Queue.create () in
+  let later_pending = ref false in
+  let flush () =
+    if not (Queue.is_empty held) then begin
+      let bufs = List.of_seq (Queue.to_seq held) in
+      Queue.clear held;
+      later_pending := false;
+      d.Tm.send_buffer_group bufs
+    end
+  in
+  let append buf s r =
+    Queue.push (queued_view buf s) held;
+    if s = Iface.Send_later then later_pending := true;
+    (* The receiver should see EXPRESS data as soon as possible, so the
+       aggregate is flushed right away — unless a LATER buffer is queued,
+       whose contents are not final before commit. (EXPRESS only promises
+       availability once the receiver's unpack returns, which blocks
+       until the data arrives either way.) *)
+    match r with
+    | Iface.Receive_express -> if not !later_pending then flush ()
+    | Iface.Receive_cheaper -> ()
+  in
+  { bs_name = "aggregating-dynamic"; append; commit = flush }
+
+let dynamic_recv (d : Tm.dynamic_recv) =
+  let deferred = Queue.create () in
+  let drain () =
+    if not (Queue.is_empty deferred) then begin
+      let bufs = List.of_seq (Queue.to_seq deferred) in
+      Queue.clear deferred;
+      d.Tm.receive_buffer_group bufs
+    end
+  in
+  let extract buf _s r =
+    match r with
+    | Iface.Receive_express ->
+        drain ();
+        d.Tm.receive_buffer buf
+    | Iface.Receive_cheaper -> Queue.push buf deferred
+  in
+  { br_name = "dynamic"; extract; checkout = drain }
+
+let static_copy_send (s : Tm.static_send) =
+  let capacity = s.Tm.send_capacity in
+  if capacity <= 0 then invalid_arg "Bmm.static_copy_send: capacity <= 0";
+  (* Buffers segment into slots by pure capacity arithmetic (the receiver
+     mirrors the same arithmetic), but *shipping* a slot reads its
+     contents — which LATER forbids before commit. Completed slots
+     therefore queue up in [complete] and ship as soon as no LATER buffer
+     is pending, or at the latest on commit. *)
+  let complete : Buf.t list Queue.t = Queue.create () in
+  let current = Queue.create () in
+  let fill = ref 0 in
+  let later_pending = ref false in
+  let ship_slot entries =
+    s.Tm.obtain_static_buffer ();
+    List.iter s.Tm.write_static entries;
+    s.Tm.ship_static ()
+  in
+  let ship_complete () =
+    while not (Queue.is_empty complete) do
+      ship_slot (Queue.pop complete)
+    done
+  in
+  let close_current () =
+    if not (Queue.is_empty current) then begin
+      Queue.push (List.of_seq (Queue.to_seq current)) complete;
+      Queue.clear current;
+      fill := 0
+    end
+  in
+  let commit () =
+    later_pending := false;
+    close_current ();
+    ship_complete ()
+  in
+  let rec place buf s_mode =
+    let remaining = capacity - !fill in
+    if Buf.length buf <= remaining then begin
+      Queue.push (queued_view buf s_mode) current;
+      if s_mode = Iface.Send_later then later_pending := true;
+      fill := !fill + Buf.length buf;
+      if !fill = capacity then begin
+        close_current ();
+        if not !later_pending then ship_complete ()
+      end
+    end
+    else if !fill > 0 then begin
+      close_current ();
+      if not !later_pending then ship_complete ();
+      place buf s_mode
+    end
+    else begin
+      (* A buffer larger than a whole slot: split across slots. *)
+      place (Buf.sub buf ~pos:0 ~len:capacity) s_mode;
+      place (Buf.sub buf ~pos:capacity ~len:(Buf.length buf - capacity)) s_mode
+    end
+  in
+  let append buf s_mode r =
+    place buf s_mode;
+    match r with
+    | Iface.Receive_express -> if not !later_pending then commit ()
+    | Iface.Receive_cheaper -> ()
+  in
+  { bs_name = "static-copy"; append; commit }
+
+let static_copy_recv (s : Tm.static_recv) =
+  let capacity = s.Tm.recv_capacity in
+  if capacity <= 0 then invalid_arg "Bmm.static_copy_recv: capacity <= 0";
+  let fill = ref 0 in
+  let active_len = ref None in
+  let ensure_active () =
+    match !active_len with
+    | Some _ -> ()
+    | None -> active_len := Some (s.Tm.fetch_static ())
+  in
+  let finish_slot () =
+    match !active_len with
+    | None -> ()
+    | Some actual ->
+        if actual <> !fill then
+          raise
+            (Config.Symmetry_violation
+               (Printf.sprintf
+                  "static slot length mismatch: sender shipped %d bytes, \
+                   receiver unpacked %d" actual !fill));
+        s.Tm.consume_static ();
+        active_len := None;
+        fill := 0
+  in
+  (* Mirrors the sender's later-pending rule exactly: both sides see the
+     same (size, mode) sequence, and the flag has the same lifecycle —
+     set by a LATER field, cleared only at commit/checkout — so the slot
+     layouts stay in lock-step. *)
+  let later_pending = ref false in
+  let rec place buf s_mode =
+    let remaining = capacity - !fill in
+    if Buf.length buf <= remaining then begin
+      ensure_active ();
+      s.Tm.read_static buf;
+      if s_mode = Iface.Send_later then later_pending := true;
+      fill := !fill + Buf.length buf;
+      if !fill = capacity then finish_slot ()
+    end
+    else if !fill > 0 then begin
+      finish_slot ();
+      place buf s_mode
+    end
+    else begin
+      place (Buf.sub buf ~pos:0 ~len:capacity) s_mode;
+      place (Buf.sub buf ~pos:capacity ~len:(Buf.length buf - capacity)) s_mode
+    end
+  in
+  let extract buf s_mode r =
+    place buf s_mode;
+    (* Mirror the sender, which flushes its slot after an EXPRESS field
+       unless a LATER field is pending. *)
+    match r with
+    | Iface.Receive_express -> if not !later_pending then finish_slot ()
+    | Iface.Receive_cheaper -> ()
+  in
+  let checkout () =
+    later_pending := false;
+    finish_slot ()
+  in
+  { br_name = "static-copy"; extract; checkout }
+
+let send_of_tm ~aggregation (tm : Tm.send) =
+  match tm.Tm.s_side with
+  | Tm.Dynamic_send d ->
+      if aggregation then aggregating_dynamic_send d else eager_dynamic_send d
+  | Tm.Static_send s -> static_copy_send s
+
+let recv_of_tm (tm : Tm.recv) =
+  match tm.Tm.r_side with
+  | Tm.Dynamic_recv d -> dynamic_recv d
+  | Tm.Static_recv s -> static_copy_recv s

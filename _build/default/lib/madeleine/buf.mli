@@ -1,0 +1,25 @@
+(** Buffer descriptor: a slice of user memory handed to [pack]/[unpack].
+
+    Madeleine never owns this memory — depending on the Buffer Management
+    Module in charge, the slice is referenced directly (dynamic buffers)
+    or copied into protocol buffers (static buffers). *)
+
+type t = private { data : Bytes.t; off : int; len : int }
+
+val make : ?off:int -> ?len:int -> Bytes.t -> t
+(** Defaults: the whole byte sequence. Raises [Invalid_argument] if the
+    slice exceeds the bytes' bounds. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** A sub-slice, relative to the descriptor's own offset. *)
+
+val length : t -> int
+
+val blit_out : t -> Bytes.t -> int -> unit
+(** [blit_out b dst dst_off] copies the slice's contents into [dst]. *)
+
+val blit_in : t -> Bytes.t -> int -> unit
+(** [blit_in b src src_off] fills the slice from [src]. *)
+
+val to_bytes : t -> Bytes.t
+(** Fresh copy of the slice's contents. *)

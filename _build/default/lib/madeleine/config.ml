@@ -1,0 +1,47 @@
+type rx_interaction =
+  | Rx_poll
+  | Rx_interrupt
+  | Rx_adaptive of Marcel.Time.span
+
+type t = {
+  checked : bool;
+  aggregation : bool;
+  sisci_ring_slots : int;
+  sisci_use_dma : bool;
+  rx_interaction : rx_interaction;
+}
+
+exception Symmetry_violation of string
+
+let default =
+  {
+    checked = true;
+    aggregation = true;
+    sisci_ring_slots = 2;
+    sisci_use_dma = false;
+    rx_interaction = Rx_poll;
+  }
+
+module Time = Marcel.Time
+
+let pack_overhead = Time.us 0.45
+let unpack_overhead = Time.us 0.3
+let begin_overhead = Time.us 0.55
+let end_overhead = Time.us 0.5
+
+let sisci_short_max = 480
+let sisci_short_slots = 16
+let sisci_slot_payload = 8192
+let sisci_dma_threshold = 16 * 1024
+let default_adaptive_window = Time.us 30.0
+let slot_header = 8
+
+let bip_short_payload = Simnet.Netparams.bip_short_max - 1
+let via_slot_payload = Simnet.Netparams.via_descriptor_max
+let sbp_slot_payload = Simnet.Netparams.sbp_buffer_size
+let via_posted_descriptors = 8
+
+let default_vchannel_mtu = 16 * 1024
+let gateway_packet_overhead = Time.us 50.0
+let packet_header_size = 16
+let buffer_header_size = 8

@@ -1,0 +1,99 @@
+(** Per-channel configuration and the library's software cost constants. *)
+
+type rx_interaction =
+  | Rx_poll  (** spin until data shows up (the paper's measured mode) *)
+  | Rx_interrupt  (** block on NIC interrupts *)
+  | Rx_adaptive of Marcel.Time.span
+      (** poll for a bounded window, then arm the interrupt — the
+          adaptive polling/interruption mechanism the paper's conclusion
+          announces as future work with the Marcel thread library,
+          implemented here as an extension. *)
+
+type t = {
+  checked : bool;
+      (** Validate pack/unpack symmetry (sizes and mode combinations) and
+          raise {!Symmetry_violation} on mismatch, instead of the paper's
+          "unspecified behavior". The check is performed in-model and
+          costs no simulated time. Default [true]. *)
+  aggregation : bool;
+      (** Let dynamic-buffer BMMs group successive CHEAPER buffers until a
+          commit point (paper §3.4). [false] forces eager per-buffer
+          sends — the ablation knob. Default [true]. *)
+  sisci_ring_slots : int;
+      (** Slots in the regular SISCI transmission module's ring. 2 is the
+          paper's dual-buffering; 1 disables the overlap — the ablation
+          knob for §5.2.1. *)
+  sisci_use_dma : bool;
+      (** Route large SISCI blocks through the DMA transmission module.
+          Implemented but off by default, exactly as in the paper (the
+          D310 DMA tops out at 35 MB/s). *)
+  rx_interaction : rx_interaction;
+      (** How SISCI receive paths wait for incoming data. Default
+          {!Rx_poll}. *)
+}
+
+exception Symmetry_violation of string
+
+val default : t
+
+(** {1 Software cost constants}
+
+    Per-operation CPU costs of the Madeleine layer itself, calibrated so
+    that Madeleine/SISCI lands at the paper's 3.9 us minimal latency and
+    Madeleine/BIP at 7 us (vs 5 us raw). *)
+
+val pack_overhead : Marcel.Time.span
+val unpack_overhead : Marcel.Time.span
+val begin_overhead : Marcel.Time.span
+val end_overhead : Marcel.Time.span
+
+(** {1 SISCI transmission-module geometry} *)
+
+val sisci_short_max : int
+(** Largest payload taking the optimized short-message TM. *)
+
+val sisci_short_slots : int
+val sisci_slot_payload : int
+(** Payload capacity of one regular-ring slot (the paper's 8 kB
+    dual-buffering granularity). *)
+
+val sisci_dma_threshold : int
+(** Minimum block size routed to the DMA TM when it is enabled. *)
+
+val default_adaptive_window : Marcel.Time.span
+(** Polling window suggested for {!Rx_adaptive}: a bit above the
+    network's round-trip scale, so hot exchanges never take interrupts. *)
+
+val slot_header : int
+(** Bytes of slot header ([len] word + valid flag) in both SISCI rings. *)
+
+(** {1 Other TM geometry} *)
+
+val bip_short_payload : int
+(** Aggregation capacity of the BIP short-message TM: one BIP short
+    message minus nothing — the whole buffer is payload, BIP itself
+    frames it. *)
+
+val via_slot_payload : int
+val sbp_slot_payload : int
+val via_posted_descriptors : int
+
+(** {1 Virtual channels (paper §6)} *)
+
+val default_vchannel_mtu : int
+(** Default packet size of the Generic TM. The paper picks the size at
+    which both networks perform equally (16 kB for SCI/Myrinet, §6.2.1);
+    Figs. 10/11 sweep it from 8 kB to 128 kB. *)
+
+val gateway_packet_overhead : Marcel.Time.span
+(** Per-packet software overhead on a gateway (thread hand-off, buffer
+    management): the ~50 us/step the paper measures but cannot further
+    break down (§6.2.2). *)
+
+val packet_header_size : int
+(** Generic TM per-packet self-description: final destination, origin,
+    payload length, first/last flags. *)
+
+val buffer_header_size : int
+(** Generic TM per-buffer self-description: length and the emission /
+    reception constraints (paper §6.1). *)

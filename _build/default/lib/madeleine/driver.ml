@@ -1,0 +1,21 @@
+type instance = {
+  inst_name : string;
+  sender_link : src:int -> dst:int -> Link.sender;
+  receiver_link : me:int -> from:int -> Link.receiver;
+  on_data : me:int -> (unit -> unit) -> unit;
+}
+
+type t = {
+  driver_name : string;
+  instantiate : channel_id:int -> config:Config.t -> ranks:int list -> instance;
+}
+
+let memo_links build =
+  let table = Hashtbl.create 16 in
+  fun ~src ~dst ->
+    match Hashtbl.find_opt table (src, dst) with
+    | Some l -> l
+    | None ->
+        let l = build ~src ~dst in
+        Hashtbl.add table (src, dst) l;
+        l

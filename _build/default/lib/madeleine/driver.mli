@@ -1,0 +1,29 @@
+(** Protocol Management Modules as pluggable drivers (paper §3.3).
+
+    A driver is the factory a channel uses to build its links: it knows
+    how to construct, for one channel over one network interface, the
+    per-pair sender and receiver link state (TMs + BMMs + switch
+    function), how to probe for incoming data and how to subscribe to
+    data-arrival events. One PMM exists per supported interface
+    (pmm_bip, pmm_sisci, pmm_tcp, pmm_via, pmm_sbp). *)
+
+type instance = {
+  inst_name : string;
+  sender_link : src:int -> dst:int -> Link.sender;
+      (** Memoized: repeated calls return the same link. *)
+  receiver_link : me:int -> from:int -> Link.receiver;
+  on_data : me:int -> (unit -> unit) -> unit;
+      (** Subscribes a callback to "new data visible at [me]" events,
+          feeding any-source [begin_unpacking]. *)
+}
+
+type t = {
+  driver_name : string;
+  instantiate : channel_id:int -> config:Config.t -> ranks:int list -> instance;
+      (** Builds all protocol-level resources for one channel (tags,
+          segments, sockets, VIs...) spanning [ranks]. *)
+}
+
+val memo_links :
+  (src:int -> dst:int -> 'a) -> (src:int -> dst:int -> 'a)
+(** Helper for drivers: memoizes link construction per ordered pair. *)

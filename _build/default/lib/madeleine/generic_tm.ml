@@ -1,0 +1,53 @@
+type packet_header = {
+  final_dst : int;
+  origin : int;
+  payload_len : int;
+  first : bool;
+  last : bool;
+}
+
+let header_size = Config.packet_header_size
+let magic = '\xAD'
+
+let encode_header h =
+  let b = Bytes.make header_size '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int h.final_dst);
+  Bytes.set_int32_le b 4 (Int32.of_int h.origin);
+  Bytes.set_int32_le b 8 (Int32.of_int h.payload_len);
+  let flags = (if h.first then 1 else 0) lor if h.last then 2 else 0 in
+  Bytes.set b 12 (Char.chr flags);
+  Bytes.set b 13 magic;
+  b
+
+let decode_header b =
+  if Bytes.length b < header_size then
+    invalid_arg "Generic_tm.decode_header: short header";
+  if Bytes.get b 13 <> magic then
+    invalid_arg "Generic_tm.decode_header: bad magic";
+  let flags = Char.code (Bytes.get b 12) in
+  {
+    final_dst = Int32.to_int (Bytes.get_int32_le b 0);
+    origin = Int32.to_int (Bytes.get_int32_le b 4);
+    payload_len = Int32.to_int (Bytes.get_int32_le b 8);
+    first = flags land 1 <> 0;
+    last = flags land 2 <> 0;
+  }
+
+let sub_header_size = Config.buffer_header_size
+
+let encode_sub_header ~len s r =
+  let b = Bytes.make sub_header_size '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set b 4 (Char.chr (Iface.send_mode_to_int s));
+  Bytes.set b 5 (Char.chr (Iface.recv_mode_to_int r));
+  Bytes.set b 6 magic;
+  b
+
+let decode_sub_header b =
+  if Bytes.length b < sub_header_size then
+    invalid_arg "Generic_tm.decode_sub_header: short header";
+  if Bytes.get b 6 <> magic then
+    invalid_arg "Generic_tm.decode_sub_header: bad magic";
+  ( Int32.to_int (Bytes.get_int32_le b 0),
+    Iface.send_mode_of_int (Char.code (Bytes.get b 4)),
+    Iface.recv_mode_of_int (Char.code (Bytes.get b 5)) )

@@ -1,0 +1,35 @@
+(** The Generic Transmission Module's wire format (paper §6.1).
+
+    Within homogeneous sessions Madeleine messages are not
+    self-described; across gateways they must be, because the gateway
+    knows nothing of the application's unpack sequence. The Generic TM
+    fragments a message into MTU-sized packets and adds two levels of
+    description:
+
+    - a {e packet header} on every packet (destination and origin of the
+      whole message, payload length, first/last flags) — information
+      common to the message travels in the first packet of the paper's
+      design; carrying it per-packet keeps gateways stateless here;
+    - a {e buffer sub-header} in front of every user buffer in the
+      payload stream (length + emission/reception constraint codes),
+      which also lets the receiving end validate pack/unpack symmetry. *)
+
+type packet_header = {
+  final_dst : int;
+  origin : int;
+  payload_len : int;
+  first : bool;
+  last : bool;
+}
+
+val header_size : int
+val encode_header : packet_header -> Bytes.t
+val decode_header : Bytes.t -> packet_header
+(** Raises [Invalid_argument] on a corrupt header. *)
+
+val sub_header_size : int
+
+val encode_sub_header :
+  len:int -> Iface.send_mode -> Iface.recv_mode -> Bytes.t
+
+val decode_sub_header : Bytes.t -> int * Iface.send_mode * Iface.recv_mode

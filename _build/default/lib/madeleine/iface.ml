@@ -1,0 +1,33 @@
+type send_mode = Send_safer | Send_later | Send_cheaper
+type recv_mode = Receive_express | Receive_cheaper
+
+let send_mode_to_int = function
+  | Send_safer -> 0
+  | Send_later -> 1
+  | Send_cheaper -> 2
+
+let send_mode_of_int = function
+  | 0 -> Send_safer
+  | 1 -> Send_later
+  | 2 -> Send_cheaper
+  | n -> invalid_arg (Printf.sprintf "Iface.send_mode_of_int: %d" n)
+
+let recv_mode_to_int = function Receive_express -> 0 | Receive_cheaper -> 1
+
+let recv_mode_of_int = function
+  | 0 -> Receive_express
+  | 1 -> Receive_cheaper
+  | n -> invalid_arg (Printf.sprintf "Iface.recv_mode_of_int: %d" n)
+
+let pp_send_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Send_safer -> "send_SAFER"
+    | Send_later -> "send_LATER"
+    | Send_cheaper -> "send_CHEAPER")
+
+let pp_recv_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with
+    | Receive_express -> "receive_EXPRESS"
+    | Receive_cheaper -> "receive_CHEAPER")

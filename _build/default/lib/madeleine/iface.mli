@@ -1,0 +1,39 @@
+(** The semantic flags of the Madeleine II packing interface (paper §2.2).
+
+    Every [pack]/[unpack] carries a pair of flags telling the library how
+    much freedom it has in moving the data — the paper's key idea for
+    getting optimal performance out of a generic interface. *)
+
+type send_mode =
+  | Send_safer
+      (** The message must not be corrupted by later modifications of the
+          packed memory: Madeleine copies (or otherwise protects) the data
+          before [pack] returns. *)
+  | Send_later
+      (** Madeleine must not read the data before [mad_end_packing]:
+          modifications between [pack] and [end_packing] update the
+          message contents. *)
+  | Send_cheaper
+      (** Default. Madeleine transmits the data as efficiently as the
+          underlying network allows; the application must leave the data
+          unchanged until the send completes. *)
+
+type recv_mode =
+  | Receive_express
+      (** The data is guaranteed available as soon as [unpack] returns —
+          required when the value drives subsequent unpacking calls
+          (e.g. a size header). May be costly on some networks. *)
+  | Receive_cheaper
+      (** Default. Extraction may be deferred until [mad_end_unpacking];
+          combined with [Send_cheaper] this is the fastest path. *)
+
+val send_mode_to_int : send_mode -> int
+val send_mode_of_int : int -> send_mode
+(** Wire encoding used by the self-describing Generic TM (§6.1). Raises
+    [Invalid_argument] on an unknown code. *)
+
+val recv_mode_to_int : recv_mode -> int
+val recv_mode_of_int : int -> recv_mode
+
+val pp_send_mode : Format.formatter -> send_mode -> unit
+val pp_recv_mode : Format.formatter -> recv_mode -> unit

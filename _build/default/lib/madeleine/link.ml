@@ -1,0 +1,22 @@
+type selector = len:int -> Iface.send_mode -> Iface.recv_mode -> int
+
+type sender = {
+  s_mutex : Marcel.Mutex.t;
+  s_bmms : Bmm.send array;
+  s_select : selector;
+}
+
+type receiver = {
+  r_mutex : Marcel.Mutex.t;
+  r_bmms : Bmm.recv array;
+  r_select : selector;
+  r_probe : unit -> bool;
+}
+
+let make_sender s_select s_bmms =
+  if Array.length s_bmms = 0 then invalid_arg "Link.make_sender: no TMs";
+  { s_mutex = Marcel.Mutex.create (); s_bmms; s_select }
+
+let make_receiver r_select r_bmms ~probe =
+  if Array.length r_bmms = 0 then invalid_arg "Link.make_receiver: no TMs";
+  { r_mutex = Marcel.Mutex.create (); r_bmms; r_select; r_probe = probe }

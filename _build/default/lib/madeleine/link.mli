@@ -1,0 +1,29 @@
+(** A link is the per-direction, per-peer state of a channel: the set of
+    BMM-fronted Transmission Modules plus the switch function that picks
+    among them (paper Fig. 3, "Switch Module" + "Specific Protocol
+    Layer"). *)
+
+type selector = len:int -> Iface.send_mode -> Iface.recv_mode -> int
+(** Returns the index of the best-suited TM for a packet of [len] bytes
+    with the given mode combination. Must be a pure function of its
+    arguments: the receiving side runs the same selector to mirror the
+    sender's choices. *)
+
+type sender = {
+  s_mutex : Marcel.Mutex.t;
+      (** Held for the duration of one outgoing message: connections are
+          point-to-point and messages on a link are serialized. *)
+  s_bmms : Bmm.send array;
+  s_select : selector;
+}
+
+type receiver = {
+  r_mutex : Marcel.Mutex.t;
+  r_bmms : Bmm.recv array;
+  r_select : selector;
+  r_probe : unit -> bool;
+      (** True when an incoming message's first data is visible. *)
+}
+
+val make_sender : selector -> Bmm.send array -> sender
+val make_receiver : selector -> Bmm.recv array -> probe:(unit -> bool) -> receiver

@@ -1,0 +1,104 @@
+(* Protocol Management Module for SBP, the static-buffer kernel protocol.
+
+   The worst case for buffer management: protocol-owned buffers on both
+   sides (paper §6.1). The sender stages into a pool buffer obtained from
+   SBP (blocking on the pool: natural back-pressure), the receiver copies
+   out of the delivered pool buffer and releases it. *)
+
+let memcpy_sleep = Simnet.Cost.memcpy
+
+let capacity = Config.sbp_slot_payload
+
+let send_tm host ~dst ~tag =
+  let current = ref None in
+  let fill = ref 0 in
+  {
+    Tm.s_name = "sbp";
+    s_side =
+      Tm.Static_send
+        {
+          Tm.send_capacity = capacity;
+          obtain_static_buffer =
+            (fun () ->
+              current := Some (Sbp.obtain_buffer host);
+              fill := 0);
+          write_static =
+            (fun buf ->
+              match !current with
+              | None -> invalid_arg "sbp TM: write without obtained buffer"
+              | Some slot ->
+                  memcpy_sleep (Buf.length buf);
+                  Buf.blit_out buf slot !fill;
+                  fill := !fill + Buf.length buf);
+          ship_static =
+            (fun () ->
+              match !current with
+              | None -> invalid_arg "sbp TM: ship without obtained buffer"
+              | Some slot ->
+                  Sbp.send host ~dst ~tag slot ~len:!fill;
+                  Sbp.release_buffer host slot;
+                  current := None;
+                  fill := 0);
+        };
+  }
+
+let recv_tm host ~from ~tag =
+  let current = ref None in
+  let read_off = ref 0 in
+  {
+    Tm.r_name = "sbp";
+    r_side =
+      Tm.Static_recv
+        {
+          Tm.recv_capacity = capacity;
+          fetch_static =
+            (fun () ->
+              let buf, len = Sbp.recv host ~src:from ~tag in
+              current := Some buf;
+              read_off := 0;
+              len);
+          read_static =
+            (fun buf ->
+              match !current with
+              | None -> invalid_arg "sbp TM: read without fetched buffer"
+              | Some slot ->
+                  memcpy_sleep (Buf.length buf);
+                  Buf.blit_in buf slot !read_off;
+                  read_off := !read_off + Buf.length buf);
+          consume_static =
+            (fun () ->
+              match !current with
+              | None -> ()
+              | Some slot ->
+                  Sbp.release_buffer host slot;
+                  current := None);
+        };
+    r_probe = (fun () -> Sbp.probe host ~src:from ~tag);
+  }
+
+let select ~len:_ _s _r = 0
+
+let driver (host_of : int -> Sbp.t) =
+  let instantiate ~channel_id ~config ~ranks:_ =
+    let tag = channel_id in
+    let sender_link =
+      Driver.memo_links (fun ~src ~dst ->
+          Link.make_sender select
+            [|
+              Bmm.send_of_tm ~aggregation:config.Config.aggregation
+                (send_tm (host_of src) ~dst ~tag);
+            |])
+    in
+    let receiver_link =
+      Driver.memo_links (fun ~src ~dst ->
+          let tm = recv_tm (host_of src) ~from:dst ~tag in
+          Link.make_receiver select [| Bmm.recv_of_tm tm |] ~probe:tm.Tm.r_probe)
+    in
+    {
+      Driver.inst_name = "sbp";
+      sender_link;
+      receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
+      on_data = (fun ~me hook -> Sbp.set_data_hook (host_of me) hook);
+    }
+  in
+  { Driver.driver_name = "sbp"; instantiate }

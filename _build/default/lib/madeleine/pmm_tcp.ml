@@ -1,0 +1,94 @@
+(* Protocol Management Module for TCP (paper §7: Madeleine II "currently
+   runs on top of BIP, SISCI, TCP, VIA").
+
+   One transmission module, dynamic buffers, with scatter-gather grouping
+   (writev/readv) so the aggregating BMM amortizes the hefty Linux 2.2
+   kernel overhead across grouped buffers. One pre-established stream per
+   node pair per channel carries both directions. *)
+
+module Mutex = Marcel.Mutex
+
+type pair_conns = { low_end : Tcpnet.conn; high_end : Tcpnet.conn }
+
+let conn_for pairs ~me ~peer =
+  let key = (min me peer, max me peer) in
+  let p = Hashtbl.find pairs key in
+  if me <= peer then p.low_end else p.high_end
+
+let send_tm conn =
+  {
+    Tm.s_name = "tcp";
+    s_side =
+      Tm.Dynamic_send
+        {
+          Tm.send_buffer = (fun buf -> Tcpnet.send conn (Buf.to_bytes buf));
+          send_buffer_group =
+            (fun bufs -> Tcpnet.send_group conn (List.map Buf.to_bytes bufs));
+        };
+  }
+
+let recv_tm conn =
+  let slice buf = (buf.Buf.data, buf.Buf.off, buf.Buf.len) in
+  {
+    Tm.r_name = "tcp";
+    r_side =
+      Tm.Dynamic_recv
+        {
+          Tm.receive_buffer =
+            (fun buf ->
+              let data, off, len = slice buf in
+              Tcpnet.recv conn data ~off ~len);
+          receive_buffer_group =
+            (fun bufs -> Tcpnet.recv_group conn (List.map slice bufs));
+        };
+    r_probe = (fun () -> Tcpnet.available conn > 0);
+  }
+
+let select ~len:_ _s _r = 0
+
+let driver (stack_of : int -> Tcpnet.t) =
+  let instantiate ~channel_id:_ ~config ~ranks =
+    let pairs = Hashtbl.create 16 in
+    let rec all_pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              let low, high = (min a b, max a b) in
+              let low_end, high_end =
+                Tcpnet.socketpair (stack_of low) (stack_of high)
+              in
+              Hashtbl.add pairs (low, high) { low_end; high_end })
+            rest;
+          all_pairs rest
+    in
+    all_pairs ranks;
+    let sender_link =
+      Driver.memo_links (fun ~src ~dst ->
+          let conn = conn_for pairs ~me:src ~peer:dst in
+          Link.make_sender select
+            [| Bmm.send_of_tm ~aggregation:config.Config.aggregation (send_tm conn) |])
+    in
+    let receiver_link =
+      Driver.memo_links (fun ~src ~dst ->
+          (* src = me, dst = from *)
+          let conn = conn_for pairs ~me:src ~peer:dst in
+          let tm = recv_tm conn in
+          Link.make_receiver select
+            [| Bmm.recv_of_tm tm |]
+            ~probe:tm.Tm.r_probe)
+    in
+    {
+      Driver.inst_name = "tcp";
+      sender_link;
+      receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
+      on_data =
+        (fun ~me hook ->
+          Hashtbl.iter
+            (fun (low, high) p ->
+              if low = me then Tcpnet.set_data_hook p.low_end hook
+              else if high = me then Tcpnet.set_data_hook p.high_end hook)
+            pairs);
+    }
+  in
+  { Driver.driver_name = "tcp"; instantiate }

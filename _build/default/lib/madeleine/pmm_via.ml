@@ -1,0 +1,110 @@
+(* Protocol Management Module for VIA.
+
+   VIA receives land in pre-posted registered buffers, so both directions
+   go through the static-buffer machinery: one TM whose slots are VIA
+   descriptors of up to 32 kB. The receiver keeps a constant window of
+   descriptors posted, re-posting each buffer as it is consumed. *)
+
+let memcpy_sleep = Simnet.Cost.memcpy
+
+let capacity = Config.via_slot_payload
+
+let send_tm vi =
+  let staging = Bytes.create capacity in
+  let fill = ref 0 in
+  {
+    Tm.s_name = "via";
+    s_side =
+      Tm.Static_send
+        {
+          Tm.send_capacity = capacity;
+          (* Via.send blocks until the peer has a descriptor posted. *)
+          obtain_static_buffer = (fun () -> ());
+          write_static =
+            (fun buf ->
+              memcpy_sleep (Buf.length buf);
+              Buf.blit_out buf staging !fill;
+              fill := !fill + Buf.length buf);
+          ship_static =
+            (fun () ->
+              Via.send vi staging ~len:!fill;
+              fill := 0);
+        };
+  }
+
+let recv_tm vi =
+  (* Keep a window of descriptors posted at all times. *)
+  for _ = 1 to Config.via_posted_descriptors do
+    Via.post_recv vi (Bytes.create capacity)
+  done;
+  let current = ref Bytes.empty in
+  let read_off = ref 0 in
+  {
+    Tm.r_name = "via";
+    r_side =
+      Tm.Static_recv
+        {
+          Tm.recv_capacity = capacity;
+          fetch_static =
+            (fun () ->
+              let buf, len = Via.recv_wait vi in
+              current := buf;
+              read_off := 0;
+              len);
+          read_static =
+            (fun buf ->
+              memcpy_sleep (Buf.length buf);
+              Buf.blit_in buf !current !read_off;
+              read_off := !read_off + Buf.length buf);
+          consume_static = (fun () -> Via.post_recv vi !current);
+        };
+    r_probe = (fun () -> Via.completions_available vi > 0);
+  }
+
+let select ~len:_ _s _r = 0
+
+let driver (host_of : int -> Via.t) =
+  let instantiate ~channel_id:_ ~config ~ranks =
+    (* One VI pair per ordered... per unordered node pair; each VI serves
+       its end's sends and receives. *)
+    let vis = Hashtbl.create 16 in
+    let rec all_pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              let va = Via.create_vi (host_of a) in
+              let vb = Via.create_vi (host_of b) in
+              Via.vi_connect va vb;
+              Hashtbl.add vis (a, b) va;
+              Hashtbl.add vis (b, a) vb)
+            rest;
+          all_pairs rest
+    in
+    all_pairs ranks;
+    let vi_of ~me ~peer = Hashtbl.find vis (me, peer) in
+    let sender_link =
+      Driver.memo_links (fun ~src ~dst ->
+          Link.make_sender select
+            [|
+              Bmm.send_of_tm ~aggregation:config.Config.aggregation
+                (send_tm (vi_of ~me:src ~peer:dst));
+            |])
+    in
+    let receiver_link =
+      Driver.memo_links (fun ~src ~dst ->
+          let tm = recv_tm (vi_of ~me:src ~peer:dst) in
+          Link.make_receiver select [| Bmm.recv_of_tm tm |] ~probe:tm.Tm.r_probe)
+    in
+    {
+      Driver.inst_name = "via";
+      sender_link;
+      receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
+      on_data =
+        (fun ~me hook ->
+          Hashtbl.iter
+            (fun (owner, _) vi -> if owner = me then Via.set_data_hook vi hook)
+            vis);
+    }
+  in
+  { Driver.driver_name = "via"; instantiate }

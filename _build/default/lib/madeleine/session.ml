@@ -1,0 +1,9 @@
+type t = { engine : Marcel.Engine.t; mutable next_id : int }
+
+let create engine = { engine; next_id = 0 }
+let engine t = t.engine
+
+let fresh_channel_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id

@@ -1,0 +1,13 @@
+(** A Madeleine session: the set of processes (one per simulated node)
+    that will communicate, plus the channel-id allocator. Mirrors
+    [mad_init]: channels are opened collectively within a session. *)
+
+type t
+
+val create : Marcel.Engine.t -> t
+val engine : t -> Marcel.Engine.t
+
+val fresh_channel_id : t -> int
+(** Monotonically increasing; keeps channels' protocol resources (tags,
+    segment ids, streams) disjoint, so communication on one channel never
+    interferes with another (paper §2.1). *)

@@ -1,0 +1,29 @@
+type dynamic_send = {
+  send_buffer : Buf.t -> unit;
+  send_buffer_group : Buf.t list -> unit;
+}
+
+type dynamic_recv = {
+  receive_buffer : Buf.t -> unit;
+  receive_buffer_group : Buf.t list -> unit;
+}
+
+type static_send = {
+  send_capacity : int;
+  obtain_static_buffer : unit -> unit;
+  write_static : Buf.t -> unit;
+  ship_static : unit -> unit;
+}
+
+type static_recv = {
+  recv_capacity : int;
+  fetch_static : unit -> int;
+  read_static : Buf.t -> unit;
+  consume_static : unit -> unit;
+}
+
+type send_side = Dynamic_send of dynamic_send | Static_send of static_send
+type recv_side = Dynamic_recv of dynamic_recv | Static_recv of static_recv
+
+type send = { s_name : string; s_side : send_side }
+type recv = { r_name : string; r_side : recv_side; r_probe : unit -> bool }

@@ -1,0 +1,53 @@
+(** Transmission Modules: the protocol-specific lower layer (paper §3.2).
+
+    A TM encapsulates one data-transfer method of one network interface
+    (BIP short messages, BIP long messages, SISCI PIO short, SISCI PIO
+    regular, SISCI DMA, ...). Per Table 2, a TM offers single- and
+    grouped-buffer transmission, and, for protocols that own their
+    buffers, static-buffer management.
+
+    TMs come in two shapes, which determine the Buffer Management Module
+    that can drive them (§3.4):
+    - {e dynamic}: user memory is referenced directly as the transfer
+      buffer (BIP long, TCP);
+    - {e static}: data must be staged through protocol-owned slots of
+      fixed capacity (SISCI rings, BIP short aggregation, VIA descriptors,
+      SBP pool buffers). The slot interface models the cost of the staging
+      copy itself, so the BMM adds none on top. *)
+
+type dynamic_send = {
+  send_buffer : Buf.t -> unit;  (** ship one buffer; blocking *)
+  send_buffer_group : Buf.t list -> unit;
+      (** ship several buffers; protocols with scatter-gather pay their
+          per-operation overhead once *)
+}
+
+type dynamic_recv = {
+  receive_buffer : Buf.t -> unit;  (** fill one buffer; blocking *)
+  receive_buffer_group : Buf.t list -> unit;
+}
+
+type static_send = {
+  send_capacity : int;  (** payload bytes one slot can carry *)
+  obtain_static_buffer : unit -> unit;
+      (** acquire the next free slot (may block on flow control) *)
+  write_static : Buf.t -> unit;
+      (** append the slice to the current slot; models the copy *)
+  ship_static : unit -> unit;  (** transmit / finalize the current slot *)
+}
+
+type static_recv = {
+  recv_capacity : int;
+  fetch_static : unit -> int;
+      (** wait for the next incoming slot; returns its payload length *)
+  read_static : Buf.t -> unit;
+      (** copy the next [len] payload bytes out to user memory *)
+  consume_static : unit -> unit;
+      (** done with the current slot: release it to the sender *)
+}
+
+type send_side = Dynamic_send of dynamic_send | Static_send of static_send
+type recv_side = Dynamic_recv of dynamic_recv | Static_recv of static_recv
+
+type send = { s_name : string; s_side : send_side }
+type recv = { r_name : string; r_side : recv_side; r_probe : unit -> bool }

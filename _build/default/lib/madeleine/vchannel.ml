@@ -1,0 +1,469 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Mailbox = Marcel.Mailbox
+module Mutex = Marcel.Mutex
+module Semaphore = Marcel.Semaphore
+
+(* Byte stream with blocking reads and message-end markers, fed by the
+   dispatcher threads and drained by user unpacks. *)
+module Assembler = struct
+  type item = Data of Bytes.t | End_of_message
+
+  type t = {
+    items : item Queue.t;
+    mutable head_off : int;
+    mutable waiters : (unit -> unit) list;
+  }
+
+  let create () = { items = Queue.create (); head_off = 0; waiters = [] }
+
+  let push t item =
+    Queue.push item t.items;
+    let waiters = t.waiters in
+    t.waiters <- [];
+    List.iter (fun wake -> wake ()) waiters
+
+  let wait t =
+    Engine.suspend ~name:"vchannel.assembler" (fun wake ->
+        t.waiters <- (fun () -> wake ()) :: t.waiters)
+
+  (* Reads exactly [len] bytes into [dst] at [off]; an End_of_message
+     marker inside the span is an asymmetry. *)
+  let rec read_exact t dst ~off ~len =
+    if len > 0 then begin
+      match Queue.peek_opt t.items with
+      | None ->
+          wait t;
+          read_exact t dst ~off ~len
+      | Some End_of_message ->
+          raise
+            (Config.Symmetry_violation
+               "unpack crosses a message boundary: more data requested \
+                than was packed")
+      | Some (Data chunk) ->
+          let avail = Bytes.length chunk - t.head_off in
+          if avail = 0 then begin
+            ignore (Queue.pop t.items);
+            t.head_off <- 0;
+            read_exact t dst ~off ~len
+          end
+          else begin
+            let take = min avail len in
+            Bytes.blit chunk t.head_off dst off take;
+            t.head_off <- t.head_off + take;
+            read_exact t dst ~off:(off + take) ~len:(len - take)
+          end
+    end
+
+  (* Consumes the End_of_message marker; leftover data first is an
+     asymmetry. *)
+  let rec finish_message t =
+    match Queue.peek_opt t.items with
+    | None ->
+        wait t;
+        finish_message t
+    | Some (Data chunk) when Bytes.length chunk = t.head_off ->
+        ignore (Queue.pop t.items);
+        t.head_off <- 0;
+        finish_message t
+    | Some (Data _) ->
+        raise
+          (Config.Symmetry_violation
+             "end_unpacking with unconsumed packed data")
+    | Some End_of_message ->
+        ignore (Queue.pop t.items);
+        t.head_off <- 0
+end
+
+type hop = { hop_channel : Channel.t; hop_to : int }
+
+(* One forwarding pump per (gateway node, outgoing link): the paper's
+   per-direction dual-buffer pipeline (Fig. 9). Keeping the pumps
+   per-link rather than per-node matters for liveness: a shared pump
+   couples opposite forwarding directions through its buffer semaphore,
+   and bidirectional all-pairs traffic through chained gateways can then
+   form a circular wait. With per-link pumps the wait graph follows the
+   (acyclic) routes, so chains and trees of clusters are deadlock-free. *)
+type pump = {
+  pump_q : (Generic_tm.packet_header * Bytes.t) Mailbox.t;
+  pump_buffers : Semaphore.t; (* the two pipeline buffers *)
+}
+
+type t = {
+  engine : Engine.t;
+  mtu : int;
+  gateway_overhead : Time.span;
+  extra_gateway_copy : bool;
+  ingress_cap_mb_s : float option;
+  next_ingress_slot : (int, Time.t ref) Hashtbl.t; (* per-gateway pacing *)
+  channels : Channel.t list;
+  all_ranks : int list;
+  routes : (int * int, hop list) Hashtbl.t;
+  assemblers : (int * int, Assembler.t) Hashtbl.t; (* (me, origin) *)
+  starts : (int * int, unit Mailbox.t) Hashtbl.t; (* message-start events *)
+  incoming : (int, int Mailbox.t) Hashtbl.t; (* any-source: origin queue *)
+  pumps : (int * int * int, pump) Hashtbl.t; (* (node, out chan id, out dst) *)
+  send_locks : (int * int, Mutex.t) Hashtbl.t; (* message serialization *)
+  fwd_stats : (int, int ref * int ref) Hashtbl.t; (* node -> packets, bytes *)
+}
+
+let memo table key mk =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+      let v = mk () in
+      Hashtbl.add table key v;
+      v
+
+let assembler t ~me ~origin = memo t.assemblers (me, origin) Assembler.create
+let starts t ~me ~origin = memo t.starts (me, origin) (fun () -> Mailbox.create ())
+let incoming t ~me = memo t.incoming me (fun () -> Mailbox.create ())
+let send_lock t ~src ~dst = memo t.send_locks (src, dst) Mutex.create
+let ranks t = t.all_ranks
+let route_length t ~src ~dst = List.length (Hashtbl.find t.routes (src, dst))
+
+let record_forward t ~node ~bytes_count =
+  let packets, bytes =
+    match Hashtbl.find_opt t.fwd_stats node with
+    | Some entry -> entry
+    | None ->
+        let entry = (ref 0, ref 0) in
+        Hashtbl.add t.fwd_stats node entry;
+        entry
+  in
+  incr packets;
+  bytes := !bytes + bytes_count
+
+let forwarded t =
+  Hashtbl.fold (fun node (p, b) acc -> (node, !p, !b) :: acc) t.fwd_stats []
+  |> List.sort compare
+
+(* Fewest-channel-hops routing over the channel membership graph:
+   breadth-first search keeping (node -> predecessor node * hop). *)
+let compute_routes channels all_ranks =
+  let routes = Hashtbl.create 64 in
+  List.iter
+    (fun src ->
+      let pred : (int, int * hop) Hashtbl.t = Hashtbl.create 16 in
+      let visited = Hashtbl.create 16 in
+      Hashtbl.add visited src ();
+      let frontier = Queue.create () in
+      Queue.push src frontier;
+      while not (Queue.is_empty frontier) do
+        let u = Queue.pop frontier in
+        List.iter
+          (fun c ->
+            let members = Channel.ranks c in
+            if List.mem u members then
+              List.iter
+                (fun v ->
+                  if v <> u && not (Hashtbl.mem visited v) then begin
+                    Hashtbl.add visited v ();
+                    Hashtbl.add pred v (u, { hop_channel = c; hop_to = v });
+                    Queue.push v frontier
+                  end)
+                members)
+          channels
+      done;
+      List.iter
+        (fun dst ->
+          if dst <> src && Hashtbl.mem pred dst then begin
+            let rec path v acc =
+              if v = src then acc
+              else
+                let u, hop = Hashtbl.find pred v in
+                path u (hop :: acc)
+            in
+            Hashtbl.add routes (src, dst) (path dst [])
+          end)
+        all_ranks)
+    all_ranks;
+  routes
+
+let next_hop t ~at ~dst =
+  match Hashtbl.find_opt t.routes (at, dst) with
+  | Some (hop :: _) -> hop
+  | Some [] | None ->
+      invalid_arg (Printf.sprintf "Vchannel: no route from %d to %d" at dst)
+
+(* Ship one self-described packet as a regular Madeleine message on the
+   next real channel: EXPRESS header, CHEAPER payload. *)
+let ship_packet t ~at ~header ~payload ~payload_len =
+  let hop = next_hop t ~at ~dst:header.Generic_tm.final_dst in
+  let ep = Channel.endpoint hop.hop_channel ~rank:at in
+  let oc = Api.begin_packing ep ~remote:hop.hop_to in
+  Api.pack oc ~r_mode:Iface.Receive_express (Generic_tm.encode_header header);
+  if payload_len > 0 then
+    Api.pack oc ~r_mode:Iface.Receive_cheaper ~len:payload_len payload;
+  Api.end_packing oc
+
+(* Deliver a packet that reached its final node. *)
+let deliver_local t ~me header payload =
+  let asmb = assembler t ~me ~origin:header.Generic_tm.origin in
+  if header.Generic_tm.first then begin
+    Mailbox.put (starts t ~me ~origin:header.Generic_tm.origin) ();
+    Mailbox.put (incoming t ~me) header.Generic_tm.origin
+  end;
+  if Bytes.length payload > 0 then Assembler.push asmb (Assembler.Data payload);
+  if header.Generic_tm.last then Assembler.push asmb Assembler.End_of_message
+
+let rec pump_for t ~node (hop : hop) =
+  let key = (node, Channel.id hop.hop_channel, hop.hop_to) in
+  match Hashtbl.find_opt t.pumps key with
+  | Some p -> p
+  | None ->
+      let p = { pump_q = Mailbox.create (); pump_buffers = Semaphore.create 2 } in
+      Hashtbl.add t.pumps key p;
+      spawn_forwarder t ~node p;
+      p
+
+and spawn_forwarder t ~node p =
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.forward.%d" node)
+    (fun () ->
+      while true do
+        let header, payload = Mailbox.take p.pump_q in
+        record_forward t ~node ~bytes_count:(Bytes.length payload);
+        (* The per-step software cost (buffer exchange, thread hand-off)
+           sits between taking the buffer and re-emitting it, where the
+           paper's +50 us/step analysis places it (§6.2.2). *)
+        Engine.sleep t.gateway_overhead;
+        ship_packet t ~at:node ~header ~payload
+          ~payload_len:(Bytes.length payload);
+        Semaphore.release p.pump_buffers
+      done)
+
+(* Dispatcher: one per (node, real channel). Receives every packet
+   arriving on that channel, delivers local ones, pushes the rest into
+   the forwarding pump of its outgoing link. *)
+let spawn_dispatcher t ~node channel =
+  let ep = Channel.endpoint channel ~rank:node in
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.dispatch.%d.ch%d" node (Channel.id channel))
+    (fun () ->
+      let hdr_bytes = Bytes.create Generic_tm.header_size in
+      while true do
+        let ic = Api.begin_unpacking ep in
+        Api.unpack ic ~r_mode:Iface.Receive_express hdr_bytes;
+        let header = Generic_tm.decode_header hdr_bytes in
+        if header.Generic_tm.final_dst = node then begin
+          let payload = Bytes.create header.Generic_tm.payload_len in
+          if header.Generic_tm.payload_len > 0 then
+            Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+          Api.end_unpacking ic;
+          deliver_local t ~me:node header payload
+        end
+        else begin
+          (* Bandwidth control (the paper's future-work §7): pace the
+             consumption of forwarded traffic so the incoming NIC cannot
+             monopolize the gateway's PCI bus. *)
+          (match t.ingress_cap_mb_s with
+          | None -> ()
+          | Some cap ->
+              let slot = Hashtbl.find t.next_ingress_slot node in
+              let now = Engine.now t.engine in
+              if Time.( < ) now !slot then Engine.sleep (Time.diff !slot now);
+              let budget =
+                Time.bytes_at_rate
+                  ~bytes_count:
+                    (header.Generic_tm.payload_len + Generic_tm.header_size)
+                  ~mb_per_s:cap
+              in
+              slot := Time.add (Engine.now t.engine) budget);
+          (* Take one of the outgoing direction's two pipeline buffers
+             before extracting, then hand the packet to the send side of
+             that pump (Fig. 9). *)
+          let hop = next_hop t ~at:node ~dst:header.Generic_tm.final_dst in
+          let p = pump_for t ~node hop in
+          Semaphore.acquire p.pump_buffers;
+          let payload = Bytes.create header.Generic_tm.payload_len in
+          if header.Generic_tm.payload_len > 0 then
+            Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+          Api.end_unpacking ic;
+          if t.extra_gateway_copy && header.Generic_tm.payload_len > 0 then
+            Engine.sleep
+              (Time.bytes_at_rate ~bytes_count:header.Generic_tm.payload_len
+                 ~mb_per_s:Simnet.Netparams.memcpy_rate_mb_s);
+          Mailbox.put p.pump_q (header, payload)
+        end
+      done)
+
+let create session ?(mtu = Config.default_vchannel_mtu)
+    ?(gateway_overhead = Config.gateway_packet_overhead)
+    ?(extra_gateway_copy = false) ?ingress_cap_mb_s channels =
+  if channels = [] then invalid_arg "Vchannel.create: no channels";
+  if mtu <= Generic_tm.sub_header_size then
+    invalid_arg "Vchannel.create: mtu too small";
+  (match ingress_cap_mb_s with
+  | Some c when c <= 0.0 -> invalid_arg "Vchannel.create: ingress cap <= 0"
+  | Some _ | None -> ());
+  let all_ranks =
+    List.concat_map Channel.ranks channels |> List.sort_uniq compare
+  in
+  let t =
+    {
+      engine = Session.engine session;
+      mtu;
+      gateway_overhead;
+      extra_gateway_copy;
+      ingress_cap_mb_s;
+      next_ingress_slot = Hashtbl.create 16;
+      channels;
+      all_ranks;
+      routes = compute_routes channels all_ranks;
+      assemblers = Hashtbl.create 32;
+      starts = Hashtbl.create 32;
+      incoming = Hashtbl.create 16;
+      pumps = Hashtbl.create 16;
+      send_locks = Hashtbl.create 32;
+      fwd_stats = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun node ->
+      Hashtbl.add t.next_ingress_slot node (ref Time.zero);
+      List.iter
+        (fun c ->
+          if List.mem node (Channel.ranks c) then spawn_dispatcher t ~node c)
+        channels)
+    all_ranks;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Emission: the Generic TM's static-copy packetization *)
+
+type out_connection = {
+  v : t;
+  oc_src : int;
+  oc_dst : int;
+  staging : Bytes.t;
+  mutable fill : int;
+  mutable first_sent : bool;
+  mutable oc_closed : bool;
+}
+
+let begin_packing t ~me ~remote =
+  if me = remote then invalid_arg "Vchannel.begin_packing: remote is self";
+  if not (Hashtbl.mem t.routes (me, remote)) then
+    invalid_arg (Printf.sprintf "Vchannel: no route from %d to %d" me remote);
+  Mutex.lock (send_lock t ~src:me ~dst:remote);
+  {
+    v = t;
+    oc_src = me;
+    oc_dst = remote;
+    staging = Bytes.create t.mtu;
+    fill = 0;
+    first_sent = false;
+    oc_closed = false;
+  }
+
+let ship oc ~last =
+  let header =
+    {
+      Generic_tm.final_dst = oc.oc_dst;
+      origin = oc.oc_src;
+      payload_len = oc.fill;
+      first = not oc.first_sent;
+      last;
+    }
+  in
+  ship_packet oc.v ~at:oc.oc_src ~header ~payload:oc.staging
+    ~payload_len:oc.fill;
+  oc.first_sent <- true;
+  oc.fill <- 0
+
+(* Append raw bytes to the packet stream, shipping full packets. *)
+let rec append oc data ~off ~len =
+  if len > 0 then begin
+    if oc.fill = oc.v.mtu then ship oc ~last:false;
+    let take = min len (oc.v.mtu - oc.fill) in
+    Bytes.blit data off oc.staging oc.fill take;
+    oc.fill <- oc.fill + take;
+    append oc data ~off:(off + take) ~len:(len - take)
+  end
+
+let pack oc ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
+    ?off ?len data =
+  if oc.oc_closed then invalid_arg "Vchannel.pack: connection closed";
+  Engine.sleep Config.pack_overhead;
+  let buf = Buf.make ?off ?len data in
+  let sub =
+    Generic_tm.encode_sub_header ~len:(Buf.length buf) s_mode r_mode
+  in
+  append oc sub ~off:0 ~len:(Bytes.length sub);
+  (* No copy cost is charged here: per §6.1 the Generic TM borrows the
+     outgoing protocol TM's buffers, so the single data movement is the
+     one the underlying channel's pack already models (PIO write, BIP
+     staging, socket copy...). The staging blit below is simulation
+     bookkeeping. *)
+  append oc buf.Buf.data ~off:buf.Buf.off ~len:buf.Buf.len
+
+let end_packing oc =
+  if oc.oc_closed then invalid_arg "Vchannel.end_packing: connection closed";
+  Engine.sleep Config.end_overhead;
+  ship oc ~last:true;
+  oc.oc_closed <- true;
+  Mutex.unlock (send_lock oc.v ~src:oc.oc_src ~dst:oc.oc_dst)
+
+(* ------------------------------------------------------------------ *)
+(* Reception *)
+
+type in_connection = {
+  iv : t;
+  ic_me : int;
+  ic_origin : int;
+  asmb : Assembler.t;
+  mutable ic_closed : bool;
+}
+
+let begin_unpacking_from t ~me ~remote =
+  Mailbox.take (starts t ~me ~origin:remote);
+  Engine.sleep Config.begin_overhead;
+  {
+    iv = t;
+    ic_me = me;
+    ic_origin = remote;
+    asmb = assembler t ~me ~origin:remote;
+    ic_closed = false;
+  }
+
+let begin_unpacking t ~me =
+  let origin = Mailbox.take (incoming t ~me) in
+  Mailbox.take (starts t ~me ~origin);
+  Engine.sleep Config.begin_overhead;
+  {
+    iv = t;
+    ic_me = me;
+    ic_origin = origin;
+    asmb = assembler t ~me ~origin;
+    ic_closed = false;
+  }
+
+let remote_rank ic = ic.ic_origin
+
+let unpack ic ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
+    ?off ?len data =
+  if ic.ic_closed then invalid_arg "Vchannel.unpack: connection closed";
+  Engine.sleep Config.unpack_overhead;
+  let buf = Buf.make ?off ?len data in
+  let sub = Bytes.create Generic_tm.sub_header_size in
+  Assembler.read_exact ic.asmb sub ~off:0 ~len:Generic_tm.sub_header_size;
+  let len', s', r' = Generic_tm.decode_sub_header sub in
+  if len' <> Buf.length buf || s' <> s_mode || r' <> r_mode then
+    raise
+      (Config.Symmetry_violation
+         (Format.asprintf
+            "vchannel pack/unpack mismatch from %d: packed (%d, %a, %a) but \
+             unpacked (%d, %a, %a)"
+            ic.ic_origin len' Iface.pp_send_mode s' Iface.pp_recv_mode r'
+            (Buf.length buf) Iface.pp_send_mode s_mode Iface.pp_recv_mode
+            r_mode));
+  (* The payload bytes were already extracted (and their copy paid) by
+     the dispatcher; this read is bookkeeping. *)
+  Assembler.read_exact ic.asmb buf.Buf.data ~off:buf.Buf.off ~len:buf.Buf.len
+
+let end_unpacking ic =
+  if ic.ic_closed then invalid_arg "Vchannel.end_unpacking: connection closed";
+  Engine.sleep Config.end_overhead;
+  Assembler.finish_message ic.asmb;
+  ic.ic_closed <- true

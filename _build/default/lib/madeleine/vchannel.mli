@@ -1,0 +1,103 @@
+(** Virtual channels: transparent inter-device data forwarding (paper §6).
+
+    A virtual channel spans a sequence of real channels — typically one
+    per cluster network, joined by gateway nodes that sit on two networks
+    at once. The application uses the same packing interface as on a real
+    channel; underneath, the {!Generic_tm} fragments every message into
+    MTU-sized self-described packets, and gateway nodes run a dual-buffer
+    forwarding pipeline (paper Fig. 9): one thread receives packet [k+1]
+    from the incoming network while the other sends packet [k] on the
+    outgoing one, with exactly two pipeline buffers providing the
+    overlap.
+
+    Packets between any two nodes follow the route computed over the
+    channel membership graph (breadth-first, so the fewest gateway
+    crossings). The real channels handed to a virtual channel become
+    dedicated to it: all their incoming traffic is consumed by the
+    forwarding dispatchers.
+
+    Cost model notes: the Generic TM copies user data into packet buffers
+    on emission (the "some optimizations are lost" of §6.1); on the final
+    node, packet payloads are extracted by the dispatcher as they arrive
+    (a progress engine), so the user-facing [unpack] pays no further
+    modelled copy. [Send_later] buffers are read eagerly at [pack] — the
+    generic TM cannot defer across gateways. *)
+
+type t
+
+val create :
+  Session.t ->
+  ?mtu:int ->
+  ?gateway_overhead:Marcel.Time.span ->
+  ?extra_gateway_copy:bool ->
+  ?ingress_cap_mb_s:float ->
+  Channel.t list ->
+  t
+(** [mtu] defaults to {!Config.default_vchannel_mtu}; it is the payload
+    size of one forwarded packet, fixed for the whole virtual channel as
+    in the paper (set at channel-configuration time). [gateway_overhead]
+    defaults to {!Config.gateway_packet_overhead}. [extra_gateway_copy]
+    (default [false]) disables the static-buffer borrowing optimization
+    of §6.1, charging one additional memcpy per forwarded packet — the
+    ablation knob.
+
+    [ingress_cap_mb_s] implements the bandwidth-control mechanism the
+    paper's conclusion calls for ("some sophisticated bandwidth control
+    mechanism is needed to regulate the incoming communication flow on
+    gateways"): each gateway paces its consumption of forwarded packets
+    so the incoming stream cannot hog the shared PCI bus and starve the
+    outgoing one. Unset = unregulated, the paper's measured behaviour.
+
+    Raises [Invalid_argument] on an empty channel list or an MTU too
+    small to carry a buffer sub-header. *)
+
+val ranks : t -> int list
+(** All nodes reachable through the virtual channel. *)
+
+val route_length : t -> src:int -> dst:int -> int
+(** Number of real-channel hops between two nodes (1 = same cluster).
+    Raises [Not_found] if no route exists. *)
+
+val forwarded : t -> (int * int * int) list
+(** Per-gateway forwarding counters: [(node, packets, payload bytes)]
+    for every node that has relayed traffic, sorted by node. *)
+
+(** {1 The packing interface, lifted to virtual channels} *)
+
+type out_connection
+type in_connection
+
+val begin_packing : t -> me:int -> remote:int -> out_connection
+val pack :
+  out_connection ->
+  ?s_mode:Iface.send_mode ->
+  ?r_mode:Iface.recv_mode ->
+  ?off:int ->
+  ?len:int ->
+  Bytes.t ->
+  unit
+
+val end_packing : out_connection -> unit
+
+val begin_unpacking : t -> me:int -> in_connection
+(** Any-source receive. Within one process, do not mix any-source and
+    {!begin_unpacking_from} receives on the same virtual channel. *)
+
+val begin_unpacking_from : t -> me:int -> remote:int -> in_connection
+val remote_rank : in_connection -> int
+
+val unpack :
+  in_connection ->
+  ?s_mode:Iface.send_mode ->
+  ?r_mode:Iface.recv_mode ->
+  ?off:int ->
+  ?len:int ->
+  Bytes.t ->
+  unit
+(** The Generic TM's self-description makes asymmetric unpack sequences
+    detectable even on unchecked channels: mismatched size or modes raise
+    {!Config.Symmetry_violation}. *)
+
+val end_unpacking : in_connection -> unit
+(** Raises {!Config.Symmetry_violation} if the message has leftover
+    unconsumed data. *)

@@ -1,0 +1,1 @@
+lib/marcel/barrier.ml: Engine List

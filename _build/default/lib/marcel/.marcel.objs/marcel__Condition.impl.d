@@ -1,0 +1,1 @@
+lib/marcel/condition.ml: Engine List Mutex Queue

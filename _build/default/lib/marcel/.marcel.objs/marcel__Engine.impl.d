@@ -1,0 +1,1 @@
+lib/marcel/engine.ml: Effect Heap List Printf Stdlib Time

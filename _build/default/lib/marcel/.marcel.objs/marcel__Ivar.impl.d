@@ -1,0 +1,1 @@
+lib/marcel/ivar.ml: Engine Queue

@@ -1,0 +1,1 @@
+lib/marcel/mailbox.ml: Engine Queue

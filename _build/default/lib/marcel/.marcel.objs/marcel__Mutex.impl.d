@@ -1,0 +1,1 @@
+lib/marcel/mutex.ml: Engine Queue

@@ -1,0 +1,1 @@
+lib/marcel/semaphore.ml: Engine Queue

@@ -1,0 +1,1 @@
+lib/marcel/time.ml: Float Format Int64 Stdlib

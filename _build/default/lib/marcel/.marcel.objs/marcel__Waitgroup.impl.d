@@ -1,0 +1,1 @@
+lib/marcel/waitgroup.ml: Engine List

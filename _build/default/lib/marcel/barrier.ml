@@ -1,0 +1,22 @@
+type t = {
+  parties : int;
+  mutable arrived : int;
+  mutable wakers : (unit -> unit) list;
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties <= 0";
+  { parties; arrived = 0; wakers = [] }
+
+let waiting t = t.arrived
+
+let await t =
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    let wakers = t.wakers in
+    t.wakers <- [];
+    t.arrived <- 0;
+    List.iter (fun wake -> wake ()) wakers
+  end
+  else
+    Engine.suspend ~name:"barrier" (fun wake -> t.wakers <- wake :: t.wakers)

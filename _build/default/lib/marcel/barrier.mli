@@ -1,0 +1,14 @@
+(** N-party reusable barrier for cooperative threads. *)
+
+type t
+
+val create : int -> t
+(** [create n] synchronizes groups of [n] arrivals. [n] must be
+    positive. *)
+
+val await : t -> unit
+(** Blocks until [n] threads (including this one) have arrived, then
+    releases all of them; the barrier then resets for the next group. *)
+
+val waiting : t -> int
+(** Threads currently blocked (0..n-1). *)

@@ -1,0 +1,17 @@
+type t = { waiters : (unit -> unit) Queue.t }
+
+let create () = { waiters = Queue.create () }
+
+let wait t m =
+  if not (Mutex.locked m) then invalid_arg "Condition.wait: mutex not held";
+  Mutex.unlock m;
+  Engine.suspend ~name:"condition" (fun wake -> Queue.push wake t.waiters);
+  Mutex.lock m
+
+let signal t = match Queue.take_opt t.waiters with Some w -> w () | None -> ()
+
+let broadcast t =
+  (* Drain into a list first: a woken thread could re-wait immediately. *)
+  let all = List.of_seq (Queue.to_seq t.waiters) in
+  Queue.clear t.waiters;
+  List.iter (fun w -> w ()) all

@@ -1,0 +1,12 @@
+(** Condition variable paired with a {!Mutex}. *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> Mutex.t -> unit
+(** Atomically releases the mutex and blocks; re-acquires it before
+    returning. The mutex must be held by the caller. *)
+
+val signal : t -> unit
+val broadcast : t -> unit

@@ -1,0 +1,149 @@
+type event = { time : Time.t; seq : int; action : unit -> unit }
+
+type thread_info = {
+  thread_name : string;
+  daemon : bool;
+  mutable blocked_on : string option;
+}
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  events : event Heap.t;
+  mutable live : thread_info list;
+  mutable failure : exn option;
+  mutable processed : int;
+}
+
+exception Stalled of string list
+
+(* Effects performed by thread bodies. The handler is installed once per
+   thread by [spawn]; resuming a continuation keeps it installed, so
+   [sleep]/[suspend] work at any depth inside the thread. *)
+type _ Effect.t +=
+  | Sleep : Time.span -> unit Effect.t
+  | Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
+  | Self_name : string Effect.t
+
+let cmp_event a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c else Stdlib.compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    events = Heap.create ~cmp:cmp_event;
+    live = [];
+    failure = None;
+    processed = 0;
+  }
+
+let now t = t.clock
+let events_processed t = t.processed
+
+let schedule t time action =
+  if Time.( < ) time t.clock then invalid_arg "Engine: scheduling in the past";
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time; seq = t.seq; action }
+
+let at t time action = schedule t time action
+
+let sleep d = Effect.perform (Sleep d)
+let yield () = Effect.perform (Sleep 0L)
+let suspend ~name register = Effect.perform (Suspend (name, register))
+let self_name () = Effect.perform Self_name
+
+let spawn t ?(daemon = false) ~name f =
+  let info = { thread_name = name; daemon; blocked_on = None } in
+  t.live <- info :: t.live;
+  let finish () = t.live <- List.filter (fun i -> i != info) t.live in
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> finish ());
+      exnc =
+        (fun e ->
+          finish ();
+          match t.failure with None -> t.failure <- Some e | Some _ -> ());
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep d ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  info.blocked_on <- Some "sleep";
+                  schedule t (Time.add t.clock d) (fun () ->
+                      info.blocked_on <- None;
+                      Effect.Deep.continue k ()))
+          | Suspend (why, register) ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  info.blocked_on <- Some why;
+                  let resumed = ref false in
+                  let wake v =
+                    if not !resumed then begin
+                      resumed := true;
+                      schedule t t.clock (fun () ->
+                          info.blocked_on <- None;
+                          Effect.Deep.continue k v)
+                    end
+                  in
+                  register wake)
+          | Self_name ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.continue k name)
+          | _ -> None);
+    }
+  in
+  schedule t t.clock (fun () -> Effect.Deep.match_with f () handler)
+
+let run_until t deadline =
+  if Time.( < ) deadline t.clock then
+    invalid_arg "Engine.run_until: deadline in the past";
+  let rec loop () =
+    match t.failure with
+    | Some e ->
+        t.failure <- None;
+        raise e
+    | None ->
+        if
+          (not (Heap.is_empty t.events))
+          && Time.( <= ) (Heap.peek t.events).time deadline
+        then begin
+          let ev = Heap.pop t.events in
+          t.clock <- ev.time;
+          t.processed <- t.processed + 1;
+          ev.action ();
+          loop ()
+        end
+  in
+  loop ();
+  t.clock <- deadline
+
+let run t =
+  let rec loop () =
+    match t.failure with
+    | Some e ->
+        t.failure <- None;
+        raise e
+    | None ->
+        if not (Heap.is_empty t.events) then begin
+          let ev = Heap.pop t.events in
+          t.clock <- ev.time;
+          t.processed <- t.processed + 1;
+          ev.action ();
+          loop ()
+        end
+  in
+  loop ();
+  let blocked =
+    List.filter_map
+      (fun i ->
+        match i.blocked_on with
+        | Some why when not i.daemon ->
+            Some (Printf.sprintf "%s (on %s)" i.thread_name why)
+        | Some _ | None -> None)
+      t.live
+  in
+  if blocked <> [] then raise (Stalled blocked)

@@ -1,0 +1,60 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h x =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let ndata = Array.make ncap x in
+    Array.blit h.data 0 ndata 0 h.size;
+    h.data <- ndata
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h x =
+  grow h x;
+  h.data.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then raise Not_found else h.data.(0)
+
+let pop h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h 0
+  end;
+  top

@@ -1,0 +1,16 @@
+(** Resizable-array binary min-heap, used as the engine's event queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the minimum element. Raises [Not_found] on an
+    empty heap. *)
+
+val peek : 'a t -> 'a
+(** Returns the minimum element without removing it. Raises [Not_found]
+    on an empty heap. *)

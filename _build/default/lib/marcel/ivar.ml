@@ -1,0 +1,20 @@
+type 'a state = Empty of ('a -> unit) Queue.t | Full of 'a
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty (Queue.create ()) }
+
+let fill t v =
+  match t.state with
+  | Full _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter (fun wake -> wake v) waiters
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty waiters ->
+      Engine.suspend ~name:"ivar" (fun wake -> Queue.push wake waiters)
+
+let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+let peek t = match t.state with Full v -> Some v | Empty _ -> None

@@ -1,0 +1,14 @@
+(** Write-once synchronization variable (a one-shot future). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already filled. *)
+
+val read : 'a t -> 'a
+(** Blocks until filled; returns the value immediately if already filled. *)
+
+val is_filled : 'a t -> bool
+val peek : 'a t -> 'a option

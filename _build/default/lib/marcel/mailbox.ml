@@ -1,0 +1,49 @@
+type 'a t = {
+  capacity : int option;
+  items : 'a Queue.t;
+  takers : ('a -> unit) Queue.t;
+  putters : (unit -> unit) Queue.t;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Mailbox.create: capacity <= 0"
+  | Some _ | None -> ());
+  {
+    capacity;
+    items = Queue.create ();
+    takers = Queue.create ();
+    putters = Queue.create ();
+  }
+
+let length t = Queue.length t.items
+
+let full t =
+  match t.capacity with None -> false | Some c -> Queue.length t.items >= c
+
+let rec put t v =
+  match Queue.take_opt t.takers with
+  | Some taker -> taker v
+  | None ->
+      if full t then begin
+        Engine.suspend ~name:"mailbox.put" (fun wake ->
+            Queue.push wake t.putters);
+        (* Another thread may have refilled the box while our wake-up was
+           pending; re-check from scratch. *)
+        put t v
+      end
+      else Queue.push v t.items
+
+let take t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      (match Queue.take_opt t.putters with Some w -> w () | None -> ());
+      v
+  | None -> Engine.suspend ~name:"mailbox.take" (fun wake -> Queue.push wake t.takers)
+
+let take_opt t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      (match Queue.take_opt t.putters with Some w -> w () | None -> ());
+      Some v
+  | None -> None

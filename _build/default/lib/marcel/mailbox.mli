@@ -1,0 +1,18 @@
+(** Unbounded FIFO mailbox between threads, with optional bounded mode.
+
+    [put] blocks when a capacity was given and the box is full; [take]
+    blocks while the box is empty. This is the channel primitive the
+    protocol simulations and the gateway forwarding pipeline are built
+    from. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity], if given, must be positive. *)
+
+val put : 'a t -> 'a -> unit
+val take : 'a t -> 'a
+val take_opt : 'a t -> 'a option
+(** Non-blocking take. *)
+
+val length : 'a t -> int

@@ -1,0 +1,26 @@
+type t = { mutable held : bool; waiters : (unit -> unit) Queue.t }
+
+let create () = { held = false; waiters = Queue.create () }
+let locked t = t.held
+
+let lock t =
+  if not t.held then t.held <- true
+  else Engine.suspend ~name:"mutex" (fun wake -> Queue.push wake t.waiters)
+
+(* Hand-off: the mutex stays held and ownership passes to the first
+   waiter, so no barging is possible. *)
+let unlock t =
+  if not t.held then invalid_arg "Mutex.unlock: not locked";
+  match Queue.take_opt t.waiters with
+  | Some wake -> wake ()
+  | None -> t.held <- false
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

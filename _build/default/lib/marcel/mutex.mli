@@ -1,0 +1,11 @@
+(** Cooperative mutex with FIFO hand-off. *)
+
+type t
+
+val create : unit -> t
+val lock : t -> unit
+val unlock : t -> unit
+(** Raises [Invalid_argument] if the mutex is not locked. *)
+
+val locked : t -> bool
+val with_lock : t -> (unit -> 'a) -> 'a

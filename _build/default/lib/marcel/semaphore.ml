@@ -1,0 +1,24 @@
+type t = { mutable permits : int; waiters : (unit -> unit) Queue.t }
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative";
+  { permits = n; waiters = Queue.create () }
+
+let acquire t =
+  if t.permits > 0 then t.permits <- t.permits - 1
+  else Engine.suspend ~name:"semaphore" (fun wake -> Queue.push wake t.waiters)
+
+let try_acquire t =
+  if t.permits > 0 then begin
+    t.permits <- t.permits - 1;
+    true
+  end
+  else false
+
+(* A released permit is handed directly to the first waiter, if any. *)
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some wake -> wake ()
+  | None -> t.permits <- t.permits + 1
+
+let available t = t.permits

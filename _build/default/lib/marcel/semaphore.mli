@@ -1,0 +1,14 @@
+(** Counting semaphore. Used, e.g., for BIP-style credit flow control. *)
+
+type t
+
+val create : int -> t
+(** [create n] starts with [n] permits. [n] must be non-negative. *)
+
+val acquire : t -> unit
+(** Takes one permit, blocking FIFO if none are available. *)
+
+val try_acquire : t -> bool
+val release : t -> unit
+val available : t -> int
+(** Current number of free permits (0 while threads are queued). *)

@@ -1,0 +1,19 @@
+type t = { mutable counter : int; mutable wakers : (unit -> unit) list }
+
+let create () = { counter = 0; wakers = [] }
+let count t = t.counter
+
+let add t n =
+  if t.counter + n < 0 then invalid_arg "Waitgroup.add: negative count";
+  t.counter <- t.counter + n;
+  if t.counter = 0 then begin
+    let wakers = t.wakers in
+    t.wakers <- [];
+    List.iter (fun wake -> wake ()) wakers
+  end
+
+let done_ t = add t (-1)
+
+let wait t =
+  if t.counter > 0 then
+    Engine.suspend ~name:"waitgroup" (fun wake -> t.wakers <- wake :: t.wakers)

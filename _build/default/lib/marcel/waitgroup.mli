@@ -1,0 +1,18 @@
+(** Counter of outstanding tasks; waiters block until it drains to zero
+    (as in Go's sync.WaitGroup). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Adds tasks. Raises [Invalid_argument] if the count would go
+    negative. *)
+
+val done_ : t -> unit
+(** Completes one task; at zero, releases all waiters. *)
+
+val wait : t -> unit
+(** Blocks while the count is positive; returns immediately at zero. *)
+
+val count : t -> int

@@ -1,0 +1,1 @@
+lib/mpilite/dev_chmad.ml: Bytes Device Madeleine Marcel

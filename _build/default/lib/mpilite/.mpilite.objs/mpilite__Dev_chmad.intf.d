@@ -1,0 +1,1 @@
+lib/mpilite/dev_chmad.mli: Device Madeleine Marcel

@@ -1,0 +1,1 @@
+lib/mpilite/dev_chmad_v.ml: Bytes Dev_chmad Device Madeleine Marcel

@@ -1,0 +1,1 @@
+lib/mpilite/dev_chmad_v.mli: Device Madeleine

@@ -1,0 +1,1 @@
+lib/mpilite/dev_scidirect.ml: Bytes Device Hashtbl Int32 List Marcel Simnet Sisci

@@ -1,0 +1,1 @@
+lib/mpilite/dev_scidirect.mli: Device Hashtbl Marcel Sisci

@@ -1,0 +1,1 @@
+lib/mpilite/device.mli: Bytes

@@ -1,0 +1,1 @@
+lib/mpilite/mpi.ml: Array Bytes Device Fun Hashtbl Int64 List Marcel Printf Queue Simnet

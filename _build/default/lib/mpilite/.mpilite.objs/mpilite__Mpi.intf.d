@@ -1,0 +1,1 @@
+lib/mpilite/mpi.mli: Bytes Device Marcel

@@ -1,0 +1,1 @@
+lib/mpilite/pmm_mpi.mli: Madeleine Mpi

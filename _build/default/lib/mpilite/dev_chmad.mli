@@ -1,0 +1,16 @@
+(** The ch_mad device: MPICH over Madeleine II (paper §5.3.1).
+
+    An MPI message is one Madeleine message: the envelope travels
+    EXPRESS (the receiver needs it to match and pick the destination
+    buffer), the payload CHEAPER (extracted straight into the matched
+    buffer — no intermediate copy on the expected path). The ADI-glue
+    overheads here are why the paper's MPICH/Madeleine latency trails
+    the hand-tuned direct implementations while its bandwidth tracks
+    raw Madeleine. *)
+
+val adi_send_overhead : Marcel.Time.span
+val adi_recv_overhead : Marcel.Time.span
+
+val make : Madeleine.Channel.t -> rank:int -> Device.t
+(** The channel becomes dedicated to this MPI instance: its incoming
+    traffic is consumed by the rank's progress daemon. *)

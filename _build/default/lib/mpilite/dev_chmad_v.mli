@@ -1,0 +1,11 @@
+(** ch_mad over a virtual channel: MPI spanning clusters of clusters.
+
+    The same envelope-EXPRESS / payload-CHEAPER device as {!Dev_chmad},
+    but riding a {!Madeleine.Vchannel} — so MPI ranks may live on
+    different networks, with gateways forwarding transparently
+    underneath. This is precisely the composition the paper's §6 sets
+    up: "higher-level traditional routing mechanisms can be efficiently
+    implemented on top of this extended Madeleine II interface". *)
+
+val make : Madeleine.Vchannel.t -> rank:int -> Device.t
+(** The virtual channel becomes dedicated to this MPI instance. *)

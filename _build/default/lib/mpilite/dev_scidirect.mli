@@ -1,0 +1,36 @@
+(** Direct MPI-over-SCI devices: the Fig. 6 baselines.
+
+    SCI-MPICH and ScaMPI talk to SISCI directly, staging payloads
+    through rings of segment slots. Their profiles differ in software
+    overheads, eager/inline thresholds, staging chunk size and ring
+    depth (single- vs double-buffered) — calibrated so both beat
+    MPICH/Madeleine on small-message latency while MPICH/Madeleine
+    passes them in bandwidth for large messages, as in the paper. *)
+
+type profile = {
+  prof_name : string;
+  inline_max : int;  (** payload bytes carried inside the envelope packet *)
+  chunk : int;  (** staging chunk for large messages *)
+  slots : int;  (** data-ring depth: 1 = no overlap, 2 = double buffering *)
+  send_overhead : Marcel.Time.span;
+  recv_overhead : Marcel.Time.span;
+  per_chunk_overhead : Marcel.Time.span;
+}
+
+val sci_mpich : profile
+val scampi : profile
+
+type pair_state
+
+val make_states :
+  profile -> (int -> Sisci.t) -> int list -> (int * int, pair_state) Hashtbl.t
+(** Creates the receiver-owned segments and credits for every ordered
+    pair; build once per world and share among all ranks' devices. *)
+
+val make :
+  profile ->
+  adapters:(int -> Sisci.t) ->
+  ranks:int list ->
+  states:(int * int, pair_state) Hashtbl.t ->
+  rank:int ->
+  Device.t

@@ -1,0 +1,24 @@
+type envelope = { env_src : int; env_tag : int; env_context : int; env_len : int }
+
+type t = {
+  dev_name : string;
+  dev_send : dst:int -> envelope -> Bytes.t -> unit;
+  dev_next : unit -> envelope * (Bytes.t -> off:int -> unit);
+}
+
+let envelope_size = 12
+
+let encode_envelope env =
+  let b = Bytes.create envelope_size in
+  Bytes.set_int32_le b 0 (Int32.of_int env.env_tag);
+  Bytes.set_int32_le b 4 (Int32.of_int env.env_context);
+  Bytes.set_int32_le b 8 (Int32.of_int env.env_len);
+  b
+
+let decode_envelope ~src b =
+  {
+    env_src = src;
+    env_tag = Int32.to_int (Bytes.get_int32_le b 0);
+    env_context = Int32.to_int (Bytes.get_int32_le b 4);
+    env_len = Int32.to_int (Bytes.get_int32_le b 8);
+  }

@@ -1,0 +1,27 @@
+(** The abstract device interface of the mini-MPI, in the spirit of
+    MPICH's second-generation ADI: the matching engine and collectives
+    live above this line, and a device only moves enveloped point-to-point
+    messages. Three devices exist, mirroring the Fig. 6 contenders:
+    [ch_mad] over Madeleine (the paper's MPICH/Madeleine II port),
+    and the direct-SISCI [sci_mpich] and [scampi] baselines. *)
+
+type envelope = { env_src : int; env_tag : int; env_context : int; env_len : int }
+
+type t = {
+  dev_name : string;
+  dev_send : dst:int -> envelope -> Bytes.t -> unit;
+      (** Ships the envelope and [env_len] payload bytes. Blocking until
+          the payload buffer is reusable. *)
+  dev_next : unit -> envelope * (Bytes.t -> off:int -> unit);
+      (** Progress: blocks for the next incoming message and returns its
+          envelope plus an extraction closure. The closure must be called
+          exactly once, with a buffer region of [env_len] bytes; the
+          two-phase shape lets the matching engine choose the final
+          destination (a posted receive's buffer — zero copy — or a
+          temporary for unexpected messages) after seeing the envelope,
+          exactly the RPC-header pattern of paper §2.2. *)
+}
+
+val encode_envelope : envelope -> Bytes.t
+val decode_envelope : src:int -> Bytes.t -> envelope
+val envelope_size : int

@@ -1,0 +1,76 @@
+(* Madeleine II on top of MPI (paper §5.3: "Madeleine II has also been
+   ported — quite straightforwardly — on top of MPI"; §7 lists "common
+   MPI implementations" among the supported interfaces).
+
+   The host MPI must itself run on a non-Madeleine device (one of the
+   direct-SISCI baselines, say), since layering it back onto ch_mad
+   would be circular. Each Madeleine buffer travels as one tagged MPI
+   message; the channel id is the tag, so channels stay isolated and
+   per-connection FIFO order follows from MPI's non-overtaking rule. *)
+
+module Buf = Madeleine.Buf
+module Tm = Madeleine.Tm
+module Link = Madeleine.Link
+module Bmm = Madeleine.Bmm
+module Driver = Madeleine.Driver
+
+let send_tm ctx ~dst ~tag =
+  let send_one buf = Mpi.send ctx ~dst ~tag (Buf.to_bytes buf) in
+  {
+    Tm.s_name = "mpi";
+    s_side =
+      Tm.Dynamic_send
+        {
+          Tm.send_buffer = send_one;
+          send_buffer_group = (fun bufs -> List.iter send_one bufs);
+        };
+  }
+
+let recv_tm ctx ~from ~tag =
+  let recv_one buf =
+    let tmp = Bytes.create (Buf.length buf) in
+    let st = Mpi.recv ctx ~src:from ~tag tmp in
+    if st.Mpi.status_len <> Buf.length buf then
+      raise
+        (Madeleine.Config.Symmetry_violation
+           (Printf.sprintf "mpi TM: expected %d bytes, got %d" (Buf.length buf)
+              st.Mpi.status_len));
+    Buf.blit_in buf tmp 0
+  in
+  {
+    Tm.r_name = "mpi";
+    r_side =
+      Tm.Dynamic_recv
+        {
+          Tm.receive_buffer = recv_one;
+          receive_buffer_group = (fun bufs -> List.iter recv_one bufs);
+        };
+    r_probe = (fun () -> Mpi.iprobe ctx ~src:from ~tag <> None);
+  }
+
+let select ~len:_ _s _r = 0
+
+let driver (ctx_of : int -> Mpi.ctx) =
+  let instantiate ~channel_id ~config ~ranks:_ =
+    let tag = channel_id in
+    let sender_link =
+      Driver.memo_links (fun ~src ~dst ->
+          Link.make_sender select
+            [|
+              Bmm.send_of_tm ~aggregation:config.Madeleine.Config.aggregation
+                (send_tm (ctx_of src) ~dst ~tag);
+            |])
+    in
+    let receiver_link =
+      Driver.memo_links (fun ~src ~dst ->
+          let tm = recv_tm (ctx_of src) ~from:dst ~tag in
+          Link.make_receiver select [| Bmm.recv_of_tm tm |] ~probe:tm.Tm.r_probe)
+    in
+    {
+      Driver.inst_name = "mpi";
+      sender_link;
+      receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
+      on_data = (fun ~me hook -> Mpi.on_unexpected (ctx_of me) hook);
+    }
+  in
+  { Driver.driver_name = "mpi"; instantiate }

@@ -1,0 +1,82 @@
+(** A miniature Nexus (Foster, Kesselman, Tuecke 1996): the remote
+    service request (RSR) layer the paper re-hosts on Madeleine II
+    (§5.3.2).
+
+    Communication goes through {e startpoints} bound to remote
+    {e endpoints}: an RSR names a handler of the endpoint and ships a
+    self-contained buffer; the destination runs the handler in a fresh
+    thread. Nexus owns its buffers, so arguments are copied in on [put]
+    and out on [get] — the "heavy mechanisms" whose cost the paper
+    measures against raw Madeleine. Nexus is multiprotocol: a context
+    runs over any {!transport}; {!tcp_transport} mirrors the classic
+    TCP proto and {!mad_transport} is the paper's Nexus/Madeleine II. *)
+
+type world
+type ctx
+type endpoint
+type startpoint
+
+(** {1 Buffers} *)
+
+module Buffer : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val put_int : t -> int -> unit
+  val put_bytes : t -> Bytes.t -> unit
+  (** Copies the data into the buffer, at memcpy cost. *)
+
+  val get_int : t -> int
+  val get_bytes : t -> len:int -> Bytes.t
+  (** Copies data out of the buffer, at memcpy cost. Reads proceed in
+      put order; raises [Invalid_argument] past the end. *)
+end
+
+val put_startpoint : Buffer.t -> startpoint -> unit
+(** Marshals a communication capability into a buffer — how Nexus builds
+    dynamic topologies: ship a startpoint, and the receiver can RSR back
+    through it. *)
+
+val get_startpoint : Buffer.t -> startpoint
+
+(** {1 Transports} *)
+
+type transport
+
+val tcp_transports : Marcel.Engine.t -> stacks:Tcpnet.t array -> transport array
+(** Pre-established TCP mesh among all ranks (one length-framed stream
+    per pair, with a reader thread per stream end); returns one
+    transport per rank. *)
+
+val mad_transport : Madeleine.Channel.t -> rank:int -> transport
+(** Nexus/Madeleine II: RSR header express, payload cheaper. *)
+
+val mad_vchannel_transport : Madeleine.Vchannel.t -> rank:int -> transport
+(** Nexus over a virtual channel: RSRs cross clusters-of-clusters
+    through the gateways transparently. *)
+
+(** {1 Contexts and RSRs} *)
+
+val create_world : Marcel.Engine.t -> transports:transport array -> world
+(** Spawns each rank's RSR dispatcher. *)
+
+val ctx : world -> rank:int -> ctx
+val rank : ctx -> int
+
+val make_endpoint : ctx -> handlers:(ctx -> Buffer.t -> unit) array -> endpoint
+(** Registers an endpoint whose table of handlers can be invoked
+    remotely. Each incoming RSR runs its handler in a fresh thread on
+    the destination node. *)
+
+val startpoint : endpoint -> startpoint
+(** A communication capability for the endpoint; startpoints are plain
+    values and may be shipped to other nodes (inside buffers, by rank
+    and id). *)
+
+val startpoint_rank : startpoint -> int
+
+val send_rsr : ctx -> startpoint -> handler:int -> Buffer.t -> unit
+(** Ships the buffer and triggers the handler remotely. Returns when the
+    local transport has accepted the message (asynchronous RSR). *)

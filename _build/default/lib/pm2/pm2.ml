@@ -1,0 +1,171 @@
+module Engine = Marcel.Engine
+module Ivar = Marcel.Ivar
+module Mad = Madeleine.Api
+module Iface = Madeleine.Iface
+
+type service_id = int
+
+type t = {
+  pm_rank : int;
+  engine : Engine.t;
+  channel : Madeleine.Channel.t;
+  services : (int, service) Hashtbl.t;
+  mutable next_service : int;
+  completions : (int, unit Ivar.t) Hashtbl.t;
+  mutable next_completion : int;
+}
+
+and service = {
+  sv_name : string;
+  sv_quick : bool;
+  sv_body : t -> Mad.in_connection -> unit;
+}
+
+let rank t = t.pm_rank
+let size t = List.length (Madeleine.Channel.ranks t.channel)
+
+let set_int32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  b
+
+let get_int32 b = Int32.to_int (Bytes.get_int32_le b 0)
+
+(* The per-node RPC dispatcher: read the service header EXPRESS, then
+   hand the still-open connection to the service so it unpacks its own
+   arguments in place. The connection's link stays held until the
+   service's end_unpacking — back-to-back RPCs on one link serialize
+   exactly as PM2's receive daemon does. *)
+let dispatcher t () =
+  let ep = Madeleine.Channel.endpoint t.channel ~rank:t.pm_rank in
+  while true do
+    let ic = Mad.begin_unpacking ep in
+    let hdr = Bytes.create 4 in
+    Mad.unpack ic ~r_mode:Iface.Receive_express hdr;
+    let id = get_int32 hdr in
+    match Hashtbl.find_opt t.services id with
+    | None ->
+        invalid_arg (Printf.sprintf "Pm2: unknown service %d at rank %d" id t.pm_rank)
+    | Some sv ->
+        if sv.sv_quick then sv.sv_body t ic
+        else
+          Engine.spawn t.engine
+            ~name:(Printf.sprintf "pm2.%s.%d" sv.sv_name t.pm_rank)
+            (fun () -> sv.sv_body t ic)
+  done
+
+module Completion = struct
+  type pm2 = t
+  type t = { owner : pm2; comp_id : int; filled : unit Ivar.t }
+  type remote = { r_owner : int; r_id : int }
+
+  let create owner =
+    let comp_id = owner.next_completion in
+    owner.next_completion <- comp_id + 1;
+    let filled = Ivar.create () in
+    Hashtbl.add owner.completions comp_id filled;
+    { owner; comp_id; filled }
+
+  let pack t oc =
+    let b = Bytes.create 8 in
+    Bytes.set_int32_le b 0 (Int32.of_int t.owner.pm_rank);
+    Bytes.set_int32_le b 4 (Int32.of_int t.comp_id);
+    Mad.pack oc ~r_mode:Iface.Receive_express b
+
+  let unpack ic =
+    let b = Bytes.create 8 in
+    Mad.unpack ic ~r_mode:Iface.Receive_express b;
+    {
+      r_owner = Int32.to_int (Bytes.get_int32_le b 0);
+      r_id = Int32.to_int (Bytes.get_int32_le b 4);
+    }
+
+  let wait t = Ivar.read t.filled
+
+  (* Forward declaration dance: signalling needs [rpc], defined below. *)
+  let signal_ref :
+      (pm2 -> remote -> unit) ref =
+    ref (fun _ _ -> assert false)
+
+  let signal t remote = !signal_ref t remote
+end
+
+(* Service 0, present on every node: completion signalling. *)
+let signal_service_id = 0
+
+let rpc t ~dst service_id ~pack =
+  if dst = t.pm_rank then
+    invalid_arg "Pm2.rpc: PM2 local service invocation is a plain call";
+  let ep = Madeleine.Channel.endpoint t.channel ~rank:t.pm_rank in
+  let oc = Mad.begin_packing ep ~remote:dst in
+  Mad.pack oc ~r_mode:Iface.Receive_express (set_int32 service_id);
+  pack oc;
+  Mad.end_packing oc
+
+let () =
+  Completion.signal_ref :=
+    fun t remote ->
+      if remote.Completion.r_owner = t.pm_rank then begin
+        (* Local completion: fill directly. *)
+        match Hashtbl.find_opt t.completions remote.Completion.r_id with
+        | Some iv -> Ivar.fill iv ()
+        | None -> invalid_arg "Pm2: unknown completion"
+      end
+      else
+        rpc t ~dst:remote.Completion.r_owner signal_service_id ~pack:(fun oc ->
+            Mad.pack oc ~r_mode:Iface.Receive_express
+              (set_int32 remote.Completion.r_id))
+
+let create_world engine channel =
+  let ranks = Madeleine.Channel.ranks channel in
+  let instances =
+    Array.of_list
+      (List.map
+         (fun pm_rank ->
+           {
+             pm_rank;
+             engine;
+             channel;
+             services = Hashtbl.create 16;
+             next_service = 0;
+             completions = Hashtbl.create 16;
+             next_completion = 0;
+           })
+         ranks)
+  in
+  (* The built-in completion-signal service, quick by nature. *)
+  Array.iter
+    (fun t ->
+      Hashtbl.add t.services signal_service_id
+        {
+          sv_name = "pm2.signal";
+          sv_quick = true;
+          sv_body =
+            (fun t ic ->
+              let b = Bytes.create 4 in
+              Mad.unpack ic ~r_mode:Iface.Receive_express b;
+              Mad.end_unpacking ic;
+              match Hashtbl.find_opt t.completions (get_int32 b) with
+              | Some iv -> Ivar.fill iv ()
+              | None -> invalid_arg "Pm2: signal for unknown completion");
+        };
+      t.next_service <- 1)
+    instances;
+  Array.iter
+    (fun t ->
+      Engine.spawn engine ~daemon:true
+        ~name:(Printf.sprintf "pm2.dispatch.%d" t.pm_rank)
+        (dispatcher t))
+    instances;
+  instances
+
+let register instances ?(quick = false) ~name body =
+  let id = instances.(0).next_service in
+  Array.iter
+    (fun t ->
+      if t.next_service <> id then
+        invalid_arg "Pm2.register: services must register collectively";
+      Hashtbl.add t.services id { sv_name = name; sv_quick = quick; sv_body = body };
+      t.next_service <- id + 1)
+    instances;
+  id

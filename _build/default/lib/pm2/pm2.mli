@@ -1,0 +1,75 @@
+(** A miniature PM2: the Parallel Multithreaded Machine (Namyst & Méhaut)
+    whose RPC model motivated Madeleine in the first place (paper §1 and
+    reference [10]).
+
+    PM2's raw RPC ships a service id plus packed arguments; the
+    destination runs the service in a fresh thread. The distinctive
+    Madeleine integration — and the reason the paper's Fig. 1 example
+    looks the way it does — is that the service body {e unpacks its own
+    arguments directly from the incoming connection}: the runtime reads
+    the header EXPRESS to pick the service, then hands the connection
+    over, so argument data flows straight into thread-owned storage with
+    no intermediate buffer (contrast {!Nexus.Buffer}'s copies).
+
+    Synchronization follows PM2's completion idiom: RPCs are
+    asynchronous; a caller needing to wait packs a {!Completion.t} into
+    the request and blocks on it; the remote service signals it when
+    done (a tiny internal RPC back to the owner). *)
+
+type t
+(** One node's PM2 instance. *)
+
+type service_id
+
+val create_world : Marcel.Engine.t -> Madeleine.Channel.t -> t array
+(** One instance per channel rank, with its RPC dispatcher daemon. The
+    channel becomes dedicated to PM2. *)
+
+val rank : t -> int
+val size : t -> int
+
+val register :
+  t array ->
+  ?quick:bool ->
+  name:string ->
+  (t -> Madeleine.Api.in_connection -> unit) ->
+  service_id
+(** Registers a service on every node (PM2 service registration is
+    collective; ids are assigned in registration order). The body MUST
+    unpack exactly the arguments its callers pack — Madeleine symmetry —
+    and MUST call {!Madeleine.Api.end_unpacking} on the connection before
+    doing anything slow.
+
+    A [quick] service (default [false]) runs directly in the dispatcher
+    thread — lower latency, but it must not block on communication or it
+    stalls RPC delivery to this node; normal services run in a fresh
+    thread, as PM2 threads do. *)
+
+val rpc :
+  t -> dst:int -> service_id -> pack:(Madeleine.Api.out_connection -> unit) ->
+  unit
+(** Asynchronous raw RPC ([pm2_rawrpc]): ships the service header
+    EXPRESS, then whatever [pack] adds; returns when the message is
+    flushed. *)
+
+(** {1 Completions} *)
+
+module Completion : sig
+  type pm2 := t
+  type t
+  type remote
+
+  val create : pm2 -> t
+  val pack : t -> Madeleine.Api.out_connection -> unit
+  (** Adds the completion capability to an outgoing RPC (EXPRESS). *)
+
+  val unpack : Madeleine.Api.in_connection -> remote
+  (** The service side's view of a packed completion. *)
+
+  val signal : pm2 -> remote -> unit
+  (** Wakes the waiting thread on the completion's owner node. *)
+
+  val wait : t -> unit
+  (** Blocks until signalled. Each completion is signalled exactly once;
+      a second {!signal} raises. *)
+end

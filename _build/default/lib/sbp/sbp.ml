@@ -1,0 +1,95 @@
+module Engine = Marcel.Engine
+module Mailbox = Marcel.Mailbox
+module Semaphore = Marcel.Semaphore
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+
+let buffer_size = Netparams.sbp_buffer_size
+let pool_buffers = 32
+
+type t = {
+  net : net;
+  host : Node.t;
+  pool : Bytes.t Queue.t;
+  pool_slots : Semaphore.t;
+  inboxes : (int * int, (Bytes.t * int) Mailbox.t) Hashtbl.t;
+  mutable data_hooks : (unit -> unit) list;
+}
+
+and net = { engine : Engine.t; fabric : Fabric.t; hosts : (int, t) Hashtbl.t }
+
+let make_net engine fabric = { engine; fabric; hosts = Hashtbl.create 16 }
+
+let attach net node =
+  if Hashtbl.mem net.hosts node.Node.id then
+    invalid_arg "Sbp.attach: node already attached";
+  if not (Fabric.attached net.fabric node) then
+    invalid_arg "Sbp.attach: node not on the fabric";
+  let pool = Queue.create () in
+  for _ = 1 to pool_buffers do
+    Queue.push (Bytes.create buffer_size) pool
+  done;
+  let t =
+    {
+      net;
+      host = node;
+      pool;
+      pool_slots = Semaphore.create pool_buffers;
+      inboxes = Hashtbl.create 8;
+      data_hooks = [];
+    }
+  in
+  Hashtbl.add net.hosts node.Node.id t;
+  t
+
+let node t = t.host
+
+let obtain_buffer t =
+  Semaphore.acquire t.pool_slots;
+  Queue.pop t.pool
+
+let release_buffer t buf =
+  if Bytes.length buf <> buffer_size then
+    invalid_arg "Sbp.release_buffer: not a pool buffer";
+  Queue.push buf t.pool;
+  Semaphore.release t.pool_slots
+
+let inbox t key =
+  match Hashtbl.find_opt t.inboxes key with
+  | Some b -> b
+  | None ->
+      let b = Mailbox.create () in
+      Hashtbl.add t.inboxes key b;
+      b
+
+let set_data_hook t hook = t.data_hooks <- hook :: t.data_hooks
+
+let probe t ~src ~tag =
+  match Hashtbl.find_opt t.inboxes (src, tag) with
+  | Some b -> Mailbox.length b > 0
+  | None -> false
+
+let send t ~dst ~tag buf ~len =
+  let peer =
+    match Hashtbl.find_opt t.net.hosts dst with
+    | Some p -> p
+    | None -> invalid_arg "Sbp.send: unknown node"
+  in
+  if len > buffer_size then invalid_arg "Sbp.send: len exceeds buffer size";
+  if len > Bytes.length buf then invalid_arg "Sbp.send: len > buffer";
+  Engine.sleep Netparams.sbp_trap_overhead;
+  let staged = Bytes.sub buf 0 len in
+  Simnet.Xfer.host_to_host t.net.engine ~fabric:t.net.fabric ~src:t.host
+    ~dst:peer.host ~src_class:Simnet.Xfer.Dma ~dst_class:Simnet.Xfer.Dma
+    ~bytes_count:len ();
+  (* Delivery lands in a receiver-side pool buffer. *)
+  let target = obtain_buffer peer in
+  Bytes.blit staged 0 target 0 len;
+  Mailbox.put (inbox peer (t.host.Node.id, tag)) (target, len);
+  List.iter (fun hook -> hook ()) peer.data_hooks
+
+let recv t ~src ~tag =
+  let buf, len = Mailbox.take (inbox t (src, tag)) in
+  Engine.sleep Netparams.sbp_trap_overhead;
+  (buf, len)

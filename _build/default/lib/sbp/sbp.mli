@@ -1,0 +1,46 @@
+(** Simulated SBP: a static-buffer kernel protocol (Russell & Hatcher).
+
+    The paper cites SBP (§6.1) as the archetype of an interface that
+    requires data to sit in {e protocol-owned buffers on both sides}: the
+    sender must write into a buffer obtained from the protocol, and the
+    receiver gets its data in another protocol buffer that it must
+    release. This is the worst case for the gateway's zero-copy
+    forwarding — when both networks are static-buffered, exactly one copy
+    is unavoidable — so SBP exists in the reproduction chiefly to
+    exercise that path and Madeleine's static-buffer BMMs.
+
+    Buffers have a fixed size ({!buffer_size}); the pool is finite, so
+    [obtain_buffer] can block, providing natural back-pressure. *)
+
+type net
+type t
+
+val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
+val attach : net -> Simnet.Node.t -> t
+val node : t -> Simnet.Node.t
+
+val buffer_size : int
+
+val obtain_buffer : t -> Bytes.t
+(** Takes a buffer from the local pool, blocking if the pool is empty. *)
+
+val release_buffer : t -> Bytes.t -> unit
+(** Returns a buffer to the pool. The buffer must have come from
+    [obtain_buffer] or [recv] on this host. *)
+
+val send : t -> dst:int -> tag:int -> Bytes.t -> len:int -> unit
+(** Ships the first [len] bytes of a pool buffer to [dst] under [tag]
+    (tags isolate independent streams, e.g. Madeleine channels). The
+    buffer is re-usable once [send] returns: the kernel copies at trap
+    time. [len] must fit in {!buffer_size}. *)
+
+val recv : t -> src:int -> tag:int -> Bytes.t * int
+(** Blocks for the next buffer from [src] under [tag]: returns a pool
+    buffer and the payload length. The caller must {!release_buffer} it
+    when done. *)
+
+val probe : t -> src:int -> tag:int -> bool
+(** True if [recv] would not block. *)
+
+val set_data_hook : t -> (unit -> unit) -> unit
+(** [hook] fires whenever a delivered buffer becomes receivable. *)

@@ -1,0 +1,1 @@
+lib/simnet/fabric.ml: Fluid Hashtbl List Marcel Netparams Node Printf

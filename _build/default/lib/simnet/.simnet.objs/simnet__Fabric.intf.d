@@ -1,0 +1,1 @@
+lib/simnet/fabric.mli: Fluid Marcel Netparams Node

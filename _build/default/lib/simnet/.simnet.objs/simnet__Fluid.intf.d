@@ -1,0 +1,1 @@
+lib/simnet/fluid.mli: Marcel

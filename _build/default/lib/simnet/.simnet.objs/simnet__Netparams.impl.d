@@ -1,0 +1,1 @@
+lib/simnet/netparams.ml: Marcel

@@ -1,0 +1,1 @@
+lib/simnet/node.ml: Fluid Format Marcel Netparams

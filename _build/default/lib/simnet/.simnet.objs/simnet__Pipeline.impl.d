@@ -1,0 +1,1 @@
+lib/simnet/pipeline.ml: Array Fluid List Marcel Stdlib

@@ -1,0 +1,1 @@
+lib/simnet/pipeline.mli: Fluid Marcel

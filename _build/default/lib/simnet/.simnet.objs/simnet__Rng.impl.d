@@ -1,0 +1,1 @@
+lib/simnet/rng.ml: Bytes Char Int64

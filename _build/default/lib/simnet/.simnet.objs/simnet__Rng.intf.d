@@ -1,0 +1,1 @@
+lib/simnet/rng.mli: Bytes

@@ -1,0 +1,1 @@
+lib/simnet/stats.ml: Format

@@ -1,0 +1,1 @@
+lib/simnet/stream.ml: Array Fluid List Marcel Pipeline Printf Stdlib

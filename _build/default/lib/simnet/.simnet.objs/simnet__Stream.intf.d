@@ -1,0 +1,1 @@
+lib/simnet/stream.mli: Marcel Pipeline

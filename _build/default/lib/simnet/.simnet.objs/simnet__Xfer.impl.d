@@ -1,0 +1,1 @@
+lib/simnet/xfer.ml: Fabric Netparams Node Option Pipeline

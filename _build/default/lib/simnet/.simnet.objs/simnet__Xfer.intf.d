@@ -1,0 +1,1 @@
+lib/simnet/xfer.mli: Fabric Marcel Node Pipeline

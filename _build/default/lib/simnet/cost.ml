@@ -1,0 +1,5 @@
+let memcpy bytes_count =
+  if bytes_count > 0 then
+    Marcel.Engine.sleep
+      (Marcel.Time.bytes_at_rate ~bytes_count
+         ~mb_per_s:Netparams.memcpy_rate_mb_s)

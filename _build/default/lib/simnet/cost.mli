@@ -1,0 +1,6 @@
+(** Common host-side cost charges, shared by every layer that models CPU
+    work (staging copies, buffer management). *)
+
+val memcpy : int -> unit
+(** Charges the calling thread the time to copy [n] bytes through main
+    memory at {!Netparams.memcpy_rate_mb_s}. Zero bytes cost nothing. *)

@@ -1,0 +1,42 @@
+type port = { node : Node.t; tx_fluid : Fluid.t; rx_fluid : Fluid.t }
+
+type t = {
+  engine : Marcel.Engine.t;
+  fabric_name : string;
+  fabric_link : Netparams.link;
+  ports : (int, port) Hashtbl.t;
+}
+
+let create engine ~name ~link =
+  { engine; fabric_name = name; fabric_link = link; ports = Hashtbl.create 16 }
+
+let name t = t.fabric_name
+let link t = t.fabric_link
+
+let attach t node =
+  if Hashtbl.mem t.ports node.Node.id then
+    invalid_arg
+      (Printf.sprintf "Fabric.attach: %s already attached to %s"
+         node.Node.name t.fabric_name);
+  let mk side =
+    Fluid.create t.engine
+      ~name:(Printf.sprintf "%s.%s.%s" t.fabric_name node.Node.name side)
+      ~capacity_mb_s:t.fabric_link.Netparams.wire_bw_mb_s ()
+  in
+  Hashtbl.add t.ports node.Node.id
+    { node; tx_fluid = mk "tx"; rx_fluid = mk "rx" }
+
+let attached t node = Hashtbl.mem t.ports node.Node.id
+
+let port t node =
+  match Hashtbl.find_opt t.ports node.Node.id with
+  | Some p -> p
+  | None ->
+      raise Not_found
+
+let tx t node = (port t node).tx_fluid
+let rx t node = (port t node).rx_fluid
+
+let nodes t =
+  Hashtbl.fold (fun _ p acc -> p.node :: acc) t.ports []
+  |> List.sort (fun a b -> compare a.Node.id b.Node.id)

@@ -1,0 +1,30 @@
+(** A switched network fabric connecting NICs.
+
+    Each attached node gets a full-duplex link to the fabric: a TX fluid
+    and an RX fluid, both at the link's serialization bandwidth, plus a
+    fixed one-way propagation/switch latency. A fragment travelling from
+    [src] to [dst] occupies [tx src], then (after the propagation delay)
+    [rx dst]. The per-host PCI stages are *not* included here — protocol
+    simulations compose them explicitly, because who masters the PCI
+    transaction (CPU PIO vs NIC DMA) differs per interface and that
+    difference is precisely what Figs. 10/11 are about. *)
+
+type t
+
+val create : Marcel.Engine.t -> name:string -> link:Netparams.link -> t
+val name : t -> string
+val link : t -> Netparams.link
+
+val attach : t -> Node.t -> unit
+(** Gives the node a NIC on this fabric. A node may be attached to several
+    fabrics (that is what a gateway is). Attaching twice is an error. *)
+
+val attached : t -> Node.t -> bool
+
+val tx : t -> Node.t -> Fluid.t
+(** TX-side link fluid of the node's NIC. Raises [Not_found] if the node
+    is not attached. *)
+
+val rx : t -> Node.t -> Fluid.t
+
+val nodes : t -> Node.t list

@@ -1,0 +1,172 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+
+type xfer = {
+  weight : float;
+  rate_cap : float option; (* MB/s *)
+  cls : int; (* transaction class; mixing classes degrades the bus *)
+  mutable remaining : float; (* bytes *)
+  mutable rate : float; (* MB/s, current allocation *)
+  wake : unit -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  fluid_name : string;
+  capacity : float; (* MB/s *)
+  contention_factor : float;
+  mixed_contention_factor : float;
+  mutable active : xfer list;
+  mutable last_update : Time.t;
+  mutable generation : int;
+  mutable moved : float; (* total bytes completed *)
+  mutable busy : Time.span; (* cumulative time with >= 1 active transfer *)
+}
+
+(* 1 MB/s = 1e6 bytes / 1e9 ns = 1e-3 bytes per ns. *)
+let bytes_per_ns_of_mb_s r = r *. 1e-3
+
+let create engine ~name ~capacity_mb_s ?(contention_factor = 1.0)
+    ?mixed_contention_factor () =
+  if capacity_mb_s <= 0.0 then invalid_arg "Fluid.create: capacity <= 0";
+  if contention_factor <= 0.0 || contention_factor > 1.0 then
+    invalid_arg "Fluid.create: contention_factor out of (0,1]";
+  let mixed_contention_factor =
+    Option.value mixed_contention_factor ~default:contention_factor
+  in
+  if mixed_contention_factor <= 0.0 || mixed_contention_factor > 1.0 then
+    invalid_arg "Fluid.create: mixed_contention_factor out of (0,1]";
+  {
+    engine;
+    fluid_name = name;
+    capacity = capacity_mb_s;
+    contention_factor;
+    mixed_contention_factor;
+    active = [];
+    last_update = Time.zero;
+    generation = 0;
+    moved = 0.0;
+    busy = 0L;
+  }
+
+let name t = t.fluid_name
+let active_count t = List.length t.active
+let total_bytes t = t.moved
+let busy_time t = t.busy
+
+let utilization t ~now =
+  if Time.equal now Time.zero then 0.0
+  else Int64.to_float t.busy /. Int64.to_float now
+
+(* Weighted max-min fair allocation (water-filling). Mutates [x.rate] for
+   every transfer in [xs] so that capped transfers get their cap and the
+   rest share the leftover capacity in proportion to their weights. *)
+let allocate capacity xs =
+  let rec fill remaining_cap pending =
+    if pending = [] then ()
+    else begin
+      let total_weight =
+        List.fold_left (fun acc x -> acc +. x.weight) 0.0 pending
+      in
+      let lambda = remaining_cap /. total_weight in
+      let capped, uncapped =
+        List.partition
+          (fun x ->
+            match x.rate_cap with
+            | Some cap -> cap <= x.weight *. lambda
+            | None -> false)
+          pending
+      in
+      if capped = [] then
+        List.iter (fun x -> x.rate <- x.weight *. lambda) pending
+      else begin
+        let used =
+          List.fold_left
+            (fun acc x ->
+              let cap = Option.get x.rate_cap in
+              x.rate <- cap;
+              acc +. cap)
+            0.0 capped
+        in
+        fill (Float.max 0.0 (remaining_cap -. used)) uncapped
+      end
+    end
+  in
+  fill capacity xs
+
+(* Credit progress to every active transfer for the time elapsed since the
+   last reallocation. *)
+let advance t =
+  let now = Engine.now t.engine in
+  let dt = Time.diff now t.last_update in
+  if Int64.compare dt 0L > 0 then begin
+    let dtf = Int64.to_float dt in
+    if t.active <> [] then begin
+      t.busy <- Int64.add t.busy dt;
+      List.iter
+        (fun x ->
+          let moved = bytes_per_ns_of_mb_s x.rate *. dtf in
+          x.remaining <- Float.max 0.0 (x.remaining -. moved))
+        t.active
+    end
+  end;
+  t.last_update <- now
+
+let effective_capacity t =
+  match t.active with
+  | [] | [ _ ] -> t.capacity
+  | x :: rest ->
+      if List.exists (fun y -> y.cls <> x.cls) rest then
+        t.capacity *. t.mixed_contention_factor
+      else t.capacity *. t.contention_factor
+
+let finish_epsilon = 0.5 (* bytes: below this a transfer counts as done *)
+
+(* Reallocate rates and schedule the next completion event. The generation
+   counter invalidates stale events: any membership change bumps it. *)
+let rec reschedule t =
+  t.generation <- t.generation + 1;
+  let generation = t.generation in
+  match t.active with
+  | [] -> ()
+  | xs ->
+      allocate (effective_capacity t) xs;
+      let eta x = x.remaining /. bytes_per_ns_of_mb_s x.rate in
+      let next = List.fold_left (fun acc x -> Float.min acc (eta x)) infinity xs in
+      let delay = Int64.of_float (Float.max 1.0 (Float.ceil next)) in
+      Engine.at t.engine
+        (Time.add (Engine.now t.engine) delay)
+        (fun () -> if t.generation = generation then complete t)
+
+and complete t =
+  advance t;
+  let finished, still =
+    List.partition (fun x -> x.remaining <= finish_epsilon) t.active
+  in
+  t.active <- still;
+  List.iter (fun x -> x.wake ()) finished;
+  reschedule t
+
+let transfer t ~bytes_count ~weight ?rate_cap ?(cls = 0) () =
+  if bytes_count < 0 then invalid_arg "Fluid.transfer: negative size";
+  if weight <= 0.0 then invalid_arg "Fluid.transfer: weight <= 0";
+  (match rate_cap with
+  | Some c when c <= 0.0 -> invalid_arg "Fluid.transfer: rate_cap <= 0"
+  | Some _ | None -> ());
+  if bytes_count > 0 then begin
+    t.moved <- t.moved +. float_of_int bytes_count;
+    Engine.suspend ~name:("fluid:" ^ t.fluid_name) (fun wake ->
+        advance t;
+        let x =
+          {
+            weight;
+            rate_cap;
+            cls;
+            remaining = float_of_int bytes_count;
+            rate = 0.0;
+            wake = (fun () -> wake ());
+          }
+        in
+        t.active <- x :: t.active;
+        reschedule t)
+  end

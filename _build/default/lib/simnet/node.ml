@@ -1,0 +1,25 @@
+type t = {
+  name : string;
+  id : int;
+  engine : Marcel.Engine.t;
+  pci : Fluid.t;
+}
+
+let create engine ~name ~id =
+  let pci =
+    Fluid.create engine ~name:(name ^ ".pci")
+      ~capacity_mb_s:Netparams.pci_capacity_mb_s
+      ~contention_factor:Netparams.pci_contention_factor
+      ~mixed_contention_factor:Netparams.pci_mixed_contention_factor ()
+  in
+  { name; id; engine; pci }
+
+let pci_pio t ~bytes_count =
+  Fluid.transfer t.pci ~bytes_count ~weight:Netparams.pci_weight_pio
+    ~rate_cap:Netparams.pci_pio_rate_cap_mb_s ~cls:1 ()
+
+let pci_dma t ~bytes_count =
+  Fluid.transfer t.pci ~bytes_count ~weight:Netparams.pci_weight_dma
+    ~rate_cap:Netparams.pci_dma_rate_cap_mb_s ~cls:0 ()
+
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.id

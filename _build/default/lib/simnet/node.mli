@@ -1,0 +1,26 @@
+(** A simulated host: a name, a node id and a PCI bus.
+
+    Every byte that enters or leaves the host — PIO writes to a mapped SCI
+    segment, Myrinet DMA, Ethernet DMA — crosses the node's single PCI
+    bus, which is what makes the gateway experiments (Figs. 10/11)
+    contention-bound. *)
+
+type t = {
+  name : string;
+  id : int;
+  engine : Marcel.Engine.t;
+  pci : Fluid.t;
+}
+
+val create : Marcel.Engine.t -> name:string -> id:int -> t
+(** Builds a host with the standard 33 MHz/32-bit PCI parameters from
+    {!Netparams}. *)
+
+val pci_pio : t -> bytes_count:int -> unit
+(** Occupies the PCI bus with a CPU-initiated PIO stream. Blocking. *)
+
+val pci_dma : t -> bytes_count:int -> unit
+(** Occupies the PCI bus with a NIC-initiated DMA stream (higher
+    arbitration weight). Blocking. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Mailbox = Marcel.Mailbox
+
+type fluid_use = { fluid : Fluid.t; weight : float; rate_cap : float option; cls : int }
+
+type stage = {
+  label : string;
+  use : fluid_use option;
+  per_fragment : Time.span;
+  prop : Time.span;
+}
+
+let stage ?use ?(per_fragment = 0L) ?(prop = 0L) label =
+  { label; use; per_fragment; prop }
+
+let fragment_sizes ~bytes_count ~mtu =
+  if bytes_count = 0 then [ 0 ]
+  else begin
+    let rec go remaining acc =
+      if remaining <= 0 then List.rev acc
+      else go (remaining - mtu) (min mtu remaining :: acc)
+    in
+    go bytes_count []
+  end
+
+let run engine ~stages ~bytes_count ~mtu =
+  if stages = [] then invalid_arg "Pipeline.run: no stages";
+  if mtu <= 0 then invalid_arg "Pipeline.run: mtu <= 0";
+  if bytes_count < 0 then invalid_arg "Pipeline.run: negative size";
+  let fragments = fragment_sizes ~bytes_count ~mtu in
+  let nfrag = List.length fragments in
+  let nstages = List.length stages in
+  (* boxes.(i) feeds stage i; boxes.(nstages) collects completions. *)
+  let boxes = Array.init (nstages + 1) (fun _ -> Mailbox.create ()) in
+  List.iteri
+    (fun i st ->
+      Engine.spawn engine ~name:("pipeline:" ^ st.label) (fun () ->
+          for _ = 1 to nfrag do
+            let frag = Mailbox.take boxes.(i) in
+            if Stdlib.( > ) st.per_fragment 0L then Engine.sleep st.per_fragment;
+            (match st.use with
+            | Some { fluid; weight; rate_cap; cls } ->
+                Fluid.transfer fluid ~bytes_count:frag ~weight ?rate_cap ~cls ()
+            | None -> ());
+            if Time.equal st.prop 0L then Mailbox.put boxes.(i + 1) frag
+            else begin
+              let deliver_at = Time.add (Engine.now engine) st.prop in
+              Engine.at engine deliver_at (fun () ->
+                  Mailbox.put boxes.(i + 1) frag)
+            end
+          done))
+    stages;
+  List.iter (fun frag -> Mailbox.put boxes.(0) frag) fragments;
+  for _ = 1 to nfrag do
+    ignore (Mailbox.take boxes.(nstages))
+  done

@@ -1,0 +1,43 @@
+(** Staged, fragment-pipelined data movement.
+
+    A hardware message transfer crosses several serializing resources in
+    sequence (sender PCI, TX link, RX link, receiver PCI, ...). Hardware
+    pipelines these stages at packet granularity: while fragment [k] is on
+    the wire, fragment [k+1] is already crossing the sender's PCI bus.
+
+    [run] models this faithfully: the message is split into MTU-sized
+    fragments; one thread per stage processes fragments in order, paying
+    the stage's fixed per-fragment cost plus the fluid occupancy for the
+    fragment's bytes, then hands the fragment to the next stage after the
+    stage's propagation delay. End-to-end time is therefore
+    [sum of latencies + bottleneck-stage serialization], and any contention
+    on a shared fluid (e.g. a gateway PCI bus) slows exactly the stage
+    that crosses it. *)
+
+type fluid_use = {
+  fluid : Fluid.t;
+  weight : float;
+  rate_cap : float option;
+  cls : int;  (** transaction class, see {!Fluid.transfer} *)
+}
+
+type stage = {
+  label : string;
+  use : fluid_use option;  (** bandwidth resource occupied per fragment *)
+  per_fragment : Marcel.Time.span;  (** fixed serialized cost per fragment *)
+  prop : Marcel.Time.span;  (** pipelined delay before the next stage *)
+}
+
+val stage :
+  ?use:fluid_use ->
+  ?per_fragment:Marcel.Time.span ->
+  ?prop:Marcel.Time.span ->
+  string ->
+  stage
+
+val run :
+  Marcel.Engine.t -> stages:stage list -> bytes_count:int -> mtu:int -> unit
+(** Blocks the calling thread until the last fragment has left the last
+    stage. [stages] must be non-empty and [mtu] positive. A zero-byte
+    message is carried as a single empty fragment (it still pays the fixed
+    costs — that is the latency path). *)

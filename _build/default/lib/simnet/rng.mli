@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Each engine owns its own generator so simulation runs are reproducible
+    regardless of module initialization order. *)
+
+type t
+
+val create : seed:int64 -> t
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bytes : t -> int -> Bytes.t
+(** Random payload of the given length. *)
+
+val split : t -> t
+(** Derives an independent generator stream. *)

@@ -1,0 +1,30 @@
+type t = {
+  mutable n : int;
+  mutable mn : float;
+  mutable mx : float;
+  mutable mean_acc : float;
+  mutable m2 : float;
+}
+
+let create () =
+  { n = 0; mn = infinity; mx = neg_infinity; mean_acc = 0.0; m2 = 0.0 }
+
+let add t x =
+  t.n <- t.n + 1;
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc))
+
+let count t = t.n
+let min t = if t.n = 0 then nan else t.mn
+let max t = if t.n = 0 then nan else t.mx
+let mean t = if t.n = 0 then nan else t.mean_acc
+
+let stddev t =
+  if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d min=%.3f mean=%.3f max=%.3f sd=%.3f" t.n (min t)
+    (mean t) (max t) (stddev t)

@@ -1,0 +1,14 @@
+(** Streaming summary statistics (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val min : t -> float
+val max : t -> float
+val mean : t -> float
+val stddev : t -> float
+(** Sample standard deviation; 0 when fewer than two samples. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Mailbox = Marcel.Mailbox
+
+type fragment = { frag_len : int; on_delivered : (unit -> unit) option }
+
+type t = { mtu : int; intake : fragment Mailbox.t }
+
+let create engine ~name ~stages ~mtu =
+  if stages = [] then invalid_arg "Stream.create: no stages";
+  if mtu <= 0 then invalid_arg "Stream.create: mtu <= 0";
+  let n = List.length stages in
+  let boxes = Array.init (n + 1) (fun _ -> Mailbox.create ()) in
+  List.iteri
+    (fun i (st : Pipeline.stage) ->
+      Engine.spawn engine ~daemon:true
+        ~name:(Printf.sprintf "stream:%s:%s" name st.Pipeline.label)
+        (fun () ->
+          while true do
+            let frag = Mailbox.take boxes.(i) in
+            if Stdlib.( > ) st.Pipeline.per_fragment 0L then
+              Engine.sleep st.Pipeline.per_fragment;
+            (match st.Pipeline.use with
+            | Some { Pipeline.fluid; weight; rate_cap; cls } ->
+                Fluid.transfer fluid ~bytes_count:frag.frag_len ~weight
+                  ?rate_cap ~cls ()
+            | None -> ());
+            if Time.equal st.Pipeline.prop 0L then Mailbox.put boxes.(i + 1) frag
+            else begin
+              let deliver_at = Time.add (Engine.now engine) st.Pipeline.prop in
+              Engine.at engine deliver_at (fun () ->
+                  Mailbox.put boxes.(i + 1) frag)
+            end
+          done))
+    stages;
+  (* Final stage: run delivery callbacks in thread context. *)
+  Engine.spawn engine ~daemon:true
+    ~name:(Printf.sprintf "stream:%s:deliver" name)
+    (fun () ->
+      while true do
+        let frag = Mailbox.take boxes.(n) in
+        match frag.on_delivered with Some f -> f () | None -> ()
+      done);
+  { mtu; intake = boxes.(0) }
+
+let push t ~bytes_count ~on_delivered =
+  if bytes_count < 0 then invalid_arg "Stream.push: negative size";
+  let rec go remaining =
+    if remaining <= t.mtu then
+      Mailbox.put t.intake
+        { frag_len = remaining; on_delivered = Some on_delivered }
+    else begin
+      Mailbox.put t.intake { frag_len = t.mtu; on_delivered = None };
+      go (remaining - t.mtu)
+    end
+  in
+  go bytes_count

@@ -1,0 +1,28 @@
+(** Persistent, order-preserving staged delivery pipeline.
+
+    Where {!Pipeline.run} builds a one-shot pipeline per transfer (fine
+    for synchronous transfers like rendezvous), a [Stream.t] is a
+    long-lived pipeline shared by every message on one direction of one
+    link: messages are fragmented and flow through the stages strictly
+    FIFO, so later (smaller) messages can never overtake earlier ones —
+    the in-order guarantee of real NIC hardware that per-transfer
+    threads cannot provide.
+
+    The pusher does not block: delivery continues in the stage daemons
+    (posted PIO writes, kernel socket buffers, NIC send queues), and the
+    [on_delivered] callback fires when the message's last fragment has
+    left the final stage. *)
+
+type t
+
+val create :
+  Marcel.Engine.t -> name:string -> stages:Pipeline.stage list -> mtu:int -> t
+(** Spawns one daemon thread per stage. [mtu] is the fragmentation
+    granularity — the unit at which stages overlap. *)
+
+val push : t -> bytes_count:int -> on_delivered:(unit -> unit) -> unit
+(** Enqueues one message. Never blocks; [on_delivered] runs in the final
+    stage's thread context (it may perform blocking operations, but that
+    delays subsequent messages on the same stream — keep it cheap). A
+    zero-byte message still traverses the pipeline as one empty
+    fragment. *)

@@ -1,0 +1,36 @@
+type pci_class = Pio | Dma
+
+let pci_use node cls =
+  match cls with
+  | Pio ->
+      {
+        Pipeline.fluid = node.Node.pci;
+        weight = Netparams.pci_weight_pio;
+        rate_cap = Some Netparams.pci_pio_rate_cap_mb_s;
+        cls = 1;
+      }
+  | Dma ->
+      {
+        Pipeline.fluid = node.Node.pci;
+        weight = Netparams.pci_weight_dma;
+        rate_cap = Some Netparams.pci_dma_rate_cap_mb_s;
+        cls = 0;
+      }
+
+let wire_use fluid = { Pipeline.fluid; weight = 1.0; rate_cap = None; cls = 0 }
+
+let host_to_host engine ~fabric ~src ~dst ~src_class ~dst_class ~bytes_count
+    ?mtu () =
+  let link = Fabric.link fabric in
+  let mtu = Option.value mtu ~default:link.Netparams.hw_mtu in
+  let stages =
+    [
+      Pipeline.stage ~use:(pci_use src src_class) "src-pci";
+      Pipeline.stage
+        ~use:(wire_use (Fabric.tx fabric src))
+        ~prop:link.Netparams.wire_lat "wire-tx";
+      Pipeline.stage ~use:(wire_use (Fabric.rx fabric dst)) "wire-rx";
+      Pipeline.stage ~use:(pci_use dst dst_class) "dst-pci";
+    ]
+  in
+  Pipeline.run engine ~stages ~bytes_count ~mtu

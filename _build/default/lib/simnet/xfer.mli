@@ -1,0 +1,29 @@
+(** Standard host-to-host transfer path.
+
+    Every interface in the reproduction ultimately moves bytes through the
+    same four serializing resources: the sender's PCI bus, the sender's
+    NIC link (TX), the receiver's NIC link (RX) and the receiver's PCI
+    bus. What differs per interface is *who masters* each PCI transaction
+    (CPU PIO vs NIC DMA) and the fixed software overheads around the
+    transfer — those are supplied by the protocol libraries. *)
+
+type pci_class = Pio | Dma
+
+val host_to_host :
+  Marcel.Engine.t ->
+  fabric:Fabric.t ->
+  src:Node.t ->
+  dst:Node.t ->
+  src_class:pci_class ->
+  dst_class:pci_class ->
+  bytes_count:int ->
+  ?mtu:int ->
+  unit ->
+  unit
+(** Blocks for the full pipelined transfer, fragment-pipelined at [mtu]
+    (defaults to the fabric's hardware MTU). Both nodes must be attached
+    to the fabric. *)
+
+val pci_use : Node.t -> pci_class -> Pipeline.fluid_use
+(** The {!Pipeline} resource descriptor for one PCI crossing, with the
+    class's arbitration weight and rate cap from {!Netparams}. *)

@@ -1,0 +1,205 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Pipeline = Simnet.Pipeline
+module Fluid = Simnet.Fluid
+
+type local_segment = {
+  owner : t;
+  seg_id : int;
+  mem : Bytes.t;
+  mutable waiters : (unit -> unit) list;
+  mutable data_hooks : (unit -> unit) list;
+}
+
+and remote_segment = { local_end : t; remote : local_segment }
+
+and t = {
+  net : net;
+  adapter_node : Node.t;
+  segments : (int, local_segment) Hashtbl.t;
+  mutable polled : Time.span;
+}
+
+and net = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  adapters : (int, t) Hashtbl.t;
+  streams : (int * int, Simnet.Stream.t) Hashtbl.t;
+}
+
+let make_net engine fabric =
+  { engine; fabric; adapters = Hashtbl.create 16; streams = Hashtbl.create 16 }
+
+let attach net node =
+  if Hashtbl.mem net.adapters node.Node.id then
+    invalid_arg "Sisci.attach: node already attached";
+  if not (Fabric.attached net.fabric node) then
+    invalid_arg "Sisci.attach: node not on the fabric";
+  let t =
+    { net; adapter_node = node; segments = Hashtbl.create 16; polled = 0L }
+  in
+  Hashtbl.add net.adapters node.Node.id t;
+  t
+
+let node t = t.adapter_node
+
+let create_segment t ~segment_id ~size =
+  if Hashtbl.mem t.segments segment_id then
+    invalid_arg "Sisci.create_segment: id in use";
+  if size <= 0 then invalid_arg "Sisci.create_segment: size <= 0";
+  let seg =
+    {
+      owner = t;
+      seg_id = segment_id;
+      mem = Bytes.make size '\000';
+      waiters = [];
+      data_hooks = [];
+    }
+  in
+  Hashtbl.add t.segments segment_id seg;
+  seg
+
+let connect t ~node_id ~segment_id =
+  match Hashtbl.find_opt t.net.adapters node_id with
+  | None -> raise Not_found
+  | Some peer -> (
+      match Hashtbl.find_opt peer.segments segment_id with
+      | None -> raise Not_found
+      | Some seg -> { local_end = t; remote = seg })
+
+let segment_size seg = Bytes.length seg.mem
+let remote_size rs = Bytes.length rs.remote.mem
+
+let check_bounds mem ~off ~len op =
+  if off < 0 || len < 0 || off + len > Bytes.length mem then
+    invalid_arg (op ^ ": out of segment bounds")
+
+(* Deliver the payload into the remote segment and re-arm every poller. *)
+let commit_write rs ~off data =
+  let seg = rs.remote in
+  Bytes.blit data 0 seg.mem off (Bytes.length data);
+  let waiters = seg.waiters in
+  seg.waiters <- [];
+  List.iter (fun wake -> wake ()) waiters;
+  List.iter (fun hook -> hook ()) seg.data_hooks
+
+let set_data_hook seg hook = seg.data_hooks <- hook :: seg.data_hooks
+
+let wire_use fluid = { Pipeline.fluid; weight = 1.0; rate_cap = None; cls = 0 }
+
+(* The SCI stream between two adapters: a persistent FIFO pipeline
+   carrying posted writes from the sender's NIC to the receiver's memory
+   (TX link -> ring -> RX link -> receiver PCI as busmaster writes).
+   One stream per directed pair keeps SCI's in-order delivery. *)
+let stream rs =
+  let net = rs.local_end.net in
+  let src = rs.local_end.adapter_node and dst = rs.remote.owner.adapter_node in
+  let key = (src.Node.id, dst.Node.id) in
+  match Hashtbl.find_opt net.streams key with
+  | Some st -> st
+  | None ->
+      let link = Fabric.link net.fabric in
+      let st =
+        Simnet.Stream.create net.engine
+          ~name:(Printf.sprintf "sci.%d->%d" src.Node.id dst.Node.id)
+          ~stages:
+            [
+              Pipeline.stage
+                ~use:(wire_use (Fabric.tx net.fabric src))
+                ~prop:link.Netparams.wire_lat "sci-tx";
+              Pipeline.stage ~use:(wire_use (Fabric.rx net.fabric dst)) "sci-rx";
+              Pipeline.stage ~use:(Simnet.Xfer.pci_use dst Simnet.Xfer.Dma)
+                "dst-pci";
+            ]
+          ~mtu:link.Netparams.hw_mtu
+      in
+      Hashtbl.add net.streams key st;
+      st
+
+(* Both write paths return once the data has been pulled through the
+   local PCI bus (posted writes / completed DMA descriptor reads); the
+   SCI stream delivers to remote memory asynchronously, in order. *)
+let remote_write rs ~off data ~src_use ~setup =
+  check_bounds rs.remote.mem ~off ~len:(Bytes.length data) "Sisci.pio_write";
+  Engine.sleep setup;
+  let { Pipeline.fluid; weight; rate_cap; cls } = src_use in
+  let staged = Bytes.copy data in
+  let st = stream rs in
+  let total = Bytes.length data in
+  let grain = (Fabric.link rs.local_end.net.fabric).Netparams.hw_mtu in
+  (* Interleave the local PCI crossing with stream injection at packet
+     grain: SCI forwards data as the bridge emits it, so remote delivery
+     overlaps the issuing CPU's stores instead of trailing them. *)
+  let rec go sent =
+    let chunk = min grain (total - sent) in
+    let last = sent + chunk >= total in
+    Fluid.transfer fluid ~bytes_count:chunk ~weight ?rate_cap ~cls ();
+    Simnet.Stream.push st ~bytes_count:chunk
+      ~on_delivered:
+        (if last then fun () -> commit_write rs ~off staged else fun () -> ());
+    if not last then go (sent + chunk)
+  in
+  go 0
+
+let pio_write rs ~off data =
+  remote_write rs ~off data
+    ~src_use:(Simnet.Xfer.pci_use rs.local_end.adapter_node Simnet.Xfer.Pio)
+    ~setup:Netparams.sisci_pio_overhead
+
+let dma_write rs ~off data =
+  remote_write rs ~off data
+    ~src_use:
+      {
+        Pipeline.fluid = rs.local_end.adapter_node.Node.pci;
+        weight = Netparams.pci_weight_dma;
+        rate_cap = Some Netparams.sisci_dma_rate_cap_mb_s;
+        cls = 0;
+      }
+    ~setup:Netparams.sisci_dma_setup
+
+let read seg ~off ~len =
+  check_bounds seg.mem ~off ~len "Sisci.read";
+  Bytes.sub seg.mem off len
+
+let write_local seg ~off data =
+  check_bounds seg.mem ~off ~len:(Bytes.length data) "Sisci.write_local";
+  Bytes.blit data 0 seg.mem off (Bytes.length data)
+
+type rx_wait = Poll | Interrupt | Adaptive of Time.span
+
+let rec wait_for_write seg =
+  Engine.suspend ~name:"sisci.wait" (fun wake ->
+      seg.waiters <- (fun () -> wake ()) :: seg.waiters)
+
+and wait_until ?(mode = Poll) seg pred =
+  let owner = seg.owner in
+  let started = Engine.now owner.net.engine in
+  let rec wait () =
+    if not (pred seg) then begin
+      wait_for_write seg;
+      wait ()
+    end
+  in
+  wait ();
+  let waited = Time.diff (Engine.now owner.net.engine) started in
+  match mode with
+  | Poll ->
+      (* The whole wait was a spin loop. *)
+      owner.polled <- Time.span_add owner.polled waited;
+      Engine.sleep Netparams.sisci_poll_overhead
+  | Interrupt -> Engine.sleep Netparams.interrupt_latency
+  | Adaptive window ->
+      if Time.compare waited window <= 0 then begin
+        owner.polled <- Time.span_add owner.polled waited;
+        Engine.sleep Netparams.sisci_poll_overhead
+      end
+      else begin
+        (* Spun through the window, then armed the interrupt and slept. *)
+        owner.polled <- Time.span_add owner.polled window;
+        Engine.sleep Netparams.interrupt_latency
+      end
+
+let polled_time t = t.polled

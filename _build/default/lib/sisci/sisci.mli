@@ -1,0 +1,81 @@
+(** Simulated SISCI: the Dolphin software interface to SCI.
+
+    SCI exposes remote memory: a node creates a {e local segment}, a peer
+    connects to it and maps it, and thereafter plain CPU stores into the
+    mapped window ({!pio_write}) appear in the remote segment — each store
+    crossing the local PCI bus, the SCI ring and the remote PCI bus. There
+    is no receive operation: the receiver {e polls} memory it owns
+    ({!wait_until}).
+
+    Two transfer engines are modelled, as on the Dolphin D310 boards used
+    by the paper:
+    - {b PIO}: CPU-mastered stores, low latency, bandwidth limited by the
+      write-combining PCI bridge path (~88 MB/s);
+    - {b DMA}: NIC-mastered, but notoriously poor on the D310 — capped at
+      35 MB/s (§5.2.1), which is why Madeleine ships its DMA transmission
+      module disabled.
+
+    Writes from one node to one segment become visible in issue order
+    (SCI's in-order delivery per stream). *)
+
+type net
+type t
+type local_segment
+type remote_segment
+
+val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
+val attach : net -> Simnet.Node.t -> t
+val node : t -> Simnet.Node.t
+
+val create_segment : t -> segment_id:int -> size:int -> local_segment
+(** Exposes [size] bytes (zero-initialised) under [(node, segment_id)].
+    Raises [Invalid_argument] if the id is already used on this node. *)
+
+val connect : t -> node_id:int -> segment_id:int -> remote_segment
+(** Maps a peer's segment. Raises [Not_found] if it does not exist. *)
+
+val segment_size : local_segment -> int
+val remote_size : remote_segment -> int
+
+val pio_write : remote_segment -> off:int -> Bytes.t -> unit
+(** CPU store sequence into the mapped window. Blocks the calling thread
+    while the stores drain through the local PCI bridge (posted,
+    write-combined); the SCI stream then delivers to remote memory
+    asynchronously and in order. Writes from one node to one segment
+    become remotely visible in issue order. *)
+
+val dma_write : remote_segment -> off:int -> Bytes.t -> unit
+(** Posts a DMA descriptor; blocks while the engine pulls the data
+    through the local PCI bus (35 MB/s ceiling on the D310), delivery
+    completing asynchronously like {!pio_write}. *)
+
+val read : local_segment -> off:int -> len:int -> Bytes.t
+(** CPU read of local segment memory (free: it is plain local RAM). *)
+
+val write_local : local_segment -> off:int -> Bytes.t -> unit
+(** CPU store into one's own segment (e.g. resetting a flag). Free. *)
+
+type rx_wait =
+  | Poll  (** spin on the flag: fastest detection, burns the CPU *)
+  | Interrupt  (** block on the NIC interrupt: frees the CPU, slow wake *)
+  | Adaptive of Marcel.Time.span
+      (** poll for the given window, then fall back to the interrupt —
+          the adaptive mechanism the paper plans to build with Marcel
+          (§7): hot streams pay polling costs, idle waits burn a bounded
+          amount of CPU. *)
+
+val wait_until :
+  ?mode:rx_wait -> local_segment -> (local_segment -> bool) -> unit
+(** Waits until the predicate holds; re-evaluated after every remote
+    write into the segment. [mode] (default [Poll]) selects the
+    detection cost on success — poll overhead, interrupt latency, or
+    window-dependent — and how much CPU time the wait burns (recorded,
+    see {!polled_time}). *)
+
+val polled_time : t -> Marcel.Time.span
+(** Total CPU time this adapter's threads have spent spinning in
+    poll-mode waits — the quantity adaptive interrupts exist to bound. *)
+
+val set_data_hook : local_segment -> (unit -> unit) -> unit
+(** [hook] fires after every remote write into the segment (used by
+    Madeleine's any-source message detection). *)

@@ -1,0 +1,217 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Mailbox = Marcel.Mailbox
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Pipeline = Simnet.Pipeline
+
+(* Consumable byte queue: chunks plus a read offset into the head chunk. *)
+module Bytequeue = struct
+  type t = { chunks : Bytes.t Queue.t; mutable head_off : int; mutable size : int }
+
+  let create () = { chunks = Queue.create (); head_off = 0; size = 0 }
+  let length q = q.size
+
+  let push q b =
+    if Bytes.length b > 0 then begin
+      Queue.push b q.chunks;
+      q.size <- q.size + Bytes.length b
+    end
+
+  (* Pops up to [len] bytes into [buf] at [off]; returns count taken. *)
+  let pop_into q buf ~off ~len =
+    let taken = ref 0 in
+    while !taken < len && q.size > 0 do
+      let head = Queue.peek q.chunks in
+      let avail = Bytes.length head - q.head_off in
+      let want = min avail (len - !taken) in
+      Bytes.blit head q.head_off buf (off + !taken) want;
+      taken := !taken + want;
+      q.size <- q.size - want;
+      if want = avail then begin
+        ignore (Queue.pop q.chunks);
+        q.head_off <- 0
+      end
+      else q.head_off <- q.head_off + want
+    done;
+    !taken
+end
+
+type conn = {
+  stack : t;
+  mutable peer : conn option;
+  inbox : Bytequeue.t;
+  mutable readers : (unit -> unit) list;
+  mutable data_hooks : (unit -> unit) list;
+  mutable out_stream : Simnet.Stream.t option;
+      (* lazily-built FIFO delivery pipeline toward the peer *)
+}
+
+and t = {
+  net : net;
+  host : Node.t;
+  listeners : (int, conn Mailbox.t) Hashtbl.t;
+}
+
+and net = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  stacks : (int, t) Hashtbl.t;
+}
+
+let make_net engine fabric = { engine; fabric; stacks = Hashtbl.create 16 }
+
+let attach net node =
+  if Hashtbl.mem net.stacks node.Node.id then
+    invalid_arg "Tcpnet.attach: node already attached";
+  if not (Fabric.attached net.fabric node) then
+    invalid_arg "Tcpnet.attach: node not on the fabric";
+  let t = { net; host = node; listeners = Hashtbl.create 8 } in
+  Hashtbl.add net.stacks node.Node.id t;
+  t
+
+let node t = t.host
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then
+    invalid_arg "Tcpnet.listen: port already bound";
+  Hashtbl.add t.listeners port (Mailbox.create ())
+
+let accept t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> invalid_arg "Tcpnet.accept: port not listening"
+  | Some box -> Mailbox.take box
+
+let fresh_conn stack =
+  {
+    stack;
+    peer = None;
+    inbox = Bytequeue.create ();
+    readers = [];
+    data_hooks = [];
+    out_stream = None;
+  }
+
+let set_data_hook conn hook = conn.data_hooks <- hook :: conn.data_hooks
+
+(* One-way small-packet time: kernel path plus wire latency. *)
+let hop_latency net =
+  Time.span_add Netparams.tcp_send_overhead
+    (Time.span_add (Fabric.link net.fabric).Netparams.wire_lat
+       Netparams.tcp_recv_overhead)
+
+let connect t ~node_id ~port =
+  let peer_stack =
+    match Hashtbl.find_opt t.net.stacks node_id with
+    | Some s -> s
+    | None -> invalid_arg "Tcpnet.connect: unknown node"
+  in
+  let box =
+    match Hashtbl.find_opt peer_stack.listeners port with
+    | Some b -> b
+    | None -> invalid_arg "Tcpnet.connect: peer not listening"
+  in
+  let local = fresh_conn t and remote = fresh_conn peer_stack in
+  local.peer <- Some remote;
+  remote.peer <- Some local;
+  (* SYN / SYN-ACK round trip. *)
+  Engine.sleep (Time.span_mul (hop_latency t.net) 2);
+  Mailbox.put box remote;
+  local
+
+let socketpair a b =
+  let ca = fresh_conn a and cb = fresh_conn b in
+  ca.peer <- Some cb;
+  cb.peer <- Some ca;
+  (ca, cb)
+
+let wake_readers conn =
+  let readers = conn.readers in
+  conn.readers <- [];
+  List.iter (fun wake -> wake ()) readers;
+  List.iter (fun hook -> hook ()) conn.data_hooks
+
+let out_stream conn remote =
+  match conn.out_stream with
+  | Some st -> st
+  | None ->
+      let net = conn.stack.net in
+      let link = Fabric.link net.fabric in
+      let st =
+        Simnet.Stream.create net.engine
+          ~name:
+            (Printf.sprintf "tcp.%d->%d" conn.stack.host.Node.id
+               remote.stack.host.Node.id)
+          ~stages:
+            [
+              Pipeline.stage
+                ~use:(Simnet.Xfer.pci_use conn.stack.host Simnet.Xfer.Dma)
+                "src-pci";
+              Pipeline.stage
+                ~use:
+                  {
+                    Pipeline.fluid = Fabric.tx net.fabric conn.stack.host;
+                    weight = 1.0;
+                    rate_cap = Some Netparams.tcp_rate_cap_mb_s;
+                    cls = 0;
+                  }
+                ~prop:link.Netparams.wire_lat "eth-tx";
+              Pipeline.stage
+                ~use:
+                  {
+                    Pipeline.fluid = Fabric.rx net.fabric remote.stack.host;
+                    weight = 1.0;
+                    rate_cap = Some Netparams.tcp_rate_cap_mb_s;
+                    cls = 0;
+                  }
+                "eth-rx";
+              Pipeline.stage
+                ~use:(Simnet.Xfer.pci_use remote.stack.host Simnet.Xfer.Dma)
+                "dst-pci";
+            ]
+          ~mtu:link.Netparams.hw_mtu
+      in
+      conn.out_stream <- Some st;
+      st
+
+(* One kernel entry ships [staged] (already copied); delivery continues
+   asynchronously in the per-connection FIFO stream, as with a real
+   socket buffer. *)
+let transmit conn staged =
+  let remote =
+    match conn.peer with
+    | Some p -> p
+    | None -> invalid_arg "Tcpnet.send: not connected"
+  in
+  let bytes_count = List.fold_left (fun n b -> n + Bytes.length b) 0 staged in
+  Engine.sleep Netparams.tcp_send_overhead;
+  Simnet.Stream.push (out_stream conn remote) ~bytes_count
+    ~on_delivered:(fun () ->
+      List.iter (Bytequeue.push remote.inbox) staged;
+      wake_readers remote)
+
+let send conn data = transmit conn [ Bytes.copy data ]
+let send_group conn bufs = transmit conn (List.map Bytes.copy bufs)
+
+let available conn = Bytequeue.length conn.inbox
+
+let recv_raw conn buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Tcpnet.recv: out of bounds";
+  let got = ref 0 in
+  while !got < len do
+    let taken = Bytequeue.pop_into conn.inbox buf ~off:(off + !got) ~len:(len - !got) in
+    got := !got + taken;
+    if !got < len then
+      Engine.suspend ~name:"tcp.recv" (fun wake ->
+          conn.readers <- (fun () -> wake ()) :: conn.readers)
+  done
+
+let recv conn buf ~off ~len =
+  recv_raw conn buf ~off ~len;
+  Engine.sleep Netparams.tcp_recv_overhead
+
+let recv_group conn slices =
+  List.iter (fun (buf, off, len) -> recv_raw conn buf ~off ~len) slices;
+  Engine.sleep Netparams.tcp_recv_overhead

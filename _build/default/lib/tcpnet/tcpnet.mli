@@ -1,0 +1,60 @@
+(** Simulated TCP streams over Fast Ethernet.
+
+    Models the Linux 2.2 kernel path of the paper's testbed: tens of
+    microseconds of per-operation system-call and stack overhead, and an
+    effective payload bandwidth slightly under the 12.5 MB/s wire rate.
+    Streams deliver bytes reliably and in order; message boundaries are
+    not preserved (it is a byte stream, so [recv] may assemble bytes from
+    several sends). *)
+
+type net
+type t
+(** A host TCP stack. *)
+
+type conn
+(** One end of an established stream. *)
+
+val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
+val attach : net -> Simnet.Node.t -> t
+val node : t -> Simnet.Node.t
+
+val listen : t -> port:int -> unit
+(** Opens a passive socket. Raises [Invalid_argument] if the port is
+    already bound on this host. *)
+
+val accept : t -> port:int -> conn
+(** Blocks for the next incoming connection on [port] (which must be
+    listening). *)
+
+val connect : t -> node_id:int -> port:int -> conn
+(** Active open; pays one round trip of handshake. Raises
+    [Invalid_argument] if the target is unknown or not listening. *)
+
+val socketpair : t -> t -> conn * conn
+(** Pre-established connection between two hosts, as set up during a
+    communication library's session initialization (no handshake is
+    charged; session bootstrap is outside the paper's measurements).
+    Returns the two ends in argument order. *)
+
+val send : conn -> Bytes.t -> unit
+(** Blocks for the kernel send path; returns when the payload has been
+    handed to the stack (socket-buffer semantics), with delivery
+    continuing asynchronously. *)
+
+val recv : conn -> Bytes.t -> off:int -> len:int -> unit
+(** Reads exactly [len] bytes into [buf] at [off], blocking as needed. *)
+
+val available : conn -> int
+(** Bytes currently buffered for reading. *)
+
+val send_group : conn -> Bytes.t list -> unit
+(** Scatter-gather send ([writev]): ships several buffers while paying the
+    kernel entry cost only once. *)
+
+val recv_group : conn -> (Bytes.t * int * int) list -> unit
+(** Gather receive ([readv]): fills each [(buf, off, len)] slice in order,
+    paying the kernel exit cost only once. *)
+
+val set_data_hook : conn -> (unit -> unit) -> unit
+(** [hook] fires whenever newly delivered bytes become readable on this
+    connection (used by Madeleine's any-source message detection). *)

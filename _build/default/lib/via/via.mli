@@ -1,0 +1,54 @@
+(** Simulated VIA: the Virtual Interface Architecture.
+
+    Models the descriptor-queue user-level NIC interface of the VIA
+    specification (Dunning et al., IEEE Micro 1998): a {e Virtual
+    Interface} (VI) is a pair of work queues connected point-to-point to a
+    peer VI. Receives are {e pre-posted}: the application hands registered
+    buffers to the receive queue, and an incoming send consumes the
+    oldest posted descriptor. Because posted buffers are fixed,
+    protocol-owned memory, Madeleine drives VIA through its
+    static-buffer machinery ([obtain_static_buffer]).
+
+    The real VIA errors a send arriving with no posted descriptor; the
+    simulation blocks the sender instead (flow control is the caller's
+    job, and Madeleine's BMM guarantees descriptors by construction —
+    a blocked sender in tests marks a protocol bug as a {!Marcel.Engine.Stalled}
+    failure rather than dropped data). *)
+
+type net
+type t
+type vi
+
+val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
+val attach : net -> Simnet.Node.t -> t
+val node : t -> Simnet.Node.t
+
+val create_vi : t -> vi
+val vi_connect : vi -> vi -> unit
+(** Connects two VIs point-to-point. Each VI connects exactly once. *)
+
+val max_transfer : int
+(** Largest payload one descriptor may carry
+    ({!Simnet.Netparams.via_descriptor_max}). *)
+
+val post_recv : vi -> Bytes.t -> unit
+(** Appends a registered buffer to the receive queue. *)
+
+val send : vi -> Bytes.t -> len:int -> unit
+(** Sends [len] bytes from the buffer through the VI. Blocks until the
+    payload has been placed in the peer's oldest posted receive buffer.
+    Raises [Invalid_argument] if [len] exceeds {!max_transfer} or the
+    consumed receive buffer is smaller than [len]. *)
+
+val recv_wait : vi -> Bytes.t * int
+(** Dequeues the next completed receive: the posted buffer and the number
+    of bytes written into it. Blocks until a completion is available. *)
+
+val posted_count : vi -> int
+(** Receive descriptors currently posted and unconsumed. *)
+
+val completions_available : vi -> int
+(** Completed receives waiting in {!recv_wait}'s queue. *)
+
+val set_data_hook : vi -> (unit -> unit) -> unit
+(** [hook] fires when a receive completion is enqueued on this VI. *)

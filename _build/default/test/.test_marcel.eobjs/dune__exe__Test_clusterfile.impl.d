@@ -1,0 +1,1 @@
+test/test_clusterfile.ml: Alcotest Bytes Clusterfile Filename Harness Madeleine Marcel Sys

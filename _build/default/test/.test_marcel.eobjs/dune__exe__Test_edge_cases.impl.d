@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Bip Bytes Harness Int64 List Madeleine Marcel Printf Simnet

@@ -1,0 +1,1 @@
+test/test_edge_cases.mli:

@@ -1,0 +1,1 @@
+test/test_madeleine.ml: Alcotest Bytes Char Harness Int32 Int64 List Madeleine Marcel Printf Simnet String

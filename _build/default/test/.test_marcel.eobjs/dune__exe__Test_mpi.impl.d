@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array Bytes Char Fun Harness Int64 List Madeleine Marcel Mpilite Printf Simnet Sisci

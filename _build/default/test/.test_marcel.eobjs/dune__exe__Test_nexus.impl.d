@@ -1,0 +1,1 @@
+test/test_nexus.ml: Alcotest Array Bytes Fun Harness Int64 List Madeleine Marcel Nexus Printf Simnet Sisci Tcpnet

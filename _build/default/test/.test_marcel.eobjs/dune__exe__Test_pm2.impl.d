@@ -1,0 +1,1 @@
+test/test_pm2.ml: Alcotest Array Bytes Harness Int32 Int64 List Madeleine Marcel Pm2 Printf Simnet

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Bip Bytes Int64 List Marcel Printf Sbp Simnet Sisci Tcpnet Via

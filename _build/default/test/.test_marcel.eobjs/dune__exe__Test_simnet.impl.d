@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Bytes Float Gen Int64 List Marcel Printf QCheck QCheck_alcotest Simnet

@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Array Bytes List Madeleine Marcel Printf String

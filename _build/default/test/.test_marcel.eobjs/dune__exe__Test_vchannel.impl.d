@@ -1,0 +1,1 @@
+test/test_vchannel.ml: Alcotest Bip Bytes Int64 List Madeleine Marcel Printf Sbp Simnet Sisci Tcpnet Via

@@ -1,0 +1,135 @@
+(* Tests for the declarative cluster-description loader. *)
+
+module Engine = Marcel.Engine
+module Mad = Madeleine.Api
+module Cf = Clusterfile
+
+let two_cluster_cfg =
+  {|
+# comment line
+network sci   type=sisci
+network myri  type=bip
+
+node a   nets=sci
+node gw  nets=sci,myri
+node b   nets=myri
+
+channel  c-sci   net=sci   nodes=a,gw
+channel  c-myri  net=myri  nodes=gw,b
+vchannel wan  channels=c-sci,c-myri  mtu=8192
+|}
+
+let test_parse_inventory () =
+  let t = Cf.load two_cluster_cfg in
+  Alcotest.(check (list string)) "networks" [ "sci"; "myri" ] (Cf.networks t);
+  Alcotest.(check (list string)) "nodes" [ "a"; "gw"; "b" ] (Cf.nodes t);
+  Alcotest.(check (list string)) "channels" [ "c-sci"; "c-myri" ]
+    (Cf.channels t);
+  Alcotest.(check (list string)) "vchannels" [ "wan" ] (Cf.vchannels t);
+  Alcotest.(check int) "rank a" 0 (Cf.rank_of t "a");
+  Alcotest.(check int) "rank gw" 1 (Cf.rank_of t "gw");
+  Alcotest.(check int) "rank b" 2 (Cf.rank_of t "b");
+  Alcotest.(check (list int)) "channel ranks" [ 0; 1 ]
+    (Madeleine.Channel.ranks (Cf.channel t "c-sci"))
+
+let test_config_built_channel_works () =
+  let t = Cf.load two_cluster_cfg in
+  let chan = Cf.channel t "c-sci" in
+  let data = Harness.payload 5000 81L in
+  let sink = Bytes.create 5000 in
+  Engine.spawn (Cf.engine t) ~name:"s" (fun () ->
+      let oc =
+        Mad.begin_packing (Madeleine.Channel.endpoint chan ~rank:0) ~remote:1
+      in
+      Mad.pack oc data;
+      Mad.end_packing oc);
+  Engine.spawn (Cf.engine t) ~name:"r" (fun () ->
+      let ic =
+        Mad.begin_unpacking_from
+          (Madeleine.Channel.endpoint chan ~rank:1)
+          ~remote:0
+      in
+      Mad.unpack ic sink;
+      Mad.end_unpacking ic);
+  Engine.run (Cf.engine t);
+  Alcotest.(check bytes) "content" data sink
+
+let test_config_built_vchannel_forwards () =
+  let t = Cf.load two_cluster_cfg in
+  let vc = Cf.vchannel t "wan" in
+  Alcotest.(check int) "route a->b" 2
+    (Madeleine.Vchannel.route_length vc ~src:(Cf.rank_of t "a")
+       ~dst:(Cf.rank_of t "b"));
+  let data = Harness.payload 40_000 82L in
+  let sink = Bytes.create 40_000 in
+  Engine.spawn (Cf.engine t) ~name:"s" (fun () ->
+      let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2 in
+      Madeleine.Vchannel.pack oc data;
+      Madeleine.Vchannel.end_packing oc);
+  Engine.spawn (Cf.engine t) ~name:"r" (fun () ->
+      let ic = Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0 in
+      Madeleine.Vchannel.unpack ic sink;
+      Madeleine.Vchannel.end_unpacking ic);
+  Engine.run (Cf.engine t);
+  Alcotest.(check bytes) "content through config-built gateway" data sink
+
+let test_load_file () =
+  let path = Filename.temp_file "cluster" ".cfg" in
+  let oc = open_out path in
+  output_string oc two_cluster_cfg;
+  close_out oc;
+  let t = Cf.load_file path in
+  Sys.remove path;
+  Alcotest.(check (list string)) "nodes" [ "a"; "gw"; "b" ] (Cf.nodes t)
+
+let test_channel_options_parsed () =
+  let t =
+    Cf.load
+      {|
+network sci type=sisci
+node x nets=sci
+node y nets=sci
+channel c net=sci nodes=x,y slots=1 aggregation=false rx=interrupt checked=false
+|}
+  in
+  let cfg = Madeleine.Channel.config (Cf.channel t "c") in
+  Alcotest.(check int) "slots" 1 cfg.Madeleine.Config.sisci_ring_slots;
+  Alcotest.(check bool) "aggregation" false cfg.Madeleine.Config.aggregation;
+  Alcotest.(check bool) "checked" false cfg.Madeleine.Config.checked;
+  Alcotest.(check bool) "rx" true
+    (cfg.Madeleine.Config.rx_interaction = Madeleine.Config.Rx_interrupt)
+
+let expect_parse_error ~line text =
+  match Cf.load text with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Cf.Parse_error (l, _) ->
+      Alcotest.(check int) "error line" line l
+
+let test_parse_errors () =
+  expect_parse_error ~line:1 "network foo type=quantum";
+  expect_parse_error ~line:1 "node lonely nets=nowhere";
+  expect_parse_error ~line:2 "network sci type=sisci\nchannel c nodes=a,b";
+  expect_parse_error ~line:3
+    "network sci type=sisci\nnode a nets=sci\nnode a nets=sci";
+  expect_parse_error ~line:1 "teapot brew";
+  expect_parse_error ~line:1 "network x type=sisci bogus";
+  expect_parse_error ~line:4
+    "network sci type=sisci\nnode a nets=sci\nnode b nets=sci\n\
+     channel c net=sci nodes=a,b slots=two"
+
+let () =
+  Alcotest.run "clusterfile"
+    [
+      ( "loader",
+        [
+          Alcotest.test_case "inventory" `Quick test_parse_inventory;
+          Alcotest.test_case "channel works" `Quick
+            test_config_built_channel_works;
+          Alcotest.test_case "vchannel forwards" `Quick
+            test_config_built_vchannel_forwards;
+          Alcotest.test_case "load from file" `Quick test_load_file;
+          Alcotest.test_case "channel options" `Quick
+            test_channel_options_parsed;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,311 @@
+(* Tests for the mini-Nexus RSR layer and its Fig. 7 calibration. *)
+
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Nx = Nexus
+
+let in_range ?(lo = 0.0) ~hi what v =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f in [%.2f, %.2f]" what v lo hi)
+    true
+    (v >= lo && v <= hi)
+
+type nexus_world = { engine : Engine.t; world : Nx.world }
+
+let make_nexus_world ~n proto =
+  let engine = Engine.create () in
+  let transports =
+    match proto with
+    | `Tcp ->
+        let fabric =
+          Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet
+        in
+        let net = Tcpnet.make_net engine fabric in
+        let stacks =
+          Array.init n (fun i ->
+              let node =
+                Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i
+              in
+              Fabric.attach fabric node;
+              Tcpnet.attach net node)
+        in
+        Nx.tcp_transports engine ~stacks
+    | `Mad_sisci ->
+        let fabric = Fabric.create engine ~name:"sci" ~link:Netparams.sci in
+        let net = Sisci.make_net engine fabric in
+        let adapters =
+          Array.init n (fun i ->
+              let node =
+                Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i
+              in
+              Fabric.attach fabric node;
+              Sisci.attach net node)
+        in
+        let driver = Madeleine.Pmm_sisci.driver (fun r -> adapters.(r)) in
+        let session = Madeleine.Session.create engine in
+        let channel =
+          Madeleine.Channel.create session driver ~ranks:(List.init n Fun.id) ()
+        in
+        Array.init n (fun rank -> Nx.mad_transport channel ~rank)
+  in
+  { engine; world = Nx.create_world engine ~transports }
+
+let test_buffer_roundtrip () =
+  let e = Engine.create () in
+  Engine.spawn e ~name:"t" (fun () ->
+      let b = Nx.Buffer.create () in
+      Nx.Buffer.put_int b 42;
+      Nx.Buffer.put_bytes b (Bytes.of_string "hello");
+      Nx.Buffer.put_int b (-7);
+      Alcotest.(check int) "size" 21 (Nx.Buffer.size b);
+      Alcotest.(check int) "int1" 42 (Nx.Buffer.get_int b);
+      Alcotest.(check string) "bytes" "hello"
+        (Bytes.to_string (Nx.Buffer.get_bytes b ~len:5));
+      Alcotest.(check int) "int2" (-7) (Nx.Buffer.get_int b);
+      Alcotest.check_raises "past end"
+        (Invalid_argument "Nexus.Buffer.get_int: past end") (fun () ->
+          ignore (Nx.Buffer.get_int b)));
+  Engine.run e
+
+let test_rsr_invokes_handler proto () =
+  let w = make_nexus_world ~n:2 proto in
+  let got = ref "" in
+  let done_ = Marcel.Ivar.create () in
+  let c1 = Nx.ctx w.world ~rank:1 in
+  let ep1 =
+    Nx.make_endpoint c1
+      ~handlers:
+        [|
+          (fun _ctx buf ->
+            let len = Nx.Buffer.get_int buf in
+            got := Bytes.to_string (Nx.Buffer.get_bytes buf ~len);
+            Marcel.Ivar.fill done_ ());
+        |]
+  in
+  let sp = Nx.startpoint ep1 in
+  Engine.spawn w.engine ~name:"client" (fun () ->
+      let c0 = Nx.ctx w.world ~rank:0 in
+      let buf = Nx.Buffer.create () in
+      Nx.Buffer.put_int buf 5;
+      Nx.Buffer.put_bytes buf (Bytes.of_string "madii");
+      Nx.send_rsr c0 sp ~handler:0 buf);
+  Engine.spawn w.engine ~name:"waiter" (fun () -> Marcel.Ivar.read done_);
+  Engine.run w.engine;
+  Alcotest.(check string) "handler saw payload" "madii" !got
+
+(* RSR round trip: client requests, server handler replies via a reply
+   startpoint known on both sides. *)
+let rsr_roundtrip_time proto ~payload_len ~iters =
+  let w = make_nexus_world ~n:2 proto in
+  let c0 = Nx.ctx w.world ~rank:0 in
+  let c1 = Nx.ctx w.world ~rank:1 in
+  let reply_box = Marcel.Mailbox.create () in
+  let client_ep =
+    Nx.make_endpoint c0
+      ~handlers:
+        [| (fun _ buf -> Marcel.Mailbox.put reply_box (Nx.Buffer.size buf)) |]
+  in
+  let client_sp = Nx.startpoint client_ep in
+  let server_ep =
+    Nx.make_endpoint c1
+      ~handlers:
+        [|
+          (fun ctx buf ->
+            let len = Nx.Buffer.get_int buf in
+            let data = Nx.Buffer.get_bytes buf ~len in
+            let reply = Nx.Buffer.create () in
+            Nx.Buffer.put_bytes reply data;
+            Nx.send_rsr ctx client_sp ~handler:0 reply);
+        |]
+  in
+  let server_sp = Nx.startpoint server_ep in
+  let t0 = ref Time.zero and t1 = ref Time.zero in
+  Engine.spawn w.engine ~name:"client" (fun () ->
+      let data = Bytes.create payload_len in
+      t0 := Engine.now w.engine;
+      for _ = 1 to iters do
+        let buf = Nx.Buffer.create () in
+        Nx.Buffer.put_int buf payload_len;
+        Nx.Buffer.put_bytes buf data;
+        Nx.send_rsr c0 server_sp ~handler:0 buf;
+        ignore (Marcel.Mailbox.take reply_box)
+      done;
+      t1 := Engine.now w.engine);
+  Engine.run w.engine;
+  Int64.div (Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+
+let test_fig7_sci_latency () =
+  (* Paper: Nexus/Madeleine II over SCI has minimal latency below 25 us
+     — an order of magnitude above raw Madeleine's 3.9, the price of the
+     RSR machinery. *)
+  let one_way = rsr_roundtrip_time `Mad_sisci ~payload_len:4 ~iters:20 in
+  in_range ~lo:18.0 ~hi:25.0 "nexus/mad/sci latency" (Time.to_us one_way)
+
+let test_fig7_tcp_slower () =
+  let sci = rsr_roundtrip_time `Mad_sisci ~payload_len:4 ~iters:10 in
+  let tcp = rsr_roundtrip_time `Tcp ~payload_len:4 ~iters:10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp %.1fus slower than sci %.1fus" (Time.to_us tcp)
+       (Time.to_us sci))
+    true
+    (Time.to_us tcp > 2.0 *. Time.to_us sci)
+
+let test_fig7_sci_bandwidth () =
+  (* Nexus copies arguments on both sides, so the SCI bandwidth lands
+     well under raw Madeleine's 83 MB/s. *)
+  let n = 1 lsl 19 in
+  let one_way = rsr_roundtrip_time `Mad_sisci ~payload_len:n ~iters:4 in
+  let bw = Time.rate_mb_s ~bytes_count:n one_way in
+  in_range ~lo:30.0 ~hi:60.0 "nexus/mad/sci bandwidth" bw
+
+let test_multiple_handlers_and_endpoints () =
+  let w = make_nexus_world ~n:2 `Mad_sisci in
+  let c1 = Nx.ctx w.world ~rank:1 in
+  let hits = ref [] in
+  let fin = Marcel.Semaphore.create 0 in
+  let ep_a =
+    Nx.make_endpoint c1
+      ~handlers:
+        [|
+          (fun _ _ ->
+            hits := "a0" :: !hits;
+            Marcel.Semaphore.release fin);
+          (fun _ _ ->
+            hits := "a1" :: !hits;
+            Marcel.Semaphore.release fin);
+        |]
+  in
+  let ep_b =
+    Nx.make_endpoint c1
+      ~handlers:
+        [|
+          (fun _ _ ->
+            hits := "b0" :: !hits;
+            Marcel.Semaphore.release fin);
+        |]
+  in
+  let spa = Nx.startpoint ep_a and spb = Nx.startpoint ep_b in
+  Engine.spawn w.engine ~name:"client" (fun () ->
+      let c0 = Nx.ctx w.world ~rank:0 in
+      Nx.send_rsr c0 spa ~handler:1 (Nx.Buffer.create ());
+      Nx.send_rsr c0 spb ~handler:0 (Nx.Buffer.create ());
+      Nx.send_rsr c0 spa ~handler:0 (Nx.Buffer.create ());
+      for _ = 1 to 3 do
+        Marcel.Semaphore.acquire fin
+      done);
+  Engine.run w.engine;
+  Alcotest.(check (list string)) "handlers ran in order" [ "a1"; "b0"; "a0" ]
+    (List.rev !hits)
+
+let test_startpoint_shipping () =
+  (* Dynamic topology: the server ships a startpoint for a secondary
+     endpoint inside a reply; the client then RSRs through it. *)
+  let w = make_nexus_world ~n:2 `Mad_sisci in
+  let c0 = Nx.ctx w.world ~rank:0 in
+  let c1 = Nx.ctx w.world ~rank:1 in
+  let secret_hit = Marcel.Ivar.create () in
+  let secret_ep =
+    Nx.make_endpoint c1
+      ~handlers:[| (fun _ buf ->
+        Marcel.Ivar.fill secret_hit (Nx.Buffer.get_int buf)) |]
+  in
+  let handed = Marcel.Mailbox.create () in
+  let client_ep =
+    Nx.make_endpoint c0
+      ~handlers:
+        [| (fun _ buf -> Marcel.Mailbox.put handed (Nx.get_startpoint buf)) |]
+  in
+  let client_sp = Nx.startpoint client_ep in
+  let directory_ep =
+    Nx.make_endpoint c1
+      ~handlers:
+        [|
+          (fun ctx _buf ->
+            (* Reply with a capability for the secret endpoint. *)
+            let reply = Nx.Buffer.create () in
+            Nx.put_startpoint reply (Nx.startpoint secret_ep);
+            Nx.send_rsr ctx client_sp ~handler:0 reply);
+        |]
+  in
+  let dir_sp = Nx.startpoint directory_ep in
+  Engine.spawn w.engine ~name:"client" (fun () ->
+      Nx.send_rsr c0 dir_sp ~handler:0 (Nx.Buffer.create ());
+      let sp = Marcel.Mailbox.take handed in
+      Alcotest.(check int) "shipped capability targets rank 1" 1
+        (Nx.startpoint_rank sp);
+      let msg = Nx.Buffer.create () in
+      Nx.Buffer.put_int msg 4242;
+      Nx.send_rsr c0 sp ~handler:0 msg;
+      Alcotest.(check int) "secret handler ran" 4242
+        (Marcel.Ivar.read secret_hit));
+  Engine.run w.engine
+
+let test_rsr_across_gateway () =
+  (* An RSR from the SCI cluster to the Myrinet cluster through the
+     gateway, echoed back — Nexus riding the virtual channel. *)
+  let w = Harness.two_cluster_world () in
+  let vc =
+    Madeleine.Vchannel.create w.Harness.cw_session ~mtu:16384
+      [ w.Harness.ch_sci; w.Harness.ch_myri ]
+  in
+  let transports =
+    Array.init 3 (fun rank -> Nx.mad_vchannel_transport vc ~rank)
+  in
+  let world = Nx.create_world w.Harness.cw_engine ~transports in
+  let c0 = Nx.ctx world ~rank:0 in
+  let c2 = Nx.ctx world ~rank:2 in
+  let reply = Marcel.Mailbox.create () in
+  let client_ep =
+    Nx.make_endpoint c0
+      ~handlers:
+        [| (fun _ buf -> Marcel.Mailbox.put reply (Nx.Buffer.get_int buf)) |]
+  in
+  let client_sp = Nx.startpoint client_ep in
+  let server_ep =
+    Nx.make_endpoint c2
+      ~handlers:
+        [|
+          (fun ctx buf ->
+            let v = Nx.Buffer.get_int buf in
+            let out = Nx.Buffer.create () in
+            Nx.Buffer.put_int out (v * 2);
+            Nx.send_rsr ctx client_sp ~handler:0 out);
+        |]
+  in
+  let server_sp = Nx.startpoint server_ep in
+  Engine.spawn w.Harness.cw_engine ~name:"client" (fun () ->
+      let buf = Nx.Buffer.create () in
+      Nx.Buffer.put_int buf 21;
+      Nx.send_rsr c0 server_sp ~handler:0 buf;
+      Alcotest.(check int) "doubled across gateway" 42
+        (Marcel.Mailbox.take reply));
+  Engine.run w.Harness.cw_engine
+
+let () =
+  Alcotest.run "nexus"
+    [
+      ( "buffers",
+        [ Alcotest.test_case "roundtrip" `Quick test_buffer_roundtrip ] );
+      ( "rsr",
+        [
+          Alcotest.test_case "handler over mad/sci" `Quick
+            (test_rsr_invokes_handler `Mad_sisci);
+          Alcotest.test_case "handler over tcp" `Quick
+            (test_rsr_invokes_handler `Tcp);
+          Alcotest.test_case "multiple handlers" `Quick
+            test_multiple_handlers_and_endpoints;
+          Alcotest.test_case "startpoint shipping" `Quick
+            test_startpoint_shipping;
+          Alcotest.test_case "rsr across gateway" `Quick
+            test_rsr_across_gateway;
+        ] );
+      ( "fig7",
+        [
+          Alcotest.test_case "sci latency <25us" `Quick test_fig7_sci_latency;
+          Alcotest.test_case "tcp much slower" `Quick test_fig7_tcp_slower;
+          Alcotest.test_case "sci bandwidth" `Quick test_fig7_sci_bandwidth;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the mini-PM2 RPC layer: the paper's motivating runtime. *)
+
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Mad = Madeleine.Api
+module Iface = Madeleine.Iface
+module H = Harness
+
+let payload = H.payload
+
+let make_pm2 ?(n = 2) ?(net = `Sisci) () =
+  let w =
+    match net with
+    | `Sisci -> H.make_world ~n H.sisci_driver Simnet.Netparams.sci
+    | `Bip -> H.make_world ~n H.bip_driver Simnet.Netparams.myrinet
+  in
+  (w, Pm2.create_world w.H.engine w.H.channel)
+
+let test_rpc_unpacks_in_place () =
+  (* The Fig. 1 scenario as a PM2 service: EXPRESS size header read
+     first, then the dynamically-sized array extracted CHEAPER — by the
+     service itself, straight from the connection. *)
+  let w, pm = make_pm2 () in
+  let got = ref Bytes.empty in
+  let done_ = Marcel.Ivar.create () in
+  let store =
+    Pm2.register pm ~name:"store" (fun _t ic ->
+        let hdr = Bytes.create 4 in
+        Mad.unpack ic ~r_mode:Iface.Receive_express hdr;
+        let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+        let data = Bytes.create len in
+        Mad.unpack ic ~r_mode:Iface.Receive_cheaper data;
+        Mad.end_unpacking ic;
+        got := data;
+        Marcel.Ivar.fill done_ ())
+  in
+  let data = payload 30_000 31L in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      Pm2.rpc pm.(0) ~dst:1 store ~pack:(fun oc ->
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_le hdr 0 (Int32.of_int (Bytes.length data));
+          Mad.pack oc ~r_mode:Iface.Receive_express hdr;
+          Mad.pack oc ~r_mode:Iface.Receive_cheaper data);
+      Marcel.Ivar.read done_);
+  Engine.run w.H.engine;
+  Alcotest.(check bytes) "service saw the array" data !got
+
+let test_completion_synchronizes () =
+  let w, pm = make_pm2 () in
+  let service_ran_at = ref Time.zero in
+  let work =
+    Pm2.register pm ~name:"work" (fun t ic ->
+        let c = Pm2.Completion.unpack ic in
+        Mad.end_unpacking ic;
+        Engine.sleep (Time.us 200.0);
+        service_ran_at := Engine.now w.H.engine;
+        Pm2.Completion.signal t c)
+  in
+  let waited_until = ref Time.zero in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      let c = Pm2.Completion.create pm.(0) in
+      Pm2.rpc pm.(0) ~dst:1 work ~pack:(fun oc -> Pm2.Completion.pack c oc);
+      Pm2.Completion.wait c;
+      waited_until := Engine.now w.H.engine);
+  Engine.run w.H.engine;
+  Alcotest.(check bool)
+    "caller waited past the service body" true
+    (Time.compare !waited_until !service_ran_at > 0)
+
+let test_threaded_service_does_not_stall_dispatcher () =
+  (* A slow threaded service on node 1 must not block delivery of the
+     next RPC to a different service there. *)
+  let w, pm = make_pm2 () in
+  let slow_done = ref Time.zero and fast_done = ref Time.zero in
+  let slow =
+    Pm2.register pm ~name:"slow" (fun _ ic ->
+        Mad.end_unpacking ic;
+        Engine.sleep (Time.ms 5.0);
+        slow_done := Engine.now w.H.engine)
+  in
+  let fast =
+    Pm2.register pm ~name:"fast" (fun _ ic ->
+        Mad.end_unpacking ic;
+        fast_done := Engine.now w.H.engine)
+  in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      Pm2.rpc pm.(0) ~dst:1 slow ~pack:(fun _ -> ());
+      Pm2.rpc pm.(0) ~dst:1 fast ~pack:(fun _ -> ()));
+  Engine.run w.H.engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "fast (%.1fus) finished before slow (%.1fus)"
+       (Time.to_us !fast_done) (Time.to_us !slow_done))
+    true
+    (Time.compare !fast_done !slow_done < 0)
+
+let test_nested_rpc_from_service () =
+  (* A service on node 1 calls a service on node 2 before replying:
+     three-party chains must not deadlock. *)
+  let w, pm = make_pm2 ~n:3 () in
+  let log = ref [] in
+  let leaf =
+    Pm2.register pm ~name:"leaf" (fun t ic ->
+        let c = Pm2.Completion.unpack ic in
+        Mad.end_unpacking ic;
+        log := "leaf" :: !log;
+        Pm2.Completion.signal t c)
+  in
+  let middle =
+    Pm2.register pm ~name:"middle" (fun t ic ->
+        let c = Pm2.Completion.unpack ic in
+        Mad.end_unpacking ic;
+        let c2 = Pm2.Completion.create t in
+        Pm2.rpc t ~dst:2 leaf ~pack:(fun oc -> Pm2.Completion.pack c2 oc);
+        Pm2.Completion.wait c2;
+        log := "middle" :: !log;
+        Pm2.Completion.signal t c)
+  in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      let c = Pm2.Completion.create pm.(0) in
+      Pm2.rpc pm.(0) ~dst:1 middle ~pack:(fun oc -> Pm2.Completion.pack c oc);
+      Pm2.Completion.wait c;
+      log := "caller" :: !log);
+  Engine.run w.H.engine;
+  Alcotest.(check (list string)) "chain order" [ "leaf"; "middle"; "caller" ]
+    (List.rev !log)
+
+let test_rpc_roundtrip_latency () =
+  (* PM2 LRPC round trip over Madeleine/SCI: two messages plus thread
+     dispatch — tens of microseconds, far under Nexus's RSR cost. *)
+  let w, pm = make_pm2 () in
+  let echo =
+    Pm2.register pm ~name:"echo" (fun t ic ->
+        let c = Pm2.Completion.unpack ic in
+        Mad.end_unpacking ic;
+        Pm2.Completion.signal t c)
+  in
+  let iters = 20 in
+  let elapsed = ref 0L in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      let t0 = Engine.now w.H.engine in
+      for _ = 1 to iters do
+        let c = Pm2.Completion.create pm.(0) in
+        Pm2.rpc pm.(0) ~dst:1 echo ~pack:(fun oc -> Pm2.Completion.pack c oc);
+        Pm2.Completion.wait c
+      done;
+      elapsed := Time.diff (Engine.now w.H.engine) t0);
+  Engine.run w.H.engine;
+  let per_rt = Int64.to_float !elapsed /. 1e3 /. float_of_int iters in
+  Alcotest.(check bool)
+    (Printf.sprintf "round trip %.2fus in [8, 20]" per_rt)
+    true
+    (per_rt >= 8.0 && per_rt <= 20.0)
+
+let test_rpc_over_bip () =
+  (* The same RPC machinery on the other interface. *)
+  let w, pm = make_pm2 ~net:`Bip () in
+  let got = ref 0 in
+  let double =
+    Pm2.register pm ~name:"double" (fun t ic ->
+        let c = Pm2.Completion.unpack ic in
+        let b = Bytes.create 8 in
+        Mad.unpack ic ~r_mode:Iface.Receive_express b;
+        Mad.end_unpacking ic;
+        got := 2 * Int64.to_int (Bytes.get_int64_le b 0);
+        Pm2.Completion.signal t c)
+  in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      let c = Pm2.Completion.create pm.(0) in
+      Pm2.rpc pm.(0) ~dst:1 double ~pack:(fun oc ->
+          Pm2.Completion.pack c oc;
+          let b = Bytes.create 8 in
+          Bytes.set_int64_le b 0 33L;
+          Mad.pack oc ~r_mode:Iface.Receive_express b);
+      Pm2.Completion.wait c);
+  Engine.run w.H.engine;
+  Alcotest.(check int) "doubled over bip" 66 !got
+
+let test_local_rpc_rejected () =
+  let w, pm = make_pm2 () in
+  let nop = Pm2.register pm ~name:"nop" (fun _ ic -> Mad.end_unpacking ic) in
+  Engine.spawn w.H.engine ~name:"caller" (fun () ->
+      Alcotest.check_raises "self rpc"
+        (Invalid_argument "Pm2.rpc: PM2 local service invocation is a plain call")
+        (fun () -> Pm2.rpc pm.(0) ~dst:0 nop ~pack:(fun _ -> ())));
+  Engine.run w.H.engine
+
+let () =
+  Alcotest.run "pm2"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "unpack in place" `Quick test_rpc_unpacks_in_place;
+          Alcotest.test_case "completion" `Quick test_completion_synchronizes;
+          Alcotest.test_case "threaded service" `Quick
+            test_threaded_service_does_not_stall_dispatcher;
+          Alcotest.test_case "nested rpc" `Quick test_nested_rpc_from_service;
+          Alcotest.test_case "roundtrip latency" `Quick
+            test_rpc_roundtrip_latency;
+          Alcotest.test_case "rpc over bip" `Quick test_rpc_over_bip;
+          Alcotest.test_case "local rpc rejected" `Quick test_local_rpc_rejected;
+        ] );
+    ]

@@ -1,0 +1,343 @@
+(* The Fig. 3 data path, observed step by step.
+
+   A mock driver with two instrumented Transmission Modules (one
+   dynamic, one static, selected by a size threshold) records every raw
+   TM operation. The tests then assert the paper's §4 protocol:
+   - the Switch queries the selector per packet and routes to the BMM
+     paired with the chosen TM;
+   - switching TMs mid-message commits the previous BMM *before* the new
+     TM sees data (delivery-order rule);
+   - end_packing performs the final commit;
+   - the receive side replays the same selector decisions and checkout
+     points. *)
+
+module Engine = Marcel.Engine
+module Mad = Madeleine.Api
+module Channel = Madeleine.Channel
+module Iface = Madeleine.Iface
+module Tm = Madeleine.Tm
+module Link = Madeleine.Link
+module Bmm = Madeleine.Bmm
+module Driver = Madeleine.Driver
+
+(* The mock wire: per (src,dst) FIFO queues per TM, zero time. *)
+type wire = {
+  dyn_q : Bytes.t Marcel.Mailbox.t;
+  stat_q : (Bytes.t * int) Marcel.Mailbox.t;
+  mutable log : string list; (* every raw TM operation, in order *)
+}
+
+let log wire event = wire.log <- event :: wire.log
+let events wire = List.rev wire.log
+
+let threshold = 100 (* bytes: <= threshold -> static TM 0, else dynamic TM 1 *)
+let slot_capacity = 256
+
+let select ~len _s _r = if len <= threshold then 0 else 1
+
+let send_tms wire =
+  let static_staging = Bytes.create slot_capacity in
+  let static_fill = ref 0 in
+  let static_tm =
+    {
+      Tm.s_name = "mock-static";
+      s_side =
+        Tm.Static_send
+          {
+            Tm.send_capacity = slot_capacity;
+            obtain_static_buffer = (fun () -> log wire "obtain_static");
+            write_static =
+              (fun buf ->
+                log wire (Printf.sprintf "write_static(%d)" (Madeleine.Buf.length buf));
+                Madeleine.Buf.blit_out buf static_staging !static_fill;
+                static_fill := !static_fill + Madeleine.Buf.length buf);
+            ship_static =
+              (fun () ->
+                log wire (Printf.sprintf "ship_static(%d)" !static_fill);
+                Marcel.Mailbox.put wire.stat_q
+                  (Bytes.sub static_staging 0 !static_fill, !static_fill);
+                static_fill := 0);
+          };
+    }
+  in
+  let dynamic_tm =
+    {
+      Tm.s_name = "mock-dynamic";
+      s_side =
+        Tm.Dynamic_send
+          {
+            Tm.send_buffer =
+              (fun buf ->
+                log wire (Printf.sprintf "send_buffer(%d)" (Madeleine.Buf.length buf));
+                Marcel.Mailbox.put wire.dyn_q (Madeleine.Buf.to_bytes buf));
+            send_buffer_group =
+              (fun bufs ->
+                log wire
+                  (Printf.sprintf "send_buffer_group(%d)" (List.length bufs));
+                List.iter
+                  (fun buf ->
+                    Marcel.Mailbox.put wire.dyn_q (Madeleine.Buf.to_bytes buf))
+                  bufs);
+          };
+    }
+  in
+  [| static_tm; dynamic_tm |]
+
+let recv_tms wire =
+  let current = ref (Bytes.empty, 0) in
+  let read_off = ref 0 in
+  let static_tm =
+    {
+      Tm.r_name = "mock-static";
+      r_side =
+        Tm.Static_recv
+          {
+            Tm.recv_capacity = slot_capacity;
+            fetch_static =
+              (fun () ->
+                let slot, len = Marcel.Mailbox.take wire.stat_q in
+                log wire (Printf.sprintf "fetch_static(%d)" len);
+                current := (slot, len);
+                read_off := 0;
+                len);
+            read_static =
+              (fun buf ->
+                log wire (Printf.sprintf "read_static(%d)" (Madeleine.Buf.length buf));
+                Madeleine.Buf.blit_in buf (fst !current) !read_off;
+                read_off := !read_off + Madeleine.Buf.length buf);
+            consume_static = (fun () -> log wire "consume_static");
+          };
+      r_probe = (fun () -> Marcel.Mailbox.length wire.stat_q > 0);
+    }
+  in
+  let dynamic_tm =
+    {
+      Tm.r_name = "mock-dynamic";
+      r_side =
+        Tm.Dynamic_recv
+          {
+            Tm.receive_buffer =
+              (fun buf ->
+                log wire
+                  (Printf.sprintf "receive_buffer(%d)" (Madeleine.Buf.length buf));
+                Madeleine.Buf.blit_in buf (Marcel.Mailbox.take wire.dyn_q) 0);
+            receive_buffer_group =
+              (fun bufs ->
+                log wire
+                  (Printf.sprintf "receive_buffer_group(%d)" (List.length bufs));
+                List.iter
+                  (fun buf ->
+                    Madeleine.Buf.blit_in buf (Marcel.Mailbox.take wire.dyn_q) 0)
+                  bufs);
+          };
+      r_probe = (fun () -> Marcel.Mailbox.length wire.dyn_q > 0);
+    }
+  in
+  let probe () =
+    Marcel.Mailbox.length wire.dyn_q > 0 || Marcel.Mailbox.length wire.stat_q > 0
+  in
+  ([| static_tm; dynamic_tm |], probe)
+
+let mock_driver wire =
+  let instantiate ~channel_id:_ ~config ~ranks:_ =
+    let sender_link =
+      Driver.memo_links (fun ~src:_ ~dst:_ ->
+          Link.make_sender select
+            (Array.map
+               (Bmm.send_of_tm ~aggregation:config.Madeleine.Config.aggregation)
+               (send_tms wire)))
+    in
+    let receiver_link =
+      Driver.memo_links (fun ~src:_ ~dst:_ ->
+          let tms, probe = recv_tms wire in
+          Link.make_receiver select (Array.map Bmm.recv_of_tm tms) ~probe)
+    in
+    {
+      Driver.inst_name = "mock";
+      sender_link;
+      receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
+      on_data = (fun ~me:_ _hook -> ());
+    }
+  in
+  { Driver.driver_name = "mock"; instantiate }
+
+let make_world () =
+  let engine = Engine.create () in
+  let wire =
+    {
+      dyn_q = Marcel.Mailbox.create ();
+      stat_q = Marcel.Mailbox.create ();
+      log = [];
+    }
+  in
+  let session = Madeleine.Session.create engine in
+  let channel = Channel.create session (mock_driver wire) ~ranks:[ 0; 1 ] () in
+  (engine, wire, channel)
+
+let run_message engine channel fields =
+  let ep0 = Channel.endpoint channel ~rank:0 in
+  let ep1 = Channel.endpoint channel ~rank:1 in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      let oc = Mad.begin_packing ep0 ~remote:1 in
+      List.iter
+        (fun (len, s_mode, r_mode) ->
+          Mad.pack oc ~s_mode ~r_mode (Bytes.create len))
+        fields;
+      Mad.end_packing oc);
+  Engine.spawn engine ~name:"receiver" (fun () ->
+      let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
+      List.iter
+        (fun (len, s_mode, r_mode) ->
+          Mad.unpack ic ~s_mode ~r_mode (Bytes.create len))
+        fields;
+      Mad.end_unpacking ic);
+  Engine.run engine
+
+let cheaper = (Iface.Send_cheaper, Iface.Receive_cheaper)
+
+let test_small_fields_aggregate_into_one_slot () =
+  (* Three small CHEAPER fields: one obtain, three writes, one ship at
+     end_packing — the static BMM's aggregation scheme. *)
+  let engine, wire, channel = make_world () in
+  run_message engine channel
+    [ (10, fst cheaper, snd cheaper); (20, fst cheaper, snd cheaper);
+      (30, fst cheaper, snd cheaper) ];
+  let sender_events =
+    List.filter (fun e -> not (String.length e > 4 && String.sub e 0 4 = "fetc")
+                          && not (String.length e > 4 && String.sub e 0 4 = "read")
+                          && not (String.length e > 7 && String.sub e 0 7 = "consume"))
+      (events wire)
+  in
+  Alcotest.(check (list string))
+    "sender path"
+    [ "obtain_static"; "write_static(10)"; "write_static(20)";
+      "write_static(30)"; "ship_static(60)" ]
+    sender_events
+
+let test_express_flushes_immediately () =
+  (* An EXPRESS field forces the slot out before the next pack. *)
+  let engine, wire, channel = make_world () in
+  run_message engine channel
+    [ (10, Iface.Send_cheaper, Iface.Receive_express);
+      (20, Iface.Send_cheaper, Iface.Receive_cheaper) ];
+  let ships =
+    List.filter_map
+      (fun e ->
+        if String.length e >= 4 && String.sub e 0 4 = "ship" then Some e else None)
+      (events wire)
+  in
+  Alcotest.(check (list string)) "two slots shipped"
+    [ "ship_static(10)"; "ship_static(20)" ]
+    ships
+
+let test_tm_switch_commits_previous_bmm () =
+  (* Small field (static TM), then large field (dynamic TM): the switch
+     must ship the static slot BEFORE the dynamic send — the paper's
+     delivery-order commit (Fig. 3, 'commit'). *)
+  let engine, wire, channel = make_world () in
+  run_message engine channel
+    [ (50, fst cheaper, snd cheaper); (5000, fst cheaper, snd cheaper) ];
+  let sender_events =
+    List.filter
+      (fun e ->
+        List.exists
+          (fun p -> String.length e >= String.length p
+                    && String.sub e 0 (String.length p) = p)
+          [ "ship_static"; "send_buffer" ])
+      (events wire)
+  in
+  Alcotest.(check (list string))
+    "static slot ships before dynamic data"
+    [ "ship_static(50)"; "send_buffer_group(1)" ]
+    sender_events
+
+let test_selector_mirrored_on_receive () =
+  (* The receiver performs the same switch decisions: fetch/read for the
+     static packet, receive for the dynamic one, in message order. *)
+  let engine, wire, channel = make_world () in
+  run_message engine channel
+    [ (50, fst cheaper, snd cheaper); (5000, fst cheaper, snd cheaper) ];
+  let recv_events =
+    List.filter
+      (fun e ->
+        List.exists
+          (fun p -> String.length e >= String.length p
+                    && String.sub e 0 (String.length p) = p)
+          [ "fetch_static"; "read_static"; "consume_static"; "receive_buffer" ])
+      (events wire)
+  in
+  Alcotest.(check (list string))
+    "receive path mirrors the switch"
+    [ "fetch_static(50)"; "read_static(50)"; "consume_static";
+      "receive_buffer_group(1)" ]
+    recv_events
+
+let test_oversized_field_spans_slots () =
+  (* Direct BMM unit test: a 600-byte buffer through 256-byte slots must
+     split 256/256/88, each slot obtained, written and shipped once. *)
+  let engine = Engine.create () in
+  let ops = ref [] in
+  let fill = ref 0 in
+  let bmm =
+    Bmm.static_copy_send
+      {
+        Tm.send_capacity = slot_capacity;
+        obtain_static_buffer = (fun () -> ops := "obtain" :: !ops);
+        write_static =
+          (fun buf -> fill := !fill + Madeleine.Buf.length buf);
+        ship_static =
+          (fun () ->
+            ops := Printf.sprintf "ship(%d)" !fill :: !ops;
+            fill := 0);
+      }
+  in
+  Engine.spawn engine ~name:"t" (fun () ->
+      bmm.Bmm.append
+        (Madeleine.Buf.make (Bytes.create 600))
+        Iface.Send_cheaper Iface.Receive_cheaper;
+      bmm.Bmm.commit ());
+  Engine.run engine;
+  Alcotest.(check (list string)) "slot chunking"
+    [ "obtain"; "ship(256)"; "obtain"; "ship(256)"; "obtain"; "ship(88)" ]
+    (List.rev !ops)
+
+let test_eager_mode_sends_per_field () =
+  (* With aggregation disabled, each dynamic field goes out on its own. *)
+  let engine = Engine.create () in
+  let wire =
+    { dyn_q = Marcel.Mailbox.create (); stat_q = Marcel.Mailbox.create (); log = [] }
+  in
+  let session = Madeleine.Session.create engine in
+  let config = { Madeleine.Config.default with aggregation = false } in
+  let channel =
+    Channel.create session (mock_driver wire) ~config ~ranks:[ 0; 1 ] ()
+  in
+  run_message engine channel
+    [ (5000, fst cheaper, snd cheaper); (6000, fst cheaper, snd cheaper) ];
+  let sends =
+    List.filter
+      (fun e -> String.length e >= 11 && String.sub e 0 11 = "send_buffer")
+      (events wire)
+  in
+  Alcotest.(check (list string)) "eager sends"
+    [ "send_buffer(5000)"; "send_buffer(6000)" ]
+    sends
+
+let () =
+  Alcotest.run "switch"
+    [
+      ( "fig3 data path",
+        [
+          Alcotest.test_case "aggregation into one slot" `Quick
+            test_small_fields_aggregate_into_one_slot;
+          Alcotest.test_case "express flushes" `Quick
+            test_express_flushes_immediately;
+          Alcotest.test_case "tm switch commits" `Quick
+            test_tm_switch_commits_previous_bmm;
+          Alcotest.test_case "receive mirrors switch" `Quick
+            test_selector_mirrored_on_receive;
+          Alcotest.test_case "oversized field chunking" `Quick
+            test_oversized_field_spans_slots;
+          Alcotest.test_case "eager mode" `Quick test_eager_mode_sends_per_field;
+        ] );
+    ]
