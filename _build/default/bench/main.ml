@@ -282,7 +282,7 @@ let ablations () =
     let ep0 = Madeleine.Channel.endpoint w.H.channel ~rank:0 in
     let ep1 = Madeleine.Channel.endpoint w.H.channel ~rank:1 in
     let iters = 20 in
-    let lat = ref 0L in
+    let lat = ref 0 in
     Marcel.Engine.spawn w.H.engine ~name:"s" (fun () ->
         for _ = 1 to iters do
           (* The receiver is already waiting when the message leaves:
@@ -296,7 +296,7 @@ let ablations () =
           Mad.unpack ic ~r_mode:Madeleine.Iface.Receive_express (Bytes.create 4);
           Mad.end_unpacking ic;
           lat :=
-            Int64.add !lat (Time.diff (Marcel.Engine.now w.H.engine) t0)
+            !lat + Time.diff (Marcel.Engine.now w.H.engine) t0
         done);
     Marcel.Engine.spawn w.H.engine ~name:"r" (fun () ->
         for _ = 1 to iters do
@@ -308,7 +308,7 @@ let ablations () =
           Mad.end_packing oc
         done);
     Marcel.Engine.run w.H.engine;
-    Time.to_us (Int64.div !lat (Int64.of_int (2 * iters)))
+    Time.to_us (!lat / (2 * iters))
   in
   Printf.printf
     "A8. Receive interaction (4 B round trips with 1 ms think time;\n\
@@ -466,38 +466,190 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
-let simspeed () =
-  header "Simulator throughput -- discrete events per host CPU second";
-  let run label f =
-    let t0 = Sys.time () in
-    let events = f () in
-    let dt = Sys.time () -. t0 in
-    Printf.printf "  %-34s %9d events, %8.2f Mev/s\n%!" label events
-      (float_of_int events /. 1e6 /. Float.max 1e-9 dt)
+(* Simulator throughput ("simspeed"): host events per host wall-clock
+   second. The event counts are deterministic (they replay the same
+   simulated schedule every run); only the wall time varies, so each
+   scenario runs [simspeed_reps] times and reports the fastest — the
+   least-disturbed run is the best estimate of the simulator's actual
+   speed on an idle machine. See docs/MODEL.md, "Host performance
+   model". *)
+
+let simspeed_json = ref false
+let simspeed_baseline : string option ref = ref None
+let simspeed_gate_failed = ref false
+let simspeed_reps = 6
+let simspeed_json_file = "BENCH_simspeed.json"
+
+let simspeed_scenarios : (string * (unit -> int)) list =
+  [
+    ( "sisci 1MB ping-pong",
+      fun () ->
+        let w = H.sisci_world () in
+        ignore (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
+        Marcel.Engine.events_processed w.H.engine );
+    ( "gateway forwarding 1MB @16kB",
+      fun () ->
+        let w = H.two_cluster_world () in
+        let vc =
+          Madeleine.Vchannel.create w.H.cw_session ~mtu:16384
+            [ w.H.ch_sci; w.H.ch_myri ]
+        in
+        let msgs = 4 in
+        let fin = ref 0 in
+        let out = Bytes.create (1 lsl 20) in
+        let sink = Bytes.create (1 lsl 20) in
+        Marcel.Engine.spawn w.H.cw_engine ~name:"s" (fun () ->
+            for _ = 1 to msgs do
+              let oc =
+                Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2
+              in
+              Madeleine.Vchannel.pack oc out;
+              Madeleine.Vchannel.end_packing oc
+            done);
+        Marcel.Engine.spawn w.H.cw_engine ~name:"r" (fun () ->
+            for _ = 1 to msgs do
+              let ic =
+                Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0
+              in
+              Madeleine.Vchannel.unpack ic sink;
+              Madeleine.Vchannel.end_unpacking ic;
+              incr fin
+            done);
+        Marcel.Engine.run w.H.cw_engine;
+        assert (!fin = msgs);
+        Marcel.Engine.events_processed w.H.cw_engine );
+  ]
+
+let simspeed_measure f =
+  let events = ref 0 and best = ref infinity in
+  for _ = 1 to simspeed_reps do
+    let t0 = Unix.gettimeofday () in
+    let n = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    events := n;
+    if dt < !best then best := dt
+  done;
+  (!events, Float.max 1e-9 !best)
+
+let simspeed_write_json results =
+  let oc = open_out simspeed_json_file in
+  output_string oc "{ \"simspeed\": [\n";
+  let last = List.length results - 1 in
+  List.iteri
+    (fun i (label, events, wall, rate) ->
+      Printf.fprintf oc
+        "  { \"scenario\": %S, \"events\": %d, \"wall_s\": %.6f, \
+         \"events_per_s\": %.1f }%s\n"
+        label events wall rate
+        (if i = last then "" else ","))
+    results;
+  output_string oc "] }\n";
+  close_out oc
+
+(* Line-based baseline reader: each scenario object sits on one line of
+   the JSON written above, so plain string scanning suffices — no JSON
+   library in the toolchain. *)
+let simspeed_find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some (i + m)
+    else go (i + 1)
   in
-  run "sisci 1MB ping-pong" (fun () ->
-      let w = H.sisci_world () in
-      ignore (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
-      Marcel.Engine.events_processed w.H.engine);
-  run "gateway forwarding 1MB @16kB" (fun () ->
-      let w = H.two_cluster_world () in
-      let vc =
-        Madeleine.Vchannel.create w.H.cw_session ~mtu:16384
-          [ w.H.ch_sci; w.H.ch_myri ]
-      in
-      let fin = ref false in
-      Marcel.Engine.spawn w.H.cw_engine ~name:"s" (fun () ->
-          let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2 in
-          Madeleine.Vchannel.pack oc (Bytes.create (1 lsl 20));
-          Madeleine.Vchannel.end_packing oc);
-      Marcel.Engine.spawn w.H.cw_engine ~name:"r" (fun () ->
-          let ic = Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0 in
-          Madeleine.Vchannel.unpack ic (Bytes.create (1 lsl 20));
-          Madeleine.Vchannel.end_unpacking ic;
-          fin := true);
-      Marcel.Engine.run w.H.cw_engine;
-      assert !fin;
-      Marcel.Engine.events_processed w.H.cw_engine)
+  go 0
+
+let simspeed_string_field line key =
+  match simspeed_find_sub line (Printf.sprintf "\"%s\": \"" key) with
+  | None -> None
+  | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+
+let simspeed_float_field line key =
+  match simspeed_find_sub line (Printf.sprintf "\"%s\": " key) with
+  | None -> None
+  | Some start ->
+      let n = String.length line in
+      let stop = ref start in
+      while
+        !stop < n
+        &&
+        match line.[!stop] with
+        | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.sub line start (!stop - start))
+
+let simspeed_read_baseline file =
+  let ic = open_in file in
+  let acc = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( simspeed_string_field line "scenario",
+           simspeed_float_field line "events_per_s" )
+       with
+       | Some name, Some rate -> acc := (name, rate) :: !acc
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !acc
+
+let simspeed_gate baseline_file results =
+  let tolerance = 0.20 in
+  let baseline = simspeed_read_baseline baseline_file in
+  if baseline = [] then begin
+    Printf.printf "  GATE ERROR: no scenarios parsed from %s\n%!" baseline_file;
+    simspeed_gate_failed := true
+  end
+  else
+    List.iter
+      (fun (label, _, _, rate) ->
+        match List.assoc_opt label baseline with
+        | None ->
+            Printf.printf "  GATE WARN: %S not in baseline %s\n%!" label
+              baseline_file
+        | Some base ->
+            let ratio = rate /. Float.max 1e-9 base in
+            if ratio < 1.0 -. tolerance then begin
+              Printf.printf
+                "  GATE FAIL: %-34s %8.2f Mev/s vs baseline %8.2f Mev/s \
+                 (%.0f%% of baseline, floor %.0f%%)\n%!"
+                label (rate /. 1e6) (base /. 1e6) (ratio *. 100.)
+                ((1.0 -. tolerance) *. 100.);
+              simspeed_gate_failed := true
+            end
+            else
+              Printf.printf
+                "  GATE OK:   %-34s %8.2f Mev/s vs baseline %8.2f Mev/s \
+                 (%.0f%% of baseline)\n%!"
+                label (rate /. 1e6) (base /. 1e6) (ratio *. 100.))
+      results
+
+let simspeed () =
+  header "Simulator throughput -- discrete events per host wall-clock second";
+  let results =
+    List.map
+      (fun (label, f) ->
+        let events, wall = simspeed_measure f in
+        let rate = float_of_int events /. wall in
+        Printf.printf "  %-34s %9d events, %8.2f Mev/s\n%!" label events
+          (rate /. 1e6);
+        (label, events, wall, rate))
+      simspeed_scenarios
+  in
+  if !simspeed_json then begin
+    simspeed_write_json results;
+    Printf.printf "  wrote %s\n%!" simspeed_json_file
+  end;
+  match !simspeed_baseline with
+  | None -> ()
+  | Some file -> simspeed_gate file results
 
 let sections =
   [
@@ -517,10 +669,23 @@ let sections =
   ]
 
 let () =
+  let rec parse_flags = function
+    | [] -> []
+    | "--json" :: rest ->
+        simspeed_json := true;
+        parse_flags rest
+    | "--baseline" :: file :: rest ->
+        simspeed_baseline := Some file;
+        parse_flags rest
+    | [ "--baseline" ] ->
+        Printf.eprintf "--baseline requires a file argument\n";
+        exit 2
+    | name :: rest -> name :: parse_flags rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst sections
+    match parse_flags (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -531,4 +696,8 @@ let () =
             (String.concat " " (List.map fst sections));
           exit 2)
     requested;
+  if !simspeed_gate_failed then begin
+    Printf.printf "\nbench: simspeed regression gate FAILED.\n";
+    exit 1
+  end;
   Printf.printf "\nbench: all requested sections completed.\n"

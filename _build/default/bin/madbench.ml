@@ -240,7 +240,7 @@ let config_pingpong config chan_name from_name to_name size iters =
           send_one ~me:dst ~peer:src
         done);
     Marcel.Engine.run (Cf.engine t);
-    Int64.div (Marcel.Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+    Marcel.Time.diff !t1 !t0 / (2 * iters)
   in
   let span =
     match

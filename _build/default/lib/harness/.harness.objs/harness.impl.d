@@ -1,1 +1,1 @@
-lib/harness/harness.ml: Array Bip Bytes Fun Int64 List Madeleine Marcel Mpilite Nexus Printf Sbp Simnet Sisci Tcpnet Via
+lib/harness/harness.ml: Array Bip Bytes Fun List Madeleine Marcel Mpilite Nexus Printf Sbp Simnet Sisci Tcpnet Via

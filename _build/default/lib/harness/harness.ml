@@ -92,9 +92,9 @@ let mad_pingpong w ~bytes_count ~iters =
       done;
       finished := Engine.now w.engine);
   Engine.spawn w.engine ~name:"pong" (fun () ->
+      let sink = Bytes.create bytes_count in
       for _ = 1 to iters do
         let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
-        let sink = Bytes.create bytes_count in
         Mad.unpack ic sink;
         Mad.end_unpacking ic;
         let oc = Mad.begin_packing ep1 ~remote:0 in
@@ -102,7 +102,7 @@ let mad_pingpong w ~bytes_count ~iters =
         Mad.end_packing oc
       done);
   Engine.run w.engine;
-  Int64.div (Time.diff !finished !started) (Int64.of_int (2 * iters))
+  Time.diff !finished !started / (2 * iters)
 
 (* Raw-interface ping-pongs, for the "raw BIP" baseline of Fig. 5. *)
 let raw_bip_pingpong ~bytes_count ~iters =
@@ -130,7 +130,7 @@ let raw_bip_pingpong ~bytes_count ~iters =
         Bip.send b1 ~dst:0 ~tag:0 sink
       done);
   Engine.run engine;
-  Int64.div (Time.diff !finished !started) (Int64.of_int (2 * iters))
+  Time.diff !finished !started / (2 * iters)
 
 (* The two-cluster testbed of §6.2 with its gateway node. *)
 type cluster_world = {
@@ -276,7 +276,7 @@ let mpi_pingpong kind ~bytes_count ~iters =
         Mpi.send c ~dst:0 ~tag:0 buf
       done);
   Engine.run w.mpi_engine;
-  Int64.div (Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+  Time.diff !t1 !t0 / (2 * iters)
 
 (* ------------------------------------------------------------------ *)
 (* Nexus worlds and the RSR round trip (Fig. 7) *)
@@ -358,4 +358,4 @@ let nexus_roundtrip proto ~bytes_count ~iters =
       done;
       t1 := Engine.now w.nx_engine);
   Engine.run w.nx_engine;
-  Int64.div (Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+  Time.diff !t1 !t0 / (2 * iters)

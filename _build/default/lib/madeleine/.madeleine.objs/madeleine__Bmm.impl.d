@@ -1,1 +1,1 @@
-lib/madeleine/bmm.ml: Buf Config Iface List Marcel Printf Queue Simnet Tm
+lib/madeleine/bmm.ml: Buf Bufs Config Iface List Marcel Printf Queue Simnet Tm

@@ -1,0 +1,1 @@
+lib/madeleine/bufs.mli: Buf

@@ -1,1 +1,1 @@
-lib/madeleine/pmm_bip.ml: Array Bip Bmm Buf Bytes Config Driver Link List Marcel Printf Simnet Tm
+lib/madeleine/pmm_bip.ml: Array Bip Bmm Buf Bufs Bytes Config Driver Link Marcel Printf Simnet Tm

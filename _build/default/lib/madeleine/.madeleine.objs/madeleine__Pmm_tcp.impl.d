@@ -1,1 +1,1 @@
-lib/madeleine/pmm_tcp.ml: Bmm Buf Config Driver Hashtbl Link List Marcel Tcpnet Tm
+lib/madeleine/pmm_tcp.ml: Bmm Buf Bufs Config Driver Hashtbl Link List Marcel Tcpnet Tm

@@ -1,1 +1,1 @@
-lib/madeleine/tm.ml: Buf
+lib/madeleine/tm.ml: Buf Bufs

@@ -1,1 +1,1 @@
-lib/madeleine/tm.mli: Buf
+lib/madeleine/tm.mli: Buf Bufs

@@ -16,7 +16,7 @@ type recv = {
 (* Staging a SAFER buffer is a real memcpy on the host. *)
 let stage_copy buf =
   Simnet.Cost.memcpy (Buf.length buf);
-  Buf.make (Buf.to_bytes buf)
+  Buf.stage buf
 
 (* A buffer as queued for a delayed send. SAFER is staged immediately;
    LATER and CHEAPER keep the user reference, so LATER picks up
@@ -25,38 +25,41 @@ let queued_view buf = function
   | Iface.Send_safer -> stage_copy buf
   | Iface.Send_later | Iface.Send_cheaper -> buf
 
+(* Held buffers accumulate in a reusable Bufs vector, flushed by handing
+   the vector itself to the TM and clearing it afterwards: no per-flush
+   list materialization. Safe because the link's mutex serializes a
+   whole message, so nothing appends while a grouped send blocks. *)
+
 let eager_dynamic_send (d : Tm.dynamic_send) =
-  let held = Queue.create () in
+  let held = Bufs.create () in
   let flush () =
-    if not (Queue.is_empty held) then begin
-      let bufs = List.of_seq (Queue.to_seq held) in
-      Queue.clear held;
-      d.Tm.send_buffer_group bufs
+    if not (Bufs.is_empty held) then begin
+      d.Tm.send_buffer_group held;
+      Bufs.clear held
     end
   in
   let append buf s _r =
     match s with
-    | Iface.Send_later -> Queue.push buf held
+    | Iface.Send_later -> Bufs.push held buf
     | Iface.Send_safer | Iface.Send_cheaper ->
         (* Order: anything behind a pending LATER buffer must wait too. *)
-        if Queue.is_empty held then d.Tm.send_buffer buf
-        else Queue.push (queued_view buf s) held
+        if Bufs.is_empty held then d.Tm.send_buffer buf
+        else Bufs.push held (queued_view buf s)
   in
   { bs_name = "eager-dynamic"; append; commit = flush }
 
 let aggregating_dynamic_send (d : Tm.dynamic_send) =
-  let held = Queue.create () in
+  let held = Bufs.create () in
   let later_pending = ref false in
   let flush () =
-    if not (Queue.is_empty held) then begin
-      let bufs = List.of_seq (Queue.to_seq held) in
-      Queue.clear held;
+    if not (Bufs.is_empty held) then begin
       later_pending := false;
-      d.Tm.send_buffer_group bufs
+      d.Tm.send_buffer_group held;
+      Bufs.clear held
     end
   in
   let append buf s r =
-    Queue.push (queued_view buf s) held;
+    Bufs.push held (queued_view buf s);
     if s = Iface.Send_later then later_pending := true;
     (* The receiver should see EXPRESS data as soon as possible, so the
        aggregate is flushed right away — unless a LATER buffer is queued,
@@ -70,12 +73,11 @@ let aggregating_dynamic_send (d : Tm.dynamic_send) =
   { bs_name = "aggregating-dynamic"; append; commit = flush }
 
 let dynamic_recv (d : Tm.dynamic_recv) =
-  let deferred = Queue.create () in
+  let deferred = Bufs.create () in
   let drain () =
-    if not (Queue.is_empty deferred) then begin
-      let bufs = List.of_seq (Queue.to_seq deferred) in
-      Queue.clear deferred;
-      d.Tm.receive_buffer_group bufs
+    if not (Bufs.is_empty deferred) then begin
+      d.Tm.receive_buffer_group deferred;
+      Bufs.clear deferred
     end
   in
   let extract buf _s r =
@@ -83,7 +85,7 @@ let dynamic_recv (d : Tm.dynamic_recv) =
     | Iface.Receive_express ->
         drain ();
         d.Tm.receive_buffer buf
-    | Iface.Receive_cheaper -> Queue.push buf deferred
+    | Iface.Receive_cheaper -> Bufs.push deferred buf
   in
   { br_name = "dynamic"; extract; checkout = drain }
 
@@ -92,11 +94,12 @@ let static_copy_send (s : Tm.static_send) =
   if capacity <= 0 then invalid_arg "Bmm.static_copy_send: capacity <= 0";
   (* Buffers segment into slots by pure capacity arithmetic (the receiver
      mirrors the same arithmetic), but *shipping* a slot reads its
-     contents — which LATER forbids before commit. Completed slots
-     therefore queue up in [complete] and ship as soon as no LATER buffer
-     is pending, or at the latest on commit. *)
+     contents — which LATER forbids before commit. On the common path
+     (no LATER pending, nothing parked) a finished slot writes to the TM
+     straight out of [current]; only slots parked behind a LATER buffer
+     are snapshotted into [complete] to ship at the next opportunity. *)
   let complete : Buf.t list Queue.t = Queue.create () in
-  let current = Queue.create () in
+  let current = Bufs.create () in
   let fill = ref 0 in
   let later_pending = ref false in
   let ship_slot entries =
@@ -109,32 +112,51 @@ let static_copy_send (s : Tm.static_send) =
       ship_slot (Queue.pop complete)
     done
   in
+  let ship_current () =
+    s.Tm.obtain_static_buffer ();
+    Bufs.iter s.Tm.write_static current;
+    s.Tm.ship_static ();
+    Bufs.clear current;
+    fill := 0
+  in
   let close_current () =
-    if not (Queue.is_empty current) then begin
-      Queue.push (List.of_seq (Queue.to_seq current)) complete;
-      Queue.clear current;
+    if not (Bufs.is_empty current) then begin
+      Queue.push (Bufs.to_list current) complete;
+      Bufs.clear current;
       fill := 0
+    end
+  in
+  (* A slot boundary: [current] is full (or an oversized buffer needs a
+     fresh slot). Park it behind a pending LATER buffer, else ship —
+     directly when nothing is parked in front of it. *)
+  let close_boundary () =
+    if !later_pending then close_current ()
+    else if Queue.is_empty complete then ship_current ()
+    else begin
+      close_current ();
+      ship_complete ()
     end
   in
   let commit () =
     later_pending := false;
-    close_current ();
-    ship_complete ()
+    if Queue.is_empty complete then begin
+      if not (Bufs.is_empty current) then ship_current ()
+    end
+    else begin
+      close_current ();
+      ship_complete ()
+    end
   in
   let rec place buf s_mode =
     let remaining = capacity - !fill in
     if Buf.length buf <= remaining then begin
-      Queue.push (queued_view buf s_mode) current;
+      Bufs.push current (queued_view buf s_mode);
       if s_mode = Iface.Send_later then later_pending := true;
       fill := !fill + Buf.length buf;
-      if !fill = capacity then begin
-        close_current ();
-        if not !later_pending then ship_complete ()
-      end
+      if !fill = capacity then close_boundary ()
     end
     else if !fill > 0 then begin
-      close_current ();
-      if not !later_pending then ship_complete ();
+      close_boundary ();
       place buf s_mode
     end
     else begin

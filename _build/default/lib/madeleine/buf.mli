@@ -10,8 +10,18 @@ val make : ?off:int -> ?len:int -> Bytes.t -> t
 (** Defaults: the whole byte sequence. Raises [Invalid_argument] if the
     slice exceeds the bytes' bounds. *)
 
+val empty : t
+(** The zero-length descriptor (used as a neutral filler). *)
+
 val sub : t -> pos:int -> len:int -> t
 (** A sub-slice, relative to the descriptor's own offset. *)
+
+val stage : t -> t
+(** A snapshot of the slice in freshly owned storage: one host copy of
+    exactly the slice, no re-validation. This is the staging path for
+    [Send_safer] semantics — the only send mode that pays a real copy;
+    LATER and CHEAPER descriptors are passed through by reference. The
+    caller charges the simulated memcpy cost separately. *)
 
 val length : t -> int
 

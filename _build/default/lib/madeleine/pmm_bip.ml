@@ -49,7 +49,7 @@ let send_long_tm endpoint ~dst ~tag =
       Tm.Dynamic_send
         {
           Tm.send_buffer = send_one;
-          send_buffer_group = (fun bufs -> List.iter send_one bufs);
+          send_buffer_group = (fun bufs -> Bufs.iter send_one bufs);
         };
   }
 
@@ -96,7 +96,7 @@ let recv_long_tm endpoint ~from ~tag =
       Tm.Dynamic_recv
         {
           Tm.receive_buffer = recv_one;
-          receive_buffer_group = (fun bufs -> List.iter recv_one bufs);
+          receive_buffer_group = (fun bufs -> Bufs.iter recv_one bufs);
         };
     r_probe = (fun () -> Bip.probe endpoint ~src:from ~tag);
   }

@@ -40,9 +40,11 @@ let seg_id ~channel_id ~src ~kind = (channel_id * 1024) + (src * 8) + kind
 (* Sender half of a ring TM. [ship] performs the actual remote write
    (PIO or DMA); staging blits model no time — the remote write is the
    single data movement, as when packing straight into the mapped
-   segment. *)
-let ring_send_tm ~name ~geometry ~sem ~(ship : off:int -> Bytes.t -> unit) =
-  let staging = Bytes.create geometry.payload in
+   segment. The staging buffer is laid out as a complete slot frame
+   (header + payload) so shipping needs no per-slot frame allocation. *)
+let ring_send_tm ~name ~geometry ~sem
+    ~(ship : off:int -> len:int -> Bytes.t -> unit) =
+  let staging = Bytes.create (hdr + geometry.payload) in
   let fill = ref 0 in
   let idx = ref 0 in
   {
@@ -54,23 +56,21 @@ let ring_send_tm ~name ~geometry ~sem ~(ship : off:int -> Bytes.t -> unit) =
           obtain_static_buffer = (fun () -> Semaphore.acquire sem);
           write_static =
             (fun buf ->
-              Buf.blit_out buf staging !fill;
+              Buf.blit_out buf staging (hdr + !fill);
               fill := !fill + Buf.length buf);
           ship_static =
             (fun () ->
               let slot = !idx mod geometry.slots in
-              let frame = Bytes.create (hdr + !fill) in
-              Bytes.set_int32_le frame 0 (Int32.of_int !fill);
-              Bytes.set frame 4 '\001';
-              Bytes.blit staging 0 frame hdr !fill;
-              ship ~off:(slot * (hdr + geometry.payload)) frame;
+              Bytes.set_int32_le staging 0 (Int32.of_int !fill);
+              Bytes.set staging 4 '\001';
+              ship ~off:(slot * (hdr + geometry.payload)) ~len:(hdr + !fill)
+                staging;
               incr idx;
               fill := 0);
         };
   }
 
-let slot_flag_set seg ~off =
-  Bytes.get (Sisci.read seg ~off:(off + 4) ~len:1) 0 <> '\000'
+let slot_flag_set seg ~off = Sisci.get seg ~off:(off + 4) <> '\000'
 
 let rx_mode config =
   match config.Config.rx_interaction with
@@ -93,20 +93,18 @@ let ring_recv_tm ~name ~geometry ~sem ~seg ~mode =
               let off = slot_off () in
               Sisci.wait_until ~mode seg (fun seg -> slot_flag_set seg ~off);
               read_off := 0;
-              Int32.to_int
-                (Bytes.get_int32_le (Sisci.read seg ~off ~len:4) 0));
+              Sisci.get_int32_le seg ~off);
           read_static =
             (fun buf ->
               let off = slot_off () in
               memcpy_sleep (Buf.length buf);
-              Buf.blit_in buf
-                (Sisci.read seg ~off:(off + hdr + !read_off)
-                   ~len:(Buf.length buf))
-                0;
+              Sisci.read_into seg
+                ~off:(off + hdr + !read_off)
+                ~len:(Buf.length buf) buf.Buf.data ~pos:buf.Buf.off;
               read_off := !read_off + Buf.length buf);
           consume_static =
             (fun () ->
-              Sisci.write_local seg ~off:(slot_off () + 4) (Bytes.make 1 '\000');
+              Sisci.set seg ~off:(slot_off () + 4) '\000';
               incr idx;
               Semaphore.release sem);
         };
@@ -169,13 +167,16 @@ let driver (adapter_of : int -> Sisci.t) =
             [|
               ring_send_tm ~name:"sisci-short" ~geometry:short_geometry
                 ~sem:st.short_sem
-                ~ship:(fun ~off frame -> Sisci.pio_write rs_short ~off frame);
+                ~ship:(fun ~off ~len frame ->
+                  Sisci.pio_write_sub rs_short ~off frame ~pos:0 ~len);
               ring_send_tm ~name:"sisci-regular" ~geometry:reg_geometry
                 ~sem:st.regular_sem
-                ~ship:(fun ~off frame -> Sisci.pio_write rs_regular ~off frame);
+                ~ship:(fun ~off ~len frame ->
+                  Sisci.pio_write_sub rs_regular ~off frame ~pos:0 ~len);
               ring_send_tm ~name:"sisci-dma" ~geometry:dma_geometry
                 ~sem:st.dma_sem
-                ~ship:(fun ~off frame -> Sisci.dma_write rs_dma ~off frame);
+                ~ship:(fun ~off ~len frame ->
+                  Sisci.dma_write_sub rs_dma ~off frame ~pos:0 ~len);
             |]
           in
           Link.make_sender sel

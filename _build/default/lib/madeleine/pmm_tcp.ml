@@ -23,7 +23,7 @@ let send_tm conn =
         {
           Tm.send_buffer = (fun buf -> Tcpnet.send conn (Buf.to_bytes buf));
           send_buffer_group =
-            (fun bufs -> Tcpnet.send_group conn (List.map Buf.to_bytes bufs));
+            (fun bufs -> Tcpnet.send_group conn (Bufs.map_to_list Buf.to_bytes bufs));
         };
   }
 
@@ -39,7 +39,7 @@ let recv_tm conn =
               let data, off, len = slice buf in
               Tcpnet.recv conn data ~off ~len);
           receive_buffer_group =
-            (fun bufs -> Tcpnet.recv_group conn (List.map slice bufs));
+            (fun bufs -> Tcpnet.recv_group conn (Bufs.map_to_list slice bufs));
         };
     r_probe = (fun () -> Tcpnet.available conn > 0);
   }

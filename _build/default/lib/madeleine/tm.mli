@@ -17,14 +17,15 @@
 
 type dynamic_send = {
   send_buffer : Buf.t -> unit;  (** ship one buffer; blocking *)
-  send_buffer_group : Buf.t list -> unit;
+  send_buffer_group : Bufs.t -> unit;
       (** ship several buffers; protocols with scatter-gather pay their
-          per-operation overhead once *)
+          per-operation overhead once. The vector is owned by the
+          calling BMM: read it during the call, do not retain it. *)
 }
 
 type dynamic_recv = {
   receive_buffer : Buf.t -> unit;  (** fill one buffer; blocking *)
-  receive_buffer_group : Buf.t list -> unit;
+  receive_buffer_group : Bufs.t -> unit;
 }
 
 type static_send = {

@@ -1,1 +1,1 @@
-lib/marcel/engine.ml: Effect Heap List Printf Stdlib Time
+lib/marcel/engine.ml: Array Effect Eventq Printf Time

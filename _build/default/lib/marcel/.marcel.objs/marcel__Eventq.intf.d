@@ -1,0 +1,1 @@
+lib/marcel/eventq.mli: Time

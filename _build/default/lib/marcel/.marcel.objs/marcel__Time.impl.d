@@ -1,1 +1,1 @@
-lib/marcel/time.ml: Float Format Int64 Stdlib
+lib/marcel/time.ml: Float Format Int Stdlib

@@ -1,16 +1,16 @@
-type event = { time : Time.t; seq : int; action : unit -> unit }
-
 type thread_info = {
   thread_name : string;
   daemon : bool;
-  mutable blocked_on : string option;
+  mutable blocked_on : string; (* "" when runnable; otherwise why blocked *)
+  mutable reg_slot : int; (* index in the live registry; -1 once dead *)
 }
 
 type t = {
   mutable clock : Time.t;
   mutable seq : int;
-  events : event Heap.t;
-  mutable live : thread_info list;
+  events : Eventq.t;
+  mutable live : thread_info array; (* registry; [0, live_n) is valid *)
+  mutable live_n : int;
   mutable failure : exn option;
   mutable processed : int;
 }
@@ -25,16 +25,16 @@ type _ Effect.t +=
   | Suspend : string * (('a -> unit) -> unit) -> 'a Effect.t
   | Self_name : string Effect.t
 
-let cmp_event a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c else Stdlib.compare a.seq b.seq
+let no_thread =
+  { thread_name = "<none>"; daemon = true; blocked_on = ""; reg_slot = -1 }
 
 let create () =
   {
     clock = Time.zero;
     seq = 0;
-    events = Heap.create ~cmp:cmp_event;
-    live = [];
+    events = Eventq.create ();
+    live = [||];
+    live_n = 0;
     failure = None;
     processed = 0;
   }
@@ -44,20 +44,48 @@ let events_processed t = t.processed
 
 let schedule t time action =
   if Time.( < ) time t.clock then invalid_arg "Engine: scheduling in the past";
-  t.seq <- t.seq + 1;
-  Heap.push t.events { time; seq = t.seq; action }
+  let seq = t.seq + 1 in
+  t.seq <- seq;
+  Eventq.push t.events ~time ~seq action
 
 let at t time action = schedule t time action
 
 let sleep d = Effect.perform (Sleep d)
-let yield () = Effect.perform (Sleep 0L)
+let yield () = Effect.perform (Sleep 0)
 let suspend ~name register = Effect.perform (Suspend (name, register))
 let self_name () = Effect.perform Self_name
 
+(* O(1) registry bookkeeping: threads record their slot and leave by
+   swap-remove, so a storm of short-lived threads costs constant work
+   per exit instead of a scan of every live thread. *)
+let register t info =
+  let n = t.live_n in
+  if n = Array.length t.live then begin
+    let ncap = if n = 0 then 16 else 2 * n in
+    let grown = Array.make ncap no_thread in
+    Array.blit t.live 0 grown 0 n;
+    t.live <- grown
+  end;
+  t.live.(n) <- info;
+  info.reg_slot <- n;
+  t.live_n <- n + 1
+
+let unregister t info =
+  let i = info.reg_slot in
+  if i >= 0 then begin
+    let n = t.live_n - 1 in
+    let last = t.live.(n) in
+    t.live.(i) <- last;
+    last.reg_slot <- i;
+    t.live.(n) <- no_thread;
+    t.live_n <- n;
+    info.reg_slot <- -1
+  end
+
 let spawn t ?(daemon = false) ~name f =
-  let info = { thread_name = name; daemon; blocked_on = None } in
-  t.live <- info :: t.live;
-  let finish () = t.live <- List.filter (fun i -> i != info) t.live in
+  let info = { thread_name = name; daemon; blocked_on = ""; reg_slot = -1 } in
+  register t info;
+  let finish () = unregister t info in
   let handler : (unit, unit) Effect.Deep.handler =
     {
       retc = (fun () -> finish ());
@@ -71,20 +99,20 @@ let spawn t ?(daemon = false) ~name f =
           | Sleep d ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  info.blocked_on <- Some "sleep";
+                  info.blocked_on <- "sleep";
                   schedule t (Time.add t.clock d) (fun () ->
-                      info.blocked_on <- None;
+                      info.blocked_on <- "";
                       Effect.Deep.continue k ()))
           | Suspend (why, register) ->
               Some
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  info.blocked_on <- Some why;
+                  info.blocked_on <- why;
                   let resumed = ref false in
                   let wake v =
                     if not !resumed then begin
                       resumed := true;
                       schedule t t.clock (fun () ->
-                          info.blocked_on <- None;
+                          info.blocked_on <- "";
                           Effect.Deep.continue k v)
                     end
                   in
@@ -101,20 +129,19 @@ let spawn t ?(daemon = false) ~name f =
 let run_until t deadline =
   if Time.( < ) deadline t.clock then
     invalid_arg "Engine.run_until: deadline in the past";
+  let q = t.events in
+  let dl : int = deadline in
   let rec loop () =
     match t.failure with
     | Some e ->
         t.failure <- None;
         raise e
     | None ->
-        if
-          (not (Heap.is_empty t.events))
-          && Time.( <= ) (Heap.peek t.events).time deadline
-        then begin
-          let ev = Heap.pop t.events in
-          t.clock <- ev.time;
+        if (not (Eventq.is_empty q)) && Eventq.min_time_ns q <= dl then begin
+          t.clock <- Eventq.min_time q;
+          let act = Eventq.take q in
           t.processed <- t.processed + 1;
-          ev.action ();
+          act ();
           loop ()
         end
   in
@@ -122,28 +149,28 @@ let run_until t deadline =
   t.clock <- deadline
 
 let run t =
+  let q = t.events in
   let rec loop () =
     match t.failure with
     | Some e ->
         t.failure <- None;
         raise e
     | None ->
-        if not (Heap.is_empty t.events) then begin
-          let ev = Heap.pop t.events in
-          t.clock <- ev.time;
+        if not (Eventq.is_empty q) then begin
+          t.clock <- Eventq.min_time q;
+          let act = Eventq.take q in
           t.processed <- t.processed + 1;
-          ev.action ();
+          act ();
           loop ()
         end
   in
   loop ();
-  let blocked =
-    List.filter_map
-      (fun i ->
-        match i.blocked_on with
-        | Some why when not i.daemon ->
-            Some (Printf.sprintf "%s (on %s)" i.thread_name why)
-        | Some _ | None -> None)
-      t.live
-  in
-  if blocked <> [] then raise (Stalled blocked)
+  let blocked = ref [] in
+  for i = t.live_n - 1 downto 0 do
+    let info = t.live.(i) in
+    let why = info.blocked_on in
+    if why <> "" && not info.daemon then
+      blocked :=
+        Printf.sprintf "%s (on %s)" info.thread_name why :: !blocked
+  done;
+  if !blocked <> [] then raise (Stalled !blocked)

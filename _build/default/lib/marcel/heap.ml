@@ -1,6 +1,12 @@
+(* Slots above [size] always hold [None]: [pop] clears the slot it
+   vacates, so a popped element (and anything its closure captures) is
+   collectible as soon as the caller drops it. The engine's hot event
+   queue is the monomorphic {!Eventq}; this generic heap stays for
+   arbitrary ordered collections. *)
+
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -8,11 +14,13 @@ let create ~cmp = { cmp; data = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h x =
+let get h i = match h.data.(i) with Some x -> x | None -> assert false
+
+let grow h =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else 2 * cap in
-    let ndata = Array.make ncap x in
+    let ndata = Array.make ncap None in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
   end
@@ -25,7 +33,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+    if h.cmp (get h i) (get h parent) < 0 then begin
       swap h i parent;
       sift_up h parent
     end
@@ -34,27 +42,29 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if l < h.size && h.cmp (get h l) (get h !smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp (get h r) (get h !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h x =
-  grow h x;
-  h.data.(h.size) <- x;
+  grow h;
+  h.data.(h.size) <- Some x;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let peek h = if h.size = 0 then raise Not_found else h.data.(0)
+let peek h = if h.size = 0 then raise Not_found else get h 0
 
 let pop h =
   if h.size = 0 then raise Not_found;
-  let top = h.data.(0) in
+  let top = get h 0 in
   h.size <- h.size - 1;
   if h.size > 0 then begin
     h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
     sift_down h 0
-  end;
+  end
+  else h.data.(0) <- None;
   top

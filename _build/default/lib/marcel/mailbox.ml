@@ -3,17 +3,22 @@ type 'a t = {
   items : 'a Queue.t;
   takers : ('a -> unit) Queue.t;
   putters : (unit -> unit) Queue.t;
+  reg_taker : ('a -> unit) -> unit; (* preallocated suspend registrars *)
+  reg_putter : (unit -> unit) -> unit;
 }
 
 let create ?capacity () =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Mailbox.create: capacity <= 0"
   | Some _ | None -> ());
+  let takers = Queue.create () and putters = Queue.create () in
   {
     capacity;
     items = Queue.create ();
-    takers = Queue.create ();
-    putters = Queue.create ();
+    takers;
+    putters;
+    reg_taker = (fun wake -> Queue.push wake takers);
+    reg_putter = (fun wake -> Queue.push wake putters);
   }
 
 let length t = Queue.length t.items
@@ -22,28 +27,29 @@ let full t =
   match t.capacity with None -> false | Some c -> Queue.length t.items >= c
 
 let rec put t v =
-  match Queue.take_opt t.takers with
-  | Some taker -> taker v
-  | None ->
+  if not (Queue.is_empty t.takers) then (Queue.pop t.takers) v
+  else begin
       if full t then begin
-        Engine.suspend ~name:"mailbox.put" (fun wake ->
-            Queue.push wake t.putters);
+        Engine.suspend ~name:"mailbox.put" t.reg_putter;
         (* Another thread may have refilled the box while our wake-up was
            pending; re-check from scratch. *)
         put t v
       end
       else Queue.push v t.items
+  end
 
 let take t =
-  match Queue.take_opt t.items with
-  | Some v ->
-      (match Queue.take_opt t.putters with Some w -> w () | None -> ());
-      v
-  | None -> Engine.suspend ~name:"mailbox.take" (fun wake -> Queue.push wake t.takers)
+  if not (Queue.is_empty t.items) then begin
+    let v = Queue.pop t.items in
+    if not (Queue.is_empty t.putters) then (Queue.pop t.putters) ();
+    v
+  end
+  else Engine.suspend ~name:"mailbox.take" t.reg_taker
 
 let take_opt t =
-  match Queue.take_opt t.items with
-  | Some v ->
-      (match Queue.take_opt t.putters with Some w -> w () | None -> ());
-      Some v
-  | None -> None
+  if Queue.is_empty t.items then None
+  else begin
+    let v = Queue.pop t.items in
+    if not (Queue.is_empty t.putters) then (Queue.pop t.putters) ();
+    Some v
+  end

@@ -1,56 +1,57 @@
-type t = int64
-type span = int64
+type t = int
+type span = int
 
-let zero = 0L
-let compare = Int64.compare
-let equal = Int64.equal
-let ( <= ) a b = Int64.compare a b <= 0
-let ( < ) a b = Int64.compare a b < 0
+let zero = 0
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) (a : int) (b : int) = Stdlib.( <= ) a b
+let ( < ) (a : int) (b : int) = Stdlib.( < ) a b
 
 let add t d =
-  if Stdlib.( < ) (Int64.compare d 0L) 0 then invalid_arg "Time.add: negative span";
-  Int64.add t d
+  if Stdlib.( < ) (d : int) 0 then invalid_arg "Time.add: negative span";
+  t + d
 
 let diff later earlier =
-  let d = Int64.sub later earlier in
-  if Stdlib.( < ) (Int64.compare d 0L) 0 then invalid_arg "Time.diff: negative result";
+  let d = later - earlier in
+  if Stdlib.( < ) (d : int) 0 then invalid_arg "Time.diff: negative result";
   d
 
 let ns n =
-  if Stdlib.( < ) n 0 then invalid_arg "Time.ns: negative";
-  Int64.of_int n
+  if Stdlib.( < ) (n : int) 0 then invalid_arg "Time.ns: negative";
+  n
 
 let of_float_ns f =
   if Stdlib.( < ) f 0.0 then invalid_arg "Time: negative span";
-  Int64.of_float (Float.round f)
+  int_of_float (Float.round f)
 
 let us f = of_float_ns (f *. 1e3)
 let ms f = of_float_ns (f *. 1e6)
 let s f = of_float_ns (f *. 1e9)
 
 let span_add = add
-let span_mul d k =
-  if Stdlib.( < ) k 0 then invalid_arg "Time.span_mul: negative factor";
-  Int64.mul d (Int64.of_int k)
 
-let span_scale d f = of_float_ns (Int64.to_float d *. f)
+let span_mul d k =
+  if Stdlib.( < ) (k : int) 0 then invalid_arg "Time.span_mul: negative factor";
+  d * k
+
+let span_scale d f = of_float_ns (float_of_int d *. f)
 
 let to_ns t = t
-let to_us t = Int64.to_float t /. 1e3
-let to_ms t = Int64.to_float t /. 1e6
-let to_s t = Int64.to_float t /. 1e9
+let to_us t = float_of_int t /. 1e3
+let to_ms t = float_of_int t /. 1e6
+let to_s t = float_of_int t /. 1e9
 
 let bytes_at_rate ~bytes_count ~mb_per_s =
   if Stdlib.( <= ) mb_per_s 0.0 then invalid_arg "Time.bytes_at_rate: rate <= 0";
   of_float_ns (float_of_int bytes_count /. mb_per_s *. 1e3)
 
 let rate_mb_s ~bytes_count span =
-  if Int64.equal span 0L then invalid_arg "Time.rate_mb_s: zero span";
-  float_of_int bytes_count /. (Int64.to_float span /. 1e3)
+  if Int.equal span 0 then invalid_arg "Time.rate_mb_s: zero span";
+  float_of_int bytes_count /. (float_of_int span /. 1e3)
 
 let pp ppf t =
-  let f = Int64.to_float t in
-  if Stdlib.( < ) f 1e3 then Format.fprintf ppf "%Ldns" t
+  let f = float_of_int t in
+  if Stdlib.( < ) f 1e3 then Format.fprintf ppf "%dns" t
   else if Stdlib.( < ) f 1e6 then Format.fprintf ppf "%.2fus" (f /. 1e3)
   else if Stdlib.( < ) f 1e9 then Format.fprintf ppf "%.3fms" (f /. 1e6)
   else Format.fprintf ppf "%.3fs" (f /. 1e9)

@@ -1,1 +1,1 @@
-lib/mpilite/pmm_mpi.ml: Bytes List Madeleine Mpi Printf
+lib/mpilite/pmm_mpi.ml: Bytes Madeleine Mpi Printf

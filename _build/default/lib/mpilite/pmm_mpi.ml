@@ -9,6 +9,7 @@
    per-connection FIFO order follows from MPI's non-overtaking rule. *)
 
 module Buf = Madeleine.Buf
+module Bufs = Madeleine.Bufs
 module Tm = Madeleine.Tm
 module Link = Madeleine.Link
 module Bmm = Madeleine.Bmm
@@ -22,7 +23,7 @@ let send_tm ctx ~dst ~tag =
       Tm.Dynamic_send
         {
           Tm.send_buffer = send_one;
-          send_buffer_group = (fun bufs -> List.iter send_one bufs);
+          send_buffer_group = (fun bufs -> Bufs.iter send_one bufs);
         };
   }
 
@@ -43,7 +44,7 @@ let recv_tm ctx ~from ~tag =
       Tm.Dynamic_recv
         {
           Tm.receive_buffer = recv_one;
-          receive_buffer_group = (fun bufs -> List.iter recv_one bufs);
+          receive_buffer_group = (fun bufs -> Bufs.iter recv_one bufs);
         };
     r_probe = (fun () -> Mpi.iprobe ctx ~src:from ~tag <> None);
   }

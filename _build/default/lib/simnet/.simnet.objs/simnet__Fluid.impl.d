@@ -1,1 +1,1 @@
-lib/simnet/fluid.ml: Float Int64 List Marcel Option
+lib/simnet/fluid.ml: Float List Marcel Option

@@ -11,7 +11,7 @@ type stage = {
   prop : Time.span;
 }
 
-let stage ?use ?(per_fragment = 0L) ?(prop = 0L) label =
+let stage ?use ?(per_fragment = 0) ?(prop = 0) label =
   { label; use; per_fragment; prop }
 
 let fragment_sizes ~bytes_count ~mtu =
@@ -38,12 +38,12 @@ let run engine ~stages ~bytes_count ~mtu =
       Engine.spawn engine ~name:("pipeline:" ^ st.label) (fun () ->
           for _ = 1 to nfrag do
             let frag = Mailbox.take boxes.(i) in
-            if Stdlib.( > ) st.per_fragment 0L then Engine.sleep st.per_fragment;
+            if Stdlib.( > ) st.per_fragment 0 then Engine.sleep st.per_fragment;
             (match st.use with
             | Some { fluid; weight; rate_cap; cls } ->
                 Fluid.transfer fluid ~bytes_count:frag ~weight ?rate_cap ~cls ()
             | None -> ());
-            if Time.equal st.prop 0L then Mailbox.put boxes.(i + 1) frag
+            if Time.equal st.prop 0 then Mailbox.put boxes.(i + 1) frag
             else begin
               let deliver_at = Time.add (Engine.now engine) st.prop in
               Engine.at engine deliver_at (fun () ->

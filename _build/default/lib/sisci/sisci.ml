@@ -28,10 +28,17 @@ and net = {
   fabric : Fabric.t;
   adapters : (int, t) Hashtbl.t;
   streams : (int * int, Simnet.Stream.t) Hashtbl.t;
+  mutable spool : Bytes.t list; (* recycled write-snapshot buffers *)
 }
 
 let make_net engine fabric =
-  { engine; fabric; adapters = Hashtbl.create 16; streams = Hashtbl.create 16 }
+  {
+    engine;
+    fabric;
+    adapters = Hashtbl.create 16;
+    streams = Hashtbl.create 16;
+    spool = [];
+  }
 
 let attach net node =
   if Hashtbl.mem net.adapters node.Node.id then
@@ -39,7 +46,7 @@ let attach net node =
   if not (Fabric.attached net.fabric node) then
     invalid_arg "Sisci.attach: node not on the fabric";
   let t =
-    { net; adapter_node = node; segments = Hashtbl.create 16; polled = 0L }
+    { net; adapter_node = node; segments = Hashtbl.create 16; polled = 0 }
   in
   Hashtbl.add net.adapters node.Node.id t;
   t
@@ -77,6 +84,25 @@ let check_bounds mem ~off ~len op =
   if off < 0 || len < 0 || off + len > Bytes.length mem then
     invalid_arg (op ^ ": out of segment bounds")
 
+(* Posted writes snapshot their payload so the sender may reuse its
+   staging buffer immediately; the snapshots are recycled through a
+   free list once delivered, so steady-state traffic allocates nothing
+   on the major heap. Exact-size matching keeps a byte pool per frame
+   geometry (slot frames, rendezvous bodies) without waste. *)
+let spool_get net len =
+  let rec go acc = function
+    | [] -> Bytes.create len
+    | b :: rest ->
+        if Bytes.length b = len then begin
+          net.spool <- List.rev_append acc rest;
+          b
+        end
+        else go (b :: acc) rest
+  in
+  go [] net.spool
+
+let spool_put net b = net.spool <- b :: net.spool
+
 (* Deliver the payload into the remote segment and re-arm every poller. *)
 let commit_write rs ~off data =
   let seg = rs.remote in
@@ -89,6 +115,7 @@ let commit_write rs ~off data =
 let set_data_hook seg hook = seg.data_hooks <- hook :: seg.data_hooks
 
 let wire_use fluid = { Pipeline.fluid; weight = 1.0; rate_cap = None; cls = 0 }
+let nothing () = ()
 
 (* The SCI stream between two adapters: a persistent FIFO pipeline
    carrying posted writes from the sender's NIC to the receiver's memory
@@ -121,52 +148,87 @@ let stream rs =
 
 (* Both write paths return once the data has been pulled through the
    local PCI bus (posted writes / completed DMA descriptor reads); the
-   SCI stream delivers to remote memory asynchronously, in order. *)
-let remote_write rs ~off data ~src_use ~setup =
-  check_bounds rs.remote.mem ~off ~len:(Bytes.length data) "Sisci.pio_write";
+   SCI stream delivers to remote memory asynchronously, in order. The
+   snapshot for the asynchronous delivery doubles as the only host copy:
+   callers may hand a sub-range of a reusable staging buffer. *)
+let remote_write rs ~off data ~pos ~len ~src_use ~setup =
+  if pos < 0 || len < 0 || pos + len > Bytes.length data then
+    invalid_arg "Sisci.remote_write: bad source range";
+  check_bounds rs.remote.mem ~off ~len "Sisci.pio_write";
   Engine.sleep setup;
   let { Pipeline.fluid; weight; rate_cap; cls } = src_use in
-  let staged = Bytes.copy data in
+  let net = rs.local_end.net in
+  let staged = spool_get net len in
+  Bytes.blit data pos staged 0 len;
   let st = stream rs in
-  let total = Bytes.length data in
+  let total = len in
   let grain = (Fabric.link rs.local_end.net.fabric).Netparams.hw_mtu in
   (* Interleave the local PCI crossing with stream injection at packet
      grain: SCI forwards data as the bridge emits it, so remote delivery
      overlaps the issuing CPU's stores instead of trailing them. *)
+  let deliver () =
+    commit_write rs ~off staged;
+    spool_put net staged
+  in
   let rec go sent =
     let chunk = min grain (total - sent) in
     let last = sent + chunk >= total in
     Fluid.transfer fluid ~bytes_count:chunk ~weight ?rate_cap ~cls ();
     Simnet.Stream.push st ~bytes_count:chunk
-      ~on_delivered:
-        (if last then fun () -> commit_write rs ~off staged else fun () -> ());
+      ~on_delivered:(if last then deliver else nothing);
     if not last then go (sent + chunk)
   in
   go 0
 
+let pio_use rs = Simnet.Xfer.pci_use rs.local_end.adapter_node Simnet.Xfer.Pio
+
+let dma_use rs =
+  {
+    Pipeline.fluid = rs.local_end.adapter_node.Node.pci;
+    weight = Netparams.pci_weight_dma;
+    rate_cap = Some Netparams.sisci_dma_rate_cap_mb_s;
+    cls = 0;
+  }
+
 let pio_write rs ~off data =
-  remote_write rs ~off data
-    ~src_use:(Simnet.Xfer.pci_use rs.local_end.adapter_node Simnet.Xfer.Pio)
+  remote_write rs ~off data ~pos:0 ~len:(Bytes.length data) ~src_use:(pio_use rs)
+    ~setup:Netparams.sisci_pio_overhead
+
+let pio_write_sub rs ~off data ~pos ~len =
+  remote_write rs ~off data ~pos ~len ~src_use:(pio_use rs)
     ~setup:Netparams.sisci_pio_overhead
 
 let dma_write rs ~off data =
-  remote_write rs ~off data
-    ~src_use:
-      {
-        Pipeline.fluid = rs.local_end.adapter_node.Node.pci;
-        weight = Netparams.pci_weight_dma;
-        rate_cap = Some Netparams.sisci_dma_rate_cap_mb_s;
-        cls = 0;
-      }
+  remote_write rs ~off data ~pos:0 ~len:(Bytes.length data)
+    ~src_use:(dma_use rs) ~setup:Netparams.sisci_dma_setup
+
+let dma_write_sub rs ~off data ~pos ~len =
+  remote_write rs ~off data ~pos ~len ~src_use:(dma_use rs)
     ~setup:Netparams.sisci_dma_setup
 
 let read seg ~off ~len =
   check_bounds seg.mem ~off ~len "Sisci.read";
   Bytes.sub seg.mem off len
 
+let get seg ~off =
+  check_bounds seg.mem ~off ~len:1 "Sisci.get";
+  Bytes.unsafe_get seg.mem off
+
+let get_int32_le seg ~off =
+  check_bounds seg.mem ~off ~len:4 "Sisci.get_int32_le";
+  Int32.to_int (Bytes.get_int32_le seg.mem off)
+
+let read_into seg ~off ~len dst ~pos =
+  check_bounds seg.mem ~off ~len "Sisci.read_into";
+  Bytes.blit seg.mem off dst pos len
+
 let write_local seg ~off data =
   check_bounds seg.mem ~off ~len:(Bytes.length data) "Sisci.write_local";
   Bytes.blit data 0 seg.mem off (Bytes.length data)
+
+let set seg ~off c =
+  check_bounds seg.mem ~off ~len:1 "Sisci.set";
+  Bytes.unsafe_set seg.mem off c
 
 type rx_wait = Poll | Interrupt | Adaptive of Time.span
 

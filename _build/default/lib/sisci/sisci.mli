@@ -44,16 +44,47 @@ val pio_write : remote_segment -> off:int -> Bytes.t -> unit
     asynchronously and in order. Writes from one node to one segment
     become remotely visible in issue order. *)
 
+val pio_write_sub :
+  remote_segment -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+(** {!pio_write} from a sub-range of [data]. The internal snapshot taken
+    for the asynchronous delivery is the only host copy, so callers can
+    ship straight out of a reusable staging buffer with no intermediate
+    frame allocation. Same simulated cost as {!pio_write} of [len]
+    bytes. *)
+
 val dma_write : remote_segment -> off:int -> Bytes.t -> unit
 (** Posts a DMA descriptor; blocks while the engine pulls the data
     through the local PCI bus (35 MB/s ceiling on the D310), delivery
     completing asynchronously like {!pio_write}. *)
 
+val dma_write_sub :
+  remote_segment -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+(** {!dma_write} from a sub-range of [data]; see {!pio_write_sub}. *)
+
 val read : local_segment -> off:int -> len:int -> Bytes.t
 (** CPU read of local segment memory (free: it is plain local RAM). *)
 
+val get : local_segment -> off:int -> char
+(** One-byte CPU read of local segment memory, allocation-free — for
+    flag polling, where {!read}'s per-call [Bytes.sub] would dominate
+    host time. Free in simulated time, like {!read}. *)
+
+val get_int32_le : local_segment -> off:int -> int
+(** Little-endian 32-bit CPU read of local segment memory,
+    allocation-free (e.g. slot length headers). *)
+
+val read_into :
+  local_segment -> off:int -> len:int -> Bytes.t -> pos:int -> unit
+(** Copies [len] bytes of local segment memory starting at [off] into
+    [dst] at [pos] without allocating an intermediate. Free in simulated
+    time; charge any modelled memcpy cost separately. *)
+
 val write_local : local_segment -> off:int -> Bytes.t -> unit
 (** CPU store into one's own segment (e.g. resetting a flag). Free. *)
+
+val set : local_segment -> off:int -> char -> unit
+(** One-byte CPU store into one's own segment, allocation-free (e.g.
+    resetting a valid flag). Free in simulated time. *)
 
 type rx_wait =
   | Poll  (** spin on the flag: fastest detection, burns the CPU *)

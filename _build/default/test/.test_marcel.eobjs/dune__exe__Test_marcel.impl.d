@@ -1,1 +1,1 @@
-test/test_marcel.ml: Alcotest Gen Int64 List Marcel Printf QCheck QCheck_alcotest String
+test/test_marcel.ml: Alcotest Gen List Marcel Printf QCheck QCheck_alcotest String

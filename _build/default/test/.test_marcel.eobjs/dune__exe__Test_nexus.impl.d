@@ -1,1 +1,1 @@
-test/test_nexus.ml: Alcotest Array Bytes Fun Harness Int64 List Madeleine Marcel Nexus Printf Simnet Sisci Tcpnet
+test/test_nexus.ml: Alcotest Array Bytes Fun Harness List Madeleine Marcel Nexus Printf Simnet Sisci Tcpnet

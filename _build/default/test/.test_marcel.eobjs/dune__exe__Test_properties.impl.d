@@ -1,1 +1,1 @@
-test/test_properties.ml: Alcotest Array Buffer Bytes Clusterfile Fun Gen Harness Int64 List Madeleine Marcel Mpilite Pm2 Printf QCheck QCheck_alcotest Simnet String Tcpnet
+test/test_properties.ml: Alcotest Array Buffer Bytes Clusterfile Fun Gen Harness Int Int64 List Madeleine Marcel Mpilite Pm2 Printf QCheck QCheck_alcotest Simnet String Tcpnet

@@ -1,1 +1,1 @@
-test/test_simnet.ml: Alcotest Bytes Float Gen Int64 List Marcel Printf QCheck QCheck_alcotest Simnet
+test/test_simnet.ml: Alcotest Bytes Float Gen List Marcel Printf QCheck QCheck_alcotest Simnet

@@ -380,7 +380,7 @@ let pingpong w ~bytes_count ~iters =
   Engine.run w.engine;
   let total = Time.diff !finished !started in
   (* One-way time. *)
-  Int64.div total (Int64.of_int (2 * iters))
+  total / (2 * iters)
 
 let test_sisci_latency_calibration () =
   (* Paper Fig. 4: minimal latency 3.9 us over SISCI/SCI. *)

@@ -382,7 +382,7 @@ let mpi_pingpong kind ~bytes_count ~iters =
         Mpi.send c ~dst:0 ~tag:0 buf
       done);
   Engine.run w.engine;
-  Int64.div (Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+  Time.diff !t1 !t0 / (2 * iters)
 
 let test_fig6_latencies () =
   (* Paper: MPICH/Madeleine latency "does not compare favorably" to the

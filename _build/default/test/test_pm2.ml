@@ -135,7 +135,7 @@ let test_rpc_roundtrip_latency () =
         Pm2.Completion.signal t c)
   in
   let iters = 20 in
-  let elapsed = ref 0L in
+  let elapsed = ref 0 in
   Engine.spawn w.H.engine ~name:"caller" (fun () ->
       let t0 = Engine.now w.H.engine in
       for _ = 1 to iters do
@@ -145,7 +145,7 @@ let test_rpc_roundtrip_latency () =
       done;
       elapsed := Time.diff (Engine.now w.H.engine) t0);
   Engine.run w.H.engine;
-  let per_rt = Int64.to_float !elapsed /. 1e3 /. float_of_int iters in
+  let per_rt = float_of_int !elapsed /. 1e3 /. float_of_int iters in
   Alcotest.(check bool)
     (Printf.sprintf "round trip %.2fus in [8, 20]" per_rt)
     true

@@ -247,11 +247,50 @@ let prop_engine_sleep_ordering =
       List.iteri
         (fun i d ->
           Engine.spawn e ~name:(string_of_int i) (fun () ->
-              Engine.sleep (Int64.of_int d);
+              Engine.sleep d;
               woke := d :: !woke))
         delays;
       Engine.run e;
       List.rev !woke = List.stable_sort compare delays)
+
+(* The monomorphic event queue pops in exactly the order a reference
+   model predicts: stable (time, seq) order, FIFO on equal times. Random
+   push/pop interleavings exercise hole-bubbling in both directions and
+   the slot-clearing take path. *)
+let prop_eventq_model =
+  QCheck.Test.make ~name:"event queue matches reference model" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 200) (option (int_range 0 30)))
+    (fun ops ->
+      let module Eq = Marcel.Eventq in
+      let q = Eq.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let popped = ref [] in
+      let expected = ref [] in
+      let key_order (t1, s1) (t2, s2) =
+        if t1 <> t2 then compare t1 t2 else compare s1 s2
+      in
+      let pop_both () =
+        match List.sort key_order !model with
+        | [] -> assert (Eq.is_empty q)
+        | min :: rest ->
+            expected := min :: !expected;
+            model := rest;
+            (Eq.take q) ()
+      in
+      List.iter
+        (function
+          | Some time ->
+              incr seq;
+              let s = !seq in
+              Eq.push q ~time ~seq:s (fun () -> popped := (time, s) :: !popped);
+              model := (time, s) :: !model
+          | None -> pop_both ())
+        ops;
+      while not (Eq.is_empty q) do
+        pop_both ()
+      done;
+      !model = [] && List.rev !popped = List.rev !expected)
 
 (* MPI allreduce computes the same sum at every rank, any world size. *)
 let prop_mpi_allreduce_sum =
@@ -443,7 +482,7 @@ let prop_determinism =
       let run () =
         Marcel.Time.to_ns (H.mad_pingpong (H.bip_world ()) ~bytes_count:n ~iters:3)
       in
-      Int64.equal (run ()) (run ()))
+      Int.equal (run ()) (run ()))
 
 let () =
   Alcotest.run "properties"
@@ -460,6 +499,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_mpi_matching;
           QCheck_alcotest.to_alcotest prop_tcp_segmentation;
           QCheck_alcotest.to_alcotest prop_engine_sleep_ordering;
+          QCheck_alcotest.to_alcotest prop_eventq_model;
           QCheck_alcotest.to_alcotest prop_mpi_allreduce_sum;
           QCheck_alcotest.to_alcotest prop_pm2_rpc_storm;
           QCheck_alcotest.to_alcotest prop_random_cluster_chain;

@@ -9,9 +9,9 @@ let check_i64 = Alcotest.(check int64)
 
 (* Virtual-time tolerance for fluid-model rounding: one microsecond. *)
 let close_to expected actual msg =
-  let d = Int64.abs (Int64.sub expected actual) in
-  if Int64.compare d (Time.us 1.0) > 0 then
-    Alcotest.failf "%s: expected %Ldns, got %Ldns" msg expected actual
+  let d = abs (expected - actual) in
+  if d > Time.us 1.0 then
+    Alcotest.failf "%s: expected %dns, got %dns" msg expected actual
 
 let run_timed f =
   let e = Engine.create () in
@@ -100,7 +100,7 @@ let test_fluid_zero_bytes_instant () =
         let f = Fluid.create e ~name:"bus" ~capacity_mb_s:100.0 () in
         Fluid.transfer f ~bytes_count:0 ~weight:1.0 ())
   in
-  check_i64 "instant" 0L d
+  Alcotest.(check int) "instant" 0 d
 
 let test_fluid_fair_sharing () =
   (* Two equal transfers share the bus; each effectively gets half. *)
@@ -218,8 +218,8 @@ let prop_fluid_work_conservation =
       let lower = Time.bytes_at_rate ~bytes_count:total ~mb_per_s:100.0 in
       let slack = Time.us 2.0 in
       let finished = Engine.now e in
-      Int64.compare (Int64.add finished slack) lower >= 0
-      && Int64.compare finished (Int64.add lower slack) <= 0
+      finished + slack >= lower
+      && finished <= lower + slack
       && Float.abs (Fluid.total_bytes f -. float_of_int total) < 1.0)
 
 let prop_fluid_conserves_time =
@@ -233,8 +233,8 @@ let prop_fluid_conserves_time =
           Fluid.transfer f ~bytes_count ~weight:1.0 ());
       Engine.run e;
       let expect = Time.bytes_at_rate ~bytes_count ~mb_per_s:capacity in
-      let d = Int64.abs (Int64.sub (Engine.now e) expect) in
-      Int64.compare d (Time.us 1.0) <= 0)
+      let d = abs (Engine.now e - expect) in
+      d <= Time.us 1.0)
 
 (* ------------------------------------------------------------------ *)
 (* Node / Fabric *)
@@ -276,11 +276,11 @@ let test_node_pci_dma_starves_pio () =
       ~mb_per_s:(Simnet.Netparams.pci_capacity_mb_s
                  *. Simnet.Netparams.pci_mixed_contention_factor /. 3.0)
   in
-  let d = Int64.abs (Int64.sub expected !pio_done) in
+  let d = abs (expected - !pio_done) in
   Alcotest.(check bool)
-    (Printf.sprintf "PIO starved (expected ~%Ld, got %Ld)" expected !pio_done)
+    (Printf.sprintf "PIO starved (expected ~%d, got %d)" expected !pio_done)
     true
-    (Int64.compare d (Time.us 50.0) <= 0)
+    (d <= Time.us 50.0)
 
 (* Stream: persistent FIFO pipeline *)
 
@@ -466,8 +466,8 @@ let prop_pipeline_single_stage_duration =
       let expect = Time.bytes_at_rate ~bytes_count ~mb_per_s:100.0 in
       let nfrag = (bytes_count + mtu - 1) / mtu in
       (* Each fragment completion can round up by 1ns. *)
-      let slack = Int64.add (Time.us 1.0) (Int64.of_int nfrag) in
-      Int64.compare (Int64.abs (Int64.sub (Engine.now e) expect)) slack <= 0)
+      let slack = Time.us 1.0 + nfrag in
+      abs (Engine.now e - expect) <= slack)
 
 (* ------------------------------------------------------------------ *)
 

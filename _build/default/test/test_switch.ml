@@ -16,6 +16,7 @@ module Mad = Madeleine.Api
 module Channel = Madeleine.Channel
 module Iface = Madeleine.Iface
 module Tm = Madeleine.Tm
+module Bufs = Madeleine.Bufs
 module Link = Madeleine.Link
 module Bmm = Madeleine.Bmm
 module Driver = Madeleine.Driver
@@ -73,8 +74,8 @@ let send_tms wire =
             send_buffer_group =
               (fun bufs ->
                 log wire
-                  (Printf.sprintf "send_buffer_group(%d)" (List.length bufs));
-                List.iter
+                  (Printf.sprintf "send_buffer_group(%d)" (Bufs.length bufs));
+                Bufs.iter
                   (fun buf ->
                     Marcel.Mailbox.put wire.dyn_q (Madeleine.Buf.to_bytes buf))
                   bufs);
@@ -124,8 +125,8 @@ let recv_tms wire =
             receive_buffer_group =
               (fun bufs ->
                 log wire
-                  (Printf.sprintf "receive_buffer_group(%d)" (List.length bufs));
-                List.iter
+                  (Printf.sprintf "receive_buffer_group(%d)" (Bufs.length bufs));
+                Bufs.iter
                   (fun buf ->
                     Madeleine.Buf.blit_in buf (Marcel.Mailbox.take wire.dyn_q) 0)
                   bufs);
@@ -323,6 +324,41 @@ let test_eager_mode_sends_per_field () =
     [ "send_buffer(5000)"; "send_buffer(6000)" ]
     sends
 
+let test_later_not_staged_safer_staged () =
+  (* Paper Table: send_SAFER lets the user reuse the buffer immediately
+     (the BMM snapshots it at pack time); send_LATER defers the read to
+     the commit, so mutations made before end_packing travel on the
+     wire. Both fields are dynamic-TM sized and aggregate in the same
+     BMM, so the flush happens at end_packing, after the mutations. *)
+  let engine, _wire, channel = make_world () in
+  let ep0 = Channel.endpoint channel ~rank:0 in
+  let ep1 = Channel.endpoint channel ~rank:1 in
+  let later = Bytes.make 200 'L' in
+  let safer = Bytes.make 200 'S' in
+  let got_later = Bytes.create 200 in
+  let got_safer = Bytes.create 200 in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      let oc = Mad.begin_packing ep0 ~remote:1 in
+      Mad.pack oc ~s_mode:Iface.Send_later ~r_mode:Iface.Receive_cheaper later;
+      Mad.pack oc ~s_mode:Iface.Send_safer ~r_mode:Iface.Receive_cheaper safer;
+      (* After pack, before commit: SAFER must already be snapshotted,
+         LATER must still read through to the live buffer. *)
+      Bytes.fill later 0 200 'l';
+      Bytes.fill safer 0 200 's';
+      Mad.end_packing oc);
+  Engine.spawn engine ~name:"receiver" (fun () ->
+      let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
+      Mad.unpack ic ~s_mode:Iface.Send_later ~r_mode:Iface.Receive_cheaper
+        got_later;
+      Mad.unpack ic ~s_mode:Iface.Send_safer ~r_mode:Iface.Receive_cheaper
+        got_safer;
+      Mad.end_unpacking ic);
+  Engine.run engine;
+  Alcotest.(check bytes) "later sees sender mutation" (Bytes.make 200 'l')
+    got_later;
+  Alcotest.(check bytes) "safer snapshot unaffected" (Bytes.make 200 'S')
+    got_safer
+
 let () =
   Alcotest.run "switch"
     [
@@ -339,5 +375,7 @@ let () =
           Alcotest.test_case "oversized field chunking" `Quick
             test_oversized_field_spans_slots;
           Alcotest.test_case "eager mode" `Quick test_eager_mode_sends_per_field;
+          Alcotest.test_case "later live, safer staged" `Quick
+            test_later_not_staged_safer_staged;
         ] );
     ]

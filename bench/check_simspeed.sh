@@ -1,0 +1,15 @@
+#!/bin/sh
+# Host-speed regression gate: re-measure simulator event throughput and
+# fail if it regressed more than 20% below the committed baseline.
+#
+# Usage: bench/check_simspeed.sh [baseline.json]
+# Refresh the baseline with: dune exec bench/main.exe -- simspeed --json
+set -eu
+cd "$(dirname "$0")/.."
+baseline="${1:-BENCH_simspeed.json}"
+if [ ! -f "$baseline" ]; then
+  echo "check_simspeed: baseline '$baseline' not found" >&2
+  echo "check_simspeed: generate one with: dune exec bench/main.exe -- simspeed --json" >&2
+  exit 2
+fi
+exec dune exec bench/main.exe -- simspeed --baseline "$baseline"

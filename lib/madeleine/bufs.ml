@@ -1,0 +1,33 @@
+type t = { mutable arr : Buf.t array; mutable len : int }
+
+let create () = { arr = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t buf =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let grown = Array.make ncap Buf.empty in
+    Array.blit t.arr 0 grown 0 t.len;
+    t.arr <- grown
+  end;
+  t.arr.(t.len) <- buf;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bufs.get: out of bounds";
+  t.arr.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let clear t =
+  (* Wipe the slots so cleared descriptors stop pinning user memory. *)
+  Array.fill t.arr 0 t.len Buf.empty;
+  t.len <- 0
+
+let to_list t = List.init t.len (fun i -> t.arr.(i))
+let map_to_list f t = List.init t.len (fun i -> f t.arr.(i))

@@ -1,0 +1,38 @@
+(** A reusable vector of buffer descriptors.
+
+    This is the shape in which BMMs hand buffer runs to a Transmission
+    Module's grouped operations: the BMM appends into the vector while
+    aggregating, passes it to the TM on flush, and clears it for the
+    next run — the whole cycle without per-field allocation, where the
+    previous [Buf.t list] interface rebuilt a fresh list on every flush.
+
+    A TM receiving a vector may read it during the call (including
+    across blocking operations — the owning link's mutex serializes the
+    message) but must not retain it: the caller clears and reuses the
+    storage after the call returns. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> Buf.t -> unit
+(** Appends, growing the backing array geometrically. *)
+
+val get : t -> int -> Buf.t
+(** Raises [Invalid_argument] out of [0, length). *)
+
+val iter : (Buf.t -> unit) -> t -> unit
+(** Applies in append order. The vector must not be mutated during the
+    traversal. *)
+
+val clear : t -> unit
+(** Empties the vector, keeping its capacity. Slots are wiped so the
+    cleared descriptors do not pin user memory. *)
+
+val to_list : t -> Buf.t list
+(** Fresh list of the contents, in order (allocates; for cold paths). *)
+
+val map_to_list : (Buf.t -> 'b) -> t -> 'b list
+(** [to_list] composed with a per-element map, in one pass. *)

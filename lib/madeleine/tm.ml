@@ -1,11 +1,11 @@
 type dynamic_send = {
   send_buffer : Buf.t -> unit;
-  send_buffer_group : Buf.t list -> unit;
+  send_buffer_group : Bufs.t -> unit;
 }
 
 type dynamic_recv = {
   receive_buffer : Buf.t -> unit;
-  receive_buffer_group : Buf.t list -> unit;
+  receive_buffer_group : Bufs.t -> unit;
 }
 
 type static_send = {

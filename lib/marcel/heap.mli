@@ -1,4 +1,8 @@
-(** Resizable-array binary min-heap, used as the engine's event queue. *)
+(** Resizable-array binary min-heap with a user-supplied comparison.
+
+    General-purpose: the engine's event queue is the specialized
+    {!Eventq}. [pop] clears the array slot it vacates, so popped
+    elements hold no hidden reference from the heap's backing store. *)
 
 type 'a t
 

@@ -3,12 +3,16 @@
     Instants and spans are both counted in integer nanoseconds since the
     start of the simulation. Using integers keeps the engine fully
     deterministic: there is no floating-point drift, and event ordering is a
-    total order on [(instant, sequence-number)] pairs. *)
+    total order on [(instant, sequence-number)] pairs.
 
-type t = int64
+    Both are immediate native [int]s, not boxed [Int64]s: 63 bits of
+    nanoseconds cover ~146 virtual years, and the engine's hot loop
+    (clock updates, sleeps, cost computations) stays allocation-free. *)
+
+type t = int
 (** An instant, in nanoseconds since simulation start. *)
 
-type span = int64
+type span = int
 (** A duration, in nanoseconds. Spans are never negative. *)
 
 val zero : t
@@ -31,7 +35,7 @@ val span_add : span -> span -> span
 val span_mul : span -> int -> span
 val span_scale : span -> float -> span
 
-val to_ns : t -> int64
+val to_ns : t -> int
 val to_us : t -> float
 val to_ms : t -> float
 val to_s : t -> float

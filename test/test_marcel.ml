@@ -3,7 +3,7 @@
 module Engine = Marcel.Engine
 module Time = Marcel.Time
 
-let check_i64 = Alcotest.(check int64)
+let check_i64 = Alcotest.(check int)
 
 (* Runs [f] inside a fresh engine thread and returns the virtual duration
    of the whole run. *)
@@ -17,14 +17,14 @@ let run_timed f =
 (* Time *)
 
 let test_time_arithmetic () =
-  check_i64 "us" 1_500L (Time.us 1.5);
-  check_i64 "ms" 2_000_000L (Time.ms 2.0);
-  check_i64 "add" 15L (Time.add 5L (Time.ns 10));
-  check_i64 "diff" 7L (Time.diff 17L 10L);
-  check_i64 "span_mul" 30L (Time.span_mul 10L 3);
+  check_i64 "us" 1_500 (Time.us 1.5);
+  check_i64 "ms" 2_000_000 (Time.ms 2.0);
+  check_i64 "add" 15 (Time.add 5 (Time.ns 10));
+  check_i64 "diff" 7 (Time.diff 17 10);
+  check_i64 "span_mul" 30 (Time.span_mul 10 3);
   Alcotest.check_raises "negative diff"
     (Invalid_argument "Time.diff: negative result") (fun () ->
-      ignore (Time.diff 1L 2L));
+      ignore (Time.diff 1 2));
   Alcotest.check_raises "negative span"
     (Invalid_argument "Time.ns: negative") (fun () -> ignore (Time.ns (-1)))
 
@@ -83,17 +83,17 @@ let test_sleep_interleaving () =
   let e = Engine.create () in
   let note tag = log := (tag, Engine.now e) :: !log in
   Engine.spawn e ~name:"a" (fun () ->
-      Engine.sleep 30L;
+      Engine.sleep 30;
       note "a");
   Engine.spawn e ~name:"b" (fun () ->
-      Engine.sleep 10L;
+      Engine.sleep 10;
       note "b";
-      Engine.sleep 40L;
+      Engine.sleep 40;
       note "b2");
   Engine.run e;
-  Alcotest.(check (list (pair string int64)))
+  Alcotest.(check (list (pair string int)))
     "timeline"
-    [ ("b", 10L); ("a", 30L); ("b2", 50L) ]
+    [ ("b", 10); ("a", 30); ("b2", 50) ]
     (List.rev !log)
 
 let test_exception_propagates () =
@@ -111,6 +111,31 @@ let test_stalled_detection () =
       Alcotest.(check string) "desc" "stuck (on never)" desc
   | exception Engine.Stalled _ -> Alcotest.fail "wrong blocked list")
 
+(* Registry swap-remove: a mix of completed, daemon-blocked and
+   non-daemon-blocked threads must still yield exactly the non-daemon
+   blockers in the stall report, whatever order exits shuffled the
+   registry into. *)
+let test_stalled_detection_many () =
+  let e = Engine.create () in
+  for i = 1 to 5 do
+    Engine.spawn e ~name:(Printf.sprintf "done%d" i) (fun () ->
+        Engine.sleep (i * 3))
+  done;
+  Engine.spawn e ~daemon:true ~name:"daemon" (fun () ->
+      ignore (Engine.suspend ~name:"forever" (fun _wake -> ())));
+  Engine.spawn e ~name:"stuck-a" (fun () ->
+      Engine.sleep 5;
+      ignore (Engine.suspend ~name:"lost-wake" (fun _wake -> ())));
+  Engine.spawn e ~name:"stuck-b" (fun () ->
+      ignore (Engine.suspend ~name:"dead-box" (fun _wake -> ())));
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected Stalled"
+  | exception Engine.Stalled blocked ->
+      Alcotest.(check (list string))
+        "blocked set"
+        [ "stuck-a (on lost-wake)"; "stuck-b (on dead-box)" ]
+        (List.sort compare blocked))
+
 let test_daemon_not_stalled () =
   let e = Engine.create () in
   Engine.spawn e ~daemon:true ~name:"server" (fun () ->
@@ -125,10 +150,10 @@ let test_wake_resumes_at_wakers_time () =
       Engine.suspend ~name:"wait" (fun wake -> waker := fun () -> wake ());
       resumed_at := Engine.now e);
   Engine.spawn e ~name:"waker" (fun () ->
-      Engine.sleep 123L;
+      Engine.sleep 123;
       !waker ());
   Engine.run e;
-  check_i64 "resumed at waker time" 123L !resumed_at
+  check_i64 "resumed at waker time" 123 !resumed_at
 
 let test_double_wake_ignored () =
   let e = Engine.create () in
@@ -151,9 +176,9 @@ let test_self_name () =
 let test_at_callback () =
   let fired = ref Time.zero in
   let e = Engine.create () in
-  Engine.at e 55L (fun () -> fired := Engine.now e);
+  Engine.at e 55 (fun () -> fired := Engine.now e);
   Engine.run e;
-  check_i64 "at" 55L !fired
+  check_i64 "at" 55 !fired
 
 let test_run_until_bounded () =
   let e = Engine.create () in
@@ -161,9 +186,9 @@ let test_run_until_bounded () =
   List.iter
     (fun d -> Engine.at e (Time.ns d) (fun () -> hits := d :: !hits))
     [ 10; 20; 30; 40 ];
-  Engine.run_until e 25L;
+  Engine.run_until e 25;
   Alcotest.(check (list int)) "only early events" [ 10; 20 ] (List.rev !hits);
-  check_i64 "clock at deadline" 25L (Engine.now e);
+  check_i64 "clock at deadline" 25 (Engine.now e);
   (* Resuming picks up the rest. *)
   Engine.run e;
   Alcotest.(check (list int)) "all events" [ 10; 20; 30; 40 ] (List.rev !hits)
@@ -171,10 +196,10 @@ let test_run_until_bounded () =
 let test_at_past_rejected () =
   let e = Engine.create () in
   Engine.spawn e ~name:"t" (fun () ->
-      Engine.sleep 10L;
+      Engine.sleep 10;
       Alcotest.check_raises "past"
         (Invalid_argument "Engine: scheduling in the past") (fun () ->
-          Engine.at e 5L (fun () -> ())));
+          Engine.at e 5 (fun () -> ())));
   Engine.run e
 
 (* ------------------------------------------------------------------ *)
@@ -190,12 +215,12 @@ let test_mutex_exclusion () =
               Marcel.Mutex.with_lock m (fun () ->
                   incr inside;
                   if !inside > !max_inside then max_inside := !inside;
-                  Engine.sleep 100L;
+                  Engine.sleep 100;
                   decr inside))
         done)
   in
   Alcotest.(check int) "never concurrent" 1 !max_inside;
-  check_i64 "serialized" 400L d
+  check_i64 "serialized" 400 d
 
 let test_mutex_fifo_handoff () =
   let m = Marcel.Mutex.create () in
@@ -203,11 +228,11 @@ let test_mutex_fifo_handoff () =
   let e = Engine.create () in
   Engine.spawn e ~name:"holder" (fun () ->
       Marcel.Mutex.lock m;
-      Engine.sleep 10L;
+      Engine.sleep 10;
       Marcel.Mutex.unlock m);
   for i = 1 to 3 do
     Engine.spawn e ~name:"w" (fun () ->
-        Engine.sleep (Int64.of_int i);
+        Engine.sleep (i);
         Marcel.Mutex.lock m;
         order := i :: !order;
         Marcel.Mutex.unlock m)
@@ -237,7 +262,7 @@ let test_condition_signal () =
       observed := true;
       Marcel.Mutex.unlock m);
   Engine.spawn e ~name:"signaler" (fun () ->
-      Engine.sleep 50L;
+      Engine.sleep 50;
       Marcel.Mutex.lock m;
       ready := true;
       Marcel.Condition.signal c;
@@ -258,7 +283,7 @@ let test_condition_broadcast () =
         Marcel.Mutex.unlock m)
   done;
   Engine.spawn e ~name:"b" (fun () ->
-      Engine.sleep 10L;
+      Engine.sleep 10;
       Marcel.Mutex.lock m;
       Marcel.Condition.broadcast c;
       Marcel.Mutex.unlock m);
@@ -284,11 +309,11 @@ let test_semaphore_blocks () =
         for _ = 1 to 4 do
           Engine.spawn e ~name:"w" (fun () ->
               Marcel.Semaphore.acquire s;
-              Engine.sleep 100L;
+              Engine.sleep 100;
               Marcel.Semaphore.release s)
         done)
   in
-  check_i64 "two waves" 200L d
+  check_i64 "two waves" 200 d
 
 let test_semaphore_negative () =
   Alcotest.check_raises "neg" (Invalid_argument "Semaphore.create: negative")
@@ -318,10 +343,10 @@ let test_mailbox_take_blocks () =
       ignore (Marcel.Mailbox.take box);
       took_at := Engine.now e);
   Engine.spawn e ~name:"producer" (fun () ->
-      Engine.sleep 77L;
+      Engine.sleep 77;
       Marcel.Mailbox.put box ());
   Engine.run e;
-  check_i64 "took when put" 77L !took_at
+  check_i64 "took when put" 77 !took_at
 
 let test_mailbox_bounded_put_blocks () =
   let box = Marcel.Mailbox.create ~capacity:1 () in
@@ -332,12 +357,12 @@ let test_mailbox_bounded_put_blocks () =
       Marcel.Mailbox.put box 2;
       second_put_at := Engine.now e);
   Engine.spawn e ~name:"consumer" (fun () ->
-      Engine.sleep 40L;
+      Engine.sleep 40;
       ignore (Marcel.Mailbox.take box);
-      Engine.sleep 40L;
+      Engine.sleep 40;
       ignore (Marcel.Mailbox.take box));
   Engine.run e;
-  check_i64 "blocked until first take" 40L !second_put_at
+  check_i64 "blocked until first take" 40 !second_put_at
 
 let test_mailbox_capacity_respected () =
   let box = Marcel.Mailbox.create ~capacity:2 () in
@@ -351,7 +376,7 @@ let test_mailbox_capacity_respected () =
       done);
   Engine.spawn e ~name:"consumer" (fun () ->
       for _ = 1 to 10 do
-        Engine.sleep 10L;
+        Engine.sleep 10;
         ignore (Marcel.Mailbox.take box)
       done);
   Engine.run e;
@@ -376,11 +401,11 @@ let test_ivar_read_blocks () =
       got := Marcel.Ivar.read iv;
       got_at := Engine.now e);
   Engine.spawn e ~name:"writer" (fun () ->
-      Engine.sleep 5L;
+      Engine.sleep 5;
       Marcel.Ivar.fill iv 42);
   Engine.run e;
   Alcotest.(check int) "value" 42 !got;
-  check_i64 "at fill time" 5L !got_at
+  check_i64 "at fill time" 5 !got_at
 
 let test_ivar_double_fill () =
   let iv = Marcel.Ivar.create () in
@@ -425,7 +450,7 @@ let prop_semaphore_bounds_concurrency =
               Marcel.Semaphore.acquire sem;
               incr inside;
               if !inside > !peak then peak := !inside;
-              Engine.sleep (Int64.of_int hold);
+              Engine.sleep (hold);
               decr inside;
               Marcel.Semaphore.release sem;
               incr completed))
@@ -447,7 +472,7 @@ let prop_mailbox_is_fifo_queue =
       List.iteri
         (fun i v ->
           Engine.spawn e ~name:(Printf.sprintf "p%d" i) (fun () ->
-              Engine.sleep (Int64.of_int ((v * 7) mod 50));
+              Engine.sleep (((v * 7) mod 50));
               Marcel.Mailbox.put box (i, v)))
         values;
       Engine.spawn e ~name:"consumer" (fun () ->
@@ -475,14 +500,14 @@ let test_barrier_releases_together () =
   let e = Engine.create () in
   for i = 1 to n do
     Engine.spawn e ~name:(Printf.sprintf "t%d" i) (fun () ->
-        Engine.sleep (Int64.of_int (i * 10));
+        Engine.sleep ((i * 10));
         Marcel.Barrier.await b;
         released := (i, Engine.now e) :: !released)
   done;
   Engine.run e;
   (* Everyone leaves at the last arrival's instant. *)
   List.iter
-    (fun (_, at) -> check_i64 "released at last arrival" 40L at)
+    (fun (_, at) -> check_i64 "released at last arrival" 40 at)
     !released;
   Alcotest.(check int) "all released" n (List.length !released)
 
@@ -514,14 +539,14 @@ let test_waitgroup_waits_for_all () =
   Marcel.Waitgroup.add wg 3;
   for i = 1 to 3 do
     Engine.spawn e ~name:"worker" (fun () ->
-        Engine.sleep (Int64.of_int (i * 100));
+        Engine.sleep ((i * 100));
         Marcel.Waitgroup.done_ wg)
   done;
   Engine.spawn e ~name:"waiter" (fun () ->
       Marcel.Waitgroup.wait wg;
       finished_at := Engine.now e);
   Engine.run e;
-  check_i64 "released at slowest worker" 300L !finished_at
+  check_i64 "released at slowest worker" 300 !finished_at
 
 let test_waitgroup_zero_does_not_block () =
   let wg = Marcel.Waitgroup.create () in
@@ -565,6 +590,8 @@ let () =
           Alcotest.test_case "exception propagates" `Quick
             test_exception_propagates;
           Alcotest.test_case "stalled detection" `Quick test_stalled_detection;
+          Alcotest.test_case "stalled detection many" `Quick
+            test_stalled_detection_many;
           Alcotest.test_case "daemon not stalled" `Quick
             test_daemon_not_stalled;
           Alcotest.test_case "wake resumes at waker time" `Quick

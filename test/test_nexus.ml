@@ -135,7 +135,7 @@ let rsr_roundtrip_time proto ~payload_len ~iters =
       done;
       t1 := Engine.now w.engine);
   Engine.run w.engine;
-  Int64.div (Time.diff !t1 !t0) (Int64.of_int (2 * iters))
+  Time.diff !t1 !t0 / (2 * iters)
 
 let test_fig7_sci_latency () =
   (* Paper: Nexus/Madeleine II over SCI has minimal latency below 25 us
