@@ -1,6 +1,10 @@
 #!/bin/sh
 # Host-speed regression gate: re-measure simulator event throughput and
 # fail if it regressed more than 20% below the committed baseline.
+# Also gates the parallel sweep scenarios: on hosts with >= 4 cores the
+# "@4 domains" sweep must reach at least 2.5x the serial sweep's
+# aggregate events/s (on smaller hosts the floor is skipped — the sweep
+# cannot physically scale past the core count).
 #
 # Usage: bench/check_simspeed.sh [baseline.json]
 # Refresh the baseline with: dune exec bench/main.exe -- simspeed --json

@@ -2,140 +2,54 @@
    paper's evaluation (§5 and §6) from the simulated testbed, plus the
    ablation studies called out in DESIGN.md.
 
-   Usage:  dune exec bench/main.exe [-- SECTION...]
+   Usage:  dune exec bench/main.exe [-- SECTION...] [--jobs N]
    where SECTION is any of: fig4 fig5 fig6 fig7 eq16k fig10 fig11
-   ablations bechamel. With no argument everything runs. Numbers are
-   deterministic: two runs print identical series. *)
+   ablations report simspeed bechamel. With no argument everything runs.
+
+   Every figure/table point is declared as a (label, thunk) job that
+   builds its own isolated world and returns a structured row; the jobs
+   of a section fan out over a Parsim domain pool ([--jobs N], or
+   PARSIM_JOBS, default Domain.recommended_domain_count ()) and the
+   deterministic collector renders them in submission order — so the
+   output is byte-identical whatever the worker count, and identical to
+   the serial path ([--jobs 1]). *)
 
 module Time = Marcel.Time
 module H = Harness
-
-let sizes_small =
-  [ 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576 ]
-
-let iters n = if n <= 1024 then 20 else if n <= 65536 then 8 else 3
 
 let line = String.make 72 '-'
 
 let header text =
   Printf.printf "\n%s\n%s\n%s\n" line text line
 
-let lat_us span = Time.to_us span
 let bw n span = Time.rate_mb_s ~bytes_count:n span
+
+(* The pool every section shares; created in [main] once the --jobs
+   flag is known. *)
+let the_pool : Parsim.pool option ref = ref None
+
+let pool () =
+  match !the_pool with
+  | Some p -> p
+  | None ->
+      let p = Parsim.create ~jobs:(Parsim.default_jobs ()) in
+      the_pool := Some p;
+      p
+
+let runner () = Sweeps.pool_runner (pool ())
+
+(* Ordered fan-out for the ablation jobs below. *)
+let prun jobs = Parsim.run (pool ()) jobs
 
 (* ------------------------------------------------------------------ *)
 
-let fig4 () =
-  header
-    "Fig. 4 -- Madeleine II over SISCI/SCI (paper: 3.9 us min latency,\n\
-     82 MB/s peak, dual-buffering kink above 8 kB)";
-  Printf.printf "%-10s %12s %12s\n" "size(B)" "latency(us)" "bw(MB/s)";
-  List.iter
-    (fun n ->
-      let t = H.mad_pingpong (H.sisci_world ()) ~bytes_count:n ~iters:(iters n) in
-      Printf.printf "%-10d %12.2f %12.2f\n%!" n (lat_us t) (bw n t))
-    sizes_small
-
-let fig5 () =
-  header
-    "Fig. 5 -- Madeleine II over BIP/Myrinet vs raw BIP (paper: 7 vs 5 us,\n\
-     122 vs 126 MB/s)";
-  Printf.printf "%-10s %12s %12s %12s %12s\n" "size(B)" "mad lat(us)"
-    "mad bw" "raw lat(us)" "raw bw";
-  List.iter
-    (fun n ->
-      let m = H.mad_pingpong (H.bip_world ()) ~bytes_count:n ~iters:(iters n) in
-      let r = H.raw_bip_pingpong ~bytes_count:n ~iters:(iters n) in
-      Printf.printf "%-10d %12.2f %12.2f %12.2f %12.2f\n%!" n (lat_us m)
-        (bw n m) (lat_us r) (bw n r))
-    sizes_small
-
-let fig6 () =
-  header
-    "Fig. 6 -- MPI implementations over SCI (paper: MPICH/Mad-II has the\n\
-     worst latency but the best bandwidth from 32 kB up)";
-  Printf.printf "%-10s | %10s %10s %10s %10s  (latency us)\n" "size(B)"
-    "mad-raw" "chmad" "sci-mpich" "scampi";
-  let series n =
-    let raw = H.mad_pingpong (H.sisci_world ()) ~bytes_count:n ~iters:(iters n) in
-    let chmad = H.mpi_pingpong H.Chmad ~bytes_count:n ~iters:(iters n) in
-    let scim =
-      H.mpi_pingpong (H.Scidirect Mpilite.Dev_scidirect.sci_mpich) ~bytes_count:n
-        ~iters:(iters n)
-    in
-    let scam =
-      H.mpi_pingpong (H.Scidirect Mpilite.Dev_scidirect.scampi) ~bytes_count:n
-        ~iters:(iters n)
-    in
-    (raw, chmad, scim, scam)
-  in
-  let rows = List.map (fun n -> (n, series n)) sizes_small in
-  List.iter
-    (fun (n, (raw, chmad, scim, scam)) ->
-      Printf.printf "%-10d | %10.2f %10.2f %10.2f %10.2f\n%!" n (lat_us raw)
-        (lat_us chmad) (lat_us scim) (lat_us scam))
-    rows;
-  Printf.printf "\n%-10s | %10s %10s %10s %10s  (bandwidth MB/s)\n" "size(B)"
-    "mad-raw" "chmad" "sci-mpich" "scampi";
-  List.iter
-    (fun (n, (raw, chmad, scim, scam)) ->
-      Printf.printf "%-10d | %10.2f %10.2f %10.2f %10.2f\n%!" n (bw n raw)
-        (bw n chmad) (bw n scim) (bw n scam))
-    rows
-
-let fig7 () =
-  header
-    "Fig. 7 -- Nexus/Madeleine II over SISCI and TCP (paper: <25 us min\n\
-     latency on SCI; SCI the more interesting cluster solution)";
-  Printf.printf "%-10s %13s %13s %13s %13s\n" "size(B)" "sci lat(us)"
-    "sci bw" "tcp lat(us)" "tcp bw";
-  List.iter
-    (fun n ->
-      let s = H.nexus_roundtrip H.Nexus_mad_sisci ~bytes_count:n ~iters:(iters n) in
-      let t = H.nexus_roundtrip H.Nexus_mad_tcp ~bytes_count:n ~iters:(iters n) in
-      Printf.printf "%-10d %13.2f %13.2f %13.2f %13.2f\n%!" n (lat_us s)
-        (bw n s) (lat_us t) (bw n t))
-    [ 4; 64; 1024; 4096; 16384; 65536; 262144 ]
-
-let eq16k () =
-  header
-    "Sec. 6.2.1 -- the 16 kB equal-cost point (paper: both networks near\n\
-     250 us / 60 MB/s at 16 kB, suggesting the gateway packet size)";
-  let n = 16384 in
-  let s = H.mad_pingpong (H.sisci_world ()) ~bytes_count:n ~iters:10 in
-  let b = H.mad_pingpong (H.bip_world ()) ~bytes_count:n ~iters:10 in
-  Printf.printf "  Madeleine/SISCI @16kB: %7.1f us  %6.1f MB/s\n" (lat_us s)
-    (bw n s);
-  Printf.printf "  Madeleine/BIP   @16kB: %7.1f us  %6.1f MB/s\n" (lat_us b)
-    (bw n b)
-
-let mtu_sweep = [ 8192; 16384; 32768; 65536; 131072 ]
-
-let fig10 () =
-  header
-    "Fig. 10 -- forwarding bandwidth SCI -> Myrinet (paper: 36.5 MB/s at\n\
-     8 kB packets, rising to ~49.5 at 128 kB; PCI full-duplex limit)";
-  Printf.printf "%-10s %12s %14s\n" "mtu(B)" "bw(MB/s)" "gw-pci-util";
-  List.iter
-    (fun mtu ->
-      let v, util =
-        H.forwarding_run ~mtu ~src:0 ~dst:2 ~bytes_count:(1 lsl 20) ()
-      in
-      Printf.printf "%-10d %12.2f %13.0f%%\n%!" mtu v (100.0 *. util))
-    mtu_sweep
-
-let fig11 () =
-  header
-    "Fig. 11 -- forwarding bandwidth Myrinet -> SCI (paper: 29 MB/s at\n\
-     8 kB, staying under ~36.5: Myrinet DMA starves the gateway's PIO)";
-  Printf.printf "%-10s %12s %14s\n" "mtu(B)" "bw(MB/s)" "gw-pci-util";
-  List.iter
-    (fun mtu ->
-      let v, util =
-        H.forwarding_run ~mtu ~src:2 ~dst:0 ~bytes_count:(1 lsl 20) ()
-      in
-      Printf.printf "%-10d %12.2f %13.0f%%\n%!" mtu v (100.0 *. util))
-    mtu_sweep
+let fig4 () = print_string (Sweeps.fig4 (runner ()))
+let fig5 () = print_string (Sweeps.fig5 (runner ()))
+let fig6 () = print_string (Sweeps.fig6 (runner ()))
+let fig7 () = print_string (Sweeps.fig7 (runner ()))
+let eq16k () = print_string (Sweeps.eq16k (runner ()))
+let fig10 () = print_string (Sweeps.fig10 (runner ()))
+let fig11 () = print_string (Sweeps.fig11 (runner ()))
 
 (* ------------------------------------------------------------------ *)
 
@@ -151,9 +65,14 @@ let ablations () =
     bw (1 lsl 18) t
   in
   Printf.printf "A1. SISCI regular-TM ring depth (256 kB messages):\n";
-  List.iter
-    (fun s -> Printf.printf "      %d slot(s): %6.1f MB/s\n%!" s (bw_slots s))
-    [ 1; 2; 3 ];
+  let slots = [ 1; 2; 3 ] in
+  prun
+    (List.map
+       (fun s -> (Printf.sprintf "A1/slots-%d" s, fun () -> bw_slots s))
+       slots)
+  |> List.iter2
+       (fun s v -> Printf.printf "      %d slot(s): %6.1f MB/s\n%!" s v)
+       slots;
 
   (* 2. The disabled DMA TM. *)
   let bw_dma use_dma =
@@ -164,10 +83,18 @@ let ablations () =
     bw (1 lsl 18) t
   in
   Printf.printf "A2. SISCI large-block engine (256 kB messages):\n";
-  Printf.printf "      PIO regular TM: %6.1f MB/s\n%!" (bw_dma false);
-  Printf.printf
-    "      DMA TM:         %6.1f MB/s  (why the paper ships it disabled)\n%!"
-    (bw_dma true);
+  (match
+     prun
+       [
+         ("A2/pio", fun () -> bw_dma false); ("A2/dma", fun () -> bw_dma true);
+       ]
+   with
+  | [ pio; dma ] ->
+      Printf.printf "      PIO regular TM: %6.1f MB/s\n%!" pio;
+      Printf.printf
+        "      DMA TM:         %6.1f MB/s  (why the paper ships it disabled)\n%!"
+        dma
+  | _ -> assert false);
 
   (* 3. Aggregation in the dynamic BMMs, over TCP's expensive syscalls. *)
   let tcp_multi_field aggregation =
@@ -191,31 +118,52 @@ let ablations () =
     Time.to_us !finish
   in
   Printf.printf "A3. BMM aggregation over TCP (8-field message, one-way):\n";
-  Printf.printf "      grouped (writev): %7.1f us\n%!" (tcp_multi_field true);
-  Printf.printf "      eager per-field:  %7.1f us\n%!" (tcp_multi_field false);
+  (match
+     prun
+       [
+         ("A3/grouped", fun () -> tcp_multi_field true);
+         ("A3/eager", fun () -> tcp_multi_field false);
+       ]
+   with
+  | [ grouped; eager ] ->
+      Printf.printf "      grouped (writev): %7.1f us\n%!" grouped;
+      Printf.printf "      eager per-field:  %7.1f us\n%!" eager
+  | _ -> assert false);
 
   (* 4. Gateway software overhead. *)
   Printf.printf "A4. Gateway per-packet overhead (SCI->Myrinet, 8 kB packets):\n";
-  List.iter
-    (fun us ->
-      let v =
-        H.forwarding_bandwidth ~gateway_overhead:(Time.us us) ~mtu:8192 ~src:0
-          ~dst:2 ~bytes_count:(1 lsl 19) ()
-      in
-      Printf.printf "      %5.0f us/step: %6.1f MB/s\n%!" us v)
-    [ 0.; 25.; 50.; 100.; 200. ];
+  let overheads = [ 0.; 25.; 50.; 100.; 200. ] in
+  prun
+    (List.map
+       (fun us ->
+         ( Printf.sprintf "A4/%.0fus" us,
+           fun () ->
+             H.forwarding_bandwidth ~gateway_overhead:(Time.us us) ~mtu:8192
+               ~src:0 ~dst:2 ~bytes_count:(1 lsl 19) () ))
+       overheads)
+  |> List.iter2
+       (fun us v -> Printf.printf "      %5.0f us/step: %6.1f MB/s\n%!" us v)
+       overheads;
 
   (* 5. The zero-copy gateway receive (static-buffer borrowing, 6.1). *)
   Printf.printf "A5. Gateway buffer borrowing (32 kB packets):\n";
-  let zc =
-    H.forwarding_bandwidth ~mtu:32768 ~src:0 ~dst:2 ~bytes_count:(1 lsl 19) ()
-  in
-  let copy =
-    H.forwarding_bandwidth ~extra_gateway_copy:true ~mtu:32768 ~src:0 ~dst:2
-      ~bytes_count:(1 lsl 19) ()
-  in
-  Printf.printf "      borrow outgoing static buffer: %6.1f MB/s\n" zc;
-  Printf.printf "      naive temporary + extra copy:  %6.1f MB/s\n%!" copy;
+  (match
+     prun
+       [
+         ( "A5/borrow",
+           fun () ->
+             H.forwarding_bandwidth ~mtu:32768 ~src:0 ~dst:2
+               ~bytes_count:(1 lsl 19) () );
+         ( "A5/copy",
+           fun () ->
+             H.forwarding_bandwidth ~extra_gateway_copy:true ~mtu:32768 ~src:0
+               ~dst:2 ~bytes_count:(1 lsl 19) () );
+       ]
+   with
+  | [ zc; copy ] ->
+      Printf.printf "      borrow outgoing static buffer: %6.1f MB/s\n" zc;
+      Printf.printf "      naive temporary + extra copy:  %6.1f MB/s\n%!" copy
+  | _ -> assert false);
 
   (* 6. Express flushing: the latency cost of receive_EXPRESS on a
      network where it is not free. *)
@@ -244,10 +192,19 @@ let ablations () =
   Printf.printf
     "A6. receive mode on TCP (4 small fields; EXPRESS forces per-field\n\
     \     flushes where CHEAPER lets them group):\n";
-  Printf.printf "      all CHEAPER: %7.1f us\n%!"
-    (express_cost Madeleine.Iface.Receive_cheaper);
-  Printf.printf "      all EXPRESS: %7.1f us\n%!"
-    (express_cost Madeleine.Iface.Receive_express);
+  (match
+     prun
+       [
+         ( "A6/cheaper",
+           fun () -> express_cost Madeleine.Iface.Receive_cheaper );
+         ( "A6/express",
+           fun () -> express_cost Madeleine.Iface.Receive_express );
+       ]
+   with
+  | [ cheaper; express ] ->
+      Printf.printf "      all CHEAPER: %7.1f us\n%!" cheaper;
+      Printf.printf "      all EXPRESS: %7.1f us\n%!" express
+  | _ -> assert false);
 
   (* 7. Gateway bandwidth control: the paper's future work ("some
      sophisticated bandwidth control mechanism is needed to regulate the
@@ -256,21 +213,30 @@ let ablations () =
   Printf.printf
     "A7. Gateway ingress regulation, Myrinet->SCI at 32 kB packets (the\n\
     \     paper's proposed future work, implemented):\n";
-  List.iter
-    (fun cap ->
-      let v =
-        match cap with
-        | None ->
-            H.forwarding_bandwidth ~mtu:32768 ~src:2 ~dst:0
-              ~bytes_count:(1 lsl 20) ()
-        | Some c ->
-            H.forwarding_bandwidth ~ingress_cap_mb_s:c ~mtu:32768 ~src:2 ~dst:0
-              ~bytes_count:(1 lsl 20) ()
-      in
-      Printf.printf "      ingress %-9s %6.1f MB/s\n%!"
-        (match cap with None -> "unlimited:" | Some c -> Printf.sprintf "%.0f MB/s:" c)
-        v)
-    [ None; Some 60.; Some 45.; Some 40. ];
+  let caps = [ None; Some 60.; Some 45.; Some 40. ] in
+  prun
+    (List.map
+       (fun cap ->
+         ( (match cap with
+           | None -> "A7/unlimited"
+           | Some c -> Printf.sprintf "A7/%.0f" c),
+           fun () ->
+             match cap with
+             | None ->
+                 H.forwarding_bandwidth ~mtu:32768 ~src:2 ~dst:0
+                   ~bytes_count:(1 lsl 20) ()
+             | Some c ->
+                 H.forwarding_bandwidth ~ingress_cap_mb_s:c ~mtu:32768 ~src:2
+                   ~dst:0 ~bytes_count:(1 lsl 20) () ))
+       caps)
+  |> List.iter2
+       (fun cap v ->
+         Printf.printf "      ingress %-9s %6.1f MB/s\n%!"
+           (match cap with
+           | None -> "unlimited:"
+           | Some c -> Printf.sprintf "%.0f MB/s:" c)
+           v)
+       caps;
 
   (* 8. Adaptive polling/interrupts: the other future-work item of §7,
      implemented. Hot ping-pongs should keep polling latency; the win of
@@ -313,14 +279,25 @@ let ablations () =
   Printf.printf
     "A8. Receive interaction (4 B round trips with 1 ms think time;\n\
     \     one-way latency -- interrupts trade latency for bounded CPU burn):\n";
-  Printf.printf "      polling:           %6.2f us\n%!"
-    (rx_run Madeleine.Config.Rx_poll ~gap_us:1000.0);
-  Printf.printf "      interrupts:        %6.2f us\n%!"
-    (rx_run Madeleine.Config.Rx_interrupt ~gap_us:1000.0);
-  Printf.printf "      adaptive (30 us):  %6.2f us\n%!"
-    (rx_run
-       (Madeleine.Config.Rx_adaptive Madeleine.Config.default_adaptive_window)
-       ~gap_us:1000.0);
+  (match
+     prun
+       [
+         ("A8/poll", fun () -> rx_run Madeleine.Config.Rx_poll ~gap_us:1000.0);
+         ( "A8/interrupt",
+           fun () -> rx_run Madeleine.Config.Rx_interrupt ~gap_us:1000.0 );
+         ( "A8/adaptive",
+           fun () ->
+             rx_run
+               (Madeleine.Config.Rx_adaptive
+                  Madeleine.Config.default_adaptive_window)
+               ~gap_us:1000.0 );
+       ]
+   with
+  | [ poll; intr; adaptive ] ->
+      Printf.printf "      polling:           %6.2f us\n%!" poll;
+      Printf.printf "      interrupts:        %6.2f us\n%!" intr;
+      Printf.printf "      adaptive (30 us):  %6.2f us\n%!" adaptive
+  | _ -> assert false);
 
   (* 9. Multiple adapters per node (§2.1): striping one transfer across
      two Myrinet rails. The node's single 33 MHz PCI bus, not the wire,
@@ -372,10 +349,14 @@ let ablations () =
   in
   Printf.printf
     "A9. Multi-adapter striping over Myrinet rails (1 MB transfer):\n";
-  List.iter
-    (fun rails ->
-      Printf.printf "      %d rail(s): %6.1f MB/s\n%!" rails (dual_rail_bw rails))
-    [ 1; 2; 3 ];
+  let rails = [ 1; 2; 3 ] in
+  prun
+    (List.map
+       (fun r -> (Printf.sprintf "A9/rails-%d" r, fun () -> dual_rail_bw r))
+       rails)
+  |> List.iter2
+       (fun r v -> Printf.printf "      %d rail(s): %6.1f MB/s\n%!" r v)
+       rails;
 
   (* 10. Incast: several senders converge on one SCI receiver. The
      receiver's PCI bus (NIC-write class) is the shared bottleneck. *)
@@ -406,9 +387,14 @@ let ablations () =
   in
   Printf.printf
     "A10. Incast over SCI (concurrent senders to one receiver, aggregate):\n";
-  List.iter
-    (fun s -> Printf.printf "      %d sender(s): %6.1f MB/s\n%!" s (incast s))
-    [ 1; 2; 4 ]
+  let senders = [ 1; 2; 4 ] in
+  prun
+    (List.map
+       (fun s -> (Printf.sprintf "A10/senders-%d" s, fun () -> incast s))
+       senders)
+  |> List.iter2
+       (fun s v -> Printf.printf "      %d sender(s): %6.1f MB/s\n%!" s v)
+       senders
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: wall-clock cost of simulating each
@@ -480,6 +466,30 @@ let simspeed_gate_failed = ref false
 let simspeed_reps = 6
 let simspeed_json_file = "BENCH_simspeed.json"
 
+(* The parallel sweep scenario: a fixed batch of identical, independent
+   SISCI ping-pong worlds fanned out over a fixed-size Parsim pool.
+   Aggregate events/s across the domains is the metric; comparing the
+   "@N domains" line against the "serial" line gives the sweep speedup
+   on the measuring host. Worlds and domain count are pinned so the
+   scenario label and event count stay machine-independent. *)
+let parallel_sweep_worlds = 8
+let parallel_sweep_domains = 4
+let parallel_serial_label = "parallel sweep 8x sisci serial"
+
+let parallel_domains_label =
+  Printf.sprintf "parallel sweep 8x sisci @%d domains" parallel_sweep_domains
+
+let parallel_sweep_events pool =
+  let jobs =
+    List.init parallel_sweep_worlds (fun i ->
+        ( Printf.sprintf "sisci-world-%d" i,
+          fun () ->
+            let w = H.sisci_world () in
+            ignore (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
+            Marcel.Engine.events_processed w.H.engine ))
+  in
+  List.fold_left ( + ) 0 (Parsim.run pool jobs)
+
 let simspeed_scenarios : (string * (unit -> int)) list =
   [
     ( "sisci 1MB ping-pong",
@@ -531,16 +541,17 @@ let simspeed_measure f =
   done;
   (!events, Float.max 1e-9 !best)
 
+(* Each result is (label, events, wall_s, events_per_s, extra-json). *)
 let simspeed_write_json results =
   let oc = open_out simspeed_json_file in
   output_string oc "{ \"simspeed\": [\n";
   let last = List.length results - 1 in
   List.iteri
-    (fun i (label, events, wall, rate) ->
+    (fun i (label, events, wall, rate, extra) ->
       Printf.fprintf oc
         "  { \"scenario\": %S, \"events\": %d, \"wall_s\": %.6f, \
-         \"events_per_s\": %.1f }%s\n"
-        label events wall rate
+         \"events_per_s\": %.1f%s }%s\n"
+        label events wall rate extra
         (if i = last then "" else ","))
     results;
   output_string oc "] }\n";
@@ -609,7 +620,7 @@ let simspeed_gate baseline_file results =
   end
   else
     List.iter
-      (fun (label, _, _, rate) ->
+      (fun (label, _, _, rate, _) ->
         match List.assoc_opt label baseline with
         | None ->
             Printf.printf "  GATE WARN: %S not in baseline %s\n%!" label
@@ -631,8 +642,38 @@ let simspeed_gate baseline_file results =
                 label (rate /. 1e6) (base /. 1e6) (ratio *. 100.))
       results
 
+(* The speedup floor only binds where it can physically hold: the sweep
+   cannot scale on fewer cores than it has domains. *)
+let simspeed_speedup_floor = 2.5
+
+let simspeed_gate_speedup ~speedup =
+  let cores = Domain.recommended_domain_count () in
+  if cores >= parallel_sweep_domains then
+    if speedup < simspeed_speedup_floor then begin
+      Printf.printf
+        "  GATE FAIL: parallel sweep speedup %.2fx < %.1fx floor on %d cores\n%!"
+        speedup simspeed_speedup_floor cores;
+      simspeed_gate_failed := true
+    end
+    else
+      Printf.printf "  GATE OK:   parallel sweep speedup %.2fx (floor %.1fx)\n%!"
+        speedup simspeed_speedup_floor
+  else
+    Printf.printf
+      "  GATE SKIP: speedup floor needs >= %d cores, host has %d\n%!"
+      parallel_sweep_domains cores
+
 let simspeed () =
   header "Simulator throughput -- discrete events per host wall-clock second";
+  let serial_pool = Parsim.create ~jobs:1 in
+  let domain_pool = Parsim.create ~jobs:parallel_sweep_domains in
+  let scenarios =
+    simspeed_scenarios
+    @ [
+        (parallel_serial_label, fun () -> parallel_sweep_events serial_pool);
+        (parallel_domains_label, fun () -> parallel_sweep_events domain_pool);
+      ]
+  in
   let results =
     List.map
       (fun (label, f) ->
@@ -640,8 +681,36 @@ let simspeed () =
         let rate = float_of_int events /. wall in
         Printf.printf "  %-34s %9d events, %8.2f Mev/s\n%!" label events
           (rate /. 1e6);
-        (label, events, wall, rate))
-      simspeed_scenarios
+        (label, events, wall, rate, ""))
+      scenarios
+  in
+  Parsim.shutdown serial_pool;
+  Parsim.shutdown domain_pool;
+  let rate_of l =
+    List.find_map
+      (fun (label, _, _, rate, _) -> if label = l then Some rate else None)
+      results
+  in
+  let speedup =
+    match (rate_of parallel_serial_label, rate_of parallel_domains_label) with
+    | Some s, Some p -> p /. Float.max 1e-9 s
+    | _ -> 1.0
+  in
+  Printf.printf "  parallel sweep speedup: %.2fx over serial (%d domains, %d core(s))\n%!"
+    speedup parallel_sweep_domains
+    (Domain.recommended_domain_count ());
+  let results =
+    List.map
+      (fun ((label, events, wall, rate, _) as r) ->
+        if label = parallel_domains_label then
+          ( label,
+            events,
+            wall,
+            rate,
+            Printf.sprintf ", \"domains\": %d, \"speedup_vs_serial\": %.2f"
+              parallel_sweep_domains speedup )
+        else r)
+      results
   in
   if !simspeed_json then begin
     simspeed_write_json results;
@@ -649,7 +718,9 @@ let simspeed () =
   end;
   match !simspeed_baseline with
   | None -> ()
-  | Some file -> simspeed_gate file results
+  | Some file ->
+      simspeed_gate file results;
+      simspeed_gate_speedup ~speedup
 
 let sections =
   [
@@ -669,6 +740,7 @@ let sections =
   ]
 
 let () =
+  let jobs_req : int option ref = ref None in
   let rec parse_flags = function
     | [] -> []
     | "--json" :: rest ->
@@ -680,6 +752,17 @@ let () =
     | [ "--baseline" ] ->
         Printf.eprintf "--baseline requires a file argument\n";
         exit 2
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs_req := Some j;
+            parse_flags rest
+        | _ ->
+            Printf.eprintf "--jobs requires a positive integer\n";
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs requires a positive integer argument\n";
+        exit 2
     | name :: rest -> name :: parse_flags rest
   in
   let requested =
@@ -687,6 +770,10 @@ let () =
     | [] -> List.map fst sections
     | names -> names
   in
+  let jobs =
+    match !jobs_req with Some j -> j | None -> Parsim.default_jobs ()
+  in
+  the_pool := Some (Parsim.create ~jobs);
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
@@ -696,6 +783,7 @@ let () =
             (String.concat " " (List.map fst sections));
           exit 2)
     requested;
+  (match !the_pool with Some p -> Parsim.shutdown p | None -> ());
   if !simspeed_gate_failed then begin
     Printf.printf "\nbench: simspeed regression gate FAILED.\n";
     exit 1

@@ -41,17 +41,25 @@ let iters_arg =
   Arg.(value & opt int 10 & info [ "iters" ] ~docv:"N"
          ~doc:"Ping-pong iterations to average over.")
 
-let world_of_net = function
-  | Sisci_net -> ("madeleine/sisci", H.sisci_world ())
-  | Bip_net -> ("madeleine/bip", H.bip_world ())
-  | Tcp_net -> ("madeleine/tcp", H.tcp_world ())
-  | Via_net -> ("madeleine/via", H.via_world ())
-  | Sbp_net -> ("madeleine/sbp", H.sbp_world ())
+let net_name = function
+  | Sisci_net -> "madeleine/sisci"
+  | Bip_net -> "madeleine/bip"
+  | Tcp_net -> "madeleine/tcp"
+  | Via_net -> "madeleine/via"
+  | Sbp_net -> "madeleine/sbp"
+
+(* A constructor, not a world: sweep jobs must build their world inside
+   the job so each measurement is isolated on its worker domain. *)
+let make_world = function
+  | Sisci_net -> H.sisci_world ()
+  | Bip_net -> H.bip_world ()
+  | Tcp_net -> H.tcp_world ()
+  | Via_net -> H.via_world ()
+  | Sbp_net -> H.sbp_world ()
 
 let pingpong net size iters =
-  let name, world = world_of_net net in
-  report ~what:name ~bytes_count:size
-    (H.mad_pingpong world ~bytes_count:size ~iters)
+  report ~what:(net_name net) ~bytes_count:size
+    (H.mad_pingpong (make_world net) ~bytes_count:size ~iters)
 
 let pingpong_cmd =
   Cmd.v
@@ -60,23 +68,37 @@ let pingpong_cmd =
 
 (* -------- sweep -------- *)
 
-let sweep net =
-  let name, _ = world_of_net net in
-  Format.printf "# %s latency/bandwidth sweep@." name;
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+         ~doc:"Worker domains to fan the sweep over (default: \
+               $(b,PARSIM_JOBS) or the machine's recommended domain \
+               count; 1 = serial). Output is byte-identical for any N.")
+
+let sweep net jobs_opt =
+  let jobs =
+    match jobs_opt with Some n -> n | None -> Parsim.default_jobs ()
+  in
+  Format.printf "# %s latency/bandwidth sweep@." (net_name net);
   Format.printf "%-10s %12s %12s@." "size(B)" "latency(us)" "bw(MB/s)";
-  List.iter
-    (fun n ->
-      let _, world = world_of_net net in
-      let iters = if n <= 4096 then 10 else 3 in
-      let t = H.mad_pingpong world ~bytes_count:n ~iters in
-      Format.printf "%-10d %12.2f %12.2f@." n (Time.to_us t)
-        (Time.rate_mb_s ~bytes_count:n t))
-    [ 4; 64; 1024; 4096; 16384; 65536; 262144; 1048576 ]
+  let rows =
+    Parsim.with_pool ~jobs (fun pool ->
+        Parsim.run pool
+          (List.map
+             (fun n ->
+               ( Printf.sprintf "sweep/%d" n,
+                 fun () ->
+                   let iters = if n <= 4096 then 10 else 3 in
+                   let t = H.mad_pingpong (make_world net) ~bytes_count:n ~iters in
+                   Printf.sprintf "%-10d %12.2f %12.2f" n (Time.to_us t)
+                     (Time.rate_mb_s ~bytes_count:n t) ))
+             [ 4; 64; 1024; 4096; 16384; 65536; 262144; 1048576 ]))
+  in
+  List.iter (Format.printf "%s@.") rows
 
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Full message-size sweep on one interface.")
-    Term.(const sweep $ net_arg)
+    Term.(const sweep $ net_arg $ jobs_arg)
 
 (* -------- forward -------- *)
 

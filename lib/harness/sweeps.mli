@@ -1,0 +1,46 @@
+(** The paper's figure sweeps (§5–§6) as parallel-ready job sets.
+
+    Every measured point of a figure is one {e job}: a [(label, thunk)]
+    pair whose thunk builds a fresh, fully isolated world, measures one
+    point and returns a structured row — no printing. A {!runner}
+    decides how the job set executes (serially, or fanned out over a
+    {!Parsim} pool); each figure function renders the collected rows to
+    the section's full text {e after} collection, so the output is
+    byte-identical whatever the runner. *)
+
+type runner = { run : 'a. (string * (unit -> 'a)) list -> 'a list }
+(** How to execute a job set. [run] must return results in submission
+    order (both runners below do). *)
+
+val serial_runner : runner
+(** Runs each job in place, in order — the reference semantics. *)
+
+val pool_runner : Parsim.pool -> runner
+(** Fans the job set out over the pool's domains; {!Parsim.run}'s
+    deterministic collector restores submission order. *)
+
+(** {1 Figure sections}
+
+    Each returns the complete rendered section (header included),
+    byte-identical for any conforming runner. *)
+
+val fig4 : runner -> string
+(** Madeleine II over SISCI/SCI: latency and bandwidth sweep. *)
+
+val fig5 : runner -> string
+(** Madeleine II over BIP/Myrinet vs raw BIP. *)
+
+val fig6 : runner -> string
+(** The three MPI implementations over SCI, latency then bandwidth. *)
+
+val fig7 : runner -> string
+(** Nexus/Madeleine II over SISCI and TCP. *)
+
+val eq16k : runner -> string
+(** §6.2.1: the 16 kB equal-cost point of the two networks. *)
+
+val fig10 : runner -> string
+(** Forwarding bandwidth SCI -> Myrinet across gateway MTUs. *)
+
+val fig11 : runner -> string
+(** Forwarding bandwidth Myrinet -> SCI across gateway MTUs. *)

@@ -13,6 +13,7 @@ type t = {
   mutable live_n : int;
   mutable failure : exn option;
   mutable processed : int;
+  owner : int; (* id of the domain that created the engine *)
 }
 
 exception Stalled of string list
@@ -37,7 +38,19 @@ let create () =
     live_n = 0;
     failure = None;
     processed = 0;
+    owner = (Domain.self () :> int);
   }
+
+(* The world-isolation invariant (docs/MODEL.md): an engine and every
+   object hanging off it belong to the domain that created it. Nothing
+   here is synchronized, so letting another domain drive the engine
+   would be a data race on the clock, the event queue and all per-world
+   state. Checked at the API entry points, not per event. *)
+let check_owner t =
+  if (Domain.self () :> int) <> t.owner then
+    invalid_arg
+      "Marcel.Engine: engine used from a domain other than its creator \
+       (engines must never cross domains; see docs/MODEL.md)"
 
 let now t = t.clock
 let events_processed t = t.processed
@@ -48,7 +61,9 @@ let schedule t time action =
   t.seq <- seq;
   Eventq.push t.events ~time ~seq action
 
-let at t time action = schedule t time action
+let at t time action =
+  check_owner t;
+  schedule t time action
 
 let sleep d = Effect.perform (Sleep d)
 let yield () = Effect.perform (Sleep 0)
@@ -83,6 +98,7 @@ let unregister t info =
   end
 
 let spawn t ?(daemon = false) ~name f =
+  check_owner t;
   let info = { thread_name = name; daemon; blocked_on = ""; reg_slot = -1 } in
   register t info;
   let finish () = unregister t info in
@@ -127,6 +143,7 @@ let spawn t ?(daemon = false) ~name f =
   schedule t t.clock (fun () -> Effect.Deep.match_with f () handler)
 
 let run_until t deadline =
+  check_owner t;
   if Time.( < ) deadline t.clock then
     invalid_arg "Engine.run_until: deadline in the past";
   let q = t.events in
@@ -149,6 +166,7 @@ let run_until t deadline =
   t.clock <- deadline
 
 let run t =
+  check_owner t;
   let q = t.events in
   let rec loop () =
     match t.failure with

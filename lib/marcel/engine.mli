@@ -6,7 +6,16 @@
     until it performs a blocking operation ([sleep], [suspend] or one of the
     {!Mutex}/{!Condition}/{!Semaphore}/{!Mailbox}/{!Ivar} primitives built
     on them); the engine then advances the virtual clock to the next pending
-    event. Execution is single-threaded and fully deterministic. *)
+    event. Execution is single-threaded and fully deterministic.
+
+    {b World-isolation invariant:} an engine — and every simulation
+    object hanging off it (nodes, fabrics, channels, buffer pools) —
+    belongs to the domain that created it. Nothing in the engine is
+    synchronized, so the entry points ({!spawn}, {!at}, {!run},
+    {!run_until}) raise [Invalid_argument] when called from any other
+    domain. Parallel sweeps (see {!Parsim} and docs/MODEL.md, "Parallel
+    sweeps and the world-isolation invariant") therefore construct, run
+    and tear down each world entirely inside one worker domain. *)
 
 type t
 

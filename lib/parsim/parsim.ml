@@ -1,0 +1,221 @@
+(* Fixed domain pool + work-stealing deques + deterministic collector.
+
+   Jobs are coarse (one whole simulation world each, typically
+   milliseconds of host work), so the deques use a plain mutex per deque
+   rather than a lock-free Chase-Lev structure: the lock is taken a
+   handful of times per job, far off any hot path, and the simple
+   implementation is obviously correct under stealing.
+
+   Determinism does not come from the schedule (which is racy by design)
+   but from the collector: every job writes its outcome into a result
+   slot fixed at submission, and the caller reads the slots in
+   submission order only after the batch's remaining-counter reaches
+   zero (an acquire point), so no job output is ever observed early,
+   late or reordered. *)
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing deque: the owner pushes and takes at the bottom, idle
+   peers steal from the top. *)
+
+module Deque = struct
+  type 'a t = {
+    lock : Mutex.t;
+    mutable buf : 'a option array;
+    mutable top : int; (* index of the oldest element *)
+    mutable len : int;
+  }
+
+  let create () = { lock = Mutex.create (); buf = [||]; top = 0; len = 0 }
+
+  let grow t =
+    let cap = Array.length t.buf in
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let nbuf = Array.make ncap None in
+    for i = 0 to t.len - 1 do
+      nbuf.(i) <- t.buf.((t.top + i) mod cap)
+    done;
+    t.buf <- nbuf;
+    t.top <- 0
+
+  let push_bottom t x =
+    Mutex.lock t.lock;
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.top + t.len) mod Array.length t.buf) <- Some x;
+    t.len <- t.len + 1;
+    Mutex.unlock t.lock
+
+  let take ~from_top t =
+    Mutex.lock t.lock;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let cap = Array.length t.buf in
+        let i =
+          if from_top then begin
+            let i = t.top in
+            t.top <- (t.top + 1) mod cap;
+            i
+          end
+          else (t.top + t.len - 1) mod cap
+        in
+        t.len <- t.len - 1;
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        x
+      end
+    in
+    Mutex.unlock t.lock;
+    r
+
+  let take_bottom t = take ~from_top:false t
+  let steal_top t = take ~from_top:true t
+end
+
+(* ------------------------------------------------------------------ *)
+
+type pool = {
+  n : int; (* workers, including the submitting domain *)
+  deques : (unit -> unit) Deque.t array; (* length n; slot 0 = submitter *)
+  lock : Mutex.t;
+  batch_cond : Condition.t; (* new batch published or stopping *)
+  done_cond : Condition.t; (* current batch fully executed *)
+  mutable generation : int;
+  mutable stopping : bool;
+  mutable dead : bool;
+  remaining : int Atomic.t; (* jobs of the current batch still to finish *)
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "PARSIM_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> invalid_arg "Parsim: PARSIM_JOBS must be a positive integer")
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let jobs t = t.n
+
+(* Drain the batch: exhaust our own deque bottom-first, then sweep the
+   other deques stealing from their tops; return once a full sweep finds
+   everything empty. Jobs never enqueue further jobs, so an empty sweep
+   after the batch is published means this worker is done. *)
+let drain t me =
+  let rec own () =
+    match Deque.take_bottom t.deques.(me) with
+    | Some job ->
+        job ();
+        own ()
+    | None -> sweep 1
+  and sweep k =
+    if k < t.n then
+      match Deque.steal_top t.deques.((me + k) mod t.n) with
+      | Some job ->
+          job ();
+          own ()
+      | None -> sweep (k + 1)
+  in
+  own ()
+
+let worker t me =
+  let rec loop last_gen =
+    Mutex.lock t.lock;
+    while (not t.stopping) && t.generation = last_gen do
+      Condition.wait t.batch_cond t.lock
+    done;
+    let stop = t.stopping and gen = t.generation in
+    Mutex.unlock t.lock;
+    if not stop then begin
+      drain t me;
+      loop gen
+    end
+  in
+  loop 0
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parsim.create: jobs must be at least 1";
+  let t =
+    {
+      n = jobs;
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      lock = Mutex.create ();
+      batch_cond = Condition.create ();
+      done_cond = Condition.create ();
+      generation = 0;
+      stopping = false;
+      dead = false;
+      remaining = Atomic.make 0;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let shutdown t =
+  if not t.dead then begin
+    t.dead <- true;
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.batch_cond;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.domains
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+type ('a, 'b) outcome = Pending | Value of 'a | Raised of 'b
+
+let run t batch =
+  if t.dead then invalid_arg "Parsim.run: pool already shut down";
+  if t.n = 1 then List.map (fun (_label, f) -> f ()) batch
+  else begin
+    let arr = Array.of_list batch in
+    let k = Array.length arr in
+    if k = 0 then []
+    else begin
+      let results = Array.make k Pending in
+      Atomic.set t.remaining k;
+      Array.iteri
+        (fun i (_label, f) ->
+          let job () =
+            (results.(i) <-
+               (match f () with
+               | v -> Value v
+               | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+            if Atomic.fetch_and_add t.remaining (-1) = 1 then begin
+              Mutex.lock t.lock;
+              Condition.broadcast t.done_cond;
+              Mutex.unlock t.lock
+            end
+          in
+          Deque.push_bottom t.deques.(i mod t.n) job)
+        arr;
+      Mutex.lock t.lock;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.batch_cond;
+      Mutex.unlock t.lock;
+      (* The submitting domain is worker 0. *)
+      drain t 0;
+      Mutex.lock t.lock;
+      while Atomic.get t.remaining > 0 do
+        Condition.wait t.done_cond t.lock
+      done;
+      Mutex.unlock t.lock;
+      (* Deterministic collection: emit in submission order; on failure
+         re-raise the earliest-submitted job's exception. *)
+      Array.iter
+        (function
+          | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Value _ | Pending -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function
+             | Value v -> v
+             | Pending | Raised _ -> assert false)
+           results)
+    end
+  end

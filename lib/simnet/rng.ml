@@ -13,10 +13,24 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
+(* Rejection sampling over 62 uniform bits: draws falling in the
+   incomplete final interval are discarded so every value in [0, bound)
+   keeps probability exactly 1/bound. The draw r is uniform on [0, 2^62),
+   and 2^62 itself overflows the 63-bit native int, so the limit is
+   phrased via max_int = 2^62 - 1: reject the top
+   excess = 2^62 mod bound values, i.e. accept r <= max_int - excess.
+   For power-of-two bounds (notably 256 in [bytes]) excess is 0 and no
+   draw is ever rejected, so those streams — and all payload bytes — are
+   unchanged from the biased implementation. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
-  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  r mod bound
+  let excess = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - excess in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    if r > cutoff then draw () else r mod bound
+  in
+  draw ()
 
 let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in

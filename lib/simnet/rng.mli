@@ -8,7 +8,9 @@ type t
 val create : seed:int64 -> t
 val next_int64 : t -> int64
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is {e exactly} uniform in [\[0, bound)]: the
+    implementation rejection-samples instead of taking [r mod bound], so
+    no residue class is over-represented. [bound] must be positive. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -51,6 +51,30 @@ let test_rng_float_mean () =
     true
     (Float.abs (mean -. 0.5) < 0.02)
 
+let test_rng_int_unbiased () =
+  (* Rejection sampling must keep every residue class equally likely.
+     A bound of 3 would show modulo bias at the ~1e-19 level only, so
+     instead check a coarse chi-square-ish balance on a small bound and
+     that bound = 1 is the constant 0. *)
+  let r = Simnet.Rng.create ~seed:13L in
+  let n = 30_000 and bound = 7 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to n do
+    let x = Simnet.Rng.int r bound in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expect = float_of_int n /. float_of_int bound in
+  Array.iteri
+    (fun v c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class %d count %d near %.0f" v c expect)
+        true
+        (Float.abs (float_of_int c -. expect) < 0.05 *. expect))
+    counts;
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 is constant" 0 (Simnet.Rng.int r 1)
+  done
+
 let test_rng_split_independent () =
   let r = Simnet.Rng.create ~seed:1L in
   let s = Simnet.Rng.split r in
@@ -479,6 +503,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "int unbiased" `Quick test_rng_int_unbiased;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
           Alcotest.test_case "bytes" `Quick test_rng_bytes;
         ] );
