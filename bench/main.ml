@@ -53,6 +53,21 @@ let fig11 () = print_string (Sweeps.fig11 (runner ()))
 
 (* ------------------------------------------------------------------ *)
 
+(* The chaos section: the CI-sized fault-injection sweep at the fixed
+   seed. Every number is simulated, so the section's output is
+   byte-identical across runs and worker counts; a delivery-integrity
+   or failover failure aborts the whole bench run. *)
+let chaos () =
+  header "Chaos -- reliable delivery under injected faults (seed 42, quick)";
+  let report = Chaos.run (runner ()) ~seed:42 ~quick:true in
+  print_string (Chaos.render_table report);
+  if not (Chaos.all_ok report) then begin
+    Printf.printf "\nbench: chaos delivery/failover check FAILED.\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+
 let ablations () =
   header "Ablations -- the design choices called out in DESIGN.md";
 
@@ -528,6 +543,10 @@ let simspeed_scenarios : (string * (unit -> int)) list =
         Marcel.Engine.run w.H.cw_engine;
         assert (!fin = msgs);
         Marcel.Engine.events_processed w.H.cw_engine );
+    (* The chaos workload with no fault plane attached: guards the
+       fault-free fast path against overhead from the fault machinery
+       (the dispatch is a single [Fabric.faults] check). *)
+    ("chaos clean-path tcp pingpong", Chaos.clean_path_events);
   ]
 
 let simspeed_measure f =
@@ -731,6 +750,7 @@ let sections =
     ("eq16k", eq16k);
     ("fig10", fig10);
     ("fig11", fig11);
+    ("chaos", chaos);
     ("ablations", ablations);
     ("report", fun () ->
       header "Replication report -- paper vs measured, judged";

@@ -198,6 +198,49 @@ let nexus_cmd =
     (Cmd.info "nexus" ~doc:"Nexus RSR echo measurement.")
     Term.(const nexus $ proto_arg $ size_arg $ iters_arg)
 
+(* -------- chaos -------- *)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ]
+         ~doc:"Trim the fault sweep to the CI-sized subset.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+         ~doc:"Fault-plane RNG seed. Reports for one seed are \
+               byte-identical across runs and worker counts.")
+
+let json_arg =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Also write the machine-readable report to FILE.")
+
+let chaos quick seed jobs_opt json_file =
+  let jobs =
+    match jobs_opt with Some n -> n | None -> Parsim.default_jobs ()
+  in
+  let report =
+    Parsim.with_pool ~jobs (fun pool ->
+        Chaos.run (Sweeps.pool_runner pool) ~seed ~quick)
+  in
+  print_string (Chaos.render_table report);
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Chaos.to_json report);
+      close_out oc;
+      Format.printf "wrote %s@." file);
+  if not (Chaos.all_ok report) then begin
+    Format.eprintf "chaos: delivery or failover check FAILED@.";
+    exit 1
+  end
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injection sweep: reliable delivery under drops, \
+             corruption, flaps, PCI stalls and gateway crashes.")
+    Term.(const chaos $ quick_arg $ seed_arg $ jobs_arg $ json_arg)
+
 (* -------- describe / config-driven runs -------- *)
 
 let config_arg =
@@ -231,7 +274,7 @@ let describe config =
                     ~dst:(Cf.rank_of t b)
                 with
                 | hops -> Format.printf "  %s -> %s: %d hop(s)@." a b hops
-                | exception Not_found ->
+                | exception Madeleine.Vchannel.Partitioned _ ->
                     Format.printf "  %s -> %s: unreachable@." a b)
             nodes)
         nodes)
@@ -338,5 +381,5 @@ let () =
        (Cmd.group info
           [
             pingpong_cmd; sweep_cmd; forward_cmd; mpi_cmd; nexus_cmd;
-            describe_cmd; config_pingpong_cmd;
+            chaos_cmd; describe_cmd; config_pingpong_cmd;
           ]))

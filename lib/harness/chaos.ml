@@ -1,0 +1,421 @@
+(* The deterministic chaos harness: fig-4-style workloads driven through
+   the fault plane, checking that reliable delivery actually delivers —
+   every received byte is compared against what was packed — while
+   recording how much latency and bandwidth degrade under each injected
+   failure. All numbers in a report are simulated quantities, so a report
+   for a given seed and workload set is byte-identical across runs and
+   across worker counts (the jobs fan out over a {!Sweeps.runner}). *)
+
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Faults = Simnet.Faults
+module Channel = Madeleine.Channel
+module Mad = Madeleine.Api
+module Vc = Madeleine.Vchannel
+
+type row = {
+  scenario : string;
+  size : int;
+  drop_pct : float; (* per-link injected rate, percent *)
+  lat_us : float; (* one-way, averaged over the iterations *)
+  bw_mb_s : float;
+  drops : int; (* frames the plane decided to drop *)
+  corrupts : int; (* frames the plane corrupted in flight *)
+  retransmissions : int;
+  crc_rejects : int;
+  intact : bool; (* every delivered message matched the packed bytes *)
+}
+
+type failover = {
+  fo_messages : int;
+  fo_size : int;
+  fo_crashed_gateway : int;
+  fo_route_after : int list;
+  fo_reroutes : int;
+  fo_reemitted : int;
+  fo_dup_drops : int;
+  fo_intact : bool;
+  fo_partitioned : bool; (* second crash really partitions the vchannel *)
+  fo_finish_us : float;
+}
+
+type report = {
+  rep_seed : int;
+  rep_quick : bool;
+  rep_rows : row list;
+  rep_failover : failover;
+}
+
+(* ------------------------------------------------------------------ *)
+(* A two-node TCP world with a fault plane attached. *)
+
+type tcp_world = {
+  fw_engine : Engine.t;
+  fw_faults : Faults.t;
+  fw_net : Tcpnet.net;
+  fw_channel : Channel.t;
+  fw_nodes : Node.t array;
+}
+
+let faulty_tcp_world ~seed ~drop ~corrupt =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  for i = 0 to 1 do
+    if drop > 0.0 then Faults.set_drop faults ~fabric:"eth" ~node:i ~rate:drop;
+    if corrupt > 0.0 then
+      Faults.set_corrupt faults ~fabric:"eth" ~node:i ~rate:corrupt
+  done;
+  let net = Tcpnet.make_net engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let driver = Madeleine.Pmm_tcp.driver (function 0 -> s0 | _ -> s1) in
+  let session = Madeleine.Session.create engine in
+  let channel = Channel.create session driver ~ranks:[ 0; 1 ] () in
+  { fw_engine = engine; fw_faults = faults; fw_net = net;
+    fw_channel = channel; fw_nodes = nodes }
+
+(* Ping-pong with end-to-end integrity verification: both directions
+   compare the unpacked bytes against the packed payload. *)
+let verified_pingpong w ~size ~iters =
+  let ep0 = Channel.endpoint w.fw_channel ~rank:0 in
+  let ep1 = Channel.endpoint w.fw_channel ~rank:1 in
+  let data = Harness.payload size 9L in
+  let intact = ref true in
+  let started = ref Time.zero and finished = ref Time.zero in
+  Engine.spawn w.fw_engine ~name:"ping" (fun () ->
+      started := Engine.now w.fw_engine;
+      for _ = 1 to iters do
+        let oc = Mad.begin_packing ep0 ~remote:1 in
+        Mad.pack oc data;
+        Mad.end_packing oc;
+        let sink = Bytes.create size in
+        let ic = Mad.begin_unpacking_from ep0 ~remote:1 in
+        Mad.unpack ic sink;
+        Mad.end_unpacking ic;
+        if not (Bytes.equal sink data) then intact := false
+      done;
+      finished := Engine.now w.fw_engine);
+  Engine.spawn w.fw_engine ~name:"pong" (fun () ->
+      for _ = 1 to iters do
+        let sink = Bytes.create size in
+        let ic = Mad.begin_unpacking_from ep1 ~remote:0 in
+        Mad.unpack ic sink;
+        Mad.end_unpacking ic;
+        if not (Bytes.equal sink data) then intact := false;
+        let oc = Mad.begin_packing ep1 ~remote:0 in
+        Mad.pack oc sink;
+        Mad.end_packing oc
+      done);
+  Engine.run w.fw_engine;
+  (Time.diff !finished !started / (2 * iters), !intact)
+
+let iters_for size = if size <= 4096 then 6 else 4
+
+let finish_row ~scenario ~drop ~size w (span, intact) =
+  let st = Faults.stats w.fw_faults in
+  let retransmissions, crc_rejects = Tcpnet.net_stats w.fw_net in
+  {
+    scenario;
+    size;
+    drop_pct = drop *. 100.0;
+    lat_us = Time.to_us span;
+    bw_mb_s = Time.rate_mb_s ~bytes_count:size span;
+    drops = st.Faults.frames_dropped;
+    corrupts = st.Faults.frames_corrupted;
+    retransmissions;
+    crc_rejects;
+    intact;
+  }
+
+let drop_row ~seed ~drop ~size =
+  let w = faulty_tcp_world ~seed ~drop ~corrupt:0.0 in
+  finish_row ~scenario:"drop" ~drop ~size w
+    (verified_pingpong w ~size ~iters:(iters_for size))
+
+let corrupt_row ~seed ~rate ~size =
+  let w = faulty_tcp_world ~seed ~drop:0.0 ~corrupt:rate in
+  finish_row ~scenario:"corrupt" ~drop:rate ~size w
+    (verified_pingpong w ~size ~iters:(iters_for size))
+
+(* A link flap in the middle of the exchange: everything delivered while
+   the link is down is lost and must be retransmitted after it heals. *)
+let flap_row ~seed ~size =
+  let w = faulty_tcp_world ~seed ~drop:0.0 ~corrupt:0.0 in
+  Faults.flap_link w.fw_faults ~fabric:"eth" ~node:0
+    ~at:(Time.add Time.zero (Time.us 4_000.0))
+    ~duration:(Time.us 5_000.0);
+  finish_row ~scenario:"flap" ~drop:0.0 ~size w
+    (verified_pingpong w ~size ~iters:8)
+
+(* A rogue device monopolizes one host's PCI bus mid-transfer: no loss,
+   but every PIO/DMA on that host crawls for the duration. *)
+let stall_row ~seed ~size =
+  let w = faulty_tcp_world ~seed ~drop:0.0 ~corrupt:0.0 in
+  Faults.stall_pci w.fw_faults w.fw_nodes.(1)
+    ~at:(Time.add Time.zero (Time.us 2_000.0))
+    ~duration:(Time.us 4_000.0);
+  finish_row ~scenario:"pci-stall" ~drop:0.0 ~size w
+    (verified_pingpong w ~size ~iters:4)
+
+(* ------------------------------------------------------------------ *)
+(* Gateway failover: rank 0 talks to rank 3 across two Ethernet
+   segments joined by two redundant gateways (ranks 1 and 2). The
+   first-hop gateway is crashed after the first message lands; the
+   remaining messages must arrive intact over the recomputed route.
+   Crashing the second gateway then partitions the virtual channel. *)
+
+let failover_run ~seed ~size ~messages =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  let fab_a =
+    Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet
+  in
+  let fab_b =
+    Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet
+  in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 4 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1; 2 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2; 3 ];
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let stacks_a = Hashtbl.create 4 and stacks_b = Hashtbl.create 4 in
+  List.iter
+    (fun i -> Hashtbl.add stacks_a i (Tcpnet.attach net_a nodes.(i)))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun i -> Hashtbl.add stacks_b i (Tcpnet.attach net_b nodes.(i)))
+    [ 1; 2; 3 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_a))
+      ~ranks:[ 0; 1; 2 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_b))
+      ~ranks:[ 1; 2; 3 ] ()
+  in
+  let vc = Vc.create session ~mtu:4096 ~faults [ ch_a; ch_b ] in
+  let gw = List.hd (Vc.route_via vc ~src:0 ~dst:3) in
+  let other_gw = if gw = 1 then 2 else 1 in
+  let data = Harness.payload size 11L in
+  let intact = ref true in
+  let partitioned = ref false in
+  let route_after = ref [] in
+  let finish = ref Time.zero in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      for _ = 1 to messages do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:3 in
+        Vc.pack oc data;
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"receiver" (fun () ->
+      for m = 1 to messages do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:3 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink data) then intact := false;
+        (* The crash lands while later messages are still in flight. *)
+        if m = 1 then Faults.crash_now faults ~node:gw ()
+      done;
+      finish := Engine.now engine;
+      route_after := Vc.route_via vc ~src:0 ~dst:3;
+      if List.mem gw !route_after then intact := false;
+      Faults.crash_now faults ~node:other_gw ();
+      (match Vc.begin_packing vc ~me:0 ~remote:3 with
+      | exception Vc.Partitioned _ -> partitioned := true
+      | _oc -> ()));
+  Engine.run engine;
+  let stats =
+    match Vc.rel_stats vc with Some s -> s | None -> assert false
+  in
+  {
+    fo_messages = messages;
+    fo_size = size;
+    fo_crashed_gateway = gw;
+    fo_route_after = !route_after;
+    fo_reroutes = stats.Vc.reroutes;
+    fo_reemitted = stats.Vc.reemitted;
+    fo_dup_drops = stats.Vc.dup_drops;
+    fo_intact = !intact;
+    fo_partitioned = !partitioned;
+    fo_finish_us = Time.to_us !finish;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The workload set. Stop-and-wait retransmission gives up after 12
+   attempts, so the per-frame survival probability bounds which
+   (rate, size) points can complete: at 5% per link a frame of a dozen
+   or more MTU fragments (crossing two faulty endpoints) dies often
+   enough that twelve consecutive losses become likely, so the heaviest
+   rate is swept only over single-digit-fragment messages rather than
+   reported dead. *)
+
+type outcome = Row of row | Failed_over of failover
+
+let run (runner : Sweeps.runner) ~seed ~quick =
+  let rates = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.05 ] in
+  let sizes =
+    if quick then [ 4; 4096; 16384 ] else [ 4; 256; 4096; 16384; 65536 ]
+  in
+  let drop_jobs =
+    List.concat_map
+      (fun drop ->
+        List.filter_map
+          (fun size ->
+            if drop >= 0.05 && size > 4096 then None
+            else
+              Some
+                ( Printf.sprintf "chaos/drop-%.1f%%/%d" (drop *. 100.0) size,
+                  fun () -> Row (drop_row ~seed ~drop ~size) ))
+          sizes)
+      rates
+  in
+  let corrupt_sizes = if quick then [ 16384 ] else [ 4096; 16384 ] in
+  let corrupt_jobs =
+    List.map
+      (fun size ->
+        ( Printf.sprintf "chaos/corrupt-2.0%%/%d" size,
+          fun () -> Row (corrupt_row ~seed ~rate:0.02 ~size) ))
+      corrupt_sizes
+  in
+  let scheduled_jobs =
+    [
+      ("chaos/flap", fun () -> Row (flap_row ~seed ~size:16384));
+      ("chaos/pci-stall", fun () -> Row (stall_row ~seed ~size:65536));
+      ( "chaos/gateway-failover",
+        fun () -> Failed_over (failover_run ~seed ~size:16384 ~messages:4) );
+    ]
+  in
+  let outcomes = runner.Sweeps.run (drop_jobs @ corrupt_jobs @ scheduled_jobs) in
+  let rows =
+    List.filter_map (function Row r -> Some r | Failed_over _ -> None) outcomes
+  in
+  let failover =
+    match
+      List.find_map
+        (function Failed_over f -> Some f | Row _ -> None)
+        outcomes
+    with
+    | Some f -> f
+    | None -> assert false
+  in
+  { rep_seed = seed; rep_quick = quick; rep_rows = rows; rep_failover = failover }
+
+let all_ok r =
+  List.for_all (fun row -> row.intact) r.rep_rows
+  && r.rep_failover.fo_intact
+  && r.rep_failover.fo_partitioned
+  && r.rep_failover.fo_reroutes >= 1
+
+(* ------------------------------------------------------------------ *)
+(* Rendering. Every figure below is simulated, so the whole report is a
+   pure function of (seed, quick): reruns are byte-identical. *)
+
+let to_json r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{ \"chaos\": { \"seed\": %d, \"quick\": %b, \"rows\": [\n"
+       r.rep_seed r.rep_quick);
+  let last = List.length r.rep_rows - 1 in
+  List.iteri
+    (fun i row ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  { \"scenario\": %S, \"size\": %d, \"drop_pct\": %.2f, \
+            \"lat_us\": %.2f, \"bw_mb_s\": %.2f, \"drops\": %d, \
+            \"corrupts\": %d, \"retransmissions\": %d, \"crc_rejects\": %d, \
+            \"intact\": %b }%s\n"
+           row.scenario row.size row.drop_pct row.lat_us row.bw_mb_s row.drops
+           row.corrupts row.retransmissions row.crc_rejects row.intact
+           (if i = last then "" else ",")))
+    r.rep_rows;
+  let f = r.rep_failover in
+  Buffer.add_string b
+    (Printf.sprintf
+       "], \"failover\": { \"messages\": %d, \"size\": %d, \
+        \"crashed_gateway\": %d, \"route_after\": [%s], \"reroutes\": %d, \
+        \"reemitted\": %d, \"dup_drops\": %d, \"intact\": %b, \
+        \"partitioned_after_second_crash\": %b, \"finish_us\": %.2f } } }\n"
+       f.fo_messages f.fo_size f.fo_crashed_gateway
+       (String.concat ", " (List.map string_of_int f.fo_route_after))
+       f.fo_reroutes f.fo_reemitted f.fo_dup_drops f.fo_intact f.fo_partitioned
+       f.fo_finish_us);
+  Buffer.contents b
+
+let render_table r =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "# chaos report (seed %d%s)\n" r.rep_seed
+       (if r.rep_quick then ", quick" else ""));
+  Buffer.add_string b
+    (Printf.sprintf "%-10s %8s %7s %12s %10s %6s %8s %8s %5s %7s\n" "scenario"
+       "size(B)" "drop%" "latency(us)" "bw(MB/s)" "drops" "corrupts" "retrans"
+       "crc" "intact");
+  (* Degradation is judged against the clean (0%) row of the same size. *)
+  let clean_lat size =
+    List.find_map
+      (fun row ->
+        if row.scenario = "drop" && row.drop_pct = 0.0 && row.size = size then
+          Some row.lat_us
+        else None)
+      r.rep_rows
+  in
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %8d %7.1f %12.2f %10.2f %6d %8d %8d %5d %7s%s\n"
+           row.scenario row.size row.drop_pct row.lat_us row.bw_mb_s row.drops
+           row.corrupts row.retransmissions row.crc_rejects
+           (if row.intact then "yes" else "NO")
+           (match clean_lat row.size with
+           | Some base when row.drop_pct > 0.0 && base > 0.0 ->
+               Printf.sprintf "  (%.2fx clean latency)" (row.lat_us /. base)
+           | _ -> "")))
+    r.rep_rows;
+  let f = r.rep_failover in
+  Buffer.add_string b
+    (Printf.sprintf
+       "failover: %d x %d B via gateway %d; crash mid-stream -> route [%s], \
+        %d reroute(s), %d re-emitted, %d dup(s) dropped, intact=%s, \
+        partitioned after second crash=%s, finish=%.2f us\n"
+       f.fo_messages f.fo_size f.fo_crashed_gateway
+       (String.concat "; " (List.map string_of_int f.fo_route_after))
+       f.fo_reroutes f.fo_reemitted f.fo_dup_drops
+       (if f.fo_intact then "yes" else "NO")
+       (if f.fo_partitioned then "yes" else "NO")
+       f.fo_finish_us);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* The clean-path control: the quick chaos workload with no fault plane
+   attached at all. Simspeed tracks its host events/s to catch the
+   fault machinery taxing the fault-free fast path. *)
+
+let clean_path_events () =
+  (* Enough iterations that the host-side wall clock of the scenario is
+     tens of milliseconds: a 20%-tolerance gate on a millisecond-sized
+     sample would be all noise. *)
+  List.fold_left
+    (fun acc size ->
+      let w = Harness.tcp_world () in
+      ignore (Harness.mad_pingpong w ~bytes_count:size ~iters:256);
+      acc + Engine.events_processed w.Harness.engine)
+    0 [ 4; 4096; 16384 ]

@@ -1,0 +1,75 @@
+(** The deterministic chaos harness.
+
+    Drives fig-4-style ping-pong workloads and the gateway-forwarding
+    workload through the {!Simnet.Faults} plane, verifying that what the
+    reliable transports deliver is bit-identical to what was packed, and
+    recording how latency and bandwidth degrade under each injected
+    failure (drop rates, corruption, link flaps, PCI stalls, gateway
+    crashes).
+
+    Every recorded number is simulated time or a simulated counter —
+    nothing host-dependent — so a {!report} is a pure function of
+    [(seed, quick)]: reruns and different worker counts produce
+    byte-identical JSON. *)
+
+type row = {
+  scenario : string; (* "drop", "corrupt", "flap" or "pci-stall" *)
+  size : int;
+  drop_pct : float; (* injected per-link rate, in percent *)
+  lat_us : float;
+  bw_mb_s : float;
+  drops : int;
+  corrupts : int;
+  retransmissions : int;
+  crc_rejects : int;
+  intact : bool; (* delivered bytes matched packed bytes throughout *)
+}
+
+type failover = {
+  fo_messages : int;
+  fo_size : int;
+  fo_crashed_gateway : int;
+  fo_route_after : int list; (* hops of the recomputed 0 -> 3 route *)
+  fo_reroutes : int;
+  fo_reemitted : int;
+  fo_dup_drops : int;
+  fo_intact : bool;
+  fo_partitioned : bool; (* crashing the last gateway raised Partitioned *)
+  fo_finish_us : float;
+}
+
+type report = {
+  rep_seed : int;
+  rep_quick : bool;
+  rep_rows : row list;
+  rep_failover : failover;
+}
+
+val failover_run : seed:int -> size:int -> messages:int -> failover
+(** The redundant-gateway crash scenario on its own (also part of
+    {!run}): rank 0 streams [messages] messages of [size] bytes to
+    rank 3 across two Ethernet segments joined by gateways 1 and 2; the
+    first-hop gateway is crashed right after the first message is
+    delivered, so the crash lands mid-stream. *)
+
+val run : Sweeps.runner -> seed:int -> quick:bool -> report
+(** The full workload set: a drop-rate x size sweep, a corruption sweep,
+    a mid-exchange link flap, a PCI stall, and the redundant-gateway
+    crash scenario (rank 0 to rank 3 across two Ethernet segments; the
+    first-hop gateway dies after the first message, the rest must arrive
+    intact over the recomputed route; killing the second gateway must
+    raise {!Madeleine.Vchannel.Partitioned}). [quick] trims the sweep to
+    a CI-sized subset. *)
+
+val all_ok : report -> bool
+(** No corrupted delivery anywhere, failover delivered every message,
+    routes were actually recomputed, and the final partition was
+    detected. *)
+
+val to_json : report -> string
+val render_table : report -> string
+
+val clean_path_events : unit -> int
+(** Host events processed by the quick chaos ping-pong workload with no
+    fault plane attached — the simspeed control guarding the fault-free
+    fast path. *)

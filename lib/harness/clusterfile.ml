@@ -22,6 +22,7 @@ type network = {
 type t = {
   cf_engine : Engine.t;
   cf_session : Madeleine.Session.t;
+  mutable cf_faults : Simnet.Faults.t option;
   nets : (string, network) Hashtbl.t;
   node_tbl : (string, Node.t) Hashtbl.t;
   mutable node_order : string list; (* reverse declaration order *)
@@ -34,6 +35,7 @@ type t = {
 
 let engine t = t.cf_engine
 let session t = t.cf_session
+let faults t = t.cf_faults
 let networks t = List.rev t.net_order
 let nodes t = List.rev t.node_order
 let channels t = List.rev t.chan_order
@@ -183,8 +185,90 @@ let parse_line t lineno line =
         | Some k -> k
         | None -> raise (Parse_error (lineno, "network needs type="))
       in
-      declare lineno t.nets "network" name (make_network t.cf_engine kind name);
+      let net = make_network t.cf_engine kind name in
+      (* A previously declared fault plane covers every later fabric. *)
+      (match t.cf_faults with
+      | Some plane -> Fabric.set_faults net.fabric plane
+      | None -> ());
+      declare lineno t.nets "network" name net;
       t.net_order <- name :: t.net_order
+  | "faults" :: opts ->
+      if t.cf_faults <> None then
+        raise (Parse_error (lineno, "duplicate faults declaration"));
+      let seed = ref None in
+      List.iter
+        (fun tok ->
+          match split_kv lineno tok with
+          | "seed", v -> seed := Some (parse_int lineno "seed" v)
+          | k, _ -> raise (Parse_error (lineno, "unknown faults option " ^ k)))
+        opts;
+      let seed =
+        match !seed with
+        | Some s -> s
+        | None -> raise (Parse_error (lineno, "faults needs seed="))
+      in
+      let plane = Simnet.Faults.create t.cf_engine ~seed:(Int64.of_int seed) in
+      Hashtbl.iter (fun _ net -> Fabric.set_faults net.fabric plane) t.nets;
+      t.cf_faults <- Some plane
+  | "fault" :: kind :: opts ->
+      let plane =
+        match t.cf_faults with
+        | Some p -> p
+        | None ->
+            raise
+              (Parse_error
+                 (lineno, "fault requires a prior faults seed=N declaration"))
+      in
+      let net = ref None and who = ref None in
+      let rate = ref None and at = ref None in
+      let dur = ref None and restart = ref None in
+      List.iter
+        (fun tok ->
+          match split_kv lineno tok with
+          | "net", v ->
+              ignore (find_or lineno t.nets "network" v);
+              net := Some v
+          | "node", v -> who := Some (find_or lineno t.node_tbl "node" v)
+          | "rate", v -> rate := Some (parse_float lineno "rate" v)
+          | "at_us", v -> at := Some (parse_float lineno "at_us" v)
+          | "for_us", v -> dur := Some (parse_float lineno "for_us" v)
+          | "restart_after_us", v ->
+              restart := Some (parse_float lineno "restart_after_us" v)
+          | k, _ -> raise (Parse_error (lineno, "unknown fault option " ^ k)))
+        opts;
+      let need what = function
+        | Some v -> v
+        | None ->
+            raise
+              (Parse_error
+                 (lineno, Printf.sprintf "fault %s needs %s=" kind what))
+      in
+      let node () = need "node" !who in
+      let rank () = (node ()).Node.id in
+      let at_time () = Time.add Time.zero (Time.us (need "at_us" !at)) in
+      let duration () = Time.us (need "for_us" !dur) in
+      (match kind with
+      | "drop" ->
+          Simnet.Faults.set_drop plane ~fabric:(need "net" !net)
+            ~node:(rank ()) ~rate:(need "rate" !rate)
+      | "corrupt" ->
+          Simnet.Faults.set_corrupt plane ~fabric:(need "net" !net)
+            ~node:(rank ()) ~rate:(need "rate" !rate)
+      | "flap" ->
+          Simnet.Faults.flap_link plane ~fabric:(need "net" !net)
+            ~node:(rank ()) ~at:(at_time ()) ~duration:(duration ())
+      | "crash" ->
+          Simnet.Faults.crash_node plane ~node:(rank ()) ~at:(at_time ())
+            ?restart_after:(Option.map Time.us !restart) ()
+      | "stall" ->
+          Simnet.Faults.stall_pci plane (node ()) ~at:(at_time ())
+            ~duration:(duration ())
+      | other ->
+          raise
+            (Parse_error
+               (lineno,
+                Printf.sprintf
+                  "unknown fault kind %S (drop|corrupt|flap|crash|stall)" other)))
   | "node" :: name :: opts ->
       let nets = ref [] in
       List.iter
@@ -214,6 +298,11 @@ let parse_line t lineno line =
               config := { !config with checked = parse_bool lineno "checked" v }
           | "slots", v ->
               config := { !config with sisci_ring_slots = parse_int lineno "slots" v }
+          | "connect_timeout_us", v ->
+              config :=
+                { !config with
+                  tcp_connect_timeout =
+                    Some (Time.us (parse_float lineno "connect_timeout_us" v)) }
           | "dma", v ->
               config := { !config with sisci_use_dma = parse_bool lineno "dma" v }
           | "rx", v ->
@@ -244,6 +333,7 @@ let parse_line t lineno line =
   | "vchannel" :: name :: opts ->
       let chans = ref [] and mtu = ref None in
       let overhead = ref None and cap = ref None in
+      let reliable = ref false in
       List.iter
         (fun tok ->
           match split_kv lineno tok with
@@ -254,12 +344,25 @@ let parse_line t lineno line =
           | "gateway_overhead_us", v ->
               overhead := Some (Time.us (parse_float lineno "gateway_overhead_us" v))
           | "ingress_cap", v -> cap := Some (parse_float lineno "ingress_cap" v)
+          | "reliable", v -> reliable := parse_bool lineno "reliable" v
           | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
         opts;
       if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
+      let vc_faults =
+        if not !reliable then None
+        else
+          match t.cf_faults with
+          | Some _ as plane -> plane
+          | None ->
+              raise
+                (Parse_error
+                   (lineno,
+                    "reliable=true requires a prior faults seed=N declaration"))
+      in
       let vc =
         Madeleine.Vchannel.create t.cf_session ?mtu:!mtu
-          ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap !chans
+          ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap ?faults:vc_faults
+          !chans
       in
       declare lineno t.vchan_tbl "vchannel" name vc;
       t.vchan_order <- name :: t.vchan_order
@@ -272,6 +375,7 @@ let load text =
     {
       cf_engine;
       cf_session = Madeleine.Session.create cf_engine;
+      cf_faults = None;
       nets = Hashtbl.create 8;
       node_tbl = Hashtbl.create 16;
       node_order = [];

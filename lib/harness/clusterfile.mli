@@ -24,12 +24,31 @@
     Syntax: one declaration per line — [network NAME type=T],
     [node NAME nets=N1,N2...], [channel NAME net=N nodes=A,B,...] and
     [vchannel NAME channels=C1,C2,... \[mtu=BYTES\]
-    \[gateway_overhead_us=US\] \[ingress_cap=MB_S\]]. Channel options:
-    [aggregation=BOOL], [checked=BOOL], [slots=INT], [dma=BOOL],
-    [rx=poll|interrupt|adaptive]. Network types: [sisci], [bip], [tcp],
+    \[gateway_overhead_us=US\] \[ingress_cap=MB_S\] \[reliable=BOOL\]].
+    Channel options: [aggregation=BOOL], [checked=BOOL], [slots=INT],
+    [dma=BOOL], [rx=poll|interrupt|adaptive],
+    [connect_timeout_us=US]. Network types: [sisci], [bip], [tcp],
     [via], [sbp]. [#] starts a comment. Declarations must appear in
     dependency order (networks, then nodes, then channels, then virtual
-    channels). Node ranks are assigned in declaration order. *)
+    channels). Node ranks are assigned in declaration order.
+
+    {2 Fault injection}
+
+    [faults seed=N] creates a deterministic {!Simnet.Faults} plane and
+    attaches it to every fabric of the description (declared before or
+    after the line); it must precede any [fault] line, any
+    [reliable=true] vchannel and any channel with a connect timeout that
+    should actually fire. Individual faults then read:
+    {v
+    fault drop    net=NET node=NAME rate=R        # per-fragment loss
+    fault corrupt net=NET node=NAME rate=R        # per-fragment bit flip
+    fault flap    net=NET node=NAME at_us=T for_us=D
+    fault crash   node=NAME at_us=T [restart_after_us=D]
+    fault stall   node=NAME at_us=T for_us=D      # PCI-bus hog
+    v}
+    [reliable=true] on a vchannel enables sequence-numbered delivery
+    with origin logging and gateway failover against the declared
+    plane (see {!Madeleine.Vchannel.create}). *)
 
 type t
 
@@ -44,6 +63,9 @@ val load_file : string -> t
 
 val engine : t -> Marcel.Engine.t
 val session : t -> Madeleine.Session.t
+
+val faults : t -> Simnet.Faults.t option
+(** The fault plane of a [faults seed=N] declaration, if any. *)
 
 val networks : t -> string list
 val nodes : t -> string list

@@ -56,6 +56,12 @@ let end_packing oc =
   oc.oc_closed <- true;
   Mutex.unlock oc.oc_link.Link.s_mutex
 
+let abort_packing oc =
+  if not oc.oc_closed then begin
+    oc.oc_closed <- true;
+    Mutex.unlock oc.oc_link.Link.s_mutex
+  end
+
 let make_in ep ~from link =
   Mutex.lock link.Link.r_mutex;
   Engine.sleep Config.begin_overhead;

@@ -33,6 +33,13 @@ val pack :
 val end_packing : out_connection -> unit
 (** Flushes every delayed packet and closes the connection object. *)
 
+val abort_packing : out_connection -> unit
+(** Releases a connection whose send failed mid-message (e.g. a reliable
+    transport raised {!Config.Peer_unreachable}): unlocks the link
+    without flushing, so other messages can use it. The aborted
+    message's data is lost; used by reliable vchannels, which re-emit
+    from their own unacknowledged-packet log. *)
+
 val begin_unpacking : Channel.endpoint -> in_connection
 (** Starts extraction of the first incoming message on the channel,
     whichever peer sent it. Blocks until a message is visible. *)

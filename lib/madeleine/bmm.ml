@@ -34,8 +34,14 @@ let eager_dynamic_send (d : Tm.dynamic_send) =
   let held = Bufs.create () in
   let flush () =
     if not (Bufs.is_empty held) then begin
-      d.Tm.send_buffer_group held;
-      Bufs.clear held
+      (* Clear even when the send fails (reliable transports can give up
+         on a dead peer): the aborted message must not leak stale buffers
+         into the next message on this link. *)
+      match d.Tm.send_buffer_group held with
+      | () -> Bufs.clear held
+      | exception e ->
+          Bufs.clear held;
+          raise e
     end
   in
   let append buf s _r =
@@ -54,8 +60,11 @@ let aggregating_dynamic_send (d : Tm.dynamic_send) =
   let flush () =
     if not (Bufs.is_empty held) then begin
       later_pending := false;
-      d.Tm.send_buffer_group held;
-      Bufs.clear held
+      match d.Tm.send_buffer_group held with
+      | () -> Bufs.clear held
+      | exception e ->
+          Bufs.clear held;
+          raise e
     end
   in
   let append buf s r =

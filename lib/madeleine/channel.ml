@@ -69,6 +69,10 @@ let check_remote t remote =
   if not (List.mem remote t.chan_ranks) then
     invalid_arg (Printf.sprintf "Madeleine: rank %d not in channel" remote)
 
+let peer_health ep ~remote =
+  check_remote ep.ep_channel remote;
+  ep.ep_channel.inst.Driver.peer_health ~me:ep.ep_rank ~peer:remote
+
 let sender_link ep ~remote =
   check_remote ep.ep_channel remote;
   if remote = ep.ep_rank then invalid_arg "Madeleine: cannot connect to self";

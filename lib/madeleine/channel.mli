@@ -28,6 +28,12 @@ val endpoint : t -> rank:int -> endpoint
 val endpoint_rank : endpoint -> int
 val endpoint_channel : endpoint -> t
 
+val peer_health : endpoint -> remote:int -> Iface.health
+(** Health of the path to [remote] as seen by the channel's driver:
+    [Up], [Degraded n] under retransmission pressure, or [Down] once the
+    peer is unreachable. Interfaces without failure detection always
+    report [Up]. *)
+
 val tm_usage : t -> (int * int * int) list
 (** Per-transmission-module usage on this channel: [(tm_index, packets,
     bytes)] sorted by index — which paths the Switch actually chose

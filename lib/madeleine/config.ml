@@ -9,9 +9,11 @@ type t = {
   sisci_ring_slots : int;
   sisci_use_dma : bool;
   rx_interaction : rx_interaction;
+  tcp_connect_timeout : Marcel.Time.span option;
 }
 
 exception Symmetry_violation of string
+exception Peer_unreachable of string
 
 let default =
   {
@@ -20,6 +22,7 @@ let default =
     sisci_ring_slots = 2;
     sisci_use_dma = false;
     rx_interaction = Rx_poll;
+    tcp_connect_timeout = None;
   }
 
 module Time = Marcel.Time

@@ -30,9 +30,20 @@ type t = {
   rx_interaction : rx_interaction;
       (** How SISCI receive paths wait for incoming data. Default
           {!Rx_poll}. *)
+  tcp_connect_timeout : Marcel.Time.span option;
+      (** When set, TCP channel session setup uses live connect/accept
+          handshakes with this timeout instead of pre-established
+          socketpairs, so a crashed peer surfaces as
+          {!Tcpnet.Timeout} during [instantiate] rather than a hang.
+          Default [None] (pre-established, no timeout). *)
 }
 
 exception Symmetry_violation of string
+
+exception Peer_unreachable of string
+(** A reliable transport gave up delivering to a peer (crash or
+    persistent loss). Raised from [pack]/[end_packing]-driven sends on
+    channels whose interface has failure detection enabled. *)
 
 val default : t
 

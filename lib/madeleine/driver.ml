@@ -3,6 +3,7 @@ type instance = {
   sender_link : src:int -> dst:int -> Link.sender;
   receiver_link : me:int -> from:int -> Link.receiver;
   on_data : me:int -> (unit -> unit) -> unit;
+  peer_health : me:int -> peer:int -> Iface.health;
 }
 
 type t = {

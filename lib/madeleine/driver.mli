@@ -15,6 +15,9 @@ type instance = {
   on_data : me:int -> (unit -> unit) -> unit;
       (** Subscribes a callback to "new data visible at [me]" events,
           feeding any-source [begin_unpacking]. *)
+  peer_health : me:int -> peer:int -> Iface.health;
+      (** Health of the protocol-level path from [me] to [peer].
+          Interfaces without failure detection always report [Up]. *)
 }
 
 type t = {

@@ -4,6 +4,8 @@ type packet_header = {
   payload_len : int;
   first : bool;
   last : bool;
+  seq : int;  (* 16-bit end-to-end sequence number, 0 when unreliable *)
+  ack : bool;  (* cumulative acknowledgment packet (reliable vchannels) *)
 }
 
 let header_size = Config.packet_header_size
@@ -14,9 +16,16 @@ let encode_header h =
   Bytes.set_int32_le b 0 (Int32.of_int h.final_dst);
   Bytes.set_int32_le b 4 (Int32.of_int h.origin);
   Bytes.set_int32_le b 8 (Int32.of_int h.payload_len);
-  let flags = (if h.first then 1 else 0) lor if h.last then 2 else 0 in
+  let flags =
+    (if h.first then 1 else 0)
+    lor (if h.last then 2 else 0)
+    lor if h.ack then 4 else 0
+  in
   Bytes.set b 12 (Char.chr flags);
   Bytes.set b 13 magic;
+  (* Bytes 14-15 were reserved; seq = 0 keeps the unreliable encoding
+     byte-identical to the pre-reliability wire format. *)
+  Bytes.set_uint16_le b 14 (h.seq land 0xffff);
   b
 
 let decode_header b =
@@ -31,6 +40,8 @@ let decode_header b =
     payload_len = Int32.to_int (Bytes.get_int32_le b 8);
     first = flags land 1 <> 0;
     last = flags land 2 <> 0;
+    seq = Bytes.get_uint16_le b 14;
+    ack = flags land 4 <> 0;
   }
 
 let sub_header_size = Config.buffer_header_size

@@ -20,6 +20,14 @@ type packet_header = {
   payload_len : int;
   first : bool;
   last : bool;
+  seq : int;
+      (** 16-bit end-to-end sequence number per (origin, destination)
+          flow, used by reliable vchannels for duplicate suppression.
+          0 on unreliable vchannels — the wire encoding is then
+          byte-identical to the pre-reliability format. *)
+  ack : bool;
+      (** Zero-payload cumulative acknowledgment travelling back to
+          [final_dst] = the data's origin (reliable vchannels only). *)
 }
 
 val header_size : int

@@ -31,3 +31,10 @@ let pp_recv_mode ppf m =
     (match m with
     | Receive_express -> "receive_EXPRESS"
     | Receive_cheaper -> "receive_CHEAPER")
+
+type health = Up | Degraded of int | Down
+
+let pp_health ppf = function
+  | Up -> Format.pp_print_string ppf "up"
+  | Degraded n -> Format.fprintf ppf "degraded(%d)" n
+  | Down -> Format.pp_print_string ppf "down"

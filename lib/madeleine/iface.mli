@@ -37,3 +37,10 @@ val recv_mode_of_int : int -> recv_mode
 
 val pp_send_mode : Format.formatter -> send_mode -> unit
 val pp_recv_mode : Format.formatter -> recv_mode -> unit
+
+(** Peer-health report used for graceful degradation: [Up] when traffic
+    flows cleanly, [Degraded n] after [n] consecutive retransmissions
+    (or a lengthened reroute), [Down] once the peer is unreachable. *)
+type health = Up | Degraded of int | Down
+
+val pp_health : Format.formatter -> health -> unit

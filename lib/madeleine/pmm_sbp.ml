@@ -99,6 +99,7 @@ let driver (host_of : int -> Sbp.t) =
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Sbp.set_data_hook (host_of me) hook);
+      peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
     }
   in
   { Driver.driver_name = "sbp"; instantiate }

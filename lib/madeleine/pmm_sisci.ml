@@ -214,6 +214,7 @@ let driver (adapter_of : int -> Sisci.t) =
                 Sisci.set_data_hook st.dma_seg hook
               end)
             states);
+      peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
     }
   in
   { Driver.driver_name = "sisci"; instantiate }

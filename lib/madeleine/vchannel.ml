@@ -77,6 +77,25 @@ end
 
 type hop = { hop_channel : Channel.t; hop_to : int }
 
+exception Partitioned of string
+
+(* End-to-end reliability state, present only when the vchannel was
+   created with a fault plane. Sequence numbers are per (origin, final
+   destination) flow, 16 bits, carried in the packet header; every
+   accepted packet is answered by a cumulative ack so the origin can
+   trim its unacknowledged-packet log, from which packets are re-emitted
+   after a gateway crash. *)
+type rel = {
+  faults : Simnet.Faults.t;
+  tx_seq : (int * int, int ref) Hashtbl.t; (* (origin, dst) -> next seq *)
+  rx_next : (int * int, int ref) Hashtbl.t; (* (me, origin) -> expected *)
+  unacked :
+    (int * int, (int * Generic_tm.packet_header * Bytes.t) Queue.t) Hashtbl.t;
+  mutable reroutes : int;
+  mutable reemitted : int;
+  mutable dup_drops : int;
+}
+
 (* One forwarding pump per (gateway node, outgoing link): the paper's
    per-direction dual-buffer pipeline (Fig. 9). Keeping the pumps
    per-link rather than per-node matters for liveness: a shared pump
@@ -98,7 +117,9 @@ type t = {
   next_ingress_slot : (int, Time.t ref) Hashtbl.t; (* per-gateway pacing *)
   channels : Channel.t list;
   all_ranks : int list;
-  routes : (int * int, hop list) Hashtbl.t;
+  mutable routes : (int * int, hop list) Hashtbl.t;
+  base_hops : (int * int, int) Hashtbl.t; (* route lengths at creation *)
+  rel : rel option;
   assemblers : (int * int, Assembler.t) Hashtbl.t; (* (me, origin) *)
   starts : (int * int, unit Mailbox.t) Hashtbl.t; (* message-start events *)
   incoming : (int, int Mailbox.t) Hashtbl.t; (* any-source: origin queue *)
@@ -120,7 +141,32 @@ let starts t ~me ~origin = memo t.starts (me, origin) (fun () -> Mailbox.create 
 let incoming t ~me = memo t.incoming me (fun () -> Mailbox.create ())
 let send_lock t ~src ~dst = memo t.send_locks (src, dst) Mutex.create
 let ranks t = t.all_ranks
-let route_length t ~src ~dst = List.length (Hashtbl.find t.routes (src, dst))
+
+let check_ranks t op src dst =
+  if not (List.mem src t.all_ranks && List.mem dst t.all_ranks) then
+    invalid_arg
+      (Printf.sprintf "Vchannel.%s: rank %d or %d not part of the virtual \
+                       channel (ranks %s)"
+         op src dst
+         (String.concat "," (List.map string_of_int t.all_ranks)))
+
+let find_route t op ~src ~dst =
+  check_ranks t op src dst;
+  if src = dst then Some []
+  else Hashtbl.find_opt t.routes (src, dst)
+
+let no_route op src dst =
+  Partitioned (Printf.sprintf "Vchannel.%s: no route from %d to %d" op src dst)
+
+let route_length t ~src ~dst =
+  match find_route t "route_length" ~src ~dst with
+  | Some hops -> List.length hops
+  | None -> raise (no_route "route_length" src dst)
+
+let route_via t ~src ~dst =
+  match find_route t "route_via" ~src ~dst with
+  | Some hops -> List.map (fun h -> h.hop_to) hops
+  | None -> raise (no_route "route_via" src dst)
 
 let record_forward t ~node ~bytes_count =
   let packets, bytes =
@@ -139,73 +185,158 @@ let forwarded t =
   |> List.sort compare
 
 (* Fewest-channel-hops routing over the channel membership graph:
-   breadth-first search keeping (node -> predecessor node * hop). *)
-let compute_routes channels all_ranks =
+   breadth-first search keeping (node -> predecessor node * hop). [down]
+   excludes crashed nodes, both as relays and as endpoints. *)
+let compute_routes ?(down = fun _ -> false) channels all_ranks =
   let routes = Hashtbl.create 64 in
   List.iter
     (fun src ->
-      let pred : (int, int * hop) Hashtbl.t = Hashtbl.create 16 in
-      let visited = Hashtbl.create 16 in
-      Hashtbl.add visited src ();
-      let frontier = Queue.create () in
-      Queue.push src frontier;
-      while not (Queue.is_empty frontier) do
-        let u = Queue.pop frontier in
+      if not (down src) then begin
+        let pred : (int, int * hop) Hashtbl.t = Hashtbl.create 16 in
+        let visited = Hashtbl.create 16 in
+        Hashtbl.add visited src ();
+        let frontier = Queue.create () in
+        Queue.push src frontier;
+        while not (Queue.is_empty frontier) do
+          let u = Queue.pop frontier in
+          List.iter
+            (fun c ->
+              let members = Channel.ranks c in
+              if List.mem u members then
+                List.iter
+                  (fun v ->
+                    if v <> u && (not (down v)) && not (Hashtbl.mem visited v)
+                    then begin
+                      Hashtbl.add visited v ();
+                      Hashtbl.add pred v (u, { hop_channel = c; hop_to = v });
+                      Queue.push v frontier
+                    end)
+                  members)
+            channels
+        done;
         List.iter
-          (fun c ->
-            let members = Channel.ranks c in
-            if List.mem u members then
-              List.iter
-                (fun v ->
-                  if v <> u && not (Hashtbl.mem visited v) then begin
-                    Hashtbl.add visited v ();
-                    Hashtbl.add pred v (u, { hop_channel = c; hop_to = v });
-                    Queue.push v frontier
-                  end)
-                members)
-          channels
-      done;
-      List.iter
-        (fun dst ->
-          if dst <> src && Hashtbl.mem pred dst then begin
-            let rec path v acc =
-              if v = src then acc
-              else
-                let u, hop = Hashtbl.find pred v in
-                path u (hop :: acc)
-            in
-            Hashtbl.add routes (src, dst) (path dst [])
-          end)
-        all_ranks)
+          (fun dst ->
+            if dst <> src && Hashtbl.mem pred dst then begin
+              let rec path v acc =
+                if v = src then acc
+                else
+                  let u, hop = Hashtbl.find pred v in
+                  path u (hop :: acc)
+              in
+              Hashtbl.add routes (src, dst) (path dst [])
+            end)
+          all_ranks
+      end)
     all_ranks;
   routes
 
 let next_hop t ~at ~dst =
   match Hashtbl.find_opt t.routes (at, dst) with
   | Some (hop :: _) -> hop
-  | Some [] | None ->
-      invalid_arg (Printf.sprintf "Vchannel: no route from %d to %d" at dst)
+  | Some [] | None -> (
+      match t.rel with
+      | Some _ ->
+          raise
+            (Partitioned
+               (Printf.sprintf "Vchannel: no route from %d to %d" at dst))
+      | None ->
+          invalid_arg (Printf.sprintf "Vchannel: no route from %d to %d" at dst))
 
 (* Ship one self-described packet as a regular Madeleine message on the
-   next real channel: EXPRESS header, CHEAPER payload. *)
+   next real channel: EXPRESS header, CHEAPER payload. On a reliable
+   vchannel a dead next hop aborts the message on the real channel and
+   retries over the (by then recomputed) routes; when no route survives
+   the flow is partitioned. *)
 let ship_packet t ~at ~header ~payload ~payload_len =
-  let hop = next_hop t ~at ~dst:header.Generic_tm.final_dst in
-  let ep = Channel.endpoint hop.hop_channel ~rank:at in
-  let oc = Api.begin_packing ep ~remote:hop.hop_to in
-  Api.pack oc ~r_mode:Iface.Receive_express (Generic_tm.encode_header header);
-  if payload_len > 0 then
-    Api.pack oc ~r_mode:Iface.Receive_cheaper ~len:payload_len payload;
-  Api.end_packing oc
+  let dst = header.Generic_tm.final_dst in
+  let rec go attempts =
+    let hop = next_hop t ~at ~dst in
+    let ep = Channel.endpoint hop.hop_channel ~rank:at in
+    let oc = Api.begin_packing ep ~remote:hop.hop_to in
+    match
+      Api.pack oc ~r_mode:Iface.Receive_express
+        (Generic_tm.encode_header header);
+      if payload_len > 0 then
+        Api.pack oc ~r_mode:Iface.Receive_cheaper ~len:payload_len payload;
+      Api.end_packing oc
+    with
+    | () -> ()
+    | exception Config.Peer_unreachable msg ->
+        Api.abort_packing oc;
+        if t.rel = None then raise (Config.Peer_unreachable msg)
+        else if attempts >= 3 then raise (Partitioned msg)
+        else go (attempts + 1)
+  in
+  go 0
 
-(* Deliver a packet that reached its final node. *)
+let flow_ref table key = memo table key (fun () -> ref 0)
+let unacked_q r key = memo r.unacked key (fun () -> Queue.create ())
+
+(* Cumulative ack from [me] back to the flow's origin, riding the normal
+   routed path as a zero-payload packet. Best-effort: a lost or
+   unroutable ack only delays trimming of the origin's log. *)
+let send_ack t r ~me ~origin =
+  let expected = !(flow_ref r.rx_next (me, origin)) in
+  if expected > 0 then begin
+    let header =
+      {
+        Generic_tm.final_dst = origin;
+        origin = me;
+        payload_len = 0;
+        first = false;
+        last = false;
+        seq = (expected - 1) land 0xffff;
+        ack = true;
+      }
+    in
+    Engine.spawn t.engine ~daemon:true
+      ~name:(Printf.sprintf "vchannel.ack.%d->%d" me origin)
+      (fun () ->
+        try ship_packet t ~at:me ~header ~payload:Bytes.empty ~payload_len:0
+        with Partitioned _ | Config.Peer_unreachable _ -> ())
+  end
+
+(* The origin trims its unacknowledged log up to the acked sequence
+   number. Scan-based: only pop if the acked seq is actually present, so
+   a stale or wrapped ack can never eat unacked packets. *)
+let handle_ack r header =
+  let key = (header.Generic_tm.final_dst, header.Generic_tm.origin) in
+  match Hashtbl.find_opt r.unacked key with
+  | None -> ()
+  | Some q ->
+      let acked = header.Generic_tm.seq in
+      if Queue.fold (fun found (s, _, _) -> found || s = acked) false q then begin
+        let continue = ref true in
+        while !continue && not (Queue.is_empty q) do
+          let s, _, _ = Queue.pop q in
+          if s = acked then continue := false
+        done
+      end
+
+(* Deliver a packet that reached its final node. Reliable vchannels
+   accept only the expected sequence number (re-emitted duplicates and
+   overtaking packets are dropped) and acknowledge cumulatively. *)
 let deliver_local t ~me header payload =
-  let asmb = assembler t ~me ~origin:header.Generic_tm.origin in
-  if header.Generic_tm.first then begin
-    Mailbox.put (starts t ~me ~origin:header.Generic_tm.origin) ();
-    Mailbox.put (incoming t ~me) header.Generic_tm.origin
-  end;
-  if Bytes.length payload > 0 then Assembler.push asmb (Assembler.Data payload);
-  if header.Generic_tm.last then Assembler.push asmb Assembler.End_of_message
+  let accept () =
+    let asmb = assembler t ~me ~origin:header.Generic_tm.origin in
+    if header.Generic_tm.first then begin
+      Mailbox.put (starts t ~me ~origin:header.Generic_tm.origin) ();
+      Mailbox.put (incoming t ~me) header.Generic_tm.origin
+    end;
+    if Bytes.length payload > 0 then
+      Assembler.push asmb (Assembler.Data payload);
+    if header.Generic_tm.last then Assembler.push asmb Assembler.End_of_message
+  in
+  match t.rel with
+  | None -> accept ()
+  | Some r ->
+      let expected = flow_ref r.rx_next (me, header.Generic_tm.origin) in
+      if header.Generic_tm.seq = !expected then begin
+        expected := (!expected + 1) land 0xffff;
+        accept ()
+      end
+      else r.dup_drops <- r.dup_drops + 1;
+      send_ack t r ~me ~origin:header.Generic_tm.origin
 
 let rec pump_for t ~node (hop : hop) =
   let key = (node, Channel.id hop.hop_channel, hop.hop_to) in
@@ -228,8 +359,19 @@ and spawn_forwarder t ~node p =
            sits between taking the buffer and re-emitting it, where the
            paper's +50 us/step analysis places it (§6.2.2). *)
         Engine.sleep t.gateway_overhead;
-        ship_packet t ~at:node ~header ~payload
-          ~payload_len:(Bytes.length payload);
+        (match t.rel with
+        | Some r when not (Simnet.Faults.node_up r.faults node) ->
+            (* This gateway crashed with the packet in its pipeline: the
+               in-flight state dies; origins re-emit from their logs. *)
+            ()
+        | Some _ -> (
+            try
+              ship_packet t ~at:node ~header ~payload
+                ~payload_len:(Bytes.length payload)
+            with Partitioned _ -> ())
+        | None ->
+            ship_packet t ~at:node ~header ~payload
+              ~payload_len:(Bytes.length payload));
         Semaphore.release p.pump_buffers
       done)
 
@@ -251,9 +393,24 @@ let spawn_dispatcher t ~node channel =
           if header.Generic_tm.payload_len > 0 then
             Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
           Api.end_unpacking ic;
-          deliver_local t ~me:node header payload
+          match t.rel with
+          | Some r when header.Generic_tm.ack -> handle_ack r header
+          | Some r when not (Simnet.Faults.node_up r.faults node) ->
+              (* The destination host is down: the data dies with it;
+                 the origin's log re-emits once it comes back. *)
+              ()
+          | _ -> deliver_local t ~me:node header payload
         end
-        else begin
+        else
+          match next_hop t ~at:node ~dst:header.Generic_tm.final_dst with
+          | exception Partitioned _ ->
+              (* Unroutable transit packet (its destination crashed):
+                 consume and drop. *)
+              let payload = Bytes.create header.Generic_tm.payload_len in
+              if header.Generic_tm.payload_len > 0 then
+                Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+              Api.end_unpacking ic
+          | hop -> begin
           (* Bandwidth control (the paper's future-work §7): pace the
              consumption of forwarded traffic so the incoming NIC cannot
              monopolize the gateway's PCI bus. *)
@@ -273,7 +430,6 @@ let spawn_dispatcher t ~node channel =
           (* Take one of the outgoing direction's two pipeline buffers
              before extracting, then hand the packet to the send side of
              that pump (Fig. 9). *)
-          let hop = next_hop t ~at:node ~dst:header.Generic_tm.final_dst in
           let p = pump_for t ~node hop in
           Semaphore.acquire p.pump_buffers;
           let payload = Bytes.create header.Generic_tm.payload_len in
@@ -288,9 +444,38 @@ let spawn_dispatcher t ~node channel =
         end
       done)
 
+(* After a membership change, re-emit every unacknowledged packet of
+   every live flow over the recomputed routes. One daemon per flow; it
+   takes the flow's message lock so re-emitted packets cannot interleave
+   with (and overtake) a message in progress — the receiver's sequence
+   check would then discard the overtaken packets for good. *)
+let reemit_flows t r =
+  Hashtbl.iter
+    (fun (src, dst) q ->
+      if Simnet.Faults.node_up r.faults src && not (Queue.is_empty q) then
+        Engine.spawn t.engine ~daemon:true
+          ~name:(Printf.sprintf "vchannel.reemit.%d->%d" src dst)
+          (fun () ->
+            Mutex.lock (send_lock t ~src ~dst);
+            let snapshot = List.of_seq (Queue.to_seq q) in
+            (try
+               List.iter
+                 (fun (seq, header, payload) ->
+                   (* Skip packets acked while we waited for the lock. *)
+                   if Queue.fold (fun f (s, _, _) -> f || s = seq) false q
+                   then begin
+                     r.reemitted <- r.reemitted + 1;
+                     ship_packet t ~at:src ~header ~payload
+                       ~payload_len:(Bytes.length payload)
+                   end)
+                 snapshot
+             with Partitioned _ | Config.Peer_unreachable _ -> ());
+            Mutex.unlock (send_lock t ~src ~dst)))
+    r.unacked
+
 let create session ?(mtu = Config.default_vchannel_mtu)
     ?(gateway_overhead = Config.gateway_packet_overhead)
-    ?(extra_gateway_copy = false) ?ingress_cap_mb_s channels =
+    ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?faults channels =
   if channels = [] then invalid_arg "Vchannel.create: no channels";
   if mtu <= Generic_tm.sub_header_size then
     invalid_arg "Vchannel.create: mtu too small";
@@ -300,6 +485,31 @@ let create session ?(mtu = Config.default_vchannel_mtu)
   let all_ranks =
     List.concat_map Channel.ranks channels |> List.sort_uniq compare
   in
+  let rel =
+    match faults with
+    | None -> None
+    | Some f ->
+        Some
+          {
+            faults = f;
+            tx_seq = Hashtbl.create 32;
+            rx_next = Hashtbl.create 32;
+            unacked = Hashtbl.create 32;
+            reroutes = 0;
+            reemitted = 0;
+            dup_drops = 0;
+          }
+  in
+  let down =
+    match rel with
+    | None -> fun _ -> false
+    | Some r -> fun n -> not (Simnet.Faults.node_up r.faults n)
+  in
+  let routes = compute_routes ~down channels all_ranks in
+  let base_hops = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key hops -> Hashtbl.replace base_hops key (List.length hops))
+    routes;
   let t =
     {
       engine = Session.engine session;
@@ -310,7 +520,9 @@ let create session ?(mtu = Config.default_vchannel_mtu)
       next_ingress_slot = Hashtbl.create 16;
       channels;
       all_ranks;
-      routes = compute_routes channels all_ranks;
+      routes;
+      base_hops;
+      rel;
       assemblers = Hashtbl.create 32;
       starts = Hashtbl.create 32;
       incoming = Hashtbl.create 16;
@@ -327,6 +539,23 @@ let create session ?(mtu = Config.default_vchannel_mtu)
           if List.mem node (Channel.ranks c) then spawn_dispatcher t ~node c)
         channels)
     all_ranks;
+  (match rel with
+  | None -> ()
+  | Some r ->
+      let recompute () =
+        t.routes <- compute_routes ~down channels all_ranks
+      in
+      Simnet.Faults.on_crash r.faults (fun node ->
+          if List.mem node t.all_ranks then begin
+            r.reroutes <- r.reroutes + 1;
+            recompute ();
+            reemit_flows t r
+          end);
+      Simnet.Faults.on_restart r.faults (fun node ->
+          if List.mem node t.all_ranks then begin
+            recompute ();
+            reemit_flows t r
+          end));
   t
 
 (* ------------------------------------------------------------------ *)
@@ -344,8 +573,13 @@ type out_connection = {
 
 let begin_packing t ~me ~remote =
   if me = remote then invalid_arg "Vchannel.begin_packing: remote is self";
-  if not (Hashtbl.mem t.routes (me, remote)) then
-    invalid_arg (Printf.sprintf "Vchannel: no route from %d to %d" me remote);
+  check_ranks t "begin_packing" me remote;
+  if not (Hashtbl.mem t.routes (me, remote)) then (
+    match t.rel with
+    | Some _ -> raise (no_route "begin_packing" me remote)
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Vchannel: no route from %d to %d" me remote));
   Mutex.lock (send_lock t ~src:me ~dst:remote);
   {
     v = t;
@@ -358,6 +592,16 @@ let begin_packing t ~me ~remote =
   }
 
 let ship oc ~last =
+  let t = oc.v in
+  let seq =
+    match t.rel with
+    | None -> 0
+    | Some r ->
+        let sq = flow_ref r.tx_seq (oc.oc_src, oc.oc_dst) in
+        let s = !sq in
+        sq := (s + 1) land 0xffff;
+        s
+  in
   let header =
     {
       Generic_tm.final_dst = oc.oc_dst;
@@ -365,10 +609,29 @@ let ship oc ~last =
       payload_len = oc.fill;
       first = not oc.first_sent;
       last;
+      seq;
+      ack = false;
     }
   in
-  ship_packet oc.v ~at:oc.oc_src ~header ~payload:oc.staging
-    ~payload_len:oc.fill;
+  (match t.rel with
+  | None -> ()
+  | Some r ->
+      (* Log a copy before shipping: anything unacknowledged can be
+         re-emitted after a gateway crash. *)
+      Queue.push
+        (seq, header, Bytes.sub oc.staging 0 oc.fill)
+        (unacked_q r (oc.oc_src, oc.oc_dst)));
+  (match
+     ship_packet t ~at:oc.oc_src ~header ~payload:oc.staging
+       ~payload_len:oc.fill
+   with
+  | () -> ()
+  | exception e ->
+      (* The flow is partitioned: close the connection and release its
+         lock so the error surfaces as [Partitioned], not a deadlock. *)
+      oc.oc_closed <- true;
+      Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst);
+      raise e);
   oc.first_sent <- true;
   oc.fill <- 0
 
@@ -467,3 +730,37 @@ let end_unpacking ic =
   Engine.sleep Config.end_overhead;
   Assembler.finish_message ic.asmb;
   ic.ic_closed <- true
+
+(* ------------------------------------------------------------------ *)
+(* Health and reliability statistics *)
+
+let peer_status t ~src ~dst =
+  check_ranks t "peer_status" src dst;
+  match t.rel with
+  | Some r when not (Simnet.Faults.node_up r.faults dst) -> Iface.Down
+  | _ -> (
+      if src = dst then Iface.Up
+      else
+        match Hashtbl.find_opt t.routes (src, dst) with
+        | None -> Iface.Down
+        | Some hops ->
+            let n = List.length hops in
+            let base =
+              match Hashtbl.find_opt t.base_hops (src, dst) with
+              | Some b -> b
+              | None -> n
+            in
+            if n > base then Iface.Degraded (n - base) else Iface.Up)
+
+type rel_stats = { reroutes : int; reemitted : int; dup_drops : int }
+
+let rel_stats t =
+  match t.rel with
+  | None -> None
+  | Some r ->
+      Some
+        {
+          reroutes = r.reroutes;
+          reemitted = r.reemitted;
+          dup_drops = r.dup_drops;
+        }

@@ -25,12 +25,20 @@
 
 type t
 
+exception Partitioned of string
+(** No route (or no surviving route) connects two ranks of the virtual
+    channel. On reliable vchannels this is the terminal delivery error:
+    it is raised by [begin_packing]/[pack]/[end_packing] once every
+    gateway path to the destination is gone, and by the route queries
+    below when two ranks are disconnected. *)
+
 val create :
   Session.t ->
   ?mtu:int ->
   ?gateway_overhead:Marcel.Time.span ->
   ?extra_gateway_copy:bool ->
   ?ingress_cap_mb_s:float ->
+  ?faults:Simnet.Faults.t ->
   Channel.t list ->
   t
 (** [mtu] defaults to {!Config.default_vchannel_mtu}; it is the payload
@@ -48,6 +56,16 @@ val create :
     so the incoming stream cannot hog the shared PCI bus and starve the
     outgoing one. Unset = unregulated, the paper's measured behaviour.
 
+    [faults] makes the virtual channel {e reliable} against the given
+    fault plane: packets carry per-flow sequence numbers and are logged
+    at the origin until cumulatively acknowledged end to end; when a
+    gateway crashes, routes are recomputed over the surviving membership
+    graph and unacknowledged packets re-emitted from their origins
+    (duplicates are discarded by the sequence check at the destination);
+    when no route remains, sends raise {!Partitioned}. Without [faults]
+    (the default) none of this machinery exists and the wire format and
+    schedules are byte-identical to the pre-reliability library.
+
     Raises [Invalid_argument] on an empty channel list or an MTU too
     small to carry a buffer sub-header. *)
 
@@ -55,12 +73,32 @@ val ranks : t -> int list
 (** All nodes reachable through the virtual channel. *)
 
 val route_length : t -> src:int -> dst:int -> int
-(** Number of real-channel hops between two nodes (1 = same cluster).
-    Raises [Not_found] if no route exists. *)
+(** Number of real-channel hops between two nodes (1 = same cluster,
+    0 for [src = dst]). Raises [Invalid_argument] naming the offending
+    rank when either rank is not part of the virtual channel, and
+    {!Partitioned} when both ranks are members but no route connects
+    them. *)
+
+val route_via : t -> src:int -> dst:int -> int list
+(** The successive hop destinations of the current route (the last
+    element is [dst]). Same errors as {!route_length}. *)
+
+val peer_status : t -> src:int -> dst:int -> Iface.health
+(** Health of the [src -> dst] flow: [Down] when the destination is
+    crashed or unroutable, [Degraded n] when failover lengthened the
+    route by [n] hops over the original, [Up] otherwise. *)
 
 val forwarded : t -> (int * int * int) list
 (** Per-gateway forwarding counters: [(node, packets, payload bytes)]
     for every node that has relayed traffic, sorted by node. *)
+
+type rel_stats = { reroutes : int; reemitted : int; dup_drops : int }
+
+val rel_stats : t -> rel_stats option
+(** Reliability counters — [None] on a vchannel created without
+    [?faults]: route recomputations triggered by membership changes,
+    packets re-emitted from origin logs, and duplicate/overtaking
+    packets discarded by destination sequence checks. *)
 
 (** {1 The packing interface, lifted to virtual channels} *)
 

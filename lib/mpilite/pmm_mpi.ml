@@ -72,6 +72,7 @@ let driver (ctx_of : int -> Mpi.ctx) =
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Mpi.on_unexpected (ctx_of me) hook);
+      peer_health = (fun ~me:_ ~peer:_ -> Madeleine.Iface.Up);
     }
   in
   { Driver.driver_name = "mpi"; instantiate }

@@ -5,13 +5,22 @@ type t = {
   fabric_name : string;
   fabric_link : Netparams.link;
   ports : (int, port) Hashtbl.t;
+  mutable fault_plane : Faults.t option;
 }
 
 let create engine ~name ~link =
-  { engine; fabric_name = name; fabric_link = link; ports = Hashtbl.create 16 }
+  {
+    engine;
+    fabric_name = name;
+    fabric_link = link;
+    ports = Hashtbl.create 16;
+    fault_plane = None;
+  }
 
 let name t = t.fabric_name
 let link t = t.fabric_link
+let set_faults t f = t.fault_plane <- Some f
+let faults t = t.fault_plane
 
 let attach t node =
   if Hashtbl.mem t.ports node.Node.id then
@@ -28,14 +37,16 @@ let attach t node =
 
 let attached t node = Hashtbl.mem t.ports node.Node.id
 
-let port t node =
+let port t op node =
   match Hashtbl.find_opt t.ports node.Node.id with
   | Some p -> p
   | None ->
-      raise Not_found
+      invalid_arg
+        (Printf.sprintf "Fabric.%s: node %s not attached to fabric %s" op
+           node.Node.name t.fabric_name)
 
-let tx t node = (port t node).tx_fluid
-let rx t node = (port t node).rx_fluid
+let tx t node = (port t "tx" node).tx_fluid
+let rx t node = (port t "rx" node).rx_fluid
 
 let nodes t =
   Hashtbl.fold (fun _ p acc -> p.node :: acc) t.ports []

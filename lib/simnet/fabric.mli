@@ -15,6 +15,14 @@ val create : Marcel.Engine.t -> name:string -> link:Netparams.link -> t
 val name : t -> string
 val link : t -> Netparams.link
 
+val set_faults : t -> Faults.t -> unit
+(** Attaches a fault plane. Transports riding this fabric consult it at
+    delivery time ({!Faults.frame_verdict}) and switch on their
+    reliability machinery; with no plane attached (the default) they
+    keep the original fault-free fast path, bit for bit. *)
+
+val faults : t -> Faults.t option
+
 val attach : t -> Node.t -> unit
 (** Gives the node a NIC on this fabric. A node may be attached to several
     fabrics (that is what a gateway is). Attaching twice is an error. *)
@@ -22,8 +30,8 @@ val attach : t -> Node.t -> unit
 val attached : t -> Node.t -> bool
 
 val tx : t -> Node.t -> Fluid.t
-(** TX-side link fluid of the node's NIC. Raises [Not_found] if the node
-    is not attached. *)
+(** TX-side link fluid of the node's NIC. Raises [Invalid_argument]
+    naming the node and fabric if the node is not attached. *)
 
 val rx : t -> Node.t -> Fluid.t
 

@@ -1,0 +1,191 @@
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+
+type verdict = Deliver | Drop | Corrupt
+
+type link_faults = {
+  mutable drop_rate : float;
+  mutable corrupt_rate : float;
+  mutable down_until : Time.t;
+}
+
+type stats = {
+  frames_dropped : int;
+  frames_corrupted : int;
+  crashes : int;
+  flaps : int;
+  stalls : int;
+}
+
+type t = {
+  eng : Engine.t;
+  rng : Rng.t;
+  links : (string * int, link_faults) Hashtbl.t;
+  node_down : (int, unit) Hashtbl.t;
+  epochs : (int, int) Hashtbl.t;
+  mutable crash_cbs : (int -> unit) list;
+  mutable restart_cbs : (int -> unit) list;
+  mutable frames_dropped : int;
+  mutable frames_corrupted : int;
+  mutable crashes : int;
+  mutable flaps : int;
+  mutable stalls : int;
+}
+
+let create eng ~seed =
+  {
+    eng;
+    rng = Rng.create ~seed;
+    links = Hashtbl.create 16;
+    node_down = Hashtbl.create 8;
+    epochs = Hashtbl.create 8;
+    crash_cbs = [];
+    restart_cbs = [];
+    frames_dropped = 0;
+    frames_corrupted = 0;
+    crashes = 0;
+    flaps = 0;
+    stalls = 0;
+  }
+
+let engine t = t.eng
+
+let link_state t key =
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+      let l = { drop_rate = 0.0; corrupt_rate = 0.0; down_until = Time.zero } in
+      Hashtbl.add t.links key l;
+      l
+
+let check_rate what rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg (Printf.sprintf "Faults.%s: rate %g outside [0, 1]" what rate)
+
+let set_drop t ~fabric ~node ~rate =
+  check_rate "set_drop" rate;
+  (link_state t (fabric, node)).drop_rate <- rate
+
+let set_corrupt t ~fabric ~node ~rate =
+  check_rate "set_corrupt" rate;
+  (link_state t (fabric, node)).corrupt_rate <- rate
+
+let flap_link t ~fabric ~node ~at ~duration =
+  t.flaps <- t.flaps + 1;
+  let l = link_state t (fabric, node) in
+  Engine.at t.eng at (fun () ->
+      let until = Time.add (Engine.now t.eng) duration in
+      if Time.( < ) l.down_until until then l.down_until <- until)
+
+let node_up t node = not (Hashtbl.mem t.node_down node)
+
+let epoch t node =
+  match Hashtbl.find_opt t.epochs node with Some e -> e | None -> 0
+
+let on_crash t f = t.crash_cbs <- f :: t.crash_cbs
+let on_restart t f = t.restart_cbs <- f :: t.restart_cbs
+
+let do_crash t node =
+  if node_up t node then begin
+    t.crashes <- t.crashes + 1;
+    Hashtbl.replace t.node_down node ();
+    List.iter (fun cb -> cb node) (List.rev t.crash_cbs)
+  end
+
+let do_restart t node =
+  if not (node_up t node) then begin
+    Hashtbl.remove t.node_down node;
+    Hashtbl.replace t.epochs node (epoch t node + 1);
+    List.iter (fun cb -> cb node) (List.rev t.restart_cbs)
+  end
+
+let schedule_restart t ~node ~at restart_after =
+  match restart_after with
+  | None -> ()
+  | Some span -> Engine.at t.eng (Time.add at span) (fun () -> do_restart t node)
+
+let crash_node t ~node ~at ?restart_after () =
+  Engine.at t.eng at (fun () -> do_crash t node);
+  schedule_restart t ~node ~at restart_after
+
+let crash_now t ~node ?restart_after () =
+  do_crash t node;
+  schedule_restart t ~node ~at:(Engine.now t.eng) restart_after
+
+let stall_pci t node ~at ~duration =
+  t.stalls <- t.stalls + 1;
+  Engine.at t.eng at (fun () ->
+      Engine.spawn t.eng ~daemon:true
+        ~name:(Printf.sprintf "faults.stall.%s" node.Node.name)
+        (fun () ->
+          (* A transfer sized to the bus capacity over [duration] with an
+             overwhelming weight: fair sharing starves everyone else for
+             roughly that long. *)
+          let bytes_count =
+            int_of_float
+              (Netparams.pci_capacity_mb_s *. 1e6 *. Time.to_s duration)
+          in
+          Fluid.transfer node.Node.pci ~bytes_count:(max 1 bytes_count)
+            ~weight:1000.0 ()))
+
+let frame_verdict t ~fabric ~src ~dst ~fragments =
+  if not (node_up t src && node_up t dst) then begin
+    t.frames_dropped <- t.frames_dropped + 1;
+    Drop
+  end
+  else begin
+    let s = Hashtbl.find_opt t.links (fabric, src) in
+    let d = Hashtbl.find_opt t.links (fabric, dst) in
+    let now = Engine.now t.eng in
+    let link_down = function
+      | Some l -> Time.( < ) now l.down_until
+      | None -> false
+    in
+    if link_down s || link_down d then begin
+      t.frames_dropped <- t.frames_dropped + 1;
+      Drop
+    end
+    else begin
+      let get = function
+        | Some l -> (l.drop_rate, l.corrupt_rate)
+        | None -> (0.0, 0.0)
+      in
+      let sd, sc = get s and dd, dc = get d in
+      let drop_rate = sd +. dd and corrupt_rate = sc +. dc in
+      if drop_rate <= 0.0 && corrupt_rate <= 0.0 then Deliver
+      else begin
+        (* One uniform draw per fragment decides drop vs corrupt vs
+           survive; the first non-surviving fragment settles the frame. *)
+        let verdict = ref Deliver in
+        let i = ref 0 in
+        while !verdict = Deliver && !i < max 1 fragments do
+          let r = Rng.float t.rng 1.0 in
+          if r < drop_rate then verdict := Drop
+          else if r < drop_rate +. corrupt_rate then verdict := Corrupt;
+          incr i
+        done;
+        (match !verdict with
+        | Drop -> t.frames_dropped <- t.frames_dropped + 1
+        | Corrupt -> t.frames_corrupted <- t.frames_corrupted + 1
+        | Deliver -> ());
+        !verdict
+      end
+    end
+  end
+
+let corrupt_copy t b =
+  let b = Bytes.copy b in
+  if Bytes.length b > 0 then begin
+    let i = Rng.int t.rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF))
+  end;
+  b
+
+let stats t =
+  {
+    frames_dropped = t.frames_dropped;
+    frames_corrupted = t.frames_corrupted;
+    crashes = t.crashes;
+    flaps = t.flaps;
+    stalls = t.stalls;
+  }

@@ -1,0 +1,92 @@
+(** Deterministic fault injection for the simulated fabric.
+
+    A fault plane holds every injected failure of one world: per-link
+    drop/corruption rates, scheduled link flaps, node crashes (with
+    optional restart) and PCI stalls. All randomness comes from one
+    {!Rng} stream seeded at creation, and all scheduling rides the
+    world's single-threaded engine, so a run with a given seed and fault
+    spec replays byte-identically.
+
+    The plane itself only *decides*; transports enforce. A protocol
+    stack consults {!frame_verdict} at the instant a frame would be
+    delivered and reacts to [Drop]/[Corrupt] (see {!Tcpnet}); routing
+    layers subscribe to {!on_crash}/{!on_restart} to fail over. Links
+    and nodes with no configured fault never touch the random stream,
+    so attaching a plane with zero rates leaves schedules unchanged. *)
+
+type t
+
+type verdict = Deliver | Drop | Corrupt
+
+val create : Marcel.Engine.t -> seed:int64 -> t
+val engine : t -> Marcel.Engine.t
+
+(** {1 Rate-driven link faults}
+
+    Rates are per fragment (one MTU-sized unit on the wire); a frame
+    spanning [n] fragments survives only if every fragment does. A link
+    is identified by the fabric's name and the node id of its NIC; a
+    frame is subject to the faults of both its source and destination
+    links. *)
+
+val set_drop : t -> fabric:string -> node:int -> rate:float -> unit
+val set_corrupt : t -> fabric:string -> node:int -> rate:float -> unit
+
+(** {1 Scheduled faults} *)
+
+val flap_link :
+  t -> fabric:string -> node:int -> at:Marcel.Time.t ->
+  duration:Marcel.Time.span -> unit
+(** Takes the link down at [at]; every frame touching it is dropped
+    until [at + duration]. *)
+
+val crash_node :
+  t -> node:int -> at:Marcel.Time.t ->
+  ?restart_after:Marcel.Time.span -> unit -> unit
+(** Crashes the node at [at]: all frames to or from it are dropped and
+    {!on_crash} listeners fire. With [restart_after], the node comes
+    back that much later with a bumped {!epoch} (fresh NIC state) and
+    {!on_restart} listeners fire. *)
+
+val crash_now :
+  t -> node:int -> ?restart_after:Marcel.Time.span -> unit -> unit
+(** Same, at the current instant — usable from inside a thread that has
+    observed some condition. *)
+
+val stall_pci :
+  t -> Node.t -> at:Marcel.Time.t -> duration:Marcel.Time.span -> unit
+(** Monopolizes the node's PCI bus for [duration] starting at [at] (a
+    saturating high-weight transfer): concurrent PIO/DMA slows to a
+    crawl, modelling a misbehaving third-party device holding the bus. *)
+
+(** {1 Queries and subscriptions} *)
+
+val node_up : t -> int -> bool
+val epoch : t -> int -> int
+(** Number of times the node has restarted (0 = never crashed). *)
+
+val on_crash : t -> (int -> unit) -> unit
+(** [f node] runs at the crash instant, from an engine callback: it must
+    not block, but may spawn threads. *)
+
+val on_restart : t -> (int -> unit) -> unit
+
+val frame_verdict :
+  t -> fabric:string -> src:int -> dst:int -> fragments:int -> verdict
+(** The fate of one frame of [fragments] MTU units crossing [fabric]
+    from [src] to [dst], drawn at the moment of delivery. Counts into
+    {!stats}. *)
+
+val corrupt_copy : t -> Bytes.t -> Bytes.t
+(** A copy of the frame with one byte flipped at a random position —
+    what the receiver actually sees under a [Corrupt] verdict. *)
+
+type stats = {
+  frames_dropped : int;
+  frames_corrupted : int;
+  crashes : int;
+  flaps : int;
+  stalls : int;
+}
+
+val stats : t -> stats

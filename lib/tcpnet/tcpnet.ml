@@ -38,6 +38,8 @@ module Bytequeue = struct
     !taken
 end
 
+exception Timeout of string
+
 type conn = {
   stack : t;
   mutable peer : conn option;
@@ -46,6 +48,18 @@ type conn = {
   mutable data_hooks : (unit -> unit) list;
   mutable out_stream : Simnet.Stream.t option;
       (* lazily-built FIFO delivery pipeline toward the peer *)
+  (* Reliability state, live only when the fabric has a fault plane
+     attached (Fabric.set_faults); on the default fault-free path none
+     of these fields is ever touched. *)
+  mutable tx_seq : int; (* next frame sequence number to send *)
+  mutable rx_next : int; (* next frame sequence number to accept *)
+  mutable acked : int; (* highest cumulatively acked sent seq *)
+  mutable ack_waiters : (unit -> unit) list;
+  mutable retries : int; (* total retransmissions on this conn *)
+  mutable consec_fail : int; (* retransmissions since the last clean ack *)
+  mutable dead : bool; (* retransmission gave up: peer unreachable *)
+  mutable dead_peer_epoch : int; (* peer's restart epoch when declared dead *)
+  mutable crc_rejects : int; (* corrupted frames this end discarded *)
 }
 
 and t = {
@@ -58,9 +72,20 @@ and net = {
   engine : Engine.t;
   fabric : Fabric.t;
   stacks : (int, t) Hashtbl.t;
+  mutable net_retransmissions : int;
+  mutable net_crc_rejects : int;
 }
 
-let make_net engine fabric = { engine; fabric; stacks = Hashtbl.create 16 }
+let make_net engine fabric =
+  {
+    engine;
+    fabric;
+    stacks = Hashtbl.create 16;
+    net_retransmissions = 0;
+    net_crc_rejects = 0;
+  }
+
+let net_stats net = (net.net_retransmissions, net.net_crc_rejects)
 
 let attach net node =
   if Hashtbl.mem net.stacks node.Node.id then
@@ -72,6 +97,7 @@ let attach net node =
   t
 
 let node t = t.host
+let engine t = t.net.engine
 
 let listen t ~port =
   if Hashtbl.mem t.listeners port then
@@ -91,6 +117,15 @@ let fresh_conn stack =
     readers = [];
     data_hooks = [];
     out_stream = None;
+    tx_seq = 0;
+    rx_next = 0;
+    acked = -1;
+    ack_waiters = [];
+    retries = 0;
+    consec_fail = 0;
+    dead = false;
+    dead_peer_epoch = 0;
+    crc_rejects = 0;
   }
 
 let set_data_hook conn hook = conn.data_hooks <- hook :: conn.data_hooks
@@ -101,7 +136,7 @@ let hop_latency net =
     (Time.span_add (Fabric.link net.fabric).Netparams.wire_lat
        Netparams.tcp_recv_overhead)
 
-let connect t ~node_id ~port =
+let connect ?timeout t ~node_id ~port =
   let peer_stack =
     match Hashtbl.find_opt t.net.stacks node_id with
     | Some s -> s
@@ -112,6 +147,18 @@ let connect t ~node_id ~port =
     | Some b -> b
     | None -> invalid_arg "Tcpnet.connect: peer not listening"
   in
+  (match Fabric.faults t.net.fabric with
+  | Some faults when not (Simnet.Faults.node_up faults node_id) -> (
+      (* SYNs to a crashed host vanish. With a timeout we give up after
+         it; without one we hang, like a real blocking connect. *)
+      match timeout with
+      | Some span ->
+          Engine.sleep span;
+          raise
+            (Timeout
+               (Printf.sprintf "Tcpnet.connect: node %d unreachable" node_id))
+      | None -> Engine.suspend ~name:"tcp.connect" (fun _wake -> ()))
+  | _ -> ());
   let local = fresh_conn t and remote = fresh_conn peer_stack in
   local.peer <- Some remote;
   remote.peer <- Some local;
@@ -178,12 +225,7 @@ let out_stream conn remote =
 (* One kernel entry ships [staged] (already copied); delivery continues
    asynchronously in the per-connection FIFO stream, as with a real
    socket buffer. *)
-let transmit conn staged =
-  let remote =
-    match conn.peer with
-    | Some p -> p
-    | None -> invalid_arg "Tcpnet.send: not connected"
-  in
+let fast_transmit conn remote staged =
   let bytes_count = List.fold_left (fun n b -> n + Bytes.length b) 0 staged in
   Engine.sleep Netparams.tcp_send_overhead;
   Simnet.Stream.push (out_stream conn remote) ~bytes_count
@@ -191,25 +233,194 @@ let transmit conn staged =
       List.iter (Bytequeue.push remote.inbox) staged;
       wake_readers remote)
 
+let host_id conn = conn.stack.host.Node.id
+
+let mark_dead conn remote faults =
+  conn.dead <- true;
+  conn.dead_peer_epoch <- Simnet.Faults.epoch faults (host_id remote);
+  remote.dead <- true;
+  remote.dead_peer_epoch <- Simnet.Faults.epoch faults (host_id conn)
+
+(* A connection declared dead stays dead until its peer host restarts
+   (a later epoch): real kernels don't resurrect a reset connection, but
+   our simulated endpoints are re-reachable after the NIC comes back, so
+   the next send probes again. *)
+let maybe_heal conn remote faults =
+  if
+    conn.dead
+    && Simnet.Faults.node_up faults (host_id conn)
+    && Simnet.Faults.node_up faults (host_id remote)
+    && (Simnet.Faults.epoch faults (host_id remote) > conn.dead_peer_epoch
+       || Simnet.Faults.epoch faults (host_id conn) > remote.dead_peer_epoch)
+  then begin
+    conn.dead <- false;
+    remote.dead <- false;
+    conn.consec_fail <- 0;
+    remote.consec_fail <- 0
+  end
+
+let max_attempts = 12
+
+(* Stop-and-wait with cumulative acks: one frame per [send] call, a
+   CRC-32 over the payload, per-fragment drop/corruption verdicts from
+   the fault plane, exponential backoff on loss and fail-fast when the
+   peer host is known to be down. Only runs when a fault plane is
+   attached to the fabric. *)
+let reliable_transmit conn remote faults staged =
+  let net = conn.stack.net in
+  let engine = net.engine in
+  maybe_heal conn remote faults;
+  if conn.dead then
+    raise
+      (Timeout
+         (Printf.sprintf "Tcpnet.send: connection %d->%d is dead"
+            (host_id conn) (host_id remote)));
+  let frame = Bytes.concat Bytes.empty staged in
+  let total = Bytes.length frame in
+  let crc = Simnet.Checksum.crc32 frame in
+  let seq = conn.tx_seq in
+  conn.tx_seq <- seq + 1;
+  let mtu = (Fabric.link net.fabric).Netparams.hw_mtu in
+  let fragments = max 1 ((total + mtu - 1) / mtu) in
+  let fabric_name = Fabric.name net.fabric in
+  let src = host_id conn and dst = host_id remote in
+  let base_rto =
+    Time.span_add
+      (Time.span_mul (hop_latency net) 4)
+      (Time.span_add
+         (Time.bytes_at_rate ~bytes_count:(max total 1) ~mb_per_s:8.0)
+         (Time.us 200.0))
+  in
+  let rto = ref base_rto in
+  let attempt = ref 0 in
+  let give_up () =
+    mark_dead conn remote faults;
+    raise
+      (Timeout
+         (Printf.sprintf "Tcpnet.send: %d->%d unreachable (seq %d, %d attempts)"
+            src dst seq !attempt))
+  in
+  while conn.acked < seq do
+    if conn.dead then give_up ();
+    (* Fail fast once the fault plane says the peer host is down: a
+       crash aborts in-flight exchanges instead of burning 12 RTOs. *)
+    if not (Simnet.Faults.node_up faults src && Simnet.Faults.node_up faults dst)
+    then give_up ();
+    if !attempt >= max_attempts then give_up ();
+    incr attempt;
+    if !attempt > 1 then begin
+      conn.retries <- conn.retries + 1;
+      conn.consec_fail <- conn.consec_fail + 1;
+      net.net_retransmissions <- net.net_retransmissions + 1
+    end;
+    Engine.sleep Netparams.tcp_send_overhead;
+    Simnet.Stream.push (out_stream conn remote) ~bytes_count:total
+      ~on_delivered:(fun () ->
+        match
+          Simnet.Faults.frame_verdict faults ~fabric:fabric_name ~src ~dst
+            ~fragments
+        with
+        | Simnet.Faults.Drop -> ()
+        | (Simnet.Faults.Deliver | Simnet.Faults.Corrupt) as v ->
+            let data =
+              if v = Simnet.Faults.Corrupt then
+                Simnet.Faults.corrupt_copy faults frame
+              else frame
+            in
+            if Simnet.Checksum.crc32 data <> crc then begin
+              (* Detected corruption: discard silently, no ack — the
+                 sender's RTO covers recovery. *)
+              remote.crc_rejects <- remote.crc_rejects + 1;
+              net.net_crc_rejects <- net.net_crc_rejects + 1
+            end
+            else begin
+              if seq = remote.rx_next then begin
+                remote.rx_next <- seq + 1;
+                Bytequeue.push remote.inbox data;
+                wake_readers remote
+              end;
+              (* Cumulative ack for everything received in order so far;
+                 the ack itself rides the reverse link and can be lost. *)
+              Engine.at engine
+                (Time.add (Engine.now engine) (hop_latency net))
+                (fun () ->
+                  match
+                    Simnet.Faults.frame_verdict faults ~fabric:fabric_name
+                      ~src:dst ~dst:src ~fragments:1
+                  with
+                  | Simnet.Faults.Deliver ->
+                      let ack_upto = remote.rx_next - 1 in
+                      if ack_upto > conn.acked then conn.acked <- ack_upto;
+                      let waiters = conn.ack_waiters in
+                      conn.ack_waiters <- [];
+                      List.iter (fun w -> w ()) waiters
+                  | Simnet.Faults.Drop | Simnet.Faults.Corrupt -> ())
+            end);
+    if conn.acked < seq then begin
+      let wait = !rto in
+      Engine.suspend ~name:"tcp.ack" (fun wake ->
+          conn.ack_waiters <- (fun () -> wake ()) :: conn.ack_waiters;
+          Engine.at engine
+            (Time.add (Engine.now engine) wait)
+            (fun () -> wake ()));
+      rto := Time.span_mul !rto 2
+    end
+  done;
+  conn.consec_fail <- 0
+
+let transmit conn staged =
+  let remote =
+    match conn.peer with
+    | Some p -> p
+    | None -> invalid_arg "Tcpnet.send: not connected"
+  in
+  match Fabric.faults conn.stack.net.fabric with
+  | None -> fast_transmit conn remote staged
+  | Some faults -> reliable_transmit conn remote faults staged
+
 let send conn data = transmit conn [ Bytes.copy data ]
 let send_group conn bufs = transmit conn (List.map Bytes.copy bufs)
 
+let is_dead conn = conn.dead
+let retries conn = conn.retries
+let consecutive_failures conn = conn.consec_fail
+
 let available conn = Bytequeue.length conn.inbox
 
-let recv_raw conn buf ~off ~len =
+let recv_raw ?deadline conn buf ~off ~len =
   if off < 0 || len < 0 || off + len > Bytes.length buf then
     invalid_arg "Tcpnet.recv: out of bounds";
+  let engine = conn.stack.net.engine in
   let got = ref 0 in
   while !got < len do
     let taken = Bytequeue.pop_into conn.inbox buf ~off:(off + !got) ~len:(len - !got) in
     got := !got + taken;
-    if !got < len then
+    if !got < len then begin
+      (match deadline with
+      | Some d when Time.( <= ) d (Engine.now engine) ->
+          raise (Timeout "Tcpnet.recv: timed out")
+      | _ -> ());
+      let timed_out = ref false in
       Engine.suspend ~name:"tcp.recv" (fun wake ->
-          conn.readers <- (fun () -> wake ()) :: conn.readers)
+          conn.readers <- (fun () -> wake ()) :: conn.readers;
+          match deadline with
+          | Some d ->
+              Engine.at engine d (fun () ->
+                  timed_out := true;
+                  wake ())
+          | None -> ());
+      if !timed_out && Bytequeue.length conn.inbox = 0 then
+        raise (Timeout "Tcpnet.recv: timed out")
+    end
   done
 
-let recv conn buf ~off ~len =
-  recv_raw conn buf ~off ~len;
+let recv ?timeout conn buf ~off ~len =
+  let deadline =
+    match timeout with
+    | None -> None
+    | Some span -> Some (Time.add (Engine.now conn.stack.net.engine) span)
+  in
+  recv_raw ?deadline conn buf ~off ~len;
   Engine.sleep Netparams.tcp_recv_overhead
 
 let recv_group conn slices =

@@ -5,7 +5,18 @@
     effective payload bandwidth slightly under the 12.5 MB/s wire rate.
     Streams deliver bytes reliably and in order; message boundaries are
     not preserved (it is a byte stream, so [recv] may assemble bytes from
-    several sends). *)
+    several sends).
+
+    When the underlying fabric has a fault plane attached
+    ({!Simnet.Fabric.set_faults}), every [send] becomes one checksummed,
+    sequence-numbered frame: drops trigger retransmission with
+    exponential backoff, corruption is detected by CRC-32 and treated as
+    loss, and a peer the plane reports crashed fails sends fast with
+    {!Timeout}. Without a fault plane (the default) the original
+    fault-free path runs, bit for bit. *)
+
+exception Timeout of string
+(** A [?timeout] expired, or the peer host is unreachable. *)
 
 type net
 type t
@@ -17,6 +28,11 @@ type conn
 val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
 val attach : net -> Simnet.Node.t -> t
 val node : t -> Simnet.Node.t
+val engine : t -> Marcel.Engine.t
+
+val net_stats : net -> int * int
+(** [(retransmissions, crc_rejects)] summed over every connection of the
+    net — both zero unless a fault plane is attached. *)
 
 val listen : t -> port:int -> unit
 (** Opens a passive socket. Raises [Invalid_argument] if the port is
@@ -26,9 +42,13 @@ val accept : t -> port:int -> conn
 (** Blocks for the next incoming connection on [port] (which must be
     listening). *)
 
-val connect : t -> node_id:int -> port:int -> conn
+val connect : ?timeout:Marcel.Time.span -> t -> node_id:int -> port:int -> conn
 (** Active open; pays one round trip of handshake. Raises
-    [Invalid_argument] if the target is unknown or not listening. *)
+    [Invalid_argument] if the target is unknown or not listening. If a
+    fault plane reports the target host down, the SYN is lost: with
+    [?timeout] the call raises {!Timeout} after that span; without it,
+    the call blocks until the engine stalls (like a blocking [connect]
+    with no timer). *)
 
 val socketpair : t -> t -> conn * conn
 (** Pre-established connection between two hosts, as set up during a
@@ -39,10 +59,15 @@ val socketpair : t -> t -> conn * conn
 val send : conn -> Bytes.t -> unit
 (** Blocks for the kernel send path; returns when the payload has been
     handed to the stack (socket-buffer semantics), with delivery
-    continuing asynchronously. *)
+    continuing asynchronously. Under a fault plane, blocks until the
+    frame is acknowledged (retransmitting as needed) and raises
+    {!Timeout} if the peer is or becomes unreachable. *)
 
-val recv : conn -> Bytes.t -> off:int -> len:int -> unit
-(** Reads exactly [len] bytes into [buf] at [off], blocking as needed. *)
+val recv :
+  ?timeout:Marcel.Time.span -> conn -> Bytes.t -> off:int -> len:int -> unit
+(** Reads exactly [len] bytes into [buf] at [off], blocking as needed.
+    With [?timeout], raises {!Timeout} if the bytes have not all arrived
+    within that span. *)
 
 val available : conn -> int
 (** Bytes currently buffered for reading. *)
@@ -58,3 +83,16 @@ val recv_group : conn -> (Bytes.t * int * int) list -> unit
 val set_data_hook : conn -> (unit -> unit) -> unit
 (** [hook] fires whenever newly delivered bytes become readable on this
     connection (used by Madeleine's any-source message detection). *)
+
+(** {1 Connection health} — meaningful only under a fault plane. *)
+
+val is_dead : conn -> bool
+(** Retransmission gave up on this connection; sends fail fast with
+    {!Timeout} until the peer host restarts (new fault-plane epoch). *)
+
+val retries : conn -> int
+(** Total retransmissions performed on this end of the connection. *)
+
+val consecutive_failures : conn -> int
+(** Retransmissions since the last cleanly acknowledged frame — the
+    driver maps this to a [Degraded] peer-health report. *)

@@ -112,6 +112,8 @@ let test_generic_tm_header_roundtrip () =
       payload_len = 65536;
       first = true;
       last = false;
+      seq = 4242;
+      ack = true;
     }
   in
   Alcotest.(check bool) "roundtrip" true (G.decode_header (G.encode_header h) = h);

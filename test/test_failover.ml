@@ -1,0 +1,140 @@
+(* Tests for virtual-channel reliability: gateway failover mid-stream,
+   partition detection, single-channel reliable vchannels, the typed
+   routing errors, and byte-reproducibility of the chaos report. *)
+
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Faults = Simnet.Faults
+module Channel = Madeleine.Channel
+module Vc = Madeleine.Vchannel
+
+let payload n seed = Simnet.Rng.bytes (Simnet.Rng.create ~seed) n
+
+let contains msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+(* A reliable vchannel over a single two-node TCP channel: no gateways,
+   so a peer crash is immediately a partition. *)
+let single_channel_world () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:3L in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let session = Madeleine.Session.create engine in
+  let ch =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (function 0 -> s0 | _ -> s1))
+      ~ranks:[ 0; 1 ] ()
+  in
+  let vc = Vc.create session ~mtu:4096 ~faults [ ch ] in
+  (engine, faults, vc)
+
+let test_gateway_crash_failover () =
+  let f = Chaos.failover_run ~seed:42 ~size:16384 ~messages:4 in
+  Alcotest.(check bool) "all messages intact" true f.Chaos.fo_intact;
+  Alcotest.(check bool) "routes were recomputed" true (f.Chaos.fo_reroutes >= 1);
+  Alcotest.(check bool) "unacked packets re-emitted" true
+    (f.Chaos.fo_reemitted > 0);
+  Alcotest.(check bool) "crashed gateway left the route" true
+    (not (List.mem f.Chaos.fo_crashed_gateway f.Chaos.fo_route_after));
+  Alcotest.(check bool) "losing the last gateway partitions" true
+    f.Chaos.fo_partitioned
+
+let test_single_channel_reliable_then_partitioned () =
+  let engine, faults, vc = single_channel_world () in
+  let data = payload 12288 21L in
+  let delivered = ref false and partitioned = ref false in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      let oc = Vc.begin_packing vc ~me:0 ~remote:1 in
+      Vc.pack oc data;
+      Vc.end_packing oc);
+  Engine.spawn engine ~name:"receiver" (fun () ->
+      let sink = Bytes.create 12288 in
+      let ic = Vc.begin_unpacking_from vc ~me:1 ~remote:0 in
+      Vc.unpack ic sink;
+      Vc.end_unpacking ic;
+      delivered := Bytes.equal sink data;
+      (* The sender may still be inside [end_packing], waiting for the
+         transport-level ack of its last frame; crashing now would make
+         that call (correctly) raise Partitioned. Let the ack land so
+         the crash hits an idle flow. *)
+      Engine.sleep (Time.us 1_000.0);
+      Faults.crash_now faults ~node:1 ();
+      (match Vc.begin_packing vc ~me:0 ~remote:1 with
+      | exception Vc.Partitioned _ -> partitioned := true
+      | _oc -> ());
+      match Vc.route_length vc ~src:0 ~dst:1 with
+      | _ -> ()
+      | exception Vc.Partitioned _ -> ());
+  Engine.run engine;
+  Alcotest.(check bool) "message intact before the crash" true !delivered;
+  Alcotest.(check bool) "peer crash partitions a 1-channel vchannel" true
+    !partitioned
+
+let test_route_queries_partitioned () =
+  let engine, faults, vc = single_channel_world () in
+  let saw_partitioned = ref false in
+  Engine.spawn engine ~name:"probe" (fun () ->
+      Faults.crash_now faults ~node:1 ();
+      (match Vc.route_length vc ~src:0 ~dst:1 with
+      | _ -> ()
+      | exception Vc.Partitioned _ -> saw_partitioned := true);
+      match Vc.peer_status vc ~src:0 ~dst:1 with
+      | Madeleine.Iface.Down -> ()
+      | h ->
+          Alcotest.failf "peer_status after crash: %a, expected Down"
+            Madeleine.Iface.pp_health h);
+  Engine.run engine;
+  Alcotest.(check bool) "route query raises Partitioned" true !saw_partitioned
+
+let test_route_queries_invalid_rank () =
+  let _engine, _faults, vc = single_channel_world () in
+  (match Vc.route_length vc ~src:0 ~dst:9 with
+  | _ -> Alcotest.fail "expected Invalid_argument for unknown rank"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the rank" true (contains msg "9"));
+  match Vc.route_via vc ~src:7 ~dst:1 with
+  | _ -> Alcotest.fail "expected Invalid_argument for unknown rank"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the rank" true (contains msg "7")
+
+let test_chaos_report_reproducible () =
+  let report () =
+    Chaos.to_json (Chaos.run Sweeps.serial_runner ~seed:42 ~quick:true)
+  in
+  Alcotest.(check string) "same seed, byte-identical report" (report ())
+    (report ())
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "vchannel",
+        [
+          Alcotest.test_case "gateway crash mid-stream" `Quick
+            test_gateway_crash_failover;
+          Alcotest.test_case "single-channel partition" `Quick
+            test_single_channel_reliable_then_partitioned;
+          Alcotest.test_case "route queries: Partitioned" `Quick
+            test_route_queries_partitioned;
+          Alcotest.test_case "route queries: invalid rank" `Quick
+            test_route_queries_invalid_rank;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "report reproducible" `Slow
+            test_chaos_report_reproducible;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+(* Tests for the fault-injection plane and the reliable TCP path built
+   on it: CRC detection, retransmission under loss and corruption, link
+   flaps, typed timeouts, PCI stalls, and byte-reproducibility of a
+   seeded faulty run. *)
+
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Faults = Simnet.Faults
+
+let payload n seed = Simnet.Rng.bytes (Simnet.Rng.create ~seed) n
+
+(* A two-host Ethernet with a fault plane attached and one established
+   TCP connection between the hosts. *)
+type fw = {
+  engine : Engine.t;
+  faults : Faults.t;
+  net : Tcpnet.net;
+  stacks : Tcpnet.t array;
+  nodes : Node.t array;
+  c0 : Tcpnet.conn;
+  c1 : Tcpnet.conn;
+}
+
+let faulty_world ?(seed = 7L) ?(drop = 0.0) ?(corrupt = 0.0) () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  for i = 0 to 1 do
+    if drop > 0.0 then Faults.set_drop faults ~fabric:"eth" ~node:i ~rate:drop;
+    if corrupt > 0.0 then
+      Faults.set_corrupt faults ~fabric:"eth" ~node:i ~rate:corrupt
+  done;
+  let net = Tcpnet.make_net engine fabric in
+  let stacks = Array.map (Tcpnet.attach net) nodes in
+  let c0, c1 = Tcpnet.socketpair stacks.(0) stacks.(1) in
+  { engine; faults; net; stacks; nodes; c0; c1 }
+
+(* Ship [msgs] distinct payloads one way, verifying every delivered
+   byte; returns the world and the finish time. *)
+let faulty_transfer w ~size ~msgs =
+  let datas = List.init msgs (fun i -> payload size (Int64.of_int (100 + i))) in
+  let ok = ref true and finish = ref Time.zero in
+  Engine.spawn w.engine ~name:"send" (fun () ->
+      List.iter (fun d -> Tcpnet.send w.c0 d) datas);
+  Engine.spawn w.engine ~name:"recv" (fun () ->
+      List.iter
+        (fun d ->
+          let sink = Bytes.create size in
+          Tcpnet.recv w.c1 sink ~off:0 ~len:size;
+          if not (Bytes.equal sink d) then ok := false)
+        datas;
+      finish := Engine.now w.engine);
+  Engine.run w.engine;
+  (!ok, !finish)
+
+let test_crc_known_vector () =
+  Alcotest.(check int)
+    "crc32(\"123456789\")" 0xCBF43926
+    (Simnet.Checksum.crc32 (Bytes.of_string "123456789"))
+
+let test_zero_rate_plane_changes_nothing () =
+  (* Attaching a plane but configuring no fault must not consume any
+     randomness nor drop anything; the transfer completes intact. *)
+  let w = faulty_world () in
+  let ok, _ = faulty_transfer w ~size:16384 ~msgs:2 in
+  Alcotest.(check bool) "intact" true ok;
+  let st = Faults.stats w.faults in
+  Alcotest.(check int) "no drops" 0 st.Faults.frames_dropped;
+  let retrans, crc = Tcpnet.net_stats w.net in
+  Alcotest.(check int) "no retransmissions" 0 retrans;
+  Alcotest.(check int) "no crc rejects" 0 crc
+
+let test_drop_retransmit_intact () =
+  let w = faulty_world ~drop:0.02 () in
+  let ok, _ = faulty_transfer w ~size:16384 ~msgs:6 in
+  Alcotest.(check bool) "intact under 2% loss" true ok;
+  let st = Faults.stats w.faults in
+  Alcotest.(check bool) "some frames dropped" true
+    (st.Faults.frames_dropped > 0);
+  let retrans, _ = Tcpnet.net_stats w.net in
+  Alcotest.(check bool) "retransmissions happened" true (retrans > 0)
+
+let test_corruption_detected_and_recovered () =
+  let w = faulty_world ~corrupt:0.05 () in
+  let ok, _ = faulty_transfer w ~size:8192 ~msgs:6 in
+  Alcotest.(check bool) "intact under corruption" true ok;
+  let st = Faults.stats w.faults in
+  Alcotest.(check bool) "some frames corrupted" true
+    (st.Faults.frames_corrupted > 0);
+  let _, crc = Tcpnet.net_stats w.net in
+  Alcotest.(check bool) "CRC rejected the corrupted frames" true (crc > 0)
+
+let test_flap_delays_but_completes () =
+  let clean = faulty_world () in
+  let _, t_clean = faulty_transfer clean ~size:16384 ~msgs:4 in
+  let w = faulty_world () in
+  Faults.flap_link w.faults ~fabric:"eth" ~node:1
+    ~at:(Time.add Time.zero (Time.us 2_000.0))
+    ~duration:(Time.us 5_000.0);
+  let ok, t_flap = faulty_transfer w ~size:16384 ~msgs:4 in
+  Alcotest.(check bool) "intact across the flap" true ok;
+  let st = Faults.stats w.faults in
+  Alcotest.(check int) "one flap recorded" 1 st.Faults.flaps;
+  let retrans, _ = Tcpnet.net_stats w.net in
+  Alcotest.(check bool) "flap forced retransmissions" true (retrans > 0);
+  Alcotest.(check bool) "flap delayed completion" true Time.(t_clean < t_flap)
+
+let test_pci_stall_slows_transfer () =
+  let clean = faulty_world () in
+  let _, t_clean = faulty_transfer clean ~size:65536 ~msgs:1 in
+  let w = faulty_world () in
+  (* The wire, not the PCI bus, is the steady-state bottleneck, so a
+     stall that ends before the last fragment leaves the wire only makes
+     fragments queue at the receiver without moving the finish line.
+     Keep the stall open past the clean finish (~5.9 ms) so the tail
+     fragments cross a contended bus. *)
+  Faults.stall_pci w.faults w.nodes.(1)
+    ~at:(Time.add Time.zero (Time.us 3_000.0))
+    ~duration:(Time.us 5_000.0);
+  let ok, t_stall = faulty_transfer w ~size:65536 ~msgs:1 in
+  Alcotest.(check bool) "intact across the stall" true ok;
+  Alcotest.(check bool) "stall slowed the transfer" true
+    Time.(t_clean < t_stall)
+
+let test_connect_timeout_on_crashed_peer () =
+  let w = faulty_world () in
+  Tcpnet.listen w.stacks.(1) ~port:9;
+  Faults.crash_node w.faults ~node:1 ~at:Time.zero ();
+  let timed_out = ref false in
+  Engine.spawn w.engine ~name:"dialer" (fun () ->
+      match
+        Tcpnet.connect ~timeout:(Time.us 500.0) w.stacks.(0) ~node_id:1 ~port:9
+      with
+      | _conn -> ()
+      | exception Tcpnet.Timeout _ -> timed_out := true);
+  Engine.run w.engine;
+  Alcotest.(check bool) "connect raised Timeout" true !timed_out
+
+let test_recv_timeout () =
+  let w = faulty_world () in
+  let timed_out = ref false in
+  Engine.spawn w.engine ~name:"reader" (fun () ->
+      let sink = Bytes.create 64 in
+      match Tcpnet.recv ~timeout:(Time.us 300.0) w.c1 sink ~off:0 ~len:64 with
+      | () -> ()
+      | exception Tcpnet.Timeout _ -> timed_out := true);
+  Engine.run w.engine;
+  Alcotest.(check bool) "recv raised Timeout" true !timed_out
+
+let test_seeded_run_is_reproducible () =
+  let run () =
+    let w = faulty_world ~seed:99L ~drop:0.03 () in
+    let ok, finish = faulty_transfer w ~size:16384 ~msgs:5 in
+    (ok, finish, Faults.stats w.faults, Tcpnet.net_stats w.net)
+  in
+  let ok1, t1, s1, n1 = run () in
+  let ok2, t2, s2, n2 = run () in
+  Alcotest.(check bool) "both intact" true (ok1 && ok2);
+  Alcotest.(check bool) "identical finish instant" true (t1 = t2);
+  Alcotest.(check bool) "identical fault stats" true (s1 = s2);
+  Alcotest.(check bool) "identical transport stats" true (n1 = n2)
+
+(* The clusterfile syntax drives the same plane. *)
+let faulty_cfg =
+  {|
+faults seed=11
+network eth type=tcp
+node a nets=eth
+node b nets=eth
+channel c net=eth nodes=a,b connect_timeout_us=800
+fault drop net=eth node=a rate=0.02
+fault drop net=eth node=b rate=0.02
+|}
+
+let test_clusterfile_fault_directives () =
+  let module Cf = Clusterfile in
+  let module Mad = Madeleine.Api in
+  let t = Cf.load faulty_cfg in
+  Alcotest.(check bool) "plane declared" true (Cf.faults t <> None);
+  let chan = Cf.channel t "c" in
+  let data = payload 16384 5L in
+  let ok = ref false in
+  Engine.spawn (Cf.engine t) ~name:"s" (fun () ->
+      let oc =
+        Mad.begin_packing (Madeleine.Channel.endpoint chan ~rank:0) ~remote:1
+      in
+      Mad.pack oc data;
+      Mad.end_packing oc);
+  Engine.spawn (Cf.engine t) ~name:"r" (fun () ->
+      let sink = Bytes.create 16384 in
+      let ic =
+        Mad.begin_unpacking_from
+          (Madeleine.Channel.endpoint chan ~rank:1)
+          ~remote:0
+      in
+      Mad.unpack ic sink;
+      Mad.end_unpacking ic;
+      ok := Bytes.equal sink data);
+  Engine.run (Cf.engine t);
+  Alcotest.(check bool) "message intact over faulty cluster" true !ok
+
+let test_clusterfile_fault_needs_plane () =
+  let module Cf = Clusterfile in
+  match
+    Cf.load
+      "network eth type=tcp\nnode a nets=eth\n\
+       fault drop net=eth node=a rate=0.1"
+  with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Cf.Parse_error (line, _) ->
+      Alcotest.(check int) "error on the fault line" 3 line
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plane",
+        [
+          Alcotest.test_case "crc32 known vector" `Quick test_crc_known_vector;
+          Alcotest.test_case "zero-rate plane is inert" `Quick
+            test_zero_rate_plane_changes_nothing;
+          Alcotest.test_case "seeded run reproducible" `Quick
+            test_seeded_run_is_reproducible;
+        ] );
+      ( "reliable-tcp",
+        [
+          Alcotest.test_case "drop: retransmit, intact" `Quick
+            test_drop_retransmit_intact;
+          Alcotest.test_case "corruption: CRC catches it" `Quick
+            test_corruption_detected_and_recovered;
+          Alcotest.test_case "flap: delayed, intact" `Quick
+            test_flap_delays_but_completes;
+          Alcotest.test_case "PCI stall slows transfer" `Quick
+            test_pci_stall_slows_transfer;
+          Alcotest.test_case "connect timeout on crashed peer" `Quick
+            test_connect_timeout_on_crashed_peer;
+          Alcotest.test_case "recv timeout" `Quick test_recv_timeout;
+        ] );
+      ( "clusterfile",
+        [
+          Alcotest.test_case "fault directives" `Quick
+            test_clusterfile_fault_directives;
+          Alcotest.test_case "fault needs faults decl" `Quick
+            test_clusterfile_fault_needs_plane;
+        ] );
+    ]

@@ -376,8 +376,12 @@ let test_fabric_attach () =
       Simnet.Fabric.attach fab n0);
   let n2 = Simnet.Node.create e ~name:"n2" ~id:2 in
   Alcotest.(check bool) "not attached" false (Simnet.Fabric.attached fab n2);
-  Alcotest.check_raises "tx of unattached" Not_found (fun () ->
-      ignore (Simnet.Fabric.tx fab n2))
+  Alcotest.check_raises "tx of unattached"
+    (Invalid_argument "Fabric.tx: node n2 not attached to fabric myri")
+    (fun () -> ignore (Simnet.Fabric.tx fab n2));
+  Alcotest.check_raises "rx of unattached"
+    (Invalid_argument "Fabric.rx: node n2 not attached to fabric myri")
+    (fun () -> ignore (Simnet.Fabric.rx fab n2))
 
 (* ------------------------------------------------------------------ *)
 (* Pipeline *)

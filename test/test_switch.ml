@@ -158,6 +158,7 @@ let mock_driver wire =
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me:_ _hook -> ());
+      peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
     }
   in
   { Driver.driver_name = "mock"; instantiate }
