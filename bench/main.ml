@@ -547,6 +547,15 @@ let simspeed_scenarios : (string * (unit -> int)) list =
        fault-free fast path against overhead from the fault machinery
        (the dispatch is a single [Fabric.faults] check). *)
     ("chaos clean-path tcp pingpong", Chaos.clean_path_events);
+    (* The windowed reliable protocol with a fault plane attached but
+       inert: guards the fault-free fast path of the go-back-N sender
+       (sequencing, ack bookkeeping, RTO arming) — and, next to the
+       stop-and-wait line, shows what the window machinery itself
+       costs when nothing is ever retransmitted. *)
+    ( "reliable tcp inert window=8",
+      fun () -> Chaos.inert_window_events ~window:8 );
+    ( "reliable tcp inert stop-and-wait",
+      fun () -> Chaos.inert_window_events ~window:1 );
   ]
 
 let simspeed_measure f =

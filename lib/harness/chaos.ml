@@ -24,6 +24,8 @@ type row = {
   bw_mb_s : float;
   drops : int; (* frames the plane decided to drop *)
   corrupts : int; (* frames the plane corrupted in flight *)
+  dups : int; (* frames the plane delivered twice *)
+  delays : int; (* frames held back so later ones overtake *)
   retransmissions : int;
   crc_rejects : int;
   intact : bool; (* every delivered message matched the packed bytes *)
@@ -42,11 +44,49 @@ type failover = {
   fo_finish_us : float;
 }
 
+(* Sliding-window payoff: the same one-way stream at the same drop
+   rate, once with the configured go-back-N window and once degraded to
+   stop-and-wait (window = 1). *)
+type goodput = {
+  gp_size : int;
+  gp_messages : int;
+  gp_drop_pct : float;
+  gp_window : int;
+  gp_window_mb_s : float;
+  gp_stopwait_mb_s : float;
+  gp_speedup : float; (* windowed / stop-and-wait *)
+  gp_intact : bool;
+}
+
+(* Mid-stream node restarts on a single-gateway route: first the
+   gateway dies and comes back (origin logs replay through the route
+   hole), then the origin itself dies and comes back with a new crash
+   epoch (the session handshake restores its numbering). Every message
+   must reach the far side bit-identical, exactly once. *)
+type crash_restart = {
+  cr_messages : int; (* per phase; two phases *)
+  cr_size : int;
+  cr_gateway : int;
+  cr_restart_us : float;
+  cr_delivered : int;
+  cr_handshakes : int;
+  cr_reroutes : int;
+  cr_reemitted : int;
+  cr_dup_drops : int;
+  cr_exactly_once : bool;
+  cr_suspicions : (float * int * int * string * string * float) list;
+      (* (at_us, observer, peer, from, to, phi) *)
+  cr_flows : Vc.flow_stat list;
+  cr_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
   rep_rows : row list;
   rep_failover : failover;
+  rep_goodput : goodput;
+  rep_crash : crash_restart;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -132,6 +172,8 @@ let finish_row ~scenario ~drop ~size w (span, intact) =
     bw_mb_s = Time.rate_mb_s ~bytes_count:size span;
     drops = st.Faults.frames_dropped;
     corrupts = st.Faults.frames_corrupted;
+    dups = st.Faults.frames_duplicated;
+    delays = st.Faults.frames_delayed;
     retransmissions;
     crc_rejects;
     intact;
@@ -156,6 +198,19 @@ let flap_row ~seed ~size =
     ~duration:(Time.us 5_000.0);
   finish_row ~scenario:"flap" ~drop:0.0 ~size w
     (verified_pingpong w ~size ~iters:8)
+
+(* Duplication and reordering on both endpoints: the receiver's
+   go-back-N sequence check must discard the duplicates and the
+   retransmission path must repair the holes the overtaking leaves. *)
+let reorder_row ~seed ~size =
+  let w = faulty_tcp_world ~seed ~drop:0.0 ~corrupt:0.0 in
+  for i = 0 to 1 do
+    Faults.set_reorder w.fw_faults ~fabric:"eth" ~node:i ~rate:0.05
+      ~jitter:(Time.us 300.0);
+    Faults.set_duplicate w.fw_faults ~fabric:"eth" ~node:i ~rate:0.03
+  done;
+  finish_row ~scenario:"reorder" ~drop:0.0 ~size w
+    (verified_pingpong w ~size ~iters:(iters_for size))
 
 (* A rogue device monopolizes one host's PCI bus mid-transfer: no loss,
    but every PIO/DMA on that host crawls for the duration. *)
@@ -260,6 +315,181 @@ let failover_run ~seed ~size ~messages =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Sliding-window goodput: a one-way TCP stream under per-link loss,
+   measured end to end (last byte verified at the receiver), with the
+   go-back-N window against the same net degraded to stop-and-wait. *)
+
+let goodput_one ~seed ~size ~messages ~window ~drop =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  for i = 0 to 1 do
+    if drop > 0.0 then Faults.set_drop faults ~fabric:"eth" ~node:i ~rate:drop
+  done;
+  let net = Tcpnet.make_net ~window engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let c0, c1 = Tcpnet.socketpair s0 s1 in
+  let payload m =
+    let p = Harness.payload size (Int64.of_int (200 + m)) in
+    p
+  in
+  let intact = ref true in
+  let finish = ref Time.zero in
+  Engine.spawn engine ~name:"gp-send" (fun () ->
+      for m = 0 to messages - 1 do
+        Tcpnet.send c0 (payload m)
+      done);
+  Engine.spawn engine ~name:"gp-recv" (fun () ->
+      let buf = Bytes.create size in
+      for m = 0 to messages - 1 do
+        Tcpnet.recv c1 buf ~off:0 ~len:size;
+        if not (Bytes.equal buf (payload m)) then intact := false
+      done;
+      finish := Engine.now engine);
+  Engine.run engine;
+  (Time.rate_mb_s ~bytes_count:(size * messages) !finish, !intact)
+
+let goodput_run ~seed ~size ~messages ~window ~drop =
+  let window_mb_s, ok_w = goodput_one ~seed ~size ~messages ~window ~drop in
+  let stopwait_mb_s, ok_s = goodput_one ~seed ~size ~messages ~window:1 ~drop in
+  {
+    gp_size = size;
+    gp_messages = messages;
+    gp_drop_pct = drop *. 100.0;
+    gp_window = window;
+    gp_window_mb_s = window_mb_s;
+    gp_stopwait_mb_s = stopwait_mb_s;
+    gp_speedup =
+      (if stopwait_mb_s > 0.0 then window_mb_s /. stopwait_mb_s else 0.0);
+    gp_intact = ok_w && ok_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-restart: rank 0 streams to rank 2 through the only gateway
+   (rank 1). The gateway dies mid-stream and restarts [restart] later —
+   inside the vchannel's patience, so waiting senders ride out the hole
+   and origin logs replay through the recomputed route. Once phase one
+   is fully delivered, the origin itself dies and restarts with a new
+   crash epoch; its next sends block until the receiver's session
+   handshake restores the flow cursor, then phase two flows. Delivery
+   must be exactly-once, bit-identical, across both restarts. *)
+
+let crash_restart_run ~seed ~size ~messages =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  let fab_a = Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet in
+  let fab_b = Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 3 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2 ];
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let stacks_a = Hashtbl.create 4 and stacks_b = Hashtbl.create 4 in
+  List.iter
+    (fun i -> Hashtbl.add stacks_a i (Tcpnet.attach net_a nodes.(i)))
+    [ 0; 1 ];
+  List.iter
+    (fun i -> Hashtbl.add stacks_b i (Tcpnet.attach net_b nodes.(i)))
+    [ 1; 2 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_a))
+      ~ranks:[ 0; 1 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_b))
+      ~ranks:[ 1; 2 ] ()
+  in
+  let vc = Vc.create session ~mtu:4096 ~faults [ ch_a; ch_b ] in
+  let restart = Time.us 5_000.0 in
+  let total = 2 * messages in
+  let payload_of m =
+    let p = Harness.payload size (Int64.of_int 17) in
+    Bytes.set_int32_le p 0 (Int32.of_int m);
+    p
+  in
+  let received = Array.make total 0 in
+  let intact = ref true in
+  let finish = ref Time.zero in
+  Engine.spawn engine ~name:"cr-sender" (fun () ->
+      for m = 0 to messages - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:2 in
+        Vc.pack oc (payload_of m);
+        Vc.end_packing oc
+      done;
+      (* The origin is crashed (by the receiver, below) once phase one
+         has fully landed; this thread models the restarted process
+         resuming the stream after the reboot. *)
+      while Faults.epoch faults 0 = 0 do
+        Engine.sleep (Time.us 250.0)
+      done;
+      for m = messages to total - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:2 in
+        Vc.pack oc (payload_of m);
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"cr-receiver" (fun () ->
+      for m = 1 to total do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:2 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        let idx = Int32.to_int (Bytes.get_int32_le sink 0) in
+        if idx < 0 || idx >= total then intact := false
+        else begin
+          received.(idx) <- received.(idx) + 1;
+          if not (Bytes.equal sink (payload_of idx)) then intact := false
+        end;
+        if m = 1 then Faults.crash_now faults ~node:1 ~restart_after:restart ();
+        if m = messages then
+          Faults.crash_now faults ~node:0 ~restart_after:(Time.us 2_000.0) ()
+      done;
+      finish := Engine.now engine);
+  Engine.run engine;
+  let stats = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  let suspicions =
+    List.map
+      (fun (observer, ev) ->
+        ( Time.to_us (Time.diff ev.Madeleine.Sentinel.ev_at Time.zero),
+          observer,
+          ev.Madeleine.Sentinel.ev_peer,
+          Madeleine.Sentinel.state_name ev.Madeleine.Sentinel.ev_from,
+          Madeleine.Sentinel.state_name ev.Madeleine.Sentinel.ev_to,
+          ev.Madeleine.Sentinel.ev_phi ))
+      (Vc.suspicion_timeline vc)
+  in
+  {
+    cr_messages = messages;
+    cr_size = size;
+    cr_gateway = 1;
+    cr_restart_us = Time.to_us restart;
+    cr_delivered = Array.fold_left ( + ) 0 received;
+    cr_handshakes = stats.Vc.handshakes;
+    cr_reroutes = stats.Vc.reroutes;
+    cr_reemitted = stats.Vc.reemitted;
+    cr_dup_drops = stats.Vc.dup_drops;
+    cr_exactly_once =
+      !intact && Array.for_all (fun n -> n = 1) received;
+    cr_suspicions = suspicions;
+    cr_flows = Vc.flow_stats vc;
+    cr_finish_us = Time.to_us !finish;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The workload set. Stop-and-wait retransmission gives up after 12
    attempts, so the per-frame survival probability bounds which
    (rate, size) points can complete: at 5% per link a frame of a dozen
@@ -268,7 +498,11 @@ let failover_run ~seed ~size ~messages =
    rate is swept only over single-digit-fragment messages rather than
    reported dead. *)
 
-type outcome = Row of row | Failed_over of failover
+type outcome =
+  | Row of row
+  | Failed_over of failover
+  | Goodput_of of goodput
+  | Restarted of crash_restart
 
 let run (runner : Sweeps.runner) ~seed ~quick =
   let rates = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.05 ] in
@@ -299,31 +533,50 @@ let run (runner : Sweeps.runner) ~seed ~quick =
   let scheduled_jobs =
     [
       ("chaos/flap", fun () -> Row (flap_row ~seed ~size:16384));
+      ("chaos/reorder", fun () -> Row (reorder_row ~seed ~size:16384));
       ("chaos/pci-stall", fun () -> Row (stall_row ~seed ~size:65536));
       ( "chaos/gateway-failover",
         fun () -> Failed_over (failover_run ~seed ~size:16384 ~messages:4) );
+      ( "chaos/goodput",
+        fun () ->
+          Goodput_of
+            (goodput_run ~seed ~size:1024
+               ~messages:(if quick then 256 else 512)
+               ~window:8 ~drop:0.01) );
+      ( "chaos/crash-restart",
+        fun () ->
+          Restarted
+            (crash_restart_run ~seed ~size:16384
+               ~messages:(if quick then 3 else 4)) );
     ]
   in
   let outcomes = runner.Sweeps.run (drop_jobs @ corrupt_jobs @ scheduled_jobs) in
   let rows =
-    List.filter_map (function Row r -> Some r | Failed_over _ -> None) outcomes
+    List.filter_map (function Row r -> Some r | _ -> None) outcomes
   in
-  let failover =
-    match
-      List.find_map
-        (function Failed_over f -> Some f | Row _ -> None)
-        outcomes
-    with
-    | Some f -> f
-    | None -> assert false
+  let pick what f =
+    match List.find_map f outcomes with
+    | Some v -> v
+    | None -> failwith ("chaos: missing " ^ what)
   in
-  { rep_seed = seed; rep_quick = quick; rep_rows = rows; rep_failover = failover }
+  {
+    rep_seed = seed;
+    rep_quick = quick;
+    rep_rows = rows;
+    rep_failover = pick "failover" (function Failed_over f -> Some f | _ -> None);
+    rep_goodput = pick "goodput" (function Goodput_of g -> Some g | _ -> None);
+    rep_crash = pick "crash-restart" (function Restarted c -> Some c | _ -> None);
+  }
 
 let all_ok r =
   List.for_all (fun row -> row.intact) r.rep_rows
   && r.rep_failover.fo_intact
   && r.rep_failover.fo_partitioned
   && r.rep_failover.fo_reroutes >= 1
+  && r.rep_goodput.gp_intact
+  && r.rep_goodput.gp_speedup >= 2.0
+  && r.rep_crash.cr_exactly_once
+  && r.rep_crash.cr_handshakes >= 1
 
 (* ------------------------------------------------------------------ *)
 (* Rendering. Every figure below is simulated, so the whole report is a
@@ -341,10 +594,12 @@ let to_json r =
         (Printf.sprintf
            "  { \"scenario\": %S, \"size\": %d, \"drop_pct\": %.2f, \
             \"lat_us\": %.2f, \"bw_mb_s\": %.2f, \"drops\": %d, \
-            \"corrupts\": %d, \"retransmissions\": %d, \"crc_rejects\": %d, \
+            \"corrupts\": %d, \"dups\": %d, \"delays\": %d, \
+            \"retransmissions\": %d, \"crc_rejects\": %d, \
             \"intact\": %b }%s\n"
            row.scenario row.size row.drop_pct row.lat_us row.bw_mb_s row.drops
-           row.corrupts row.retransmissions row.crc_rejects row.intact
+           row.corrupts row.dups row.delays row.retransmissions
+           row.crc_rejects row.intact
            (if i = last then "" else ",")))
     r.rep_rows;
   let f = r.rep_failover in
@@ -353,11 +608,53 @@ let to_json r =
        "], \"failover\": { \"messages\": %d, \"size\": %d, \
         \"crashed_gateway\": %d, \"route_after\": [%s], \"reroutes\": %d, \
         \"reemitted\": %d, \"dup_drops\": %d, \"intact\": %b, \
-        \"partitioned_after_second_crash\": %b, \"finish_us\": %.2f } } }\n"
+        \"partitioned_after_second_crash\": %b, \"finish_us\": %.2f },\n"
        f.fo_messages f.fo_size f.fo_crashed_gateway
        (String.concat ", " (List.map string_of_int f.fo_route_after))
        f.fo_reroutes f.fo_reemitted f.fo_dup_drops f.fo_intact f.fo_partitioned
        f.fo_finish_us);
+  let g = r.rep_goodput in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"goodput\": { \"size\": %d, \"messages\": %d, \"drop_pct\": %.2f, \
+        \"window\": %d, \"window_mb_s\": %.2f, \"stopwait_mb_s\": %.2f, \
+        \"speedup\": %.2f, \"intact\": %b },\n"
+       g.gp_size g.gp_messages g.gp_drop_pct g.gp_window g.gp_window_mb_s
+       g.gp_stopwait_mb_s g.gp_speedup g.gp_intact);
+  let c = r.rep_crash in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"crash_restart\": { \"messages_per_phase\": %d, \"size\": %d, \
+        \"gateway\": %d, \"restart_us\": %.2f, \"delivered\": %d, \
+        \"handshakes\": %d, \"reroutes\": %d, \"reemitted\": %d, \
+        \"dup_drops\": %d, \"exactly_once\": %b, \"finish_us\": %.2f,\n"
+       c.cr_messages c.cr_size c.cr_gateway c.cr_restart_us c.cr_delivered
+       c.cr_handshakes c.cr_reroutes c.cr_reemitted c.cr_dup_drops
+       c.cr_exactly_once c.cr_finish_us);
+  Buffer.add_string b "  \"suspicions\": [\n";
+  let last_s = List.length c.cr_suspicions - 1 in
+  List.iteri
+    (fun i (at_us, observer, peer, from_, to_, phi) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"at_us\": %.2f, \"observer\": %d, \"peer\": %d, \
+            \"from\": %S, \"to\": %S, \"phi\": %.3f }%s\n"
+           at_us observer peer from_ to_ phi
+           (if i = last_s then "" else ",")))
+    c.cr_suspicions;
+  Buffer.add_string b "  ],\n  \"flows\": [\n";
+  let last_f = List.length c.cr_flows - 1 in
+  List.iteri
+    (fun i fs ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"src\": %d, \"dst\": %d, \"sent\": %d, \"unacked\": %d, \
+            \"delivered\": %d }%s\n"
+           fs.Vc.flow_src fs.Vc.flow_dst fs.Vc.sent fs.Vc.unacked
+           fs.Vc.delivered
+           (if i = last_f then "" else ",")))
+    c.cr_flows;
+  Buffer.add_string b "  ] } } }\n";
   Buffer.contents b
 
 let render_table r =
@@ -366,9 +663,9 @@ let render_table r =
     (Printf.sprintf "# chaos report (seed %d%s)\n" r.rep_seed
        (if r.rep_quick then ", quick" else ""));
   Buffer.add_string b
-    (Printf.sprintf "%-10s %8s %7s %12s %10s %6s %8s %8s %5s %7s\n" "scenario"
-       "size(B)" "drop%" "latency(us)" "bw(MB/s)" "drops" "corrupts" "retrans"
-       "crc" "intact");
+    (Printf.sprintf "%-10s %8s %7s %12s %10s %6s %8s %5s %5s %8s %5s %7s\n"
+       "scenario" "size(B)" "drop%" "latency(us)" "bw(MB/s)" "drops" "corrupts"
+       "dups" "late" "retrans" "crc" "intact");
   (* Degradation is judged against the clean (0%) row of the same size. *)
   let clean_lat size =
     List.find_map
@@ -381,9 +678,10 @@ let render_table r =
   List.iter
     (fun row ->
       Buffer.add_string b
-        (Printf.sprintf "%-10s %8d %7.1f %12.2f %10.2f %6d %8d %8d %5d %7s%s\n"
+        (Printf.sprintf
+           "%-10s %8d %7.1f %12.2f %10.2f %6d %8d %5d %5d %8d %5d %7s%s\n"
            row.scenario row.size row.drop_pct row.lat_us row.bw_mb_s row.drops
-           row.corrupts row.retransmissions row.crc_rejects
+           row.corrupts row.dups row.delays row.retransmissions row.crc_rejects
            (if row.intact then "yes" else "NO")
            (match clean_lat row.size with
            | Some base when row.drop_pct > 0.0 && base > 0.0 ->
@@ -402,6 +700,27 @@ let render_table r =
        (if f.fo_intact then "yes" else "NO")
        (if f.fo_partitioned then "yes" else "NO")
        f.fo_finish_us);
+  let g = r.rep_goodput in
+  Buffer.add_string b
+    (Printf.sprintf
+       "goodput:  %d x %d B at %.1f%% drop: window=%d %.2f MB/s vs \
+        stop-and-wait %.2f MB/s -> %.2fx, intact=%s\n"
+       g.gp_messages g.gp_size g.gp_drop_pct g.gp_window g.gp_window_mb_s
+       g.gp_stopwait_mb_s g.gp_speedup
+       (if g.gp_intact then "yes" else "NO"))
+  ;
+  let c = r.rep_crash in
+  Buffer.add_string b
+    (Printf.sprintf
+       "crash-restart: 2 x %d x %d B through gateway %d; gateway and \
+        origin each die and restart (%.0f us) mid-stream -> %d delivered, \
+        %d handshake(s), %d reroute(s), %d re-emitted, %d dup(s) dropped, \
+        %d suspicion event(s), exactly-once=%s, finish=%.2f us\n"
+       c.cr_messages c.cr_size c.cr_gateway c.cr_restart_us c.cr_delivered
+       c.cr_handshakes c.cr_reroutes c.cr_reemitted c.cr_dup_drops
+       (List.length c.cr_suspicions)
+       (if c.cr_exactly_once then "yes" else "NO")
+       c.cr_finish_us);
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -419,3 +738,36 @@ let clean_path_events () =
       ignore (Harness.mad_pingpong w ~bytes_count:size ~iters:256);
       acc + Engine.events_processed w.Harness.engine)
     0 [ 4; 4096; 16384 ]
+
+(* The windowed-protocol control: the reliable TCP stream with a fault
+   plane attached but inert (no fault configured). Simspeed tracks its
+   host events/s — once with the go-back-N window and once degraded to
+   stop-and-wait — to catch the window/session machinery taxing the
+   fault-free fast path. *)
+let inert_window_events ~window =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:42L in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net ~window engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let c0, c1 = Tcpnet.socketpair s0 s1 in
+  let size = 4096 and messages = 256 in
+  let data = Harness.payload size 23L in
+  Engine.spawn engine ~name:"iw-send" (fun () ->
+      for _ = 1 to messages do
+        Tcpnet.send c0 data
+      done);
+  Engine.spawn engine ~name:"iw-recv" (fun () ->
+      let buf = Bytes.create size in
+      for _ = 1 to messages do
+        Tcpnet.recv c1 buf ~off:0 ~len:size
+      done);
+  Engine.run engine;
+  Engine.events_processed engine

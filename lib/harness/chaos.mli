@@ -13,13 +13,15 @@
     byte-identical JSON. *)
 
 type row = {
-  scenario : string; (* "drop", "corrupt", "flap" or "pci-stall" *)
+  scenario : string; (* "drop", "corrupt", "flap", "reorder" or "pci-stall" *)
   size : int;
   drop_pct : float; (* injected per-link rate, in percent *)
   lat_us : float;
   bw_mb_s : float;
   drops : int;
   corrupts : int;
+  dups : int; (* frames the plane delivered twice *)
+  delays : int; (* frames held back so later ones overtake *)
   retransmissions : int;
   crc_rejects : int;
   intact : bool; (* delivered bytes matched packed bytes throughout *)
@@ -38,11 +40,41 @@ type failover = {
   fo_finish_us : float;
 }
 
+type goodput = {
+  gp_size : int;
+  gp_messages : int;
+  gp_drop_pct : float;
+  gp_window : int;
+  gp_window_mb_s : float; (* go-back-N with the configured window *)
+  gp_stopwait_mb_s : float; (* same stream, window = 1 *)
+  gp_speedup : float;
+  gp_intact : bool;
+}
+
+type crash_restart = {
+  cr_messages : int; (* per phase; the stream has two phases *)
+  cr_size : int;
+  cr_gateway : int;
+  cr_restart_us : float;
+  cr_delivered : int;
+  cr_handshakes : int; (* crash-epoch session handshakes completed *)
+  cr_reroutes : int;
+  cr_reemitted : int;
+  cr_dup_drops : int;
+  cr_exactly_once : bool; (* every message once, bit-identical *)
+  cr_suspicions : (float * int * int * string * string * float) list;
+      (* sentinel timeline: (at_us, observer, peer, from, to, phi) *)
+  cr_flows : Madeleine.Vchannel.flow_stat list;
+  cr_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
   rep_rows : row list;
   rep_failover : failover;
+  rep_goodput : goodput;
+  rep_crash : crash_restart;
 }
 
 val failover_run : seed:int -> size:int -> messages:int -> failover
@@ -52,19 +84,38 @@ val failover_run : seed:int -> size:int -> messages:int -> failover
     first-hop gateway is crashed right after the first message is
     delivered, so the crash lands mid-stream. *)
 
+val crash_restart_run : seed:int -> size:int -> messages:int -> crash_restart
+(** The crash-restart scenario on its own (also part of {!run}): rank 0
+    streams through the only gateway to rank 2; the gateway dies
+    mid-stream and restarts within the vchannel's patience, then — once
+    phase one is fully delivered — the origin itself dies and restarts
+    with a new crash epoch, resuming the stream after the session
+    handshake. Delivery must be exactly-once and bit-identical
+    throughout. *)
+
+val goodput_run :
+  seed:int -> size:int -> messages:int -> window:int -> drop:float -> goodput
+(** One-way verified TCP stream under [drop] per-link loss, measured
+    once with the go-back-N [window] and once degraded to stop-and-wait
+    (window 1). *)
+
 val run : Sweeps.runner -> seed:int -> quick:bool -> report
 (** The full workload set: a drop-rate x size sweep, a corruption sweep,
-    a mid-exchange link flap, a PCI stall, and the redundant-gateway
-    crash scenario (rank 0 to rank 3 across two Ethernet segments; the
-    first-hop gateway dies after the first message, the rest must arrive
-    intact over the recomputed route; killing the second gateway must
-    raise {!Madeleine.Vchannel.Partitioned}). [quick] trims the sweep to
-    a CI-sized subset. *)
+    a mid-exchange link flap, a reorder/duplication exchange, a PCI
+    stall, the redundant-gateway crash scenario (rank 0 to rank 3 across
+    two Ethernet segments; the first-hop gateway dies after the first
+    message, the rest must arrive intact over the recomputed route;
+    killing the second gateway must raise
+    {!Madeleine.Vchannel.Partitioned}), the sliding-window goodput
+    comparison, and the crash-restart exactly-once scenario. [quick]
+    trims the sweep to a CI-sized subset. *)
 
 val all_ok : report -> bool
 (** No corrupted delivery anywhere, failover delivered every message,
-    routes were actually recomputed, and the final partition was
-    detected. *)
+    routes were actually recomputed, the final partition was detected,
+    the go-back-N window beat stop-and-wait by at least 2x at 1% drop,
+    and the crash-restart stream was delivered exactly once with at
+    least one session handshake. *)
 
 val to_json : report -> string
 val render_table : report -> string
@@ -73,3 +124,10 @@ val clean_path_events : unit -> int
 (** Host events processed by the quick chaos ping-pong workload with no
     fault plane attached — the simspeed control guarding the fault-free
     fast path. *)
+
+val inert_window_events : window:int -> int
+(** Host events processed by a one-way reliable TCP stream (256 x 4 kB)
+    with a fault plane attached but inert — the simspeed control
+    guarding the fault-free fast path of the go-back-N protocol. Run it
+    at the default window and at [window:1] (stop-and-wait) to compare
+    the window machinery's overhead. *)

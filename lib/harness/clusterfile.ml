@@ -48,7 +48,7 @@ let vchannel t name = Hashtbl.find t.vchan_tbl name
 (* ------------------------------------------------------------------ *)
 (* Per-kind glue: how to attach a node and build a driver. *)
 
-let make_network engine kind name =
+let make_network engine ?window ?max_retries kind name =
   let link =
     match kind with
     | Sisci_k -> Netparams.sci
@@ -83,7 +83,7 @@ let make_network engine kind name =
         driver_of = (fun () -> Madeleine.Pmm_bip.driver (Hashtbl.find eps));
       }
   | Tcp_k ->
-      let net = Tcpnet.make_net engine fabric in
+      let net = Tcpnet.make_net ?window ?max_retries engine fabric in
       let eps = Hashtbl.create 8 in
       {
         kind;
@@ -174,10 +174,14 @@ let parse_line t lineno line =
   | [] -> ()
   | "network" :: name :: opts ->
       let kind = ref None in
+      let window = ref None and max_retries = ref None in
       List.iter
         (fun tok ->
           match split_kv lineno tok with
           | "type", v -> kind := Some (kind_of_string lineno v)
+          | "window", v -> window := Some (parse_int lineno "window" v)
+          | "max_retries", v ->
+              max_retries := Some (parse_int lineno "max_retries" v)
           | k, _ -> raise (Parse_error (lineno, "unknown network option " ^ k)))
         opts;
       let kind =
@@ -185,7 +189,17 @@ let parse_line t lineno line =
         | Some k -> k
         | None -> raise (Parse_error (lineno, "network needs type="))
       in
-      let net = make_network t.cf_engine kind name in
+      (match kind with
+      | Tcp_k -> ()
+      | _ ->
+          if !window <> None || !max_retries <> None then
+            raise
+              (Parse_error
+                 (lineno, "window=/max_retries= apply to tcp networks only")));
+      let net =
+        make_network t.cf_engine ?window:!window ?max_retries:!max_retries
+          kind name
+      in
       (* A previously declared fault plane covers every later fabric. *)
       (match t.cf_faults with
       | Some plane -> Fabric.set_faults net.fabric plane
@@ -333,7 +347,7 @@ let parse_line t lineno line =
   | "vchannel" :: name :: opts ->
       let chans = ref [] and mtu = ref None in
       let overhead = ref None and cap = ref None in
-      let reliable = ref false in
+      let reliable = ref false and patience = ref None in
       List.iter
         (fun tok ->
           match split_kv lineno tok with
@@ -345,6 +359,8 @@ let parse_line t lineno line =
               overhead := Some (Time.us (parse_float lineno "gateway_overhead_us" v))
           | "ingress_cap", v -> cap := Some (parse_float lineno "ingress_cap" v)
           | "reliable", v -> reliable := parse_bool lineno "reliable" v
+          | "patience_us", v ->
+              patience := Some (Time.us (parse_float lineno "patience_us" v))
           | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
         opts;
       if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
@@ -360,7 +376,7 @@ let parse_line t lineno line =
                     "reliable=true requires a prior faults seed=N declaration"))
       in
       let vc =
-        Madeleine.Vchannel.create t.cf_session ?mtu:!mtu
+        Madeleine.Vchannel.create t.cf_session ?mtu:!mtu ?patience:!patience
           ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap ?faults:vc_faults
           !chans
       in

@@ -24,13 +24,17 @@
     Syntax: one declaration per line — [network NAME type=T],
     [node NAME nets=N1,N2...], [channel NAME net=N nodes=A,B,...] and
     [vchannel NAME channels=C1,C2,... \[mtu=BYTES\]
-    \[gateway_overhead_us=US\] \[ingress_cap=MB_S\] \[reliable=BOOL\]].
-    Channel options: [aggregation=BOOL], [checked=BOOL], [slots=INT],
-    [dma=BOOL], [rx=poll|interrupt|adaptive],
-    [connect_timeout_us=US]. Network types: [sisci], [bip], [tcp],
-    [via], [sbp]. [#] starts a comment. Declarations must appear in
-    dependency order (networks, then nodes, then channels, then virtual
-    channels). Node ranks are assigned in declaration order.
+    \[gateway_overhead_us=US\] \[ingress_cap=MB_S\] \[reliable=BOOL\]
+    \[patience_us=US\]]. Channel options: [aggregation=BOOL],
+    [checked=BOOL], [slots=INT], [dma=BOOL],
+    [rx=poll|interrupt|adaptive], [connect_timeout_us=US]. Network
+    types: [sisci], [bip], [tcp], [via], [sbp]; [tcp] networks
+    additionally accept [window=FRAMES] (go-back-N sender window) and
+    [max_retries=N] (consecutive RTO expiries before a connection is
+    declared dead) — see {!Tcpnet.make_net}. [#] starts a comment.
+    Declarations must appear in dependency order (networks, then nodes,
+    then channels, then virtual channels). Node ranks are assigned in
+    declaration order.
 
     {2 Fault injection}
 

@@ -105,3 +105,14 @@ let end_unpacking ic =
   if ic.ic_tm >= 0 then ic.ic_link.Link.r_bmms.(ic.ic_tm).Bmm.checkout ();
   ic.ic_closed <- true;
   Mutex.unlock ic.ic_link.Link.r_mutex
+
+(* For a receiver abandoning a message whose tail can no longer arrive
+   (the transport raised out of an unpack or out of [end_unpacking]):
+   releases the link without draining. The BMMs have already discarded
+   their deferred state on the failing read, so the link is clean for
+   the next message. *)
+let abort_unpacking ic =
+  if not ic.ic_closed then begin
+    ic.ic_closed <- true;
+    Mutex.unlock ic.ic_link.Link.r_mutex
+  end

@@ -65,3 +65,10 @@ val unpack :
 
 val end_unpacking : in_connection -> unit
 (** Completes all deferred extractions and closes the connection. *)
+
+val abort_unpacking : in_connection -> unit
+(** Receive-side mirror of {!abort_packing}: releases a connection whose
+    read failed mid-message (the sending host crashed with the tail of
+    the message in its socket buffer, so the remaining bytes can never
+    arrive). The partial message is discarded; reliable vchannels
+    recover it whole from the origin's unacknowledged-packet log. *)

@@ -85,8 +85,15 @@ let dynamic_recv (d : Tm.dynamic_recv) =
   let deferred = Bufs.create () in
   let drain () =
     if not (Bufs.is_empty deferred) then begin
-      d.Tm.receive_buffer_group deferred;
-      Bufs.clear deferred
+      (* Clear even when the read fails (a reliable transport cuts a
+         receive short when the sending host crashes): the abandoned
+         message must not leak half-filled buffers into the next
+         message arriving on this link. *)
+      match d.Tm.receive_buffer_group deferred with
+      | () -> Bufs.clear deferred
+      | exception e ->
+          Bufs.clear deferred;
+          raise e
     end
   in
   let extract buf _s r =

@@ -3,7 +3,7 @@ module Mutex = Marcel.Mutex
 
 type t = {
   chan_id : int;
-  chan_config : Config.t;
+  mutable chan_config : Config.t;
   chan_ranks : int list;
   inst : Driver.instance;
   endpoints : (int, endpoint) Hashtbl.t;
@@ -54,8 +54,15 @@ let create session driver ?(config = Config.default) ~ranks () =
   t
 
 let config t = t.chan_config
+
+(* A reliable vchannel re-emits packets after crashes and abandons
+   partially-unpacked ones, so the strict FIFO pack/unpack mirror behind
+   [checked] no longer holds on its real channels; the Generic TM
+   sub-headers carry the same symmetry information end-to-end instead. *)
+let relax_checked t = t.chan_config <- { t.chan_config with Config.checked = false }
 let ranks t = t.chan_ranks
 let id t = t.chan_id
+let fabric t = t.inst.Driver.inst_fabric
 
 let endpoint t ~rank =
   match Hashtbl.find_opt t.endpoints rank with

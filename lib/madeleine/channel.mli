@@ -22,6 +22,10 @@ val config : t -> Config.t
 val ranks : t -> int list
 val id : t -> int
 
+val fabric : t -> string option
+(** The simulated fabric the channel's driver sends over, when known
+    (see {!Driver.instance.inst_fabric}). *)
+
 val endpoint : t -> rank:int -> endpoint
 (** Raises [Not_found] if [rank] is not part of the channel. *)
 
@@ -41,7 +45,14 @@ val tm_usage : t -> (int * int * int) list
 
 (**/**)
 
-(* Internal: used by Api. *)
+(* Internal: used by Api and Vchannel. *)
+
+val relax_checked : t -> unit
+(** Disables the pack/unpack symmetry bookkeeping on this channel.
+    Reliable vchannels call this on their real channels: re-emission
+    after a crash and abandonment of partial messages mean the strict
+    FIFO mirror behind [Config.checked] no longer holds there — the
+    Generic TM sub-headers validate symmetry end-to-end instead. *)
 
 val sender_link : endpoint -> remote:int -> Link.sender
 val receiver_link : endpoint -> from:int -> Link.receiver

@@ -46,5 +46,6 @@ let via_posted_descriptors = 8
 
 let default_vchannel_mtu = 16 * 1024
 let gateway_packet_overhead = Time.us 50.0
+let default_route_patience = Time.ms 25.0
 let packet_header_size = 16
 let buffer_header_size = 8

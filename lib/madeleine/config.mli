@@ -101,6 +101,12 @@ val gateway_packet_overhead : Marcel.Time.span
     management): the ~50 us/step the paper measures but cannot further
     break down (§6.2.2). *)
 
+val default_route_patience : Marcel.Time.span
+(** How long a reliable virtual channel waits for a route (or a
+    crash-epoch session handshake) to come back before declaring a flow
+    partitioned. Long enough to ride out a restart window; short enough
+    that a permanent partition still surfaces as an error. *)
+
 val packet_header_size : int
 (** Generic TM per-packet self-description: final destination, origin,
     payload length, first/last flags. *)

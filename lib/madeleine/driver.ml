@@ -1,5 +1,6 @@
 type instance = {
   inst_name : string;
+  inst_fabric : string option;
   sender_link : src:int -> dst:int -> Link.sender;
   receiver_link : me:int -> from:int -> Link.receiver;
   on_data : me:int -> (unit -> unit) -> unit;

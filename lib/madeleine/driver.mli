@@ -9,6 +9,10 @@
 
 type instance = {
   inst_name : string;
+  inst_fabric : string option;
+      (** Name of the simulated fabric this instance's links cross, when
+          the driver knows it — failure detectors use it to aim their
+          heartbeat probes at the same links data frames take. *)
   sender_link : src:int -> dst:int -> Link.sender;
       (** Memoized: repeated calls return the same link. *)
   receiver_link : me:int -> from:int -> Link.receiver;

@@ -6,6 +6,7 @@ type packet_header = {
   last : bool;
   seq : int;  (* 16-bit end-to-end sequence number, 0 when unreliable *)
   ack : bool;  (* cumulative acknowledgment packet (reliable vchannels) *)
+  hs : bool;  (* session handshake after a crash epoch (reliable vchannels) *)
 }
 
 let header_size = Config.packet_header_size
@@ -19,7 +20,8 @@ let encode_header h =
   let flags =
     (if h.first then 1 else 0)
     lor (if h.last then 2 else 0)
-    lor if h.ack then 4 else 0
+    lor (if h.ack then 4 else 0)
+    lor if h.hs then 8 else 0
   in
   Bytes.set b 12 (Char.chr flags);
   Bytes.set b 13 magic;
@@ -42,6 +44,7 @@ let decode_header b =
     last = flags land 2 <> 0;
     seq = Bytes.get_uint16_le b 14;
     ack = flags land 4 <> 0;
+    hs = flags land 8 <> 0;
   }
 
 let sub_header_size = Config.buffer_header_size

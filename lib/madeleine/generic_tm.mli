@@ -28,6 +28,14 @@ type packet_header = {
   ack : bool;
       (** Zero-payload cumulative acknowledgment travelling back to
           [final_dst] = the data's origin (reliable vchannels only). *)
+  hs : bool;
+      (** Session-handshake packet: after a node restarts with a new
+          crash epoch, each peer holding a delivery journal for it sends
+          an [hs] packet whose [seq] is the sequence number it expects
+          next and whose 4-byte payload is the restart epoch (riding as
+          genuine payload, so gateways forward it like data). The
+          restarted origin resumes numbering at the highest such
+          expectation (reliable vchannels only). *)
 }
 
 val header_size : int

@@ -133,6 +133,7 @@ let driver (endpoint_of : int -> Bip.t) =
     in
     {
       Driver.inst_name = "bip";
+      inst_fabric = None;
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Bip.set_data_hook (endpoint_of me) hook);

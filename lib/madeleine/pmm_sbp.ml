@@ -96,6 +96,7 @@ let driver (host_of : int -> Sbp.t) =
     in
     {
       Driver.inst_name = "sbp";
+      inst_fabric = None;
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Sbp.set_data_hook (host_of me) hook);

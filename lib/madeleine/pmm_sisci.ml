@@ -202,6 +202,7 @@ let driver (adapter_of : int -> Sisci.t) =
     in
     {
       Driver.inst_name = "sisci";
+      inst_fabric = None;
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data =

@@ -28,10 +28,11 @@ let conn_for pairs ~me ~peer =
   | Eager p -> if me <= peer then p.low_end else p.high_end
   | Pending (lo, hi) -> Ivar.read (if me <= peer then lo else hi)
 
-(* Reliable-mode sends can give up on a dead peer; surface that as the
-   library-level error rather than a transport exception. *)
+(* Reliable-mode sends can give up on a dead peer, and reads can be cut
+   short by a peer crash wiping the bytes they were waiting for; surface
+   both as the library-level error rather than a transport exception. *)
 let guard f =
-  try f () with Tcpnet.Timeout msg -> raise (Config.Peer_unreachable msg)
+  try f () with Tcpnet.Timeout { msg; _ } -> raise (Config.Peer_unreachable msg)
 
 let send_tm conn =
   {
@@ -58,9 +59,11 @@ let recv_tm conn =
           Tm.receive_buffer =
             (fun buf ->
               let data, off, len = slice buf in
-              Tcpnet.recv conn data ~off ~len);
+              guard (fun () -> Tcpnet.recv conn data ~off ~len));
           receive_buffer_group =
-            (fun bufs -> Tcpnet.recv_group conn (Bufs.map_to_list slice bufs));
+            (fun bufs ->
+              guard (fun () ->
+                  Tcpnet.recv_group conn (Bufs.map_to_list slice bufs)));
         };
     r_probe = (fun () -> Tcpnet.available conn > 0);
   }
@@ -138,6 +141,10 @@ let driver (stack_of : int -> Tcpnet.t) =
     in
     {
       Driver.inst_name = "tcp";
+      inst_fabric =
+        (match ranks with
+        | r :: _ -> Some (Tcpnet.fabric_name (stack_of r))
+        | [] -> None);
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data =

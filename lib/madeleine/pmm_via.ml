@@ -98,6 +98,7 @@ let driver (host_of : int -> Via.t) =
     in
     {
       Driver.inst_name = "via";
+      inst_fabric = None;
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data =

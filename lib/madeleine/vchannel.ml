@@ -84,16 +84,35 @@ exception Partitioned of string
    destination) flow, 16 bits, carried in the packet header; every
    accepted packet is answered by a cumulative ack so the origin can
    trim its unacknowledged-packet log, from which packets are re-emitted
-   after a gateway crash. *)
+   after a gateway crash.
+
+   Crash-epoch sessions: a crash wipes the crashed node's send-side
+   state (cursors, unacked logs) and marks those flows [tx_lost].
+   Receive cursors survive a restart — they model a delivery journal the
+   session layer keeps on stable storage, which is what makes
+   exactly-once possible at all. When the node comes back, every live
+   peer that has delivered data from it sends a session-handshake packet
+   ([hs] flag) carrying its expected sequence number, so the restarted
+   origin resumes numbering where the receiver left off instead of
+   colliding with its own pre-crash packets. *)
 type rel = {
   faults : Simnet.Faults.t;
   tx_seq : (int * int, int ref) Hashtbl.t; (* (origin, dst) -> next seq *)
   rx_next : (int * int, int ref) Hashtbl.t; (* (me, origin) -> expected *)
   unacked :
     (int * int, (int * Generic_tm.packet_header * Bytes.t) Queue.t) Hashtbl.t;
+  tx_lost : (int * int, unit) Hashtbl.t;
+      (* flows whose origin crashed: sends block until the peer's
+         session handshake restores the cursor *)
+  sentinels : (int, Sentinel.t) Hashtbl.t; (* per-rank failure detectors *)
+  suspected : (int, unit) Hashtbl.t;
+      (* live nodes the sentinels currently call Down *)
+  mutable route_waiters : (unit -> unit) list;
+  mutable hs_waiters : (unit -> unit) list;
   mutable reroutes : int;
   mutable reemitted : int;
   mutable dup_drops : int;
+  mutable handshakes : int;
 }
 
 (* One forwarding pump per (gateway node, outgoing link): the paper's
@@ -111,6 +130,7 @@ type pump = {
 type t = {
   engine : Engine.t;
   mtu : int;
+  patience : Time.span;
   gateway_overhead : Time.span;
   extra_gateway_copy : bool;
   ingress_cap_mb_s : float option;
@@ -242,30 +262,71 @@ let next_hop t ~at ~dst =
       | None ->
           invalid_arg (Printf.sprintf "Vchannel: no route from %d to %d" at dst))
 
+let touch_sentinel t ~rank =
+  match t.rel with
+  | None -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.sentinels rank with
+      | Some s -> Sentinel.touch s
+      | None -> ())
+
+(* Wait — bounded by the vchannel's patience — for a route recomputation
+   to restore a path from [at] to [dst]. A node restarting with a new
+   epoch is unroutable for the length of its restart window; waiting it
+   out here is what lets in-flight flows survive a crash-restart instead
+   of dying on the transient hole. *)
+let wait_route t r ~at ~dst =
+  let deadline = Time.add (Engine.now t.engine) t.patience in
+  while
+    (not (Hashtbl.mem t.routes (at, dst)))
+    && Time.( < ) (Engine.now t.engine) deadline
+  do
+    Engine.suspend ~name:"vchannel.route" (fun wake ->
+        let woken = ref false in
+        let wake_once () =
+          if not !woken then begin
+            woken := true;
+            wake ()
+          end
+        in
+        r.route_waiters <- wake_once :: r.route_waiters;
+        Engine.at t.engine deadline wake_once)
+  done;
+  if not (Hashtbl.mem t.routes (at, dst)) then
+    raise (Partitioned (Printf.sprintf "Vchannel: no route from %d to %d" at dst))
+
 (* Ship one self-described packet as a regular Madeleine message on the
    next real channel: EXPRESS header, CHEAPER payload. On a reliable
    vchannel a dead next hop aborts the message on the real channel and
-   retries over the (by then recomputed) routes; when no route survives
-   the flow is partitioned. *)
+   retries over the (by then recomputed) routes; a missing route is
+   waited out with [wait_route]; when no route survives the flow is
+   partitioned. *)
 let ship_packet t ~at ~header ~payload ~payload_len =
   let dst = header.Generic_tm.final_dst in
+  touch_sentinel t ~rank:at;
   let rec go attempts =
-    let hop = next_hop t ~at ~dst in
-    let ep = Channel.endpoint hop.hop_channel ~rank:at in
-    let oc = Api.begin_packing ep ~remote:hop.hop_to in
-    match
-      Api.pack oc ~r_mode:Iface.Receive_express
-        (Generic_tm.encode_header header);
-      if payload_len > 0 then
-        Api.pack oc ~r_mode:Iface.Receive_cheaper ~len:payload_len payload;
-      Api.end_packing oc
-    with
-    | () -> ()
-    | exception Config.Peer_unreachable msg ->
-        Api.abort_packing oc;
-        if t.rel = None then raise (Config.Peer_unreachable msg)
-        else if attempts >= 3 then raise (Partitioned msg)
-        else go (attempts + 1)
+    match next_hop t ~at ~dst with
+    | exception Partitioned _ ->
+        (match t.rel with
+        | None -> raise (no_route "ship_packet" at dst)
+        | Some r -> wait_route t r ~at ~dst);
+        go attempts
+    | hop -> (
+        let ep = Channel.endpoint hop.hop_channel ~rank:at in
+        let oc = Api.begin_packing ep ~remote:hop.hop_to in
+        match
+          Api.pack oc ~r_mode:Iface.Receive_express
+            (Generic_tm.encode_header header);
+          if payload_len > 0 then
+            Api.pack oc ~r_mode:Iface.Receive_cheaper ~len:payload_len payload;
+          Api.end_packing oc
+        with
+        | () -> ()
+        | exception Config.Peer_unreachable msg ->
+            Api.abort_packing oc;
+            if t.rel = None then raise (Config.Peer_unreachable msg)
+            else if attempts >= 3 then raise (Partitioned msg)
+            else go (attempts + 1))
   in
   go 0
 
@@ -287,6 +348,7 @@ let send_ack t r ~me ~origin =
         last = false;
         seq = (expected - 1) land 0xffff;
         ack = true;
+        hs = false;
       }
     in
     Engine.spawn t.engine ~daemon:true
@@ -313,10 +375,65 @@ let handle_ack r header =
         done
       end
 
+(* Session handshake, received by a freshly restarted node: the peer
+   tells us where its delivery journal stands ([seq] = next sequence it
+   expects from us) and which restart epoch it is answering ([payload] =
+   our epoch, 4 bytes LE — it rides as real payload so gateways forward
+   it like any other packet). We resume our send cursor at the highest
+   such expectation and unblock sends that were waiting on the lost
+   cursor. A handshake for a previous epoch is stale and ignored. *)
+let handle_hs r ~me header payload =
+  let peer = header.Generic_tm.origin in
+  let epoch =
+    if Bytes.length payload >= 4 then Int32.to_int (Bytes.get_int32_le payload 0)
+    else -1
+  in
+  if epoch = Simnet.Faults.epoch r.faults me then begin
+    let resume = header.Generic_tm.seq in
+    let sq = flow_ref r.tx_seq (me, peer) in
+    if resume > !sq then sq := resume;
+    Hashtbl.remove r.tx_lost (me, peer);
+    r.handshakes <- r.handshakes + 1;
+    let waiters = r.hs_waiters in
+    r.hs_waiters <- [];
+    List.iter (fun wake -> wake ()) waiters
+  end
+
+(* Block a send on a flow whose cursor was lost to a crash until the
+   peer's handshake restores it — or patience runs out (peer never comes
+   back, or never held any of our data so no handshake will come). *)
+let wait_handshake t r ~src ~dst =
+  if Hashtbl.mem r.tx_lost (src, dst) then begin
+    let deadline = Time.add (Engine.now t.engine) t.patience in
+    while
+      Hashtbl.mem r.tx_lost (src, dst)
+      && Time.( < ) (Engine.now t.engine) deadline
+    do
+      Engine.suspend ~name:"vchannel.handshake" (fun wake ->
+          let woken = ref false in
+          let wake_once () =
+            if not !woken then begin
+              woken := true;
+              wake ()
+            end
+          in
+          r.hs_waiters <- wake_once :: r.hs_waiters;
+          Engine.at t.engine deadline wake_once)
+    done;
+    if Hashtbl.mem r.tx_lost (src, dst) then
+      raise
+        (Partitioned
+           (Printf.sprintf
+              "Vchannel: flow %d->%d lost its session to a crash and no \
+               handshake restored it"
+              src dst))
+  end
+
 (* Deliver a packet that reached its final node. Reliable vchannels
    accept only the expected sequence number (re-emitted duplicates and
    overtaking packets are dropped) and acknowledge cumulatively. *)
 let deliver_local t ~me header payload =
+  touch_sentinel t ~rank:me;
   let accept () =
     let asmb = assembler t ~me ~origin:header.Generic_tm.origin in
     if header.Generic_tm.first then begin
@@ -386,6 +503,7 @@ let spawn_dispatcher t ~node channel =
       let hdr_bytes = Bytes.create Generic_tm.header_size in
       while true do
         let ic = Api.begin_unpacking ep in
+        try
         Api.unpack ic ~r_mode:Iface.Receive_express hdr_bytes;
         let header = Generic_tm.decode_header hdr_bytes in
         if header.Generic_tm.final_dst = node then begin
@@ -394,6 +512,7 @@ let spawn_dispatcher t ~node channel =
             Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
           Api.end_unpacking ic;
           match t.rel with
+          | Some r when header.Generic_tm.hs -> handle_hs r ~me:node header payload
           | Some r when header.Generic_tm.ack -> handle_ack r header
           | Some r when not (Simnet.Faults.node_up r.faults node) ->
               (* The destination host is down: the data dies with it;
@@ -433,15 +552,26 @@ let spawn_dispatcher t ~node channel =
           let p = pump_for t ~node hop in
           Semaphore.acquire p.pump_buffers;
           let payload = Bytes.create header.Generic_tm.payload_len in
-          if header.Generic_tm.payload_len > 0 then
-            Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
-          Api.end_unpacking ic;
+          (try
+             if header.Generic_tm.payload_len > 0 then
+               Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+             Api.end_unpacking ic
+           with e ->
+             Semaphore.release p.pump_buffers;
+             raise e);
           if t.extra_gateway_copy && header.Generic_tm.payload_len > 0 then
             Engine.sleep
               (Time.bytes_at_rate ~bytes_count:header.Generic_tm.payload_len
                  ~mb_per_s:Simnet.Netparams.memcpy_rate_mb_s);
           Mailbox.put p.pump_q (header, payload)
         end
+        with Config.Peer_unreachable _ ->
+          (* A source host crashed with the tail of this packet still in
+             its socket buffer: the remaining bytes can never arrive.
+             Abandon the partial message and go back to listening — the
+             origin's unacknowledged-packet log re-emits the packet
+             whole over the recomputed routes. *)
+          Api.abort_unpacking ic
       done)
 
 (* After a membership change, re-emit every unacknowledged packet of
@@ -474,6 +604,7 @@ let reemit_flows t r =
     r.unacked
 
 let create session ?(mtu = Config.default_vchannel_mtu)
+    ?(patience = Config.default_route_patience)
     ?(gateway_overhead = Config.gateway_packet_overhead)
     ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?faults channels =
   if channels = [] then invalid_arg "Vchannel.create: no channels";
@@ -495,15 +626,24 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             tx_seq = Hashtbl.create 32;
             rx_next = Hashtbl.create 32;
             unacked = Hashtbl.create 32;
+            tx_lost = Hashtbl.create 8;
+            sentinels = Hashtbl.create 8;
+            suspected = Hashtbl.create 8;
+            route_waiters = [];
+            hs_waiters = [];
             reroutes = 0;
             reemitted = 0;
             dup_drops = 0;
+            handshakes = 0;
           }
   in
   let down =
     match rel with
     | None -> fun _ -> false
-    | Some r -> fun n -> not (Simnet.Faults.node_up r.faults n)
+    | Some r ->
+        fun n ->
+          (not (Simnet.Faults.node_up r.faults n))
+          || Hashtbl.mem r.suspected n
   in
   let routes = compute_routes ~down channels all_ranks in
   let base_hops = Hashtbl.create 64 in
@@ -514,6 +654,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
     {
       engine = Session.engine session;
       mtu;
+      patience;
       gateway_overhead;
       extra_gateway_copy;
       ingress_cap_mb_s;
@@ -542,20 +683,137 @@ let create session ?(mtu = Config.default_vchannel_mtu)
   (match rel with
   | None -> ()
   | Some r ->
+      List.iter Channel.relax_checked channels;
       let recompute () =
-        t.routes <- compute_routes ~down channels all_ranks
+        t.routes <- compute_routes ~down channels all_ranks;
+        let waiters = r.route_waiters in
+        r.route_waiters <- [];
+        List.iter (fun wake -> wake ()) waiters
       in
       Simnet.Faults.on_crash r.faults (fun node ->
           if List.mem node t.all_ranks then begin
             r.reroutes <- r.reroutes + 1;
+            (* The crashed node's send-side session state dies with it:
+               cursors and unacked logs are volatile. Its flows stay
+               blocked ([tx_lost]) until a peer handshake restores the
+               cursor after restart. Receive journals survive. *)
+            Hashtbl.iter
+              (fun (src, dst) sq ->
+                if src = node then begin
+                  sq := 0;
+                  Hashtbl.replace r.tx_lost (src, dst) ()
+                end)
+              r.tx_seq;
+            Hashtbl.iter
+              (fun (src, _) q -> if src = node then Queue.clear q)
+              r.unacked;
             recompute ();
             reemit_flows t r
           end);
       Simnet.Faults.on_restart r.faults (fun node ->
           if List.mem node t.all_ranks then begin
             recompute ();
+            (* Crash-epoch session handshake: every live peer holding a
+               delivery journal for the restarted origin tells it (over
+               the routed network, so gateways forward it like data)
+               where to resume numbering. *)
+            let epoch = Simnet.Faults.epoch r.faults node in
+            Hashtbl.iter
+              (fun (me, origin) expected ->
+                if
+                  origin = node && me <> node
+                  && Simnet.Faults.node_up r.faults me
+                then begin
+                  let resume = !expected in
+                  Engine.spawn t.engine ~daemon:true
+                    ~name:(Printf.sprintf "vchannel.hs.%d->%d" me node)
+                    (fun () ->
+                      let payload = Bytes.create 4 in
+                      Bytes.set_int32_le payload 0 (Int32.of_int epoch);
+                      let header =
+                        {
+                          Generic_tm.final_dst = node;
+                          origin = me;
+                          payload_len = 4;
+                          first = false;
+                          last = false;
+                          seq = resume;
+                          ack = false;
+                          hs = true;
+                        }
+                      in
+                      try ship_packet t ~at:me ~header ~payload ~payload_len:4
+                      with Partitioned _ | Config.Peer_unreachable _ -> ())
+                end)
+              r.rx_next;
+            (* Flows to peers holding no journal for this node restart
+               at zero immediately — nobody will send a handshake. *)
+            let fresh =
+              Hashtbl.fold
+                (fun (src, dst) () acc ->
+                  if src = node && not (Hashtbl.mem r.rx_next (dst, node))
+                  then (src, dst) :: acc
+                  else acc)
+                r.tx_lost []
+            in
+            List.iter (fun key -> Hashtbl.remove r.tx_lost key) fresh;
+            if fresh <> [] then begin
+              let waiters = r.hs_waiters in
+              r.hs_waiters <- [];
+              List.iter (fun wake -> wake ()) waiters
+            end;
             reemit_flows t r
-          end));
+          end);
+      (* One phi-accrual sentinel per rank, probing its channel
+         neighbours. A sentinel calling a still-live peer Down is a
+         suspicion: routes are recomputed around the suspect and
+         in-flight packets re-emitted, before any send times out on it.
+         Crashes are already handled by the hooks above, so transitions
+         on actually-crashed peers change nothing here. *)
+      List.iter
+        (fun me ->
+          let neighbours =
+            List.filter
+              (fun p ->
+                p <> me
+                && List.exists
+                     (fun c ->
+                       List.mem me (Channel.ranks c)
+                       && List.mem p (Channel.ranks c))
+                     channels)
+              all_ranks
+          in
+          if neighbours <> [] then begin
+            let fabric =
+              List.find_map
+                (fun c ->
+                  if List.mem me (Channel.ranks c) then Channel.fabric c
+                  else None)
+                channels
+            in
+            let s =
+              Sentinel.create t.engine r.faults ~me ~peers:neighbours ?fabric
+                ()
+            in
+            Sentinel.on_transition s (fun peer _from to_ ->
+                match to_ with
+                | Sentinel.Down when Simnet.Faults.node_up r.faults peer ->
+                    if not (Hashtbl.mem r.suspected peer) then begin
+                      Hashtbl.replace r.suspected peer ();
+                      r.reroutes <- r.reroutes + 1;
+                      recompute ();
+                      reemit_flows t r
+                    end
+                | Sentinel.Up ->
+                    if Hashtbl.mem r.suspected peer then begin
+                      Hashtbl.remove r.suspected peer;
+                      recompute ()
+                    end
+                | _ -> ());
+            Sentinel.start s;
+            Hashtbl.add r.sentinels me s
+          end)
+        all_ranks);
   t
 
 (* ------------------------------------------------------------------ *)
@@ -597,6 +855,14 @@ let ship oc ~last =
     match t.rel with
     | None -> 0
     | Some r ->
+        (* A crash between two packets of this message loses the flow's
+           cursor; numbering must not resume until the peer's handshake
+           restores it, or the receiver would discard the tail. *)
+        (try wait_handshake t r ~src:oc.oc_src ~dst:oc.oc_dst
+         with e ->
+           oc.oc_closed <- true;
+           Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst);
+           raise e);
         let sq = flow_ref r.tx_seq (oc.oc_src, oc.oc_dst) in
         let s = !sq in
         sq := (s + 1) land 0xffff;
@@ -611,6 +877,7 @@ let ship oc ~last =
       last;
       seq;
       ack = false;
+      hs = false;
     }
   in
   (match t.rel with
@@ -737,7 +1004,10 @@ let end_unpacking ic =
 let peer_status t ~src ~dst =
   check_ranks t "peer_status" src dst;
   match t.rel with
-  | Some r when not (Simnet.Faults.node_up r.faults dst) -> Iface.Down
+  | Some r
+    when (not (Simnet.Faults.node_up r.faults dst))
+         || Hashtbl.mem r.suspected dst ->
+      Iface.Down
   | _ -> (
       if src = dst then Iface.Up
       else
@@ -752,7 +1022,12 @@ let peer_status t ~src ~dst =
             in
             if n > base then Iface.Degraded (n - base) else Iface.Up)
 
-type rel_stats = { reroutes : int; reemitted : int; dup_drops : int }
+type rel_stats = {
+  reroutes : int;
+  reemitted : int;
+  dup_drops : int;
+  handshakes : int;
+}
 
 let rel_stats t =
   match t.rel with
@@ -763,4 +1038,57 @@ let rel_stats t =
           reroutes = r.reroutes;
           reemitted = r.reemitted;
           dup_drops = r.dup_drops;
+          handshakes = r.handshakes;
         }
+
+type flow_stat = {
+  flow_src : int;
+  flow_dst : int;
+  sent : int;
+  unacked : int;
+  delivered : int;
+}
+
+let flow_stats t =
+  match t.rel with
+  | None -> []
+  | Some r ->
+      let keys = Hashtbl.create 16 in
+      Hashtbl.iter (fun (s, d) _ -> Hashtbl.replace keys (s, d) ()) r.tx_seq;
+      Hashtbl.iter (fun (me, o) _ -> Hashtbl.replace keys (o, me) ()) r.rx_next;
+      Hashtbl.fold
+        (fun (s, d) () acc ->
+          let deref table key =
+            match Hashtbl.find_opt table key with Some x -> !x | None -> 0
+          in
+          let unacked =
+            match Hashtbl.find_opt r.unacked (s, d) with
+            | Some q -> Queue.length q
+            | None -> 0
+          in
+          {
+            flow_src = s;
+            flow_dst = d;
+            sent = deref r.tx_seq (s, d);
+            unacked;
+            delivered = deref r.rx_next (d, s);
+          }
+          :: acc)
+        keys []
+      |> List.sort compare
+
+let sentinel t ~rank =
+  match t.rel with
+  | None -> None
+  | Some r -> Hashtbl.find_opt r.sentinels rank
+
+let suspicion_timeline t =
+  match t.rel with
+  | None -> []
+  | Some r ->
+      Hashtbl.fold
+        (fun me s acc ->
+          List.map (fun ev -> (me, ev)) (Sentinel.timeline s) @ acc)
+        r.sentinels []
+      |> List.sort (fun (_, a) (_, b) ->
+             compare a.Sentinel.ev_at b.Sentinel.ev_at)

@@ -35,6 +35,7 @@ exception Partitioned of string
 val create :
   Session.t ->
   ?mtu:int ->
+  ?patience:Marcel.Time.span ->
   ?gateway_overhead:Marcel.Time.span ->
   ?extra_gateway_copy:bool ->
   ?ingress_cap_mb_s:float ->
@@ -62,9 +63,19 @@ val create :
     gateway crashes, routes are recomputed over the surviving membership
     graph and unacknowledged packets re-emitted from their origins
     (duplicates are discarded by the sequence check at the destination);
-    when no route remains, sends raise {!Partitioned}. Without [faults]
-    (the default) none of this machinery exists and the wire format and
-    schedules are byte-identical to the pre-reliability library.
+    when no route remains, sends raise {!Partitioned}. A reliable
+    vchannel additionally runs one phi-accrual {!Sentinel} per rank, so
+    suspected (not yet crashed) peers are routed around before a send
+    times out on them, and performs crash-epoch session handshakes:
+    after a node restarts with a new fault-plane epoch, peers holding a
+    delivery journal for it send back their expected sequence numbers,
+    the restarted node resumes numbering there, and end-to-end delivery
+    stays exactly-once across the restart. [patience] (default
+    {!Config.default_route_patience}) bounds how long a send waits for
+    a route or a handshake to come back before raising {!Partitioned}.
+    Without [faults] (the default) none of this machinery exists and
+    the wire format and schedules are byte-identical to the
+    pre-reliability library.
 
     Raises [Invalid_argument] on an empty channel list or an MTU too
     small to carry a buffer sub-header. *)
@@ -92,13 +103,39 @@ val forwarded : t -> (int * int * int) list
 (** Per-gateway forwarding counters: [(node, packets, payload bytes)]
     for every node that has relayed traffic, sorted by node. *)
 
-type rel_stats = { reroutes : int; reemitted : int; dup_drops : int }
+type rel_stats = {
+  reroutes : int;
+  reemitted : int;
+  dup_drops : int;
+  handshakes : int;
+}
 
 val rel_stats : t -> rel_stats option
 (** Reliability counters — [None] on a vchannel created without
-    [?faults]: route recomputations triggered by membership changes,
-    packets re-emitted from origin logs, and duplicate/overtaking
-    packets discarded by destination sequence checks. *)
+    [?faults]: route recomputations triggered by membership changes or
+    sentinel suspicion, packets re-emitted from origin logs,
+    duplicate/overtaking packets discarded by destination sequence
+    checks, and crash-epoch session handshakes completed. *)
+
+type flow_stat = {
+  flow_src : int;
+  flow_dst : int;
+  sent : int;  (** packets numbered so far (current epoch) *)
+  unacked : int;  (** packets still in the origin's re-emission log *)
+  delivered : int;  (** packets accepted in order at the destination *)
+}
+
+val flow_stats : t -> flow_stat list
+(** Per-flow reliability counters, sorted by (src, dst); empty without
+    [?faults]. *)
+
+val sentinel : t -> rank:int -> Sentinel.t option
+(** The rank's failure detector — [None] without [?faults] or when the
+    rank has no channel neighbours. *)
+
+val suspicion_timeline : t -> (int * Sentinel.event) list
+(** Every sentinel state transition observed so far, as
+    [(observer rank, event)] sorted by time. *)
 
 (** {1 The packing interface, lifted to virtual channels} *)
 

@@ -69,6 +69,7 @@ let driver (ctx_of : int -> Mpi.ctx) =
     in
     {
       Driver.inst_name = "mpi";
+      inst_fabric = None;
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Mpi.on_unexpected (ctx_of me) hook);

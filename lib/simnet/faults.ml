@@ -1,17 +1,23 @@
 module Engine = Marcel.Engine
 module Time = Marcel.Time
 
-type verdict = Deliver | Drop | Corrupt
+type verdict = Deliver | Drop | Corrupt | Duplicate | Delay of Time.span
 
 type link_faults = {
   mutable drop_rate : float;
   mutable corrupt_rate : float;
+  mutable dup_rate : float;
+  mutable reorder_rate : float;
+  mutable reorder_jitter : Time.span;
   mutable down_until : Time.t;
 }
 
 type stats = {
   frames_dropped : int;
   frames_corrupted : int;
+  frames_duplicated : int;
+  frames_delayed : int;
+  heartbeats_lost : int;
   crashes : int;
   flaps : int;
   stalls : int;
@@ -27,6 +33,9 @@ type t = {
   mutable restart_cbs : (int -> unit) list;
   mutable frames_dropped : int;
   mutable frames_corrupted : int;
+  mutable frames_duplicated : int;
+  mutable frames_delayed : int;
+  mutable heartbeats_lost : int;
   mutable crashes : int;
   mutable flaps : int;
   mutable stalls : int;
@@ -43,6 +52,9 @@ let create eng ~seed =
     restart_cbs = [];
     frames_dropped = 0;
     frames_corrupted = 0;
+    frames_duplicated = 0;
+    frames_delayed = 0;
+    heartbeats_lost = 0;
     crashes = 0;
     flaps = 0;
     stalls = 0;
@@ -54,7 +66,16 @@ let link_state t key =
   match Hashtbl.find_opt t.links key with
   | Some l -> l
   | None ->
-      let l = { drop_rate = 0.0; corrupt_rate = 0.0; down_until = Time.zero } in
+      let l =
+        {
+          drop_rate = 0.0;
+          corrupt_rate = 0.0;
+          dup_rate = 0.0;
+          reorder_rate = 0.0;
+          reorder_jitter = Time.zero;
+          down_until = Time.zero;
+        }
+      in
       Hashtbl.add t.links key l;
       l
 
@@ -70,6 +91,17 @@ let set_corrupt t ~fabric ~node ~rate =
   check_rate "set_corrupt" rate;
   (link_state t (fabric, node)).corrupt_rate <- rate
 
+let set_duplicate t ~fabric ~node ~rate =
+  check_rate "set_duplicate" rate;
+  (link_state t (fabric, node)).dup_rate <- rate
+
+let set_reorder t ~fabric ~node ~rate ~jitter =
+  check_rate "set_reorder" rate;
+  if jitter <= 0 then invalid_arg "Faults.set_reorder: jitter must be positive";
+  let l = link_state t (fabric, node) in
+  l.reorder_rate <- rate;
+  l.reorder_jitter <- jitter
+
 let flap_link t ~fabric ~node ~at ~duration =
   t.flaps <- t.flaps + 1;
   let l = link_state t (fabric, node) in
@@ -78,6 +110,11 @@ let flap_link t ~fabric ~node ~at ~duration =
       if Time.( < ) l.down_until until then l.down_until <- until)
 
 let node_up t node = not (Hashtbl.mem t.node_down node)
+
+let link_up t ~fabric ~node =
+  match Hashtbl.find_opt t.links (fabric, node) with
+  | None -> true
+  | Some l -> Time.( <= ) l.down_until (Engine.now t.eng)
 
 let epoch t node =
   match Hashtbl.find_opt t.epochs node with Some e -> e | None -> 0
@@ -152,26 +189,79 @@ let frame_verdict t ~fabric ~src ~dst ~fragments =
       in
       let sd, sc = get s and dd, dc = get d in
       let drop_rate = sd +. dd and corrupt_rate = sc +. dc in
-      if drop_rate <= 0.0 && corrupt_rate <= 0.0 then Deliver
-      else begin
+      let verdict = ref Deliver in
+      if drop_rate > 0.0 || corrupt_rate > 0.0 then begin
         (* One uniform draw per fragment decides drop vs corrupt vs
            survive; the first non-surviving fragment settles the frame. *)
-        let verdict = ref Deliver in
         let i = ref 0 in
         while !verdict = Deliver && !i < max 1 fragments do
           let r = Rng.float t.rng 1.0 in
           if r < drop_rate then verdict := Drop
           else if r < drop_rate +. corrupt_rate then verdict := Corrupt;
           incr i
-        done;
-        (match !verdict with
-        | Drop -> t.frames_dropped <- t.frames_dropped + 1
-        | Corrupt -> t.frames_corrupted <- t.frames_corrupted + 1
-        | Deliver -> ());
-        !verdict
-      end
+        done
+      end;
+      (* Duplication and reordering are whole-frame events: the NIC (or a
+         misbehaving switch) replays or delays a frame it did deliver. *)
+      if !verdict = Deliver then begin
+        let get2 = function
+          | Some l -> (l.dup_rate, l.reorder_rate, l.reorder_jitter)
+          | None -> (0.0, 0.0, Time.zero)
+        in
+        let s_dup, s_re, s_jit = get2 s and d_dup, d_re, d_jit = get2 d in
+        let dup_rate = s_dup +. d_dup and reorder_rate = s_re +. d_re in
+        if dup_rate > 0.0 || reorder_rate > 0.0 then begin
+          let r = Rng.float t.rng 1.0 in
+          if r < dup_rate then verdict := Duplicate
+          else if r < dup_rate +. reorder_rate then begin
+            let jitter = max s_jit d_jit in
+            let extra =
+              max (Time.ns 1) (Time.span_scale jitter (Rng.float t.rng 1.0))
+            in
+            verdict := Delay extra
+          end
+        end
+      end;
+      (match !verdict with
+      | Drop -> t.frames_dropped <- t.frames_dropped + 1
+      | Corrupt -> t.frames_corrupted <- t.frames_corrupted + 1
+      | Duplicate -> t.frames_duplicated <- t.frames_duplicated + 1
+      | Delay _ -> t.frames_delayed <- t.frames_delayed + 1
+      | Deliver -> ());
+      !verdict
     end
   end
+
+(* Heartbeats are one-fragment control frames: they vanish with a down
+   node or a flapped link, and are subject to drop rates (but not to
+   corruption — a corrupted heartbeat fails its checksum and counts as
+   lost at the receiver, which is the same observable outcome). *)
+let heartbeat t ?fabric ~src ~dst () =
+  let alive = node_up t src && node_up t dst in
+  let delivered =
+    alive
+    &&
+    match fabric with
+    | None -> true
+    | Some fabric ->
+        let s = Hashtbl.find_opt t.links (fabric, src) in
+        let d = Hashtbl.find_opt t.links (fabric, dst) in
+        let now = Engine.now t.eng in
+        let link_down = function
+          | Some l -> Time.( < ) now l.down_until
+          | None -> false
+        in
+        (not (link_down s || link_down d))
+        &&
+        let get = function
+          | Some l -> l.drop_rate +. l.corrupt_rate
+          | None -> 0.0
+        in
+        let loss = get s +. get d in
+        loss <= 0.0 || Rng.float t.rng 1.0 >= loss
+  in
+  if not delivered then t.heartbeats_lost <- t.heartbeats_lost + 1;
+  delivered
 
 let corrupt_copy t b =
   let b = Bytes.copy b in
@@ -185,6 +275,9 @@ let stats t =
   {
     frames_dropped = t.frames_dropped;
     frames_corrupted = t.frames_corrupted;
+    frames_duplicated = t.frames_duplicated;
+    frames_delayed = t.frames_delayed;
+    heartbeats_lost = t.heartbeats_lost;
     crashes = t.crashes;
     flaps = t.flaps;
     stalls = t.stalls;

@@ -1,36 +1,56 @@
 (** Deterministic fault injection for the simulated fabric.
 
     A fault plane holds every injected failure of one world: per-link
-    drop/corruption rates, scheduled link flaps, node crashes (with
-    optional restart) and PCI stalls. All randomness comes from one
-    {!Rng} stream seeded at creation, and all scheduling rides the
-    world's single-threaded engine, so a run with a given seed and fault
-    spec replays byte-identically.
+    drop/corruption/duplication/reorder rates, scheduled link flaps,
+    node crashes (with optional restart) and PCI stalls. All randomness
+    comes from one {!Rng} stream seeded at creation, and all scheduling
+    rides the world's single-threaded engine, so a run with a given seed
+    and fault spec replays byte-identically.
 
     The plane itself only *decides*; transports enforce. A protocol
     stack consults {!frame_verdict} at the instant a frame would be
-    delivered and reacts to [Drop]/[Corrupt] (see {!Tcpnet}); routing
-    layers subscribe to {!on_crash}/{!on_restart} to fail over. Links
+    delivered and reacts to [Drop]/[Corrupt]/[Duplicate]/[Delay] (see
+    {!Tcpnet}); routing layers subscribe to {!on_crash}/{!on_restart} to
+    fail over; failure detectors probe liveness with {!heartbeat}. Links
     and nodes with no configured fault never touch the random stream,
     so attaching a plane with zero rates leaves schedules unchanged. *)
 
 type t
 
-type verdict = Deliver | Drop | Corrupt
+type verdict =
+  | Deliver
+  | Drop
+  | Corrupt
+  | Duplicate  (** Deliver the frame, then deliver a second copy. *)
+  | Delay of Marcel.Time.span
+      (** Deliver the frame late by the given extra span — past frames
+          in flight, i.e. a reordering. *)
 
 val create : Marcel.Engine.t -> seed:int64 -> t
 val engine : t -> Marcel.Engine.t
 
 (** {1 Rate-driven link faults}
 
-    Rates are per fragment (one MTU-sized unit on the wire); a frame
-    spanning [n] fragments survives only if every fragment does. A link
+    Rates are per fragment (one MTU-sized unit on the wire) for drop and
+    corruption — a frame spanning [n] fragments survives only if every
+    fragment does — and per frame for duplication and reordering, which
+    model NIC/switch replay and queueing rather than wire noise. A link
     is identified by the fabric's name and the node id of its NIC; a
     frame is subject to the faults of both its source and destination
     links. *)
 
 val set_drop : t -> fabric:string -> node:int -> rate:float -> unit
 val set_corrupt : t -> fabric:string -> node:int -> rate:float -> unit
+
+val set_duplicate : t -> fabric:string -> node:int -> rate:float -> unit
+(** Per-frame probability that a delivered frame is delivered twice. *)
+
+val set_reorder :
+  t -> fabric:string -> node:int -> rate:float -> jitter:Marcel.Time.span ->
+  unit
+(** Per-frame probability that a delivered frame is held back by a
+    uniform random extra delay in [(0, jitter]], letting later frames
+    overtake it. *)
 
 (** {1 Scheduled faults} *)
 
@@ -62,6 +82,10 @@ val stall_pci :
 (** {1 Queries and subscriptions} *)
 
 val node_up : t -> int -> bool
+
+val link_up : t -> fabric:string -> node:int -> bool
+(** False while the link is flapped down. *)
+
 val epoch : t -> int -> int
 (** Number of times the node has restarted (0 = never crashed). *)
 
@@ -77,6 +101,13 @@ val frame_verdict :
     from [src] to [dst], drawn at the moment of delivery. Counts into
     {!stats}. *)
 
+val heartbeat : t -> ?fabric:string -> src:int -> dst:int -> unit -> bool
+(** Whether one heartbeat probe from [src] reaches [dst]: false if
+    either node is down, and — when [fabric] is given — if the link is
+    flapped down or a per-fragment loss draw (drop + corruption rates,
+    since a corrupted heartbeat fails its checksum) consumes it. Counts
+    losses into {!stats}; consumes randomness only on lossy links. *)
+
 val corrupt_copy : t -> Bytes.t -> Bytes.t
 (** A copy of the frame with one byte flipped at a random position —
     what the receiver actually sees under a [Corrupt] verdict. *)
@@ -84,6 +115,9 @@ val corrupt_copy : t -> Bytes.t -> Bytes.t
 type stats = {
   frames_dropped : int;
   frames_corrupted : int;
+  frames_duplicated : int;
+  frames_delayed : int;
+  heartbeats_lost : int;
   crashes : int;
   flaps : int;
   stalls : int;

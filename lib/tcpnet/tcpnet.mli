@@ -9,14 +9,22 @@
 
     When the underlying fabric has a fault plane attached
     ({!Simnet.Fabric.set_faults}), every [send] becomes one checksummed,
-    sequence-numbered frame: drops trigger retransmission with
-    exponential backoff, corruption is detected by CRC-32 and treated as
-    loss, and a peer the plane reports crashed fails sends fast with
-    {!Timeout}. Without a fault plane (the default) the original
-    fault-free path runs, bit for bit. *)
+    sequence-numbered frame in a go-back-N sliding window: up to
+    [window] frames ride the wire at once, acknowledgements are
+    cumulative, the retransmission timer adapts to the measured RTT
+    (Jacobson/Karel SRTT/RTTVAR on the simulated clock, Karn's rule on
+    retransmits) and corruption is detected by CRC-32 and treated as
+    loss. A peer the plane reports crashed fails sends fast with
+    {!Timeout}; if it later restarts with a bumped epoch, the next send
+    (or pending retransmission) performs a session handshake that
+    resynchronizes both ends' cursors and replays the survivor's unacked
+    frames. Without a fault plane (the default) the original fault-free
+    path runs, bit for bit. *)
 
-exception Timeout of string
-(** A [?timeout] expired, or the peer host is unreachable. *)
+exception Timeout of { msg : string; attempts : int }
+(** A [?timeout] expired, or the peer host is unreachable. [attempts] is
+    the count of consecutive RTO expiries when the connection was given
+    up (0 for plain receive/connect timeouts). *)
 
 type net
 type t
@@ -25,14 +33,29 @@ type t
 type conn
 (** One end of an established stream. *)
 
-val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
+val make_net :
+  ?window:int -> ?max_retries:int -> Marcel.Engine.t -> Simnet.Fabric.t -> net
+(** [window] (default 8, >= 1) is the go-back-N sender window in frames;
+    [max_retries] (default 12, >= 1) is the number of consecutive RTO
+    expiries after which a connection is declared dead. Both only matter
+    under a fault plane. *)
+
 val attach : net -> Simnet.Node.t -> t
 val node : t -> Simnet.Node.t
 val engine : t -> Marcel.Engine.t
 
+val fabric_name : t -> string
+(** Name of the fabric this stack's frames cross (for fabric-scoped
+    failure-detector heartbeats). *)
+
 val net_stats : net -> int * int
 (** [(retransmissions, crc_rejects)] summed over every connection of the
     net — both zero unless a fault plane is attached. *)
+
+val net_handshakes : net -> int
+(** Crash-epoch session handshakes performed across the net. *)
+
+val net_window : net -> int
 
 val listen : t -> port:int -> unit
 (** Opens a passive socket. Raises [Invalid_argument] if the port is
@@ -59,9 +82,11 @@ val socketpair : t -> t -> conn * conn
 val send : conn -> Bytes.t -> unit
 (** Blocks for the kernel send path; returns when the payload has been
     handed to the stack (socket-buffer semantics), with delivery
-    continuing asynchronously. Under a fault plane, blocks until the
-    frame is acknowledged (retransmitting as needed) and raises
-    {!Timeout} if the peer is or becomes unreachable. *)
+    continuing asynchronously. Under a fault plane, additionally blocks
+    while the send window is full; recovery is then driven by a per-conn
+    retransmitter daemon, so the call returns with the frame still in
+    flight and raises {!Timeout} only if the connection is (or becomes,
+    while waiting for window space) dead. *)
 
 val recv :
   ?timeout:Marcel.Time.span -> conn -> Bytes.t -> off:int -> len:int -> unit
@@ -94,5 +119,16 @@ val retries : conn -> int
 (** Total retransmissions performed on this end of the connection. *)
 
 val consecutive_failures : conn -> int
-(** Retransmissions since the last cleanly acknowledged frame — the
+(** Consecutive RTO expiries since the last acknowledged progress — the
     driver maps this to a [Degraded] peer-health report. *)
+
+val duplicate_frames : conn -> int
+(** Frames this end received but discarded as duplicate or out of
+    order (go-back-N accepts only the next expected sequence). *)
+
+val in_flight : conn -> int
+(** Frames currently unacknowledged in this end's send window. *)
+
+val srtt_us : conn -> float option
+(** Smoothed RTT estimate in microseconds, once at least one clean
+    (non-retransmitted) sample has been taken. *)

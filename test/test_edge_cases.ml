@@ -114,6 +114,7 @@ let test_generic_tm_header_roundtrip () =
       last = false;
       seq = 4242;
       ack = true;
+      hs = false;
     }
   in
   Alcotest.(check bool) "roundtrip" true (G.decode_header (G.encode_header h) = h);

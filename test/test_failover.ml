@@ -111,6 +111,29 @@ let test_route_queries_invalid_rank () =
   | exception Invalid_argument msg ->
       Alcotest.(check bool) "message names the rank" true (contains msg "7")
 
+let test_crash_restart_exactly_once () =
+  let r = Chaos.crash_restart_run ~seed:42 ~size:16384 ~messages:3 in
+  Alcotest.(check bool) "delivered exactly once, bit-identical" true
+    r.Chaos.cr_exactly_once;
+  Alcotest.(check int) "both phases fully delivered" 6 r.Chaos.cr_delivered;
+  Alcotest.(check bool) "crash-epoch handshake completed" true
+    (r.Chaos.cr_handshakes >= 1);
+  Alcotest.(check bool) "routes were recomputed" true (r.Chaos.cr_reroutes >= 1);
+  Alcotest.(check bool) "sentinels observed the outage" true
+    (r.Chaos.cr_suspicions <> []);
+  (* Once the stream completes, every origin re-emission log is empty:
+     everything sent in the current epoch has been acknowledged. *)
+  List.iter
+    (fun f -> Alcotest.(check int) "origin log drained" 0 f.Vc.unacked)
+    r.Chaos.cr_flows
+
+let test_window_beats_stop_and_wait () =
+  let g = Chaos.goodput_run ~seed:42 ~size:1024 ~messages:256 ~window:8
+      ~drop:0.01 in
+  Alcotest.(check bool) "both streams intact" true g.Chaos.gp_intact;
+  Alcotest.(check bool) "go-back-N >= 2x stop-and-wait at 1% drop" true
+    (g.Chaos.gp_speedup >= 2.0)
+
 let test_chaos_report_reproducible () =
   let report () =
     Chaos.to_json (Chaos.run Sweeps.serial_runner ~seed:42 ~quick:true)
@@ -131,6 +154,10 @@ let () =
             test_route_queries_partitioned;
           Alcotest.test_case "route queries: invalid rank" `Quick
             test_route_queries_invalid_rank;
+          Alcotest.test_case "crash-restart: exactly once" `Quick
+            test_crash_restart_exactly_once;
+          Alcotest.test_case "window beats stop-and-wait" `Quick
+            test_window_beats_stop_and_wait;
         ] );
       ( "chaos",
         [

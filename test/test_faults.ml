@@ -157,6 +157,58 @@ let test_recv_timeout () =
   Engine.run w.engine;
   Alcotest.(check bool) "recv raised Timeout" true !timed_out
 
+let test_window_survives_reorder_dup_loss () =
+  (* Under a fault plane each send is one frame, so many small messages
+     (plus their acks) give the dup/reorder draws enough frames to bite. *)
+  let w = faulty_world ~seed:13L ~drop:0.02 () in
+  for i = 0 to 1 do
+    Faults.set_reorder w.faults ~fabric:"eth" ~node:i ~rate:0.2
+      ~jitter:(Time.us 300.0);
+    Faults.set_duplicate w.faults ~fabric:"eth" ~node:i ~rate:0.15
+  done;
+  let ok, _ = faulty_transfer w ~size:2048 ~msgs:40 in
+  Alcotest.(check bool) "in-order, exactly-once delivery" true ok;
+  let st = Faults.stats w.faults in
+  Alcotest.(check bool) "frames were actually duplicated" true
+    (st.Faults.frames_duplicated > 0);
+  Alcotest.(check bool) "frames were actually held back" true
+    (st.Faults.frames_delayed > 0);
+  Alcotest.(check bool) "receiver discarded dup/out-of-order frames" true
+    (Tcpnet.duplicate_frames w.c1 > 0)
+
+let test_max_retries_gives_up_with_attempt_count () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:7L in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net ~max_retries:3 engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let c0, _c1 = Tcpnet.socketpair s0 s1 in
+  (* The peer stays up but its link is down far longer than three RTO
+     backoffs: the retransmitter must give up and declare the
+     connection dead, and the next send must fail fast carrying the
+     attempt count. *)
+  Faults.flap_link faults ~fabric:"eth" ~node:1
+    ~at:(Time.add Time.zero (Time.us 1.0))
+    ~duration:(Time.us 400_000.0);
+  let attempts = ref (-1) in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      Engine.sleep (Time.us 100.0);
+      Tcpnet.send c0 (payload 512 31L);
+      Engine.sleep (Time.us 200_000.0);
+      match Tcpnet.send c0 (payload 512 32L) with
+      | () -> ()
+      | exception Tcpnet.Timeout { attempts = n; _ } -> attempts := n);
+  Engine.run engine;
+  Alcotest.(check bool) "connection declared dead" true (Tcpnet.is_dead c0);
+  Alcotest.(check int) "Timeout carries the configured retry limit" 3 !attempts
+
 let test_seeded_run_is_reproducible () =
   let run () =
     let w = faulty_world ~seed:99L ~drop:0.03 () in
@@ -244,6 +296,10 @@ let () =
           Alcotest.test_case "connect timeout on crashed peer" `Quick
             test_connect_timeout_on_crashed_peer;
           Alcotest.test_case "recv timeout" `Quick test_recv_timeout;
+          Alcotest.test_case "window: reorder/dup/loss" `Quick
+            test_window_survives_reorder_dup_loss;
+          Alcotest.test_case "max_retries: give up, attempts" `Quick
+            test_max_retries_gives_up_with_attempt_count;
         ] );
       ( "clusterfile",
         [

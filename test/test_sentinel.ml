@@ -1,0 +1,153 @@
+(* Tests for the phi-accrual failure detector: suspicion transitions on
+   a flapped link, crash detection without a fabric scope, degradation
+   and recovery on a lossy link, activity-gated quiescence, and
+   reproducibility of a seeded timeline. *)
+
+module Engine = Marcel.Engine
+module Time = Marcel.Time
+module Node = Simnet.Node
+module Fabric = Simnet.Fabric
+module Netparams = Simnet.Netparams
+module Faults = Simnet.Faults
+module Sentinel = Madeleine.Sentinel
+
+let world ?(seed = 5L) () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed in
+  Fabric.set_faults fabric faults;
+  for i = 0 to 1 do
+    let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+    Fabric.attach fabric n
+  done;
+  (engine, faults)
+
+(* The sentinel is activity-gated, so a test must stand in for the
+   channel traffic that normally keeps it probing. *)
+let drive engine s ~until_us =
+  Engine.spawn engine ~name:"drive" (fun () ->
+      let deadline = Time.add Time.zero (Time.us until_us) in
+      while Time.( < ) (Engine.now engine) deadline do
+        Sentinel.touch s;
+        Engine.sleep (Time.us 400.0)
+      done)
+
+let saw tl from to_ =
+  List.exists
+    (fun e -> e.Sentinel.ev_from = from && e.Sentinel.ev_to = to_)
+    tl
+
+let test_flap_phi_transitions () =
+  let engine, faults = world () in
+  let s = Sentinel.create engine faults ~me:0 ~peers:[ 1 ] ~fabric:"eth" () in
+  Sentinel.start s;
+  (* Down for 4 ms starting at 3 ms: long enough for phi to climb
+     through both thresholds (mean inter-arrival ~500 us, so Degraded
+     needs ~1.2 ms of silence and Down ~2.3 ms). *)
+  Faults.flap_link faults ~fabric:"eth" ~node:1
+    ~at:(Time.add Time.zero (Time.us 3_000.0))
+    ~duration:(Time.us 4_000.0);
+  drive engine s ~until_us:12_000.0;
+  Engine.run engine;
+  let tl = Sentinel.timeline s in
+  Alcotest.(check bool) "Up -> Degraded" true (saw tl Sentinel.Up Sentinel.Degraded);
+  Alcotest.(check bool) "reached Down" true
+    (List.exists (fun e -> e.Sentinel.ev_to = Sentinel.Down) tl);
+  Alcotest.(check bool) "snapped back Up after the flap" true
+    (List.exists (fun e -> e.Sentinel.ev_to = Sentinel.Up) tl);
+  Alcotest.(check bool) "final verdict Up" true (Sentinel.state s 1 = Sentinel.Up);
+  Alcotest.(check (list int)) "nobody suspected at the end" [] (Sentinel.suspected s);
+  Alcotest.(check bool) "probes were sent" true (Sentinel.probes s > 0);
+  (* Transitions record the suspicion level that caused them. *)
+  List.iter
+    (fun e ->
+      if e.Sentinel.ev_to = Sentinel.Down then
+        Alcotest.(check bool) "Down carries phi >= 2" true (e.Sentinel.ev_phi >= 2.0))
+    tl
+
+let test_crash_down_without_fabric () =
+  let engine, faults = world () in
+  (* No [fabric] scope: only node liveness is probed. *)
+  let s = Sentinel.create engine faults ~me:0 ~peers:[ 1 ] () in
+  Sentinel.start s;
+  let transitions = ref [] in
+  Sentinel.on_transition s (fun peer from to_ ->
+      transitions := (peer, from, to_) :: !transitions);
+  Engine.spawn engine ~name:"killer" (fun () ->
+      Engine.sleep (Time.us 2_000.0);
+      Faults.crash_now faults ~node:1 ());
+  drive engine s ~until_us:8_000.0;
+  Engine.run engine;
+  Alcotest.(check bool) "peer is Down" true (Sentinel.state s 1 = Sentinel.Down);
+  Alcotest.(check (list int)) "peer is suspected" [ 1 ] (Sentinel.suspected s);
+  Alcotest.(check bool) "callback saw the Down transition" true
+    (List.exists (fun (p, _, to_) -> p = 1 && to_ = Sentinel.Down) !transitions);
+  Alcotest.(check bool) "phi stays high on a dead peer" true
+    (Sentinel.phi s 1 >= 2.0)
+
+let test_lossy_link_degrades_then_recovers () =
+  let engine, faults = world ~seed:23L () in
+  let s = Sentinel.create engine faults ~me:0 ~peers:[ 1 ] ~fabric:"eth" () in
+  Sentinel.start s;
+  Faults.set_drop faults ~fabric:"eth" ~node:1 ~rate:0.7;
+  Engine.spawn engine ~name:"heal" (fun () ->
+      Engine.sleep (Time.us 20_000.0);
+      Faults.set_drop faults ~fabric:"eth" ~node:1 ~rate:0.0);
+  drive engine s ~until_us:26_000.0;
+  Engine.run engine;
+  let tl = Sentinel.timeline s in
+  Alcotest.(check bool) "loss pushed the peer out of Up" true
+    (List.exists (fun e -> e.Sentinel.ev_to <> Sentinel.Up) tl);
+  Alcotest.(check bool) "an arrival snapped it back" true
+    (List.exists (fun e -> e.Sentinel.ev_to = Sentinel.Up) tl);
+  Alcotest.(check bool) "healed link ends Up" true
+    (Sentinel.state s 1 = Sentinel.Up)
+
+let test_activity_gated_quiescence () =
+  let engine, faults = world () in
+  let s = Sentinel.create engine faults ~me:0 ~peers:[ 1 ] ~fabric:"eth" () in
+  Sentinel.start s;
+  Engine.spawn engine ~name:"burst" (fun () ->
+      Sentinel.touch s;
+      Engine.sleep (Time.us 1_000.0);
+      Sentinel.touch s);
+  (* The daemon must park once [grace] expires, or this run would never
+     terminate. *)
+  Engine.run engine;
+  Alcotest.(check bool) "probed while touched" true (Sentinel.probes s > 0);
+  Alcotest.(check bool) "wound down shortly after the last touch" true
+    (Time.to_us (Engine.now engine) < 10_000.0);
+  Alcotest.(check (list int)) "quiet peer never suspected" []
+    (Sentinel.suspected s)
+
+let test_seeded_timeline_reproducible () =
+  let run () =
+    let engine, faults = world ~seed:23L () in
+    let s = Sentinel.create engine faults ~me:0 ~peers:[ 1 ] ~fabric:"eth" () in
+    Sentinel.start s;
+    Faults.set_drop faults ~fabric:"eth" ~node:1 ~rate:0.5;
+    drive engine s ~until_us:15_000.0;
+    Engine.run engine;
+    (Sentinel.probes s, Sentinel.timeline s)
+  in
+  let p1, t1 = run () and p2, t2 = run () in
+  Alcotest.(check int) "same probe count" p1 p2;
+  Alcotest.(check bool) "same seed, identical timeline" true (t1 = t2)
+
+let () =
+  Alcotest.run "sentinel"
+    [
+      ( "phi-accrual",
+        [
+          Alcotest.test_case "flap: Up/Degraded/Down/Up" `Quick
+            test_flap_phi_transitions;
+          Alcotest.test_case "crash detected without fabric" `Quick
+            test_crash_down_without_fabric;
+          Alcotest.test_case "lossy link degrades, recovers" `Quick
+            test_lossy_link_degrades_then_recovers;
+          Alcotest.test_case "activity-gated wind-down" `Quick
+            test_activity_gated_quiescence;
+          Alcotest.test_case "seeded timeline reproducible" `Quick
+            test_seeded_timeline_reproducible;
+        ] );
+    ]

@@ -155,6 +155,7 @@ let mock_driver wire =
     in
     {
       Driver.inst_name = "mock";
+      inst_fabric = None;
       sender_link;
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me:_ _hook -> ());
