@@ -556,6 +556,76 @@ let simspeed_scenarios : (string * (unit -> int)) list =
       fun () -> Chaos.inert_window_events ~window:8 );
     ( "reliable tcp inert stop-and-wait",
       fun () -> Chaos.inert_window_events ~window:1 );
+    (* The credit plane armed but never binding: the window is generous
+       enough that no sender ever stalls, so these guard the cost the
+       credit bookkeeping (shipped/granted counters, grant emission on
+       consumption) adds to the fast path. The credits-off path itself
+       is guarded by the two scenarios above plus the ping-pong ones —
+       unset, no credit state exists at all. *)
+    ( "inert-credit vchannel pingpong",
+      fun () ->
+        let w = H.two_cluster_world () in
+        let vc =
+          Madeleine.Vchannel.create w.H.cw_session ~mtu:16384 ~credits:64
+            [ w.H.ch_sci ]
+        in
+        let iters = 48 in
+        let ball = Bytes.create 16384 in
+        Marcel.Engine.spawn w.H.cw_engine ~name:"s" (fun () ->
+            for _ = 1 to iters do
+              let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:1 in
+              Madeleine.Vchannel.pack oc ball;
+              Madeleine.Vchannel.end_packing oc;
+              let ic =
+                Madeleine.Vchannel.begin_unpacking_from vc ~me:0 ~remote:1
+              in
+              Madeleine.Vchannel.unpack ic ball;
+              Madeleine.Vchannel.end_unpacking ic
+            done);
+        Marcel.Engine.spawn w.H.cw_engine ~name:"r" (fun () ->
+            let pong = Bytes.create 16384 in
+            for _ = 1 to iters do
+              let ic =
+                Madeleine.Vchannel.begin_unpacking_from vc ~me:1 ~remote:0
+              in
+              Madeleine.Vchannel.unpack ic pong;
+              Madeleine.Vchannel.end_unpacking ic;
+              let oc = Madeleine.Vchannel.begin_packing vc ~me:1 ~remote:0 in
+              Madeleine.Vchannel.pack oc pong;
+              Madeleine.Vchannel.end_packing oc
+            done);
+        Marcel.Engine.run w.H.cw_engine;
+        Marcel.Engine.events_processed w.H.cw_engine );
+    ( "inert-credit gateway forwarding",
+      fun () ->
+        let w = H.two_cluster_world () in
+        let vc =
+          Madeleine.Vchannel.create w.H.cw_session ~mtu:16384 ~credits:256
+            ~gw_pool:64
+            [ w.H.ch_sci; w.H.ch_myri ]
+        in
+        let msgs = 4 in
+        let fin = ref 0 in
+        let out = Bytes.create (1 lsl 20) in
+        let sink = Bytes.create (1 lsl 20) in
+        Marcel.Engine.spawn w.H.cw_engine ~name:"s" (fun () ->
+            for _ = 1 to msgs do
+              let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2 in
+              Madeleine.Vchannel.pack oc out;
+              Madeleine.Vchannel.end_packing oc
+            done);
+        Marcel.Engine.spawn w.H.cw_engine ~name:"r" (fun () ->
+            for _ = 1 to msgs do
+              let ic =
+                Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0
+              in
+              Madeleine.Vchannel.unpack ic sink;
+              Madeleine.Vchannel.end_unpacking ic;
+              incr fin
+            done);
+        Marcel.Engine.run w.H.cw_engine;
+        assert (!fin = msgs);
+        Marcel.Engine.events_processed w.H.cw_engine );
   ]
 
 let simspeed_measure f =

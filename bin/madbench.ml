@@ -229,10 +229,14 @@ let chaos quick seed jobs_opt json_file =
       output_string oc (Chaos.to_json report);
       close_out oc;
       Format.printf "wrote %s@." file);
-  if not (Chaos.all_ok report) then begin
-    Format.eprintf "chaos: delivery or failover check FAILED@.";
-    exit 1
-  end
+  (* CI keys off the exit code: any failed gate makes the run exit 1,
+     naming each gate that tripped. *)
+  match Chaos.failing_gates report with
+  | [] -> ()
+  | failed ->
+      List.iter (fun name -> Format.eprintf "chaos: gate FAILED: %s@." name)
+        failed;
+      exit 1
 
 let chaos_cmd =
   Cmd.v

@@ -31,15 +31,21 @@ and net = {
   fabric : Fabric.t;
   endpoints : (int, t) Hashtbl.t;
   credits : (int * int, Semaphore.t) Hashtbl.t;
+  short_window : int; (* credits per connection (Netparams default) *)
   short_streams : (int * int, Simnet.Stream.t) Hashtbl.t;
 }
 
-let make_net engine fabric =
+let make_net ?credits engine fabric =
+  (match credits with
+  | Some n when n < 1 -> invalid_arg "Bip.make_net: credits must be >= 1"
+  | _ -> ());
   {
     engine;
     fabric;
     endpoints = Hashtbl.create 16;
     credits = Hashtbl.create 16;
+    short_window =
+      (match credits with Some n -> n | None -> Netparams.bip_short_credits);
     short_streams = Hashtbl.create 16;
   }
 
@@ -86,7 +92,7 @@ let credits net ~src ~dst =
   match Hashtbl.find_opt net.credits (src, dst) with
   | Some s -> s
   | None ->
-      let s = Semaphore.create Netparams.bip_short_credits in
+      let s = Semaphore.create net.short_window in
       Hashtbl.add net.credits (src, dst) s;
       s
 

@@ -22,8 +22,11 @@ type net
 type t
 (** A node endpoint. *)
 
-val make_net : Marcel.Engine.t -> Simnet.Fabric.t -> net
-(** The fabric must use Myrinet-like link parameters. *)
+val make_net : ?credits:int -> Marcel.Engine.t -> Simnet.Fabric.t -> net
+(** The fabric must use Myrinet-like link parameters. [credits]
+    overrides the short-message send window per connection (default
+    {!Simnet.Netparams.bip_short_credits}; must be >= 1) — the
+    clusterfile's network-level [credits=] key lands here. *)
 
 val attach : net -> Simnet.Node.t -> t
 (** Registers the node on the BIP network. The node must already be

@@ -80,6 +80,53 @@ type crash_restart = {
   cr_finish_us : float;
 }
 
+(* Overload: a sender at full tilt against a receiver whose drain rate
+   the fault plane caps two orders of magnitude lower. With credits
+   armed, the sender must end up blocked on the credit window (never
+   dropping, never queueing unboundedly): delivery stays bit-identical
+   and every instrumented buffering point stays under its configured
+   bound. *)
+type overload = {
+  ov_messages : int;
+  ov_size : int;
+  ov_credits : int;
+  ov_mtu : int;
+  ov_rx_cap_mb_s : float;
+  ov_clean_mb_s : float; (* same stream, no throttle *)
+  ov_throttled_mb_s : float;
+  ov_stalls : int;
+  ov_grants : int;
+  ov_probes : int;
+  ov_queues : Vc.queue_stat list;
+  ov_inbox_peak_bytes : int; (* tcp receive-side backlog, worst conn *)
+  ov_sendq_peak_frames : int;
+  ov_intact : bool;
+  ov_bounded : bool; (* every q_peak <= its q_bound *)
+  ov_finish_us : float;
+}
+
+(* Slow gateway: a two-segment route whose egress leg drains far slower
+   than the ingress leg can deliver. The bounded forwarding pool must
+   throttle the ingress to the egress bandwidth (hop-by-hop
+   backpressure, not gateway-side queueing), and the gateway must
+   report Overloaded through the sentinels while the pool is pinned at
+   its high watermark — then clear once the stream drains. *)
+type slow_gateway = {
+  sg_messages : int;
+  sg_size : int;
+  sg_credits : int;
+  sg_gw_pool : int;
+  sg_rx_cap_mb_s : float; (* egress receiver's capped drain rate *)
+  sg_ingress_mb_s : float; (* sustained end-to-end rate through the gw *)
+  sg_overload_events : int;
+  sg_overload_reported : bool; (* Overloaded seen via peer_status/sentinel *)
+  sg_overload_cleared : bool; (* no gateway still overloaded at the end *)
+  sg_queues : Vc.queue_stat list;
+  sg_intact : bool;
+  sg_bounded : bool;
+  sg_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -87,6 +134,8 @@ type report = {
   rep_failover : failover;
   rep_goodput : goodput;
   rep_crash : crash_restart;
+  rep_overload : overload;
+  rep_slow_gateway : slow_gateway;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -490,6 +539,185 @@ let crash_restart_run ~seed ~size ~messages =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Overload: one reliable credit-armed vchannel over a single TCP
+   segment; the receiving host's drain rate is capped at 1/100 of the
+   clean stream's. Run once clean (no cap) for the mismatch baseline,
+   once throttled for the backpressure assertions. *)
+
+let overload_one ~seed ~size ~messages ~credits ~mtu ~rx_cap =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  ignore nodes;
+  (match rx_cap with
+  | Some cap -> Faults.slow_receiver faults ~fabric:"eth" ~node:1 ~mb_per_s:cap
+  | None -> ());
+  let net = Tcpnet.make_net engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let session = Madeleine.Session.create engine in
+  let channel =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (function 0 -> s0 | _ -> s1))
+      ~ranks:[ 0; 1 ] ()
+  in
+  let vc = Vc.create session ~mtu ~credits ~faults [ channel ] in
+  let payload_of m = Harness.payload size (Int64.of_int (300 + m)) in
+  let intact = ref true in
+  let finish = ref Time.zero in
+  Engine.spawn engine ~name:"ov-sender" (fun () ->
+      for m = 0 to messages - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:1 in
+        Vc.pack oc (payload_of m);
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"ov-receiver" (fun () ->
+      for m = 0 to messages - 1 do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:1 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload_of m)) then intact := false
+      done;
+      finish := Engine.now engine);
+  Engine.run engine;
+  let rate = Time.rate_mb_s ~bytes_count:(size * messages) !finish in
+  (rate, vc, net, !intact, !finish)
+
+let bounded_queues queues =
+  List.for_all
+    (fun q ->
+      match q.Vc.q_bound with Some b -> q.Vc.q_peak <= b | None -> true)
+    queues
+
+let overload_run ~seed ~size ~messages ~credits ~mtu ~rx_cap_mb_s =
+  let clean_mb_s, _, _, clean_ok, _ =
+    overload_one ~seed ~size ~messages ~credits ~mtu ~rx_cap:None
+  in
+  let throttled_mb_s, vc, net, ok, finish =
+    overload_one ~seed ~size ~messages ~credits ~mtu
+      ~rx_cap:(Some rx_cap_mb_s)
+  in
+  let cs =
+    match Vc.credit_stats vc with Some s -> s | None -> assert false
+  in
+  let queues = Vc.queue_stats vc in
+  let inbox_peak, sendq_peak = Tcpnet.queue_peaks net in
+  {
+    ov_messages = messages;
+    ov_size = size;
+    ov_credits = credits;
+    ov_mtu = mtu;
+    ov_rx_cap_mb_s = rx_cap_mb_s;
+    ov_clean_mb_s = clean_mb_s;
+    ov_throttled_mb_s = throttled_mb_s;
+    ov_stalls = cs.Vc.stalls;
+    ov_grants = cs.Vc.grants;
+    ov_probes = cs.Vc.probes;
+    ov_queues = queues;
+    ov_inbox_peak_bytes = inbox_peak;
+    ov_sendq_peak_frames = sendq_peak;
+    ov_intact = ok && clean_ok;
+    ov_bounded = bounded_queues queues;
+    ov_finish_us = Time.to_us finish;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Slow gateway: 0 -> 1 (gateway) -> 2 across two Ethernet segments;
+   rank 2's drain on the egress segment is capped while the ingress
+   segment runs clean. Credits are generous, so the gateway's bounded
+   forwarding pool is the active constraint. *)
+
+let slow_gateway_run ~seed ~size ~messages ~credits ~gw_pool ~rx_cap_mb_s =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  let fab_a = Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet in
+  let fab_b = Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 3 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2 ];
+  Faults.slow_receiver faults ~fabric:"ethB" ~node:2 ~mb_per_s:rx_cap_mb_s;
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let stacks_a = Hashtbl.create 4 and stacks_b = Hashtbl.create 4 in
+  List.iter
+    (fun i -> Hashtbl.add stacks_a i (Tcpnet.attach net_a nodes.(i)))
+    [ 0; 1 ];
+  List.iter
+    (fun i -> Hashtbl.add stacks_b i (Tcpnet.attach net_b nodes.(i)))
+    [ 1; 2 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_a))
+      ~ranks:[ 0; 1 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_b))
+      ~ranks:[ 1; 2 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~credits ~gw_pool ~faults [ ch_a; ch_b ]
+  in
+  let payload_of m = Harness.payload size (Int64.of_int (400 + m)) in
+  let intact = ref true in
+  let reported = ref false in
+  let finish = ref Time.zero in
+  Engine.spawn engine ~name:"sg-sender" (fun () ->
+      for m = 0 to messages - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:2 in
+        Vc.pack oc (payload_of m);
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"sg-receiver" (fun () ->
+      for m = 0 to messages - 1 do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:2 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload_of m)) then intact := false;
+        (* Sample the flow health mid-stream: while the pool is pinned
+           the gateway must be visible as Overloaded end to end. *)
+        if Vc.peer_status vc ~src:0 ~dst:2 = Madeleine.Iface.Overloaded then
+          reported := true
+      done;
+      finish := Engine.now engine);
+  Engine.run engine;
+  let sentinel_saw_overload =
+    List.exists
+      (fun (_, ev) -> ev.Madeleine.Sentinel.ev_to = Madeleine.Sentinel.Overloaded)
+      (Vc.suspicion_timeline vc)
+  in
+  let queues = Vc.queue_stats vc in
+  {
+    sg_messages = messages;
+    sg_size = size;
+    sg_credits = credits;
+    sg_gw_pool = gw_pool;
+    sg_rx_cap_mb_s = rx_cap_mb_s;
+    sg_ingress_mb_s = Time.rate_mb_s ~bytes_count:(size * messages) !finish;
+    sg_overload_events = Vc.overload_events vc;
+    sg_overload_reported = !reported || sentinel_saw_overload;
+    sg_overload_cleared = Vc.overloaded vc = [];
+    sg_queues = queues;
+    sg_intact = !intact;
+    sg_bounded = bounded_queues queues;
+    sg_finish_us = Time.to_us !finish;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The workload set. Stop-and-wait retransmission gives up after 12
    attempts, so the per-frame survival probability bounds which
    (rate, size) points can complete: at 5% per link a frame of a dozen
@@ -503,6 +731,8 @@ type outcome =
   | Failed_over of failover
   | Goodput_of of goodput
   | Restarted of crash_restart
+  | Overloaded_of of overload
+  | Slow_gateway_of of slow_gateway
 
 let run (runner : Sweeps.runner) ~seed ~quick =
   let rates = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.05 ] in
@@ -548,6 +778,18 @@ let run (runner : Sweeps.runner) ~seed ~quick =
           Restarted
             (crash_restart_run ~seed ~size:16384
                ~messages:(if quick then 3 else 4)) );
+      ( "chaos/overload",
+        fun () ->
+          Overloaded_of
+            (overload_run ~seed ~size:16384
+               ~messages:(if quick then 4 else 6)
+               ~credits:8 ~mtu:4096 ~rx_cap_mb_s:0.11) );
+      ( "chaos/slow-gateway",
+        fun () ->
+          Slow_gateway_of
+            (slow_gateway_run ~seed ~size:16384
+               ~messages:(if quick then 6 else 8)
+               ~credits:32 ~gw_pool:2 ~rx_cap_mb_s:0.5) );
     ]
   in
   let outcomes = runner.Sweeps.run (drop_jobs @ corrupt_jobs @ scheduled_jobs) in
@@ -566,21 +808,66 @@ let run (runner : Sweeps.runner) ~seed ~quick =
     rep_failover = pick "failover" (function Failed_over f -> Some f | _ -> None);
     rep_goodput = pick "goodput" (function Goodput_of g -> Some g | _ -> None);
     rep_crash = pick "crash-restart" (function Restarted c -> Some c | _ -> None);
+    rep_overload =
+      pick "overload" (function Overloaded_of o -> Some o | _ -> None);
+    rep_slow_gateway =
+      pick "slow-gateway" (function Slow_gateway_of s -> Some s | _ -> None);
   }
 
-let all_ok r =
-  List.for_all (fun row -> row.intact) r.rep_rows
-  && r.rep_failover.fo_intact
-  && r.rep_failover.fo_partitioned
-  && r.rep_failover.fo_reroutes >= 1
-  && r.rep_goodput.gp_intact
-  && r.rep_goodput.gp_speedup >= 2.0
-  && r.rep_crash.cr_exactly_once
-  && r.rep_crash.cr_handshakes >= 1
+(* Named pass/fail gates; CI relies on the process exit code derived
+   from these, and a failure prints the gate names that tripped. *)
+let gates r =
+  let ov = r.rep_overload and sg = r.rep_slow_gateway in
+  [
+    ("rows-intact", List.for_all (fun row -> row.intact) r.rep_rows);
+    ("failover-intact", r.rep_failover.fo_intact);
+    ("failover-partition-detected", r.rep_failover.fo_partitioned);
+    ("failover-rerouted", r.rep_failover.fo_reroutes >= 1);
+    ("goodput-intact", r.rep_goodput.gp_intact);
+    ("goodput-window-speedup", r.rep_goodput.gp_speedup >= 2.0);
+    ("crash-restart-exactly-once", r.rep_crash.cr_exactly_once);
+    ("crash-restart-handshake", r.rep_crash.cr_handshakes >= 1);
+    ("overload-intact", ov.ov_intact);
+    ("overload-queues-bounded", ov.ov_bounded);
+    ("overload-sender-stalled", ov.ov_stalls > 0 && ov.ov_grants > 0);
+    ( "overload-rate-mismatch",
+      ov.ov_throttled_mb_s > 0.0
+      && ov.ov_clean_mb_s /. ov.ov_throttled_mb_s >= 10.0 );
+    ("slow-gateway-intact", sg.sg_intact);
+    ("slow-gateway-queues-bounded", sg.sg_bounded);
+    ( "slow-gateway-overload-reported",
+      sg.sg_overload_events >= 1 && sg.sg_overload_reported );
+    ("slow-gateway-overload-cleared", sg.sg_overload_cleared);
+    ( "slow-gateway-ingress-throttled",
+      sg.sg_ingress_mb_s <= 2.0 *. sg.sg_rx_cap_mb_s
+      && sg.sg_ingress_mb_s >= 0.2 *. sg.sg_rx_cap_mb_s );
+  ]
+
+let failing_gates r =
+  List.filter_map (fun (name, ok) -> if ok then None else Some name) (gates r)
+
+let all_ok r = List.for_all snd (gates r)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering. Every figure below is simulated, so the whole report is a
    pure function of (seed, quick): reruns are byte-identical. *)
+
+let queues_json b queues =
+  Buffer.add_string b "[\n";
+  let last = List.length queues - 1 in
+  List.iteri
+    (fun i q ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"point\": %S, \"node\": %d, \"peer\": %d, \"peak\": %d, \
+            \"bound\": %s }%s\n"
+           q.Vc.q_point q.Vc.q_node q.Vc.q_peer q.Vc.q_peak
+           (match q.Vc.q_bound with
+           | Some v -> string_of_int v
+           | None -> "null")
+           (if i = last then "" else ",")))
+    queues;
+  Buffer.add_string b "  ]"
 
 let to_json r =
   let b = Buffer.create 4096 in
@@ -654,7 +941,44 @@ let to_json r =
            fs.Vc.delivered
            (if i = last_f then "" else ",")))
     c.cr_flows;
-  Buffer.add_string b "  ] } } }\n";
+  Buffer.add_string b "  ] },\n";
+  let o = r.rep_overload in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"overload\": { \"messages\": %d, \"size\": %d, \"credits\": %d, \
+        \"mtu\": %d, \"rx_cap_mb_s\": %.3f, \"clean_mb_s\": %.2f, \
+        \"throttled_mb_s\": %.3f, \"stalls\": %d, \"grants\": %d, \
+        \"probes\": %d, \"inbox_peak_bytes\": %d, \"sendq_peak_frames\": %d, \
+        \"intact\": %b, \"bounded\": %b, \"finish_us\": %.2f,\n  \"queues\": "
+       o.ov_messages o.ov_size o.ov_credits o.ov_mtu o.ov_rx_cap_mb_s
+       o.ov_clean_mb_s o.ov_throttled_mb_s o.ov_stalls o.ov_grants o.ov_probes
+       o.ov_inbox_peak_bytes o.ov_sendq_peak_frames o.ov_intact o.ov_bounded
+       o.ov_finish_us);
+  queues_json b o.ov_queues;
+  Buffer.add_string b " },\n";
+  let s = r.rep_slow_gateway in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"slow_gateway\": { \"messages\": %d, \"size\": %d, \"credits\": %d, \
+        \"gw_pool\": %d, \"rx_cap_mb_s\": %.3f, \"ingress_mb_s\": %.3f, \
+        \"overload_events\": %d, \"overload_reported\": %b, \
+        \"overload_cleared\": %b, \"intact\": %b, \"bounded\": %b, \
+        \"finish_us\": %.2f,\n  \"queues\": "
+       s.sg_messages s.sg_size s.sg_credits s.sg_gw_pool s.sg_rx_cap_mb_s
+       s.sg_ingress_mb_s s.sg_overload_events s.sg_overload_reported
+       s.sg_overload_cleared s.sg_intact s.sg_bounded s.sg_finish_us);
+  queues_json b s.sg_queues;
+  Buffer.add_string b " },\n";
+  Buffer.add_string b "\"gates\": [\n";
+  let gs = gates r in
+  let last_g = List.length gs - 1 in
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string b
+        (Printf.sprintf "  { \"gate\": %S, \"pass\": %b }%s\n" name ok
+           (if i = last_g then "" else ",")))
+    gs;
+  Buffer.add_string b "] } }\n";
   Buffer.contents b
 
 let render_table r =
@@ -721,6 +1045,45 @@ let render_table r =
        (List.length c.cr_suspicions)
        (if c.cr_exactly_once then "yes" else "NO")
        c.cr_finish_us);
+  let o = r.rep_overload in
+  Buffer.add_string b
+    (Printf.sprintf
+       "overload: %d x %d B, credits=%d, receiver capped at %.2f MB/s \
+        (clean %.2f MB/s -> %.1f:1 mismatch): delivered %.3f MB/s, \
+        %d stall(s), %d grant(s), %d probe(s), queues bounded=%s, intact=%s\n"
+       o.ov_messages o.ov_size o.ov_credits o.ov_rx_cap_mb_s o.ov_clean_mb_s
+       (if o.ov_throttled_mb_s > 0.0 then
+          o.ov_clean_mb_s /. o.ov_throttled_mb_s
+        else 0.0)
+       o.ov_throttled_mb_s o.ov_stalls o.ov_grants o.ov_probes
+       (if o.ov_bounded then "yes" else "NO")
+       (if o.ov_intact then "yes" else "NO"));
+  List.iter
+    (fun q ->
+      Buffer.add_string b
+        (Printf.sprintf "  queue %-18s node=%d peer=%d peak=%d bound=%s\n"
+           q.Vc.q_point q.Vc.q_node q.Vc.q_peer q.Vc.q_peak
+           (match q.Vc.q_bound with
+           | Some v -> string_of_int v
+           | None -> "-")))
+    o.ov_queues;
+  let s = r.rep_slow_gateway in
+  Buffer.add_string b
+    (Printf.sprintf
+       "slow-gateway: %d x %d B via a pool of %d, egress capped at \
+        %.2f MB/s: ingress throttled to %.3f MB/s, %d overload event(s) \
+        (reported=%s, cleared=%s), queues bounded=%s, intact=%s\n"
+       s.sg_messages s.sg_size s.sg_gw_pool s.sg_rx_cap_mb_s s.sg_ingress_mb_s
+       s.sg_overload_events
+       (if s.sg_overload_reported then "yes" else "NO")
+       (if s.sg_overload_cleared then "yes" else "NO")
+       (if s.sg_bounded then "yes" else "NO")
+       (if s.sg_intact then "yes" else "NO"));
+  (match failing_gates r with
+  | [] -> Buffer.add_string b "gates: all passed\n"
+  | failed ->
+      Buffer.add_string b
+        (Printf.sprintf "gates FAILED: %s\n" (String.concat ", " failed)));
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -758,7 +1121,10 @@ let inert_window_events ~window =
   let net = Tcpnet.make_net ~window engine fabric in
   let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
   let c0, c1 = Tcpnet.socketpair s0 s1 in
-  let size = 4096 and messages = 256 in
+  (* Enough messages that the wall clock is tens of milliseconds — the
+     20%-tolerance gate would be pure scheduler noise on a smaller
+     sample. *)
+  let size = 4096 and messages = 1024 in
   let data = Harness.payload size 23L in
   Engine.spawn engine ~name:"iw-send" (fun () ->
       for _ = 1 to messages do

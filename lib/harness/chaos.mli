@@ -68,6 +68,41 @@ type crash_restart = {
   cr_finish_us : float;
 }
 
+type overload = {
+  ov_messages : int;
+  ov_size : int;
+  ov_credits : int;
+  ov_mtu : int;
+  ov_rx_cap_mb_s : float; (* receiving host's capped drain rate *)
+  ov_clean_mb_s : float; (* the same stream with no throttle *)
+  ov_throttled_mb_s : float;
+  ov_stalls : int; (* times the sender blocked out of credits *)
+  ov_grants : int;
+  ov_probes : int; (* zero-window probes while blocked *)
+  ov_queues : Madeleine.Vchannel.queue_stat list;
+  ov_inbox_peak_bytes : int; (* worst tcp receive backlog across conns *)
+  ov_sendq_peak_frames : int;
+  ov_intact : bool;
+  ov_bounded : bool; (* every instrumented peak <= its bound *)
+  ov_finish_us : float;
+}
+
+type slow_gateway = {
+  sg_messages : int;
+  sg_size : int;
+  sg_credits : int;
+  sg_gw_pool : int;
+  sg_rx_cap_mb_s : float; (* egress receiver's capped drain rate *)
+  sg_ingress_mb_s : float; (* sustained end-to-end rate through the gw *)
+  sg_overload_events : int; (* rising-edge Overloaded transitions *)
+  sg_overload_reported : bool; (* seen via peer_status or a sentinel *)
+  sg_overload_cleared : bool; (* nothing still overloaded at the end *)
+  sg_queues : Madeleine.Vchannel.queue_stat list;
+  sg_intact : bool;
+  sg_bounded : bool;
+  sg_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -75,6 +110,8 @@ type report = {
   rep_failover : failover;
   rep_goodput : goodput;
   rep_crash : crash_restart;
+  rep_overload : overload;
+  rep_slow_gateway : slow_gateway;
 }
 
 val failover_run : seed:int -> size:int -> messages:int -> failover
@@ -99,6 +136,39 @@ val goodput_run :
     once with the go-back-N [window] and once degraded to stop-and-wait
     (window 1). *)
 
+val overload_run :
+  seed:int ->
+  size:int ->
+  messages:int ->
+  credits:int ->
+  mtu:int ->
+  rx_cap_mb_s:float ->
+  overload
+(** The overload scenario on its own (also part of {!run}): a
+    credit-armed reliable vchannel over one TCP segment whose receiving
+    host is capped at [rx_cap_mb_s] by
+    {!Simnet.Faults.slow_receiver} — a ~100:1 rate mismatch against the
+    unthrottled stream, which is measured first as the baseline. The
+    sender must end up blocked on the credit window: delivery is
+    bit-identical and every instrumented queue peak stays under its
+    bound. *)
+
+val slow_gateway_run :
+  seed:int ->
+  size:int ->
+  messages:int ->
+  credits:int ->
+  gw_pool:int ->
+  rx_cap_mb_s:float ->
+  slow_gateway
+(** The slow-gateway scenario on its own (also part of {!run}): a
+    two-segment route whose egress receiver is rate-capped while
+    credits are generous, so the gateway's bounded forwarding pool is
+    the active constraint. Ingress must be throttled to the egress
+    bandwidth hop-by-hop, with the gateway reporting [Overloaded]
+    through {!Madeleine.Vchannel.peer_status} and the sentinels while
+    its pool is pinned, and clearing once the stream drains. *)
+
 val run : Sweeps.runner -> seed:int -> quick:bool -> report
 (** The full workload set: a drop-rate x size sweep, a corruption sweep,
     a mid-exchange link flap, a reorder/duplication exchange, a PCI
@@ -107,15 +177,26 @@ val run : Sweeps.runner -> seed:int -> quick:bool -> report
     message, the rest must arrive intact over the recomputed route;
     killing the second gateway must raise
     {!Madeleine.Vchannel.Partitioned}), the sliding-window goodput
-    comparison, and the crash-restart exactly-once scenario. [quick]
-    trims the sweep to a CI-sized subset. *)
+    comparison, the crash-restart exactly-once scenario, the
+    credit-backpressure overload scenario and the bounded-pool
+    slow-gateway scenario. [quick] trims the sweep to a CI-sized
+    subset. *)
+
+val gates : report -> (string * bool) list
+(** Every pass/fail invariant of the report, by name: intact delivery
+    everywhere, failover rerouted and detected the partition, goodput
+    speedup >= 2x, crash-restart exactly-once with a handshake, the
+    overload run stalled the sender with every queue under its bound at
+    a >= 10:1 measured rate mismatch, and the slow-gateway run
+    throttled ingress to the egress bandwidth with the overload
+    reported and cleared. The JSON report embeds this list; [madbench
+    chaos] exits non-zero naming the gates that failed. *)
+
+val failing_gates : report -> string list
+(** Names of the gates currently false, in {!gates} order. *)
 
 val all_ok : report -> bool
-(** No corrupted delivery anywhere, failover delivered every message,
-    routes were actually recomputed, the final partition was detected,
-    the go-back-N window beat stop-and-wait by at least 2x at 1% drop,
-    and the crash-restart stream was delivered exactly once with at
-    least one session handshake. *)
+(** [List.for_all snd (gates r)]. *)
 
 val to_json : report -> string
 val render_table : report -> string

@@ -48,7 +48,7 @@ let vchannel t name = Hashtbl.find t.vchan_tbl name
 (* ------------------------------------------------------------------ *)
 (* Per-kind glue: how to attach a node and build a driver. *)
 
-let make_network engine ?window ?max_retries kind name =
+let make_network engine ?window ?max_retries ?credits kind name =
   let link =
     match kind with
     | Sisci_k -> Netparams.sci
@@ -71,7 +71,7 @@ let make_network engine ?window ?max_retries kind name =
           (fun () -> Madeleine.Pmm_sisci.driver (Hashtbl.find eps));
       }
   | Bip_k ->
-      let net = Bip.make_net engine fabric in
+      let net = Bip.make_net ?credits engine fabric in
       let eps = Hashtbl.create 8 in
       {
         kind;
@@ -175,6 +175,7 @@ let parse_line t lineno line =
   | "network" :: name :: opts ->
       let kind = ref None in
       let window = ref None and max_retries = ref None in
+      let credits = ref None in
       List.iter
         (fun tok ->
           match split_kv lineno tok with
@@ -182,6 +183,16 @@ let parse_line t lineno line =
           | "window", v -> window := Some (parse_int lineno "window" v)
           | "max_retries", v ->
               max_retries := Some (parse_int lineno "max_retries" v)
+          | "credits", v ->
+              let n = parse_int lineno "credits" v in
+              if n < 1 then
+                raise (Parse_error (lineno, "credits expects an integer >= 1"));
+              credits := Some n
+          | "gw_pool", _ ->
+              raise
+                (Parse_error
+                   (lineno,
+                    "gw_pool= is a vchannel option (gateway forwarding pool)"))
           | k, _ -> raise (Parse_error (lineno, "unknown network option " ^ k)))
         opts;
       let kind =
@@ -196,9 +207,18 @@ let parse_line t lineno line =
             raise
               (Parse_error
                  (lineno, "window=/max_retries= apply to tcp networks only")));
+      (match kind with
+      | Bip_k -> ()
+      | _ ->
+          if !credits <> None then
+            raise
+              (Parse_error
+                 (lineno,
+                  "credits= applies to bip networks only (use vchannel \
+                   credits= for end-to-end flow control)")));
       let net =
         make_network t.cf_engine ?window:!window ?max_retries:!max_retries
-          kind name
+          ?credits:!credits kind name
       in
       (* A previously declared fault plane covers every later fabric. *)
       (match t.cf_faults with
@@ -348,6 +368,14 @@ let parse_line t lineno line =
       let chans = ref [] and mtu = ref None in
       let overhead = ref None and cap = ref None in
       let reliable = ref false and patience = ref None in
+      let credits = ref None and gw_pool = ref None in
+      let positive_int key v =
+        let n = parse_int lineno key v in
+        if n < 1 then
+          raise
+            (Parse_error (lineno, Printf.sprintf "%s expects an integer >= 1" key));
+        n
+      in
       List.iter
         (fun tok ->
           match split_kv lineno tok with
@@ -361,6 +389,8 @@ let parse_line t lineno line =
           | "reliable", v -> reliable := parse_bool lineno "reliable" v
           | "patience_us", v ->
               patience := Some (Time.us (parse_float lineno "patience_us" v))
+          | "credits", v -> credits := Some (positive_int "credits" v)
+          | "gw_pool", v -> gw_pool := Some (positive_int "gw_pool" v)
           | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
         opts;
       if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
@@ -377,8 +407,8 @@ let parse_line t lineno line =
       in
       let vc =
         Madeleine.Vchannel.create t.cf_session ?mtu:!mtu ?patience:!patience
-          ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap ?faults:vc_faults
-          !chans
+          ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap
+          ?credits:!credits ?gw_pool:!gw_pool ?faults:vc_faults !chans
       in
       declare lineno t.vchan_tbl "vchannel" name vc;
       t.vchan_order <- name :: t.vchan_order

@@ -25,15 +25,21 @@
     [node NAME nets=N1,N2...], [channel NAME net=N nodes=A,B,...] and
     [vchannel NAME channels=C1,C2,... \[mtu=BYTES\]
     \[gateway_overhead_us=US\] \[ingress_cap=MB_S\] \[reliable=BOOL\]
-    \[patience_us=US\]]. Channel options: [aggregation=BOOL],
-    [checked=BOOL], [slots=INT], [dma=BOOL],
+    \[patience_us=US\] \[credits=N\] \[gw_pool=N\]]. Channel options:
+    [aggregation=BOOL], [checked=BOOL], [slots=INT], [dma=BOOL],
     [rx=poll|interrupt|adaptive], [connect_timeout_us=US]. Network
     types: [sisci], [bip], [tcp], [via], [sbp]; [tcp] networks
     additionally accept [window=FRAMES] (go-back-N sender window) and
     [max_retries=N] (consecutive RTO expiries before a connection is
-    declared dead) — see {!Tcpnet.make_net}. [#] starts a comment.
-    Declarations must appear in dependency order (networks, then nodes,
-    then channels, then virtual channels). Node ranks are assigned in
+    declared dead) — see {!Tcpnet.make_net} — and [bip] networks
+    [credits=N] (short-message send window, {!Bip.make_net}). Options
+    on a network kind that does not support them are rejected with a
+    line-numbered {!Parse_error}. On a vchannel, [credits=N] arms
+    end-to-end credit-based flow control and [gw_pool=N] sizes the
+    gateway forwarding pools (both >= 1; see
+    {!Madeleine.Vchannel.create}). [#] starts a comment. Declarations
+    must appear in dependency order (networks, then nodes, then
+    channels, then virtual channels). Node ranks are assigned in
     declaration order.
 
     {2 Fault injection}

@@ -49,3 +49,7 @@ let gateway_packet_overhead = Time.us 50.0
 let default_route_patience = Time.ms 25.0
 let packet_header_size = 16
 let buffer_header_size = 8
+let default_gateway_pool = 2
+let default_unacked_window = 256
+let credit_probe_interval = Time.ms 1.0
+let overload_hold = Time.us 250.0

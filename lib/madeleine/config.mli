@@ -114,3 +114,24 @@ val packet_header_size : int
 val buffer_header_size : int
 (** Generic TM per-buffer self-description: length and the emission /
     reception constraints (paper §6.1). *)
+
+(** {1 Flow control and overload (backpressure plane)} *)
+
+val default_gateway_pool : int
+(** Forwarding buffers per gateway pump when [gw_pool=] is not given: the
+    paper's dual-buffer pipeline (§6.2.2). A full pool blocks the ingress
+    dispatcher — backpressure propagates hop-by-hop instead of queueing. *)
+
+val default_unacked_window : int
+(** Cap on a reliable flow's origin re-emission log (packets) when
+    credits are unconfigured. With [credits=n] the cap is [n] — the log
+    can never outgrow the credit window anyway. *)
+
+val credit_probe_interval : Marcel.Time.span
+(** How long a credit-blocked sender waits before shipping a zero-window
+    probe, so a lost grant cannot wedge a flow forever. *)
+
+val overload_hold : Marcel.Time.span
+(** Hysteresis delay before a gateway that dropped back to its low
+    watermark clears its [Overloaded] status — several packet-forwarding
+    overheads, so a pool oscillating at full load does not flap. *)

@@ -7,6 +7,7 @@ type packet_header = {
   seq : int;  (* 16-bit end-to-end sequence number, 0 when unreliable *)
   ack : bool;  (* cumulative acknowledgment packet (reliable vchannels) *)
   hs : bool;  (* session handshake after a crash epoch (reliable vchannels) *)
+  crd : bool;  (* credit-plane packet: grant (4-byte payload) or probe (empty) *)
 }
 
 let header_size = Config.packet_header_size
@@ -21,7 +22,8 @@ let encode_header h =
     (if h.first then 1 else 0)
     lor (if h.last then 2 else 0)
     lor (if h.ack then 4 else 0)
-    lor if h.hs then 8 else 0
+    lor (if h.hs then 8 else 0)
+    lor if h.crd then 16 else 0
   in
   Bytes.set b 12 (Char.chr flags);
   Bytes.set b 13 magic;
@@ -45,6 +47,7 @@ let decode_header b =
     seq = Bytes.get_uint16_le b 14;
     ack = flags land 4 <> 0;
     hs = flags land 8 <> 0;
+    crd = flags land 16 <> 0;
   }
 
 let sub_header_size = Config.buffer_header_size

@@ -36,6 +36,17 @@ type packet_header = {
           genuine payload, so gateways forward it like data). The
           restarted origin resumes numbering at the highest such
           expectation (reliable vchannels only). *)
+  crd : bool;
+      (** Credit-plane packet for end-to-end flow control (vchannels with
+          [credits=] configured). With a 4-byte payload it is a {e grant}:
+          the payload is the receiver's cumulative little-endian count of
+          consumed data packets on the ([final_dst] ← [origin]) flow.
+          With an empty payload it is a {e zero-window probe} from a
+          blocked sender; the receiver answers with a fresh grant. Both
+          ride the normal forwarding path, so they cross gateways like
+          data. Combined with [ack] on reliable vchannels a grant also
+          carries a cumulative acknowledgment in [seq]. Never set when
+          credits are unconfigured — the wire format is then unchanged. *)
 }
 
 val header_size : int

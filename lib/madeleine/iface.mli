@@ -40,7 +40,9 @@ val pp_recv_mode : Format.formatter -> recv_mode -> unit
 
 (** Peer-health report used for graceful degradation: [Up] when traffic
     flows cleanly, [Degraded n] after [n] consecutive retransmissions
-    (or a lengthened reroute), [Down] once the peer is unreachable. *)
-type health = Up | Degraded of int | Down
+    (or a lengthened reroute), [Overloaded] while the peer (or a relay on
+    the current route to it) is shedding load above its forwarding-pool
+    high watermark, [Down] once the peer is unreachable. *)
+type health = Up | Degraded of int | Overloaded | Down
 
 val pp_health : Format.formatter -> health -> unit

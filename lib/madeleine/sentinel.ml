@@ -22,9 +22,13 @@
 module Engine = Marcel.Engine
 module Time = Marcel.Time
 
-type state = Up | Degraded | Down
+type state = Up | Degraded | Overloaded | Down
 
-let state_name = function Up -> "up" | Degraded -> "degraded" | Down -> "down"
+let state_name = function
+  | Up -> "up"
+  | Degraded -> "degraded"
+  | Overloaded -> "overloaded"
+  | Down -> "down"
 
 type event = {
   ev_at : Time.t;
@@ -40,6 +44,7 @@ type peer = {
   mutable p_last_arrival : Time.t;
   mutable p_mean_us : float; (* EMA of successful inter-arrival gaps *)
   mutable p_have_arrival : bool;
+  mutable p_overloaded : bool; (* load report, orthogonal to liveness *)
 }
 
 type t = {
@@ -95,7 +100,10 @@ let probe_peer t p =
      end);
     p.p_last_arrival <- now;
     p.p_have_arrival <- true;
-    transition t p Up (phi_of t p now)
+    (* A live probe clears any liveness suspicion, but an overloaded peer
+       is alive *and* shedding load: it stays Overloaded until the load
+       report clears. *)
+    transition t p (if p.p_overloaded then Overloaded else Up) (phi_of t p now)
   end
   else begin
     (* No arrival: suspicion accrues with the silence. The very first
@@ -152,6 +160,7 @@ let create engine faults ~me ~peers ?fabric ?(interval = Time.us 500.0)
               p_last_arrival = Time.zero;
               p_mean_us = Time.to_us interval;
               p_have_arrival = false;
+              p_overloaded = false;
             })
           (List.filter (fun id -> id <> me) peers);
       cbs = [];
@@ -184,9 +193,28 @@ let phi t id =
   | Some p -> phi_of t p (Engine.now t.engine)
   | None -> 0.0
 
+let set_overloaded t ~peer flag =
+  match find_peer t peer with
+  | None -> ()
+  | Some p ->
+      if p.p_overloaded <> flag then begin
+        p.p_overloaded <- flag;
+        let now = Engine.now t.engine in
+        (* Load reports never override a Down verdict: a dead peer stays
+           dead until a probe proves otherwise. *)
+        if flag then begin
+          if p.p_state <> Down then transition t p Overloaded (phi_of t p now)
+        end
+        else if p.p_state = Overloaded then transition t p Up (phi_of t p now)
+      end
+
 let suspected t =
   List.filter_map
-    (fun p -> if p.p_state <> Up then Some p.p_id else None)
+    (fun p ->
+      (* Overloaded peers are alive — load shedding is not suspicion. *)
+      match p.p_state with
+      | Degraded | Down -> Some p.p_id
+      | Up | Overloaded -> None)
     t.peers
 
 let probes t = t.probes

@@ -23,7 +23,12 @@
 
 type t
 
-type state = Up | Degraded | Down
+type state = Up | Degraded | Overloaded | Down
+(** [Overloaded] is a load report, not a liveness verdict: a peer above
+    its forwarding-pool high watermark announces it is shedding load (see
+    {!set_overloaded}). A successful probe keeps an overloaded peer in
+    [Overloaded] — it is alive — and the state clears back to [Up] only
+    when the load report does. [Down] always wins over a load report. *)
 
 val state_name : state -> string
 
@@ -71,8 +76,16 @@ val state : t -> int -> state
 val phi : t -> int -> float
 (** Instantaneous suspicion level for a peer. *)
 
+val set_overloaded : t -> peer:int -> bool -> unit
+(** Load report for a peer: [true] when it crossed its high watermark,
+    [false] when it drained below its low watermark. Transitions the peer
+    to [Overloaded] / back to [Up] (recorded in the {!timeline} and fed
+    to {!on_transition} listeners), except that a [Down] peer stays
+    [Down]. Unknown peers are ignored. *)
+
 val suspected : t -> int list
-(** Peers currently not [Up]. *)
+(** Peers whose liveness is currently in question ([Degraded] or
+    [Down]). [Overloaded] peers are alive and not listed. *)
 
 val probes : t -> int
 (** Heartbeats sent so far. *)

@@ -2,6 +2,7 @@ module Engine = Marcel.Engine
 module Time = Marcel.Time
 module Mailbox = Marcel.Mailbox
 module Mutex = Marcel.Mutex
+module Condition = Marcel.Condition
 module Semaphore = Marcel.Semaphore
 
 (* Byte stream with blocking reads and message-end markers, fed by the
@@ -13,9 +14,14 @@ module Assembler = struct
     items : item Queue.t;
     mutable head_off : int;
     mutable waiters : (unit -> unit) list;
+    mutable on_pop : int -> unit;
+        (* consumption hook: called with the chunk length every time a
+           whole Data chunk (= one packet payload) has been drained —
+           where credit replenishment and buffered-byte accounting hang *)
   }
 
-  let create () = { items = Queue.create (); head_off = 0; waiters = [] }
+  let create () =
+    { items = Queue.create (); head_off = 0; waiters = []; on_pop = ignore }
 
   let push t item =
     Queue.push item t.items;
@@ -45,6 +51,7 @@ module Assembler = struct
           if avail = 0 then begin
             ignore (Queue.pop t.items);
             t.head_off <- 0;
+            t.on_pop (Bytes.length chunk);
             read_exact t dst ~off ~len
           end
           else begin
@@ -65,6 +72,7 @@ module Assembler = struct
     | Some (Data chunk) when Bytes.length chunk = t.head_off ->
         ignore (Queue.pop t.items);
         t.head_off <- 0;
+        t.on_pop (Bytes.length chunk);
         finish_message t
     | Some (Data _) ->
         raise
@@ -109,11 +117,60 @@ type rel = {
       (* live nodes the sentinels currently call Down *)
   mutable route_waiters : (unit -> unit) list;
   mutable hs_waiters : (unit -> unit) list;
+  mutable ack_waiters : (unit -> unit) list;
+      (* senders blocked on a full unacked log, woken by ack arrivals *)
   mutable reroutes : int;
   mutable reemitted : int;
   mutable dup_drops : int;
   mutable handshakes : int;
 }
+
+(* End-to-end credit-based flow control, present only when the vchannel
+   was created with [?credits]. Receiver-granted: each (src, dst) flow
+   may have at most [cr_budget] unconsumed data packets in the network
+   or buffered at the destination, so every buffering point on the path
+   holds at most budget * MTU bytes of the flow. The sender counts
+   packets shipped; the receiver counts packets *consumed* by user
+   unpacks (arrival is not consumption — a paused receiver must block
+   the sender, not let it fill the assembler) and replenishes by sending
+   cumulative grants every [cr_quantum] consumptions, piggybacking the
+   flow's cumulative ack on reliable vchannels. A sender out of credits
+   blocks on the flow's condition variable; a zero-window probe shipped
+   every {!Config.credit_probe_interval} while blocked makes a lost
+   grant (crash paths) unable to wedge the flow. All counters are plain
+   cumulative ints — only the data-packet sequence number wraps. *)
+type credit_tx = {
+  ctx_mu : Mutex.t;
+  ctx_cond : Condition.t;
+  mutable ctx_shipped : int;
+  mutable ctx_granted : int; (* receiver's consumed count, as last heard *)
+}
+
+type credit_rx = {
+  mutable crx_consumed : int;
+  mutable crx_last_grant : int; (* consumed count when we last granted *)
+}
+
+type credits = {
+  cr_budget : int;
+  cr_quantum : int;
+  cr_tx : (int * int, credit_tx) Hashtbl.t; (* (src, dst) *)
+  cr_rx : (int * int, credit_rx) Hashtbl.t; (* (me, origin) *)
+  mutable cr_grants : int;
+  mutable cr_probes : int;
+  mutable cr_stalls : int;
+}
+
+(* Peak-tracking occupancy counter for one buffering point. *)
+type probe_point = { mutable pp_cur : int; mutable pp_peak : int }
+
+let pp_make () = { pp_cur = 0; pp_peak = 0 }
+
+let pp_add p n =
+  p.pp_cur <- p.pp_cur + n;
+  if p.pp_cur > p.pp_peak then p.pp_peak <- p.pp_cur
+
+let pp_sub p n = p.pp_cur <- p.pp_cur - n
 
 (* One forwarding pump per (gateway node, outgoing link): the paper's
    per-direction dual-buffer pipeline (Fig. 9). Keeping the pumps
@@ -146,6 +203,20 @@ type t = {
   pumps : (int * int * int, pump) Hashtbl.t; (* (node, out chan id, out dst) *)
   send_locks : (int * int, Mutex.t) Hashtbl.t; (* message serialization *)
   fwd_stats : (int, int ref * int ref) Hashtbl.t; (* node -> packets, bytes *)
+  credits : credits option;
+  gw_pool : int; (* forwarding buffers per pump (2 = paper's dual buffer) *)
+  gw_high : int; (* busy slots at which a gateway reports Overloaded *)
+  gw_low : int; (* busy slots at which the report clears (hysteresis) *)
+  overload_track : bool; (* watermark machinery on (credits or gw_pool set) *)
+  overloaded : (int, unit) Hashtbl.t; (* gateways above their watermark *)
+  gw_busy : (int, int ref) Hashtbl.t; (* per-node busy pool slots *)
+  overload_gen : (int, int) Hashtbl.t; (* cancels stale hold timers *)
+  mutable overload_events : int; (* Overloaded transitions (rising edges) *)
+  mutable on_overload_change : unit -> unit; (* rel: recompute + reemit *)
+  asm_depth : (int * int, probe_point) Hashtbl.t; (* (me, origin) -> bytes *)
+  pump_depth : (int, probe_point) Hashtbl.t; (* node -> busy pool slots *)
+  unacked_peak : (int * int, int ref) Hashtbl.t; (* flow -> log peak *)
+  unacked_cap : int; (* bound on the origin re-emission log, in packets *)
 }
 
 let memo table key mk =
@@ -156,7 +227,6 @@ let memo table key mk =
       Hashtbl.add table key v;
       v
 
-let assembler t ~me ~origin = memo t.assemblers (me, origin) Assembler.create
 let starts t ~me ~origin = memo t.starts (me, origin) (fun () -> Mailbox.create ())
 let incoming t ~me = memo t.incoming me (fun () -> Mailbox.create ())
 let send_lock t ~src ~dst = memo t.send_locks (src, dst) Mutex.create
@@ -333,6 +403,159 @@ let ship_packet t ~at ~header ~payload ~payload_len =
 let flow_ref table key = memo table key (fun () -> ref 0)
 let unacked_q r key = memo r.unacked key (fun () -> Queue.create ())
 
+(* The origin trims its unacknowledged log on a cumulative ack. The
+   16-bit sequence space wraps, so "at or before the acked number" is
+   the circular half-space test: [acked - s] (mod 2^16) < 2^15. Entries
+   are queued in emission order, so trimming pops from the front while
+   the head is inside that window — a cumulative trim even when the
+   exact acked packet was already trimmed by an earlier (reordered) ack.
+   The log is capped at the flow-control window, which keeps every live
+   entry well inside the half-space and makes a stale ack unable to eat
+   unacked packets. Senders blocked on a full log are woken. *)
+let handle_ack r header =
+  let key = (header.Generic_tm.final_dst, header.Generic_tm.origin) in
+  (match Hashtbl.find_opt r.unacked key with
+  | None -> ()
+  | Some q ->
+      let acked = header.Generic_tm.seq in
+      let at_or_before s = (acked - s) land 0xffff < 0x8000 in
+      let continue = ref true in
+      while !continue && not (Queue.is_empty q) do
+        let s, _, _ = Queue.peek q in
+        if at_or_before s then ignore (Queue.pop q) else continue := false
+      done);
+  let waiters = r.ack_waiters in
+  r.ack_waiters <- [];
+  List.iter (fun wake -> wake ()) waiters
+
+(* ------------------------------------------------------------------ *)
+(* Credit plane *)
+
+let credit_tx_state c key =
+  memo c.cr_tx key (fun () ->
+      {
+        ctx_mu = Mutex.create ();
+        ctx_cond = Condition.create ();
+        ctx_shipped = 0;
+        ctx_granted = 0;
+      })
+
+let credit_rx_state c key =
+  memo c.cr_rx key (fun () -> { crx_consumed = 0; crx_last_grant = 0 })
+
+(* Cumulative grant from the consumer [me] back to the flow's origin: a
+   [crd] packet whose 4-byte payload is the number of data packets
+   consumed so far. On reliable vchannels it piggybacks the flow's
+   cumulative ack ([ack] flag + [seq]), so a grant also trims the
+   origin's re-emission log. Rides the normal routed path — gateways
+   forward it like data. Best-effort: a lost grant is recovered by the
+   sender's zero-window probe. *)
+let send_grant t c ~me ~origin =
+  let crx = credit_rx_state c (me, origin) in
+  crx.crx_last_grant <- crx.crx_consumed;
+  c.cr_grants <- c.cr_grants + 1;
+  let consumed = crx.crx_consumed in
+  let ack, seq =
+    match t.rel with
+    | Some r ->
+        let expected = !(flow_ref r.rx_next (me, origin)) in
+        if expected > 0 then (true, (expected - 1) land 0xffff) else (false, 0)
+    | None -> (false, 0)
+  in
+  let header =
+    {
+      Generic_tm.final_dst = origin;
+      origin = me;
+      payload_len = 4;
+      first = false;
+      last = false;
+      seq;
+      ack;
+      hs = false;
+      crd = true;
+    }
+  in
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.grant.%d->%d" me origin)
+    (fun () ->
+      let payload = Bytes.create 4 in
+      Bytes.set_int32_le payload 0 (Int32.of_int consumed);
+      try ship_packet t ~at:me ~header ~payload ~payload_len:4
+      with Partitioned _ | Config.Peer_unreachable _ -> ())
+
+(* Zero-window probe from a credit-blocked sender: an empty [crd] packet
+   the receiver answers with a fresh grant. Covers grants lost to crash
+   paths, so a blocked flow can always make progress once the receiver
+   consumes. *)
+let send_probe t c ~src ~dst =
+  c.cr_probes <- c.cr_probes + 1;
+  let header =
+    {
+      Generic_tm.final_dst = dst;
+      origin = src;
+      payload_len = 0;
+      first = false;
+      last = false;
+      seq = 0;
+      ack = false;
+      hs = false;
+      crd = true;
+    }
+  in
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.probe.%d->%d" src dst)
+    (fun () ->
+      try ship_packet t ~at:src ~header ~payload:Bytes.empty ~payload_len:0
+      with Partitioned _ | Config.Peer_unreachable _ -> ())
+
+(* One user unpack drained a whole packet payload at [me]: account the
+   buffered bytes away and replenish the origin's credits once a grant
+   quantum's worth has been consumed. *)
+let note_consumed t ~me ~origin chunk_len =
+  (match Hashtbl.find_opt t.asm_depth (me, origin) with
+  | Some pp -> pp_sub pp chunk_len
+  | None -> ());
+  match t.credits with
+  | None -> ()
+  | Some c ->
+      let crx = credit_rx_state c (me, origin) in
+      crx.crx_consumed <- crx.crx_consumed + 1;
+      if crx.crx_consumed - crx.crx_last_grant >= c.cr_quantum then
+        send_grant t c ~me ~origin
+
+let assembler t ~me ~origin =
+  memo t.assemblers (me, origin) (fun () ->
+      let a = Assembler.create () in
+      a.Assembler.on_pop <- (fun n -> note_consumed t ~me ~origin n);
+      a)
+
+let asm_pp t ~me ~origin = memo t.asm_depth (me, origin) pp_make
+
+(* A grant (or probe answer) reached the flow's origin [me]. Grants are
+   cumulative, so reordered or duplicated ones apply monotonically. *)
+let handle_crd t ~me header payload =
+  (match (t.rel, header.Generic_tm.ack) with
+  | Some r, true -> handle_ack r header
+  | _ -> ());
+  match t.credits with
+  | None -> () (* stray credit packet on a credit-less vchannel *)
+  | Some c ->
+      if header.Generic_tm.payload_len >= 4 then begin
+        let consumed = Int32.to_int (Bytes.get_int32_le payload 0) in
+        let ctx = credit_tx_state c (me, header.Generic_tm.origin) in
+        if consumed > ctx.ctx_granted then begin
+          ctx.ctx_granted <- consumed;
+          Condition.broadcast ctx.ctx_cond
+        end
+      end
+      else begin
+        (* Zero-window probe: answer with the current consumed count,
+           unless this host is down. *)
+        match t.rel with
+        | Some r when not (Simnet.Faults.node_up r.faults me) -> ()
+        | _ -> send_grant t c ~me ~origin:header.Generic_tm.origin
+      end
+
 (* Cumulative ack from [me] back to the flow's origin, riding the normal
    routed path as a zero-payload packet. Best-effort: a lost or
    unroutable ack only delays trimming of the origin's log. *)
@@ -349,6 +572,7 @@ let send_ack t r ~me ~origin =
         seq = (expected - 1) land 0xffff;
         ack = true;
         hs = false;
+        crd = false;
       }
     in
     Engine.spawn t.engine ~daemon:true
@@ -357,23 +581,6 @@ let send_ack t r ~me ~origin =
         try ship_packet t ~at:me ~header ~payload:Bytes.empty ~payload_len:0
         with Partitioned _ | Config.Peer_unreachable _ -> ())
   end
-
-(* The origin trims its unacknowledged log up to the acked sequence
-   number. Scan-based: only pop if the acked seq is actually present, so
-   a stale or wrapped ack can never eat unacked packets. *)
-let handle_ack r header =
-  let key = (header.Generic_tm.final_dst, header.Generic_tm.origin) in
-  match Hashtbl.find_opt r.unacked key with
-  | None -> ()
-  | Some q ->
-      let acked = header.Generic_tm.seq in
-      if Queue.fold (fun found (s, _, _) -> found || s = acked) false q then begin
-        let continue = ref true in
-        while !continue && not (Queue.is_empty q) do
-          let s, _, _ = Queue.pop q in
-          if s = acked then continue := false
-        done
-      end
 
 (* Session handshake, received by a freshly restarted node: the peer
    tells us where its delivery journal stands ([seq] = next sequence it
@@ -435,13 +642,16 @@ let wait_handshake t r ~src ~dst =
 let deliver_local t ~me header payload =
   touch_sentinel t ~rank:me;
   let accept () =
-    let asmb = assembler t ~me ~origin:header.Generic_tm.origin in
+    let origin = header.Generic_tm.origin in
+    let asmb = assembler t ~me ~origin in
     if header.Generic_tm.first then begin
-      Mailbox.put (starts t ~me ~origin:header.Generic_tm.origin) ();
-      Mailbox.put (incoming t ~me) header.Generic_tm.origin
+      Mailbox.put (starts t ~me ~origin) ();
+      Mailbox.put (incoming t ~me) origin
     end;
-    if Bytes.length payload > 0 then
-      Assembler.push asmb (Assembler.Data payload);
+    if Bytes.length payload > 0 then begin
+      pp_add (asm_pp t ~me ~origin) (Bytes.length payload);
+      Assembler.push asmb (Assembler.Data payload)
+    end;
     if header.Generic_tm.last then Assembler.push asmb Assembler.End_of_message
   in
   match t.rel with
@@ -455,12 +665,99 @@ let deliver_local t ~me header payload =
       else r.dup_drops <- r.dup_drops + 1;
       send_ack t r ~me ~origin:header.Generic_tm.origin
 
+(* ------------------------------------------------------------------ *)
+(* Gateway watermarks: Overloaded load reports with hysteresis *)
+
+let gw_busy_ref t node = memo t.gw_busy node (fun () -> ref 0)
+let pump_pp t node = memo t.pump_depth node pp_make
+
+let bump_overload_gen t node =
+  let gen =
+    match Hashtbl.find_opt t.overload_gen node with
+    | Some g -> g + 1
+    | None -> 1
+  in
+  Hashtbl.replace t.overload_gen node gen;
+  gen
+
+let inform_sentinels t node flag =
+  match t.rel with
+  | None -> ()
+  | Some r ->
+      Hashtbl.iter
+        (fun me s -> if me <> node then Sentinel.set_overloaded s ~peer:node flag)
+        r.sentinels
+
+let set_overload t node flag =
+  if flag then begin
+    if not (Hashtbl.mem t.overloaded node) then begin
+      Hashtbl.replace t.overloaded node ();
+      t.overload_events <- t.overload_events + 1;
+      inform_sentinels t node true;
+      t.on_overload_change ()
+    end
+  end
+  else if Hashtbl.mem t.overloaded node then begin
+    Hashtbl.remove t.overloaded node;
+    inform_sentinels t node false;
+    t.on_overload_change ()
+  end
+
+(* Clearing is held for {!Config.overload_hold}: a pool oscillating one
+   slot below full at line rate must not flap its status (and, on
+   reliable vchannels, thrash route recomputations). The generation
+   counter cancels a pending clear when the pool fills again. *)
+let maybe_clear_overload t node =
+  let gen = bump_overload_gen t node in
+  Engine.at t.engine
+    (Time.add (Engine.now t.engine) Config.overload_hold)
+    (fun () ->
+      if
+        Hashtbl.find_opt t.overload_gen node = Some gen
+        && !(gw_busy_ref t node) <= t.gw_low
+      then set_overload t node false)
+
+(* Taking / returning a forwarding buffer. The acquire blocking on a
+   full pool IS the hop-by-hop backpressure: a dispatcher that cannot
+   take a buffer stops consuming its incoming channel, the sending side
+   of the previous hop blocks in turn, and the pressure propagates back
+   to the origin's credit window instead of accumulating in a queue. *)
+let gw_acquire t ~node p =
+  Semaphore.acquire p.pump_buffers;
+  if t.overload_track then begin
+    let busy = gw_busy_ref t node in
+    incr busy;
+    pp_add (pump_pp t node) 1;
+    (* Refilling past the low watermark cancels any pending clear: the
+       status drops back to Up only if the pool *stayed* drained for the
+       whole hold, not if the timer happened to fire during the
+       microsecond dip between one forward's release and the next
+       packet's acquire. *)
+    if !busy > t.gw_low then ignore (bump_overload_gen t node);
+    if !busy >= t.gw_high then set_overload t node true
+  end
+
+let gw_release t ~node p =
+  if t.overload_track then begin
+    let busy = gw_busy_ref t node in
+    decr busy;
+    pp_sub (pump_pp t node) 1;
+    if !busy <= t.gw_low && Hashtbl.mem t.overloaded node then
+      maybe_clear_overload t node
+  end;
+  Semaphore.release p.pump_buffers
+
 let rec pump_for t ~node (hop : hop) =
   let key = (node, Channel.id hop.hop_channel, hop.hop_to) in
   match Hashtbl.find_opt t.pumps key with
   | Some p -> p
   | None ->
-      let p = { pump_q = Mailbox.create (); pump_buffers = Semaphore.create 2 } in
+      let p =
+        {
+          pump_q = Mailbox.create ();
+          pump_buffers = Semaphore.create t.gw_pool;
+        }
+      in
       Hashtbl.add t.pumps key p;
       spawn_forwarder t ~node p;
       p
@@ -489,7 +786,7 @@ and spawn_forwarder t ~node p =
         | None ->
             ship_packet t ~at:node ~header ~payload
               ~payload_len:(Bytes.length payload));
-        Semaphore.release p.pump_buffers
+        gw_release t ~node p
       done)
 
 (* Dispatcher: one per (node, real channel). Receives every packet
@@ -513,6 +810,7 @@ let spawn_dispatcher t ~node channel =
           Api.end_unpacking ic;
           match t.rel with
           | Some r when header.Generic_tm.hs -> handle_hs r ~me:node header payload
+          | _ when header.Generic_tm.crd -> handle_crd t ~me:node header payload
           | Some r when header.Generic_tm.ack -> handle_ack r header
           | Some r when not (Simnet.Faults.node_up r.faults node) ->
               (* The destination host is down: the data dies with it;
@@ -550,14 +848,14 @@ let spawn_dispatcher t ~node channel =
              before extracting, then hand the packet to the send side of
              that pump (Fig. 9). *)
           let p = pump_for t ~node hop in
-          Semaphore.acquire p.pump_buffers;
+          gw_acquire t ~node p;
           let payload = Bytes.create header.Generic_tm.payload_len in
           (try
              if header.Generic_tm.payload_len > 0 then
                Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
              Api.end_unpacking ic
            with e ->
-             Semaphore.release p.pump_buffers;
+             gw_release t ~node p;
              raise e);
           if t.extra_gateway_copy && header.Generic_tm.payload_len > 0 then
             Engine.sleep
@@ -606,12 +904,19 @@ let reemit_flows t r =
 let create session ?(mtu = Config.default_vchannel_mtu)
     ?(patience = Config.default_route_patience)
     ?(gateway_overhead = Config.gateway_packet_overhead)
-    ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?faults channels =
+    ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?credits ?gw_pool ?faults
+    channels =
   if channels = [] then invalid_arg "Vchannel.create: no channels";
   if mtu <= Generic_tm.sub_header_size then
     invalid_arg "Vchannel.create: mtu too small";
   (match ingress_cap_mb_s with
   | Some c when c <= 0.0 -> invalid_arg "Vchannel.create: ingress cap <= 0"
+  | Some _ | None -> ());
+  (match credits with
+  | Some n when n < 1 -> invalid_arg "Vchannel.create: credits < 1"
+  | Some _ | None -> ());
+  (match gw_pool with
+  | Some n when n < 1 -> invalid_arg "Vchannel.create: gw_pool < 1"
   | Some _ | None -> ());
   let all_ranks =
     List.concat_map Channel.ranks channels |> List.sort_uniq compare
@@ -631,11 +936,33 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             suspected = Hashtbl.create 8;
             route_waiters = [];
             hs_waiters = [];
+            ack_waiters = [];
             reroutes = 0;
             reemitted = 0;
             dup_drops = 0;
             handshakes = 0;
           }
+  in
+  let credit_plane =
+    match credits with
+    | None -> None
+    | Some budget ->
+        Some
+          {
+            cr_budget = budget;
+            (* Grant every half window: frequent enough that a sender
+               with a consuming receiver never runs fully dry, cheap
+               enough that grants stay a small fraction of the data. *)
+            cr_quantum = max 1 (budget / 2);
+            cr_tx = Hashtbl.create 32;
+            cr_rx = Hashtbl.create 32;
+            cr_grants = 0;
+            cr_probes = 0;
+            cr_stalls = 0;
+          }
+  in
+  let pool =
+    match gw_pool with Some p -> p | None -> Config.default_gateway_pool
   in
   let down =
     match rel with
@@ -670,6 +997,26 @@ let create session ?(mtu = Config.default_vchannel_mtu)
       pumps = Hashtbl.create 16;
       send_locks = Hashtbl.create 32;
       fwd_stats = Hashtbl.create 8;
+      credits = credit_plane;
+      gw_pool = pool;
+      gw_high = pool;
+      gw_low = max 1 (pool / 2);
+      (* The watermark machinery (and its clear-hold timers) runs only
+         when the backpressure plane was asked for; a plain vchannel's
+         schedule stays byte-identical to the pre-flow-control library. *)
+      overload_track = credit_plane <> None || gw_pool <> None;
+      overloaded = Hashtbl.create 4;
+      gw_busy = Hashtbl.create 4;
+      overload_gen = Hashtbl.create 4;
+      overload_events = 0;
+      on_overload_change = (fun () -> ());
+      asm_depth = Hashtbl.create 32;
+      pump_depth = Hashtbl.create 8;
+      unacked_peak = Hashtbl.create 32;
+      unacked_cap =
+        (match credits with
+        | Some n -> n
+        | None -> Config.default_unacked_window);
     }
   in
   List.iter
@@ -685,11 +1032,44 @@ let create session ?(mtu = Config.default_vchannel_mtu)
   | Some r ->
       List.iter Channel.relax_checked channels;
       let recompute () =
-        t.routes <- compute_routes ~down channels all_ranks;
+        let fresh = compute_routes ~down channels all_ranks in
+        (* Prefer routes that avoid Overloaded gateways — shifting
+           traffic onto an alternate gateway when one exists — but never
+           at the price of reachability: pairs only connected through an
+           overloaded node keep their direct route. *)
+        if Hashtbl.length t.overloaded > 0 then begin
+          let down_or_overloaded n = down n || Hashtbl.mem t.overloaded n in
+          let strict =
+            compute_routes ~down:down_or_overloaded channels all_ranks
+          in
+          Hashtbl.iter (fun key hops -> Hashtbl.replace fresh key hops) strict
+        end;
+        t.routes <- fresh;
         let waiters = r.route_waiters in
         r.route_waiters <- [];
         List.iter (fun wake -> wake ()) waiters
       in
+      (* An Overloaded transition recomputes route preferences; packets
+         are re-emitted ONLY if some route actually changed (switching
+         routes mid-flow can strand packets the destination's sequence
+         check discarded as overtakers). When no alternate gateway
+         exists the routes are unchanged and nothing is re-emitted —
+         re-emitting into an already-overloaded path would feed the
+         congestion it is reporting. *)
+      let route_sig routes =
+        Hashtbl.fold
+          (fun key hops acc ->
+            ( key,
+              List.map (fun h -> (Channel.id h.hop_channel, h.hop_to)) hops )
+            :: acc)
+          routes []
+        |> List.sort compare
+      in
+      t.on_overload_change <-
+        (fun () ->
+          let before = route_sig t.routes in
+          recompute ();
+          if route_sig t.routes <> before then reemit_flows t r);
       Simnet.Faults.on_crash r.faults (fun node ->
           if List.mem node t.all_ranks then begin
             r.reroutes <- r.reroutes + 1;
@@ -707,6 +1087,28 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             Hashtbl.iter
               (fun (src, _) q -> if src = node then Queue.clear q)
               r.unacked;
+            (* Credit counters are volatile send-side state too: both
+               ends of the crashed node's flows restart from zero (the
+               receive side mirrors the wiped cursor — leftover pre-crash
+               bytes still buffered at a peer may transiently over-grant
+               by at most one budget, which the restart window absorbs). *)
+            (match t.credits with
+            | None -> ()
+            | Some c ->
+                Hashtbl.iter
+                  (fun (src, _) ctx ->
+                    if src = node then begin
+                      ctx.ctx_shipped <- 0;
+                      ctx.ctx_granted <- 0
+                    end)
+                  c.cr_tx;
+                Hashtbl.iter
+                  (fun (_, origin) crx ->
+                    if origin = node then begin
+                      crx.crx_consumed <- 0;
+                      crx.crx_last_grant <- 0
+                    end)
+                  c.cr_rx);
             recompute ();
             reemit_flows t r
           end);
@@ -740,6 +1142,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                           seq = resume;
                           ack = false;
                           hs = true;
+                          crd = false;
                         }
                       in
                       try ship_packet t ~at:me ~header ~payload ~payload_len:4
@@ -819,6 +1222,72 @@ let create session ?(mtu = Config.default_vchannel_mtu)
 (* ------------------------------------------------------------------ *)
 (* Emission: the Generic TM's static-copy packetization *)
 
+(* A sender out of credits parks on the flow's condition variable until
+   the receiver's grants catch up. While blocked it ships a zero-window
+   probe every {!Config.credit_probe_interval} (recovering grants lost
+   to crash paths), and on a reliable vchannel it rides out route holes
+   with the usual patience — a flow whose destination never comes back
+   surfaces as [Partitioned] here exactly as it would in [ship_packet]. *)
+let wait_credit t c ~src ~dst =
+  let ctx = credit_tx_state c (src, dst) in
+  if ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget then begin
+    c.cr_stalls <- c.cr_stalls + 1;
+    while ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget do
+      (match t.rel with
+      | Some r when not (Hashtbl.mem t.routes (src, dst)) ->
+          wait_route t r ~at:src ~dst
+      | _ -> ());
+      if ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget then begin
+        let wake_at =
+          Time.add (Engine.now t.engine) Config.credit_probe_interval
+        in
+        Engine.at t.engine wake_at (fun () -> Condition.broadcast ctx.ctx_cond);
+        Mutex.lock ctx.ctx_mu;
+        Condition.wait ctx.ctx_cond ctx.ctx_mu;
+        Mutex.unlock ctx.ctx_mu;
+        if
+          ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget
+          && Time.( <= ) wake_at (Engine.now t.engine)
+        then send_probe t c ~src ~dst
+      end
+    done
+  end;
+  ctx.ctx_shipped <- ctx.ctx_shipped + 1
+
+(* A reliable sender whose re-emission log is full parks until acks trim
+   it: reliable mode obeys the same memory budget as every other point
+   on the path. Acks are arrival-driven (the destination acknowledges
+   every data packet it sees, consumed or not), so the log drains as
+   long as the network delivers — only a crashed or partitioned peer
+   stops it, and that surfaces as [Partitioned] below. *)
+let wait_unacked t r ~src ~dst q =
+  while Queue.length q >= t.unacked_cap do
+    if not (Hashtbl.mem t.routes (src, dst)) then wait_route t r ~at:src ~dst;
+    if Queue.length q >= t.unacked_cap then begin
+      let deadline = Time.add (Engine.now t.engine) t.patience in
+      Engine.suspend ~name:"vchannel.unacked" (fun wake ->
+          let woken = ref false in
+          let wake_once () =
+            if not !woken then begin
+              woken := true;
+              wake ()
+            end
+          in
+          r.ack_waiters <- wake_once :: r.ack_waiters;
+          Engine.at t.engine deadline wake_once);
+      if
+        Queue.length q >= t.unacked_cap
+        && not (Simnet.Faults.node_up r.faults dst)
+      then
+        raise
+          (Partitioned
+             (Printf.sprintf
+                "Vchannel: flow %d->%d blocked on a full unacked log and \
+                 its peer crashed"
+                src dst))
+    end
+  done
+
 type out_connection = {
   v : t;
   oc_src : int;
@@ -851,6 +1320,23 @@ let begin_packing t ~me ~remote =
 
 let ship oc ~last =
   let t = oc.v in
+  (* On failure, close the connection and release its lock so the error
+     surfaces as [Partitioned], not a deadlock. *)
+  let fail_with e =
+    oc.oc_closed <- true;
+    Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst);
+    raise e
+  in
+  (* Credits are charged per data-carrying packet before it is numbered:
+     a sender out of credits blocks here — holding the flow's message
+     lock, which is what serializes the flow — until the receiver's
+     consumption replenishes the window. Control packets and empty
+     last-packet markers carry no bytes and are free. *)
+  (match t.credits with
+  | Some c when oc.fill > 0 -> (
+      try wait_credit t c ~src:oc.oc_src ~dst:oc.oc_dst
+      with e -> fail_with e)
+  | _ -> ());
   let seq =
     match t.rel with
     | None -> 0
@@ -859,10 +1345,7 @@ let ship oc ~last =
            cursor; numbering must not resume until the peer's handshake
            restores it, or the receiver would discard the tail. *)
         (try wait_handshake t r ~src:oc.oc_src ~dst:oc.oc_dst
-         with e ->
-           oc.oc_closed <- true;
-           Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst);
-           raise e);
+         with e -> fail_with e);
         let sq = flow_ref r.tx_seq (oc.oc_src, oc.oc_dst) in
         let s = !sq in
         sq := (s + 1) land 0xffff;
@@ -878,27 +1361,27 @@ let ship oc ~last =
       seq;
       ack = false;
       hs = false;
+      crd = false;
     }
   in
   (match t.rel with
   | None -> ()
   | Some r ->
       (* Log a copy before shipping: anything unacknowledged can be
-         re-emitted after a gateway crash. *)
-      Queue.push
-        (seq, header, Bytes.sub oc.staging 0 oc.fill)
-        (unacked_q r (oc.oc_src, oc.oc_dst)));
+         re-emitted after a gateway crash. The log is bounded — wait for
+         acks to trim it rather than letting it grow with the flow. *)
+      let q = unacked_q r (oc.oc_src, oc.oc_dst) in
+      (try wait_unacked t r ~src:oc.oc_src ~dst:oc.oc_dst q
+       with e -> fail_with e);
+      Queue.push (seq, header, Bytes.sub oc.staging 0 oc.fill) q;
+      let peak = memo t.unacked_peak (oc.oc_src, oc.oc_dst) (fun () -> ref 0) in
+      if Queue.length q > !peak then peak := Queue.length q);
   (match
      ship_packet t ~at:oc.oc_src ~header ~payload:oc.staging
        ~payload_len:oc.fill
    with
   | () -> ()
-  | exception e ->
-      (* The flow is partitioned: close the connection and release its
-         lock so the error surfaces as [Partitioned], not a deadlock. *)
-      oc.oc_closed <- true;
-      Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst);
-      raise e);
+  | exception e -> fail_with e);
   oc.first_sent <- true;
   oc.fill <- 0
 
@@ -1020,7 +1503,16 @@ let peer_status t ~src ~dst =
               | Some b -> b
               | None -> n
             in
-            if n > base then Iface.Degraded (n - base) else Iface.Up)
+            (* Overload shedding on the current path (destination or any
+               relay above its watermark) outranks mere route
+               lengthening: after rerouting away from an overloaded
+               gateway the flow reports Degraded like any failover. *)
+            if
+              Hashtbl.mem t.overloaded dst
+              || List.exists (fun h -> Hashtbl.mem t.overloaded h.hop_to) hops
+            then Iface.Overloaded
+            else if n > base then Iface.Degraded (n - base)
+            else Iface.Up)
 
 type rel_stats = {
   reroutes : int;
@@ -1076,6 +1568,92 @@ let flow_stats t =
           :: acc)
         keys []
       |> List.sort compare
+
+type credit_stats = {
+  credit_budget : int;
+  grants : int;
+  probes : int;
+  stalls : int;
+}
+
+let credit_stats t =
+  match t.credits with
+  | None -> None
+  | Some c ->
+      Some
+        {
+          credit_budget = c.cr_budget;
+          grants = c.cr_grants;
+          probes = c.cr_probes;
+          stalls = c.cr_stalls;
+        }
+
+let overloaded t =
+  Hashtbl.fold (fun node () acc -> node :: acc) t.overloaded []
+  |> List.sort compare
+
+let overload_events t = t.overload_events
+
+type queue_stat = {
+  q_point : string;
+  q_node : int;
+  q_peer : int;
+  q_peak : int;
+  q_bound : int option;
+}
+
+(* Every instrumented buffering point with its observed peak and, when
+   the backpressure plane bounds it, the configured bound. Peaks are
+   tracked unconditionally (plain counter updates); bounds exist for
+   assemblers and unacked logs only when the relevant plane is on. *)
+let queue_stats t =
+  let acc = ref [] in
+  let asm_bound =
+    match t.credits with Some c -> Some (c.cr_budget * t.mtu) | None -> None
+  in
+  Hashtbl.iter
+    (fun (me, origin) pp ->
+      acc :=
+        {
+          q_point = "assembler_bytes";
+          q_node = me;
+          q_peer = origin;
+          q_peak = pp.pp_peak;
+          q_bound = asm_bound;
+        }
+        :: !acc)
+    t.asm_depth;
+  Hashtbl.iter
+    (fun node pp ->
+      acc :=
+        {
+          q_point = "gateway_pool_slots";
+          q_node = node;
+          q_peer = -1;
+          q_peak = pp.pp_peak;
+          (* one pool per outgoing link *)
+          q_bound =
+            Some
+              (t.gw_pool
+              * Hashtbl.fold
+                  (fun (n, _, _) _ k -> if n = node then k + 1 else k)
+                  t.pumps 0);
+        }
+        :: !acc)
+    t.pump_depth;
+  Hashtbl.iter
+    (fun (src, dst) peak ->
+      acc :=
+        {
+          q_point = "unacked_packets";
+          q_node = src;
+          q_peer = dst;
+          q_peak = !peak;
+          q_bound = Some t.unacked_cap;
+        }
+        :: !acc)
+    t.unacked_peak;
+  List.sort compare !acc
 
 let sentinel t ~rank =
   match t.rel with

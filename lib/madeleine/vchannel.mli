@@ -39,6 +39,8 @@ val create :
   ?gateway_overhead:Marcel.Time.span ->
   ?extra_gateway_copy:bool ->
   ?ingress_cap_mb_s:float ->
+  ?credits:int ->
+  ?gw_pool:int ->
   ?faults:Simnet.Faults.t ->
   Channel.t list ->
   t
@@ -49,6 +51,32 @@ val create :
     (default [false]) disables the static-buffer borrowing optimization
     of §6.1, charging one additional memcpy per forwarded packet — the
     ablation knob.
+
+    [credits] switches on end-to-end credit-based flow control: each
+    (src, dst) flow may have at most [credits] unconsumed data packets
+    in flight or buffered at the destination, so every buffering point
+    holds at most [credits * mtu] bytes of the flow. Credits are
+    receiver-granted and consumption-driven — a paused receiver blocks
+    the sender (on a condition variable inside [pack]/[end_packing])
+    instead of letting data pile up; grants are cumulative [crd]
+    packets riding the normal routed path (piggybacking the flow's ack
+    on reliable vchannels), and a blocked sender ships a zero-window
+    probe every {!Config.credit_probe_interval} so a grant lost to a
+    crash cannot wedge the flow. Unset (the default), no credit packet
+    is ever emitted and the wire format is byte-identical to the
+    credit-less library. Works with or without [faults].
+
+    [gw_pool] sizes each gateway forwarding pump's buffer pool (default
+    {!Config.default_gateway_pool} = the paper's dual buffer). A full
+    pool blocks the ingress dispatcher — backpressure propagates
+    hop-by-hop toward the origin instead of queueing on the gateway.
+    Giving [credits] or [gw_pool] explicitly also arms per-gateway
+    watermarks: a gateway whose busy buffers reach the pool size is
+    reported [Overloaded] (through {!peer_status}, and through each
+    rank's {!Sentinel} on reliable vchannels, where routes are also
+    recomputed to prefer non-overloaded gateways); the report clears,
+    after a {!Config.overload_hold} hysteresis, once the pool drains to
+    half.
 
     [ingress_cap_mb_s] implements the bandwidth-control mechanism the
     paper's conclusion calls for ("some sophisticated bandwidth control
@@ -96,8 +124,10 @@ val route_via : t -> src:int -> dst:int -> int list
 
 val peer_status : t -> src:int -> dst:int -> Iface.health
 (** Health of the [src -> dst] flow: [Down] when the destination is
-    crashed or unroutable, [Degraded n] when failover lengthened the
-    route by [n] hops over the original, [Up] otherwise. *)
+    crashed or unroutable, [Overloaded] when the destination or a relay
+    on the current route is shedding load above its watermark,
+    [Degraded n] when failover lengthened the route by [n] hops over
+    the original, [Up] otherwise. *)
 
 val forwarded : t -> (int * int * int) list
 (** Per-gateway forwarding counters: [(node, packets, payload bytes)]
@@ -128,6 +158,41 @@ type flow_stat = {
 val flow_stats : t -> flow_stat list
 (** Per-flow reliability counters, sorted by (src, dst); empty without
     [?faults]. *)
+
+type credit_stats = {
+  credit_budget : int;  (** packets in flight allowed per flow *)
+  grants : int;  (** cumulative grant packets sent by receivers *)
+  probes : int;  (** zero-window probes sent by blocked senders *)
+  stalls : int;  (** times a sender ran out of credits and blocked *)
+}
+
+val credit_stats : t -> credit_stats option
+(** Credit-plane counters — [None] without [?credits]. *)
+
+val overloaded : t -> int list
+(** Gateways currently above their high watermark, sorted. Always empty
+    unless [?credits] or [?gw_pool] armed the watermark machinery. *)
+
+val overload_events : t -> int
+(** Rising-edge Overloaded transitions observed so far. *)
+
+type queue_stat = {
+  q_point : string;
+      (** ["assembler_bytes"], ["gateway_pool_slots"] or
+          ["unacked_packets"] *)
+  q_node : int;
+  q_peer : int;  (** flow peer; [-1] for per-node points *)
+  q_peak : int;  (** highest occupancy observed (bytes, slots, packets) *)
+  q_bound : int option;  (** configured bound, when one is in force *)
+}
+
+val queue_stats : t -> queue_stat list
+(** Observed peak occupancy of every instrumented buffering point —
+    destination assemblers (bytes; bounded by [credits * mtu]), gateway
+    forwarding pools (busy buffers; bounded by [gw_pool] per outgoing
+    link) and origin re-emission logs (packets; bounded by [credits],
+    or {!Config.default_unacked_window} without credits). The chaos
+    harness asserts [q_peak <= q_bound] under overload. *)
 
 val sentinel : t -> rank:int -> Sentinel.t option
 (** The rank's failure detector — [None] without [?faults] or when the

@@ -10,6 +10,7 @@ type link_faults = {
   mutable reorder_rate : float;
   mutable reorder_jitter : Time.span;
   mutable down_until : Time.t;
+  mutable rx_cap_mb_s : float option;
 }
 
 type stats = {
@@ -74,6 +75,7 @@ let link_state t key =
           reorder_rate = 0.0;
           reorder_jitter = Time.zero;
           down_until = Time.zero;
+          rx_cap_mb_s = None;
         }
       in
       Hashtbl.add t.links key l;
@@ -108,6 +110,23 @@ let flap_link t ~fabric ~node ~at ~duration =
   Engine.at t.eng at (fun () ->
       let until = Time.add (Engine.now t.eng) duration in
       if Time.( < ) l.down_until until then l.down_until <- until)
+
+let slow_receiver t ~fabric ~node ~mb_per_s =
+  if mb_per_s <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Faults.slow_receiver: rate %g must be positive"
+         mb_per_s);
+  (link_state t (fabric, node)).rx_cap_mb_s <- Some mb_per_s
+
+let clear_slow_receiver t ~fabric ~node =
+  match Hashtbl.find_opt t.links (fabric, node) with
+  | None -> ()
+  | Some l -> l.rx_cap_mb_s <- None
+
+let rx_cap t ~fabric ~node =
+  match Hashtbl.find_opt t.links (fabric, node) with
+  | None -> None
+  | Some l -> l.rx_cap_mb_s
 
 let node_up t node = not (Hashtbl.mem t.node_down node)
 

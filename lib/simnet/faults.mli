@@ -52,6 +52,21 @@ val set_reorder :
     uniform random extra delay in [(0, jitter]], letting later frames
     overtake it. *)
 
+val slow_receiver : t -> fabric:string -> node:int -> mb_per_s:float -> unit
+(** Caps the rate at which [node] drains frames arriving on [fabric] to
+    [mb_per_s] MB/s — a slow receiver (PCI arbitration, a starved host)
+    whose NIC accepts data slower than the wire delivers it. Enforced by
+    reliable transports at the delivery point: frames queue behind a
+    pacing cursor, so acknowledgments (and therefore the sender's window
+    and any credit grants) slow down with the receiver. Raises
+    [Invalid_argument] on a non-positive rate. Consumes no randomness —
+    a throttled run is still deterministic. *)
+
+val clear_slow_receiver : t -> fabric:string -> node:int -> unit
+
+val rx_cap : t -> fabric:string -> node:int -> float option
+(** The receive-rate cap configured with {!slow_receiver}, if any. *)
+
 (** {1 Scheduled faults} *)
 
 val flap_link :

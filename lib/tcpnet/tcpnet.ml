@@ -87,6 +87,9 @@ type conn = {
   mutable dead : bool; (* retransmission gave up: peer unreachable *)
   mutable crc_rejects : int; (* corrupted frames this end discarded *)
   mutable dup_frames : int; (* duplicate/out-of-window frames discarded *)
+  mutable rx_slot : Time.t; (* slow-receiver pacing cursor (Faults.rx_cap) *)
+  mutable peak_inbox : int; (* highest buffered unconsumed bytes observed *)
+  mutable peak_sendq : int; (* highest in-flight window occupancy observed *)
 }
 
 and t = {
@@ -178,6 +181,9 @@ let fresh_conn stack =
     dead = false;
     crc_rejects = 0;
     dup_frames = 0;
+    rx_slot = Time.zero;
+    peak_inbox = 0;
+    peak_sendq = 0;
   }
   in
   stack.net.conns <- c :: stack.net.conns;
@@ -238,6 +244,11 @@ let wake_readers conn =
   List.iter (fun wake -> wake ()) readers;
   List.iter (fun hook -> hook ()) conn.data_hooks
 
+let push_inbox conn data =
+  Bytequeue.push conn.inbox data;
+  let n = Bytequeue.length conn.inbox in
+  if n > conn.peak_inbox then conn.peak_inbox <- n
+
 let out_stream conn remote =
   match conn.out_stream with
   | Some st -> st
@@ -289,7 +300,7 @@ let fast_transmit conn remote staged =
   Engine.sleep Netparams.tcp_send_overhead;
   Simnet.Stream.push (out_stream conn remote) ~bytes_count
     ~on_delivered:(fun () ->
-      List.iter (Bytequeue.push remote.inbox) staged;
+      List.iter (push_inbox remote) staged;
       wake_readers remote)
 
 let host_id conn = conn.stack.host.Node.id
@@ -352,6 +363,7 @@ let reset_socket conn remote =
     c.have_rtt <- false;
     c.backoff <- 0;
     c.consec_fail <- 0;
+    c.rx_slot <- Time.zero;
     Bytequeue.clear c.inbox
   in
   purge conn;
@@ -399,13 +411,32 @@ let install_fault_hooks net faults =
    window case: with several frames in flight, a later frame's ack
    cannot arrive before the earlier frames have drained the wire, so
    the floor must cover the cumulative backlog or a loss-free world
-   would retransmit spuriously. *)
-let frame_floor net ~queued_bytes =
-  Time.span_add
-    (Time.span_mul (hop_latency net) 4)
-    (Time.span_add
-       (Time.bytes_at_rate ~bytes_count:(max queued_bytes 1) ~mb_per_s:8.0)
-       (Time.us 200.0))
+   would retransmit spuriously. When the fault plane caps the
+   receiver's drain rate ({!Simnet.Faults.slow_receiver}), the capped
+   drain is one more serial stage after the wire, so the floor adds the
+   backlog at the capped rate on top — otherwise a
+   throttled-but-lossless receiver looks like a dead one and go-back-N
+   storms it. Without a cap the floor is unchanged. *)
+let frame_floor net ~rx_cap ~queued_bytes =
+  let qb = max queued_bytes 1 in
+  let base =
+    Time.span_add
+      (Time.span_mul (hop_latency net) 4)
+      (Time.span_add
+         (Time.bytes_at_rate ~bytes_count:qb ~mb_per_s:8.0)
+         (Time.us 200.0))
+  in
+  match rx_cap with
+  | None -> base
+  | Some cap ->
+      Time.span_add base (Time.bytes_at_rate ~bytes_count:qb ~mb_per_s:cap)
+
+let rx_cap_of net remote =
+  match Fabric.faults net.fabric with
+  | None -> None
+  | Some faults ->
+      Simnet.Faults.rx_cap faults ~fabric:(Fabric.name net.fabric)
+        ~node:remote.stack.host.Node.id
 
 (* Jacobson/Karel: srtt += err/8, rttvar += (|err| - rttvar)/4. *)
 let rtt_sample conn rtt =
@@ -495,27 +526,49 @@ and push_wire conn remote faults f =
         else begin
           if f.f_seq = remote.rx_next then begin
             remote.rx_next <- f.f_seq + 1;
-            Bytequeue.push remote.inbox data;
+            push_inbox remote data;
             wake_readers remote
           end
           else remote.dup_frames <- remote.dup_frames + 1;
           schedule_ack conn remote faults
         end
       in
+      (* Slow-receiver throttle: a capped destination drains delivered
+         frames through a monotonic per-conn pacing cursor (FIFO order
+         preserved: each frame advances the cursor by its own
+         serialization time at the capped rate). Without a cap the
+         frame is processed at delivery time, untouched. *)
+      let paced run =
+        match Simnet.Faults.rx_cap faults ~fabric:fabric_name ~node:dst with
+        | None -> run ()
+        | Some cap ->
+            let now = Engine.now engine in
+            let start =
+              if Time.( < ) now remote.rx_slot then remote.rx_slot else now
+            in
+            let fin =
+              Time.add start
+                (Time.bytes_at_rate ~bytes_count:f.f_len ~mb_per_s:cap)
+            in
+            remote.rx_slot <- fin;
+            Engine.at engine fin run
+      in
       match
         Simnet.Faults.frame_verdict faults ~fabric:fabric_name ~src ~dst
           ~fragments:f.f_fragments
       with
       | Simnet.Faults.Drop -> ()
-      | Simnet.Faults.Deliver -> process f.f_data
-      | Simnet.Faults.Corrupt -> process (Simnet.Faults.corrupt_copy faults f.f_data)
+      | Simnet.Faults.Deliver -> paced (fun () -> process f.f_data)
+      | Simnet.Faults.Corrupt ->
+          let garbled = Simnet.Faults.corrupt_copy faults f.f_data in
+          paced (fun () -> process garbled)
       | Simnet.Faults.Duplicate ->
-          process f.f_data;
-          process f.f_data
+          paced (fun () -> process f.f_data);
+          paced (fun () -> process f.f_data)
       | Simnet.Faults.Delay span ->
           Engine.at engine
             (Time.add (Engine.now engine) span)
-            (fun () -> process f.f_data))
+            (fun () -> paced (fun () -> process f.f_data)))
 
 (* First reliable use of a conn pins the peer epochs it was established
    under, so a restart that predates the conn is not mistaken for a
@@ -581,13 +634,22 @@ let on_expiry conn remote faults =
       else begin
         conn.backoff <- min (conn.backoff + 1) 10;
         let frames = List.of_seq (Queue.to_seq conn.sendq) in
+        let rx_cap = rx_cap_of net remote in
+        (* A capped receiver drains the original copies too: the resent
+           duplicates queue behind everything still unacked, so their
+           floors must cover the whole in-flight backlog or the spurious
+           expiry repeats until backoff catches up. *)
+        let backlog =
+          match rx_cap with Some _ -> conn.inflight_bytes | None -> 0
+        in
         let cum = ref 0 in
         List.iter
           (fun f ->
             (* Acks may land between resends; skip what they covered. *)
             if f.f_seq > conn.acked && not conn.dead then begin
               cum := !cum + f.f_len;
-              f.f_floor <- frame_floor net ~queued_bytes:!cum;
+              f.f_floor <-
+                frame_floor net ~rx_cap ~queued_bytes:(backlog + !cum);
               f.f_rexmit <- true;
               conn.retries <- conn.retries + 1;
               net.net_retransmissions <- net.net_retransmissions + 1;
@@ -679,11 +741,15 @@ let reliable_send conn remote faults staged =
       f_fragments = max 1 ((total + mtu - 1) / mtu);
       f_len = total;
       f_sent_at = Engine.now net.engine;
-      f_floor = frame_floor net ~queued_bytes:conn.inflight_bytes;
+      f_floor =
+        frame_floor net ~rx_cap:(rx_cap_of net remote)
+          ~queued_bytes:conn.inflight_bytes;
       f_rexmit = false;
     }
   in
   Queue.push f conn.sendq;
+  let depth = Queue.length conn.sendq in
+  if depth > conn.peak_sendq then conn.peak_sendq <- depth;
   ensure_rtx conn remote faults;
   push_wire conn remote faults f;
   wake_rtx conn
@@ -707,6 +773,13 @@ let consecutive_failures conn = conn.consec_fail
 let duplicate_frames conn = conn.dup_frames
 let in_flight conn = Queue.length conn.sendq
 let srtt_us conn = if conn.have_rtt then Some conn.srtt else None
+let inbox_peak conn = conn.peak_inbox
+let sendq_peak conn = conn.peak_sendq
+
+let queue_peaks net =
+  List.fold_left
+    (fun (inb, sq) c -> (max inb c.peak_inbox, max sq c.peak_sendq))
+    (0, 0) net.conns
 
 let available conn = Bytequeue.length conn.inbox
 

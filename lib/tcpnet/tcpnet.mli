@@ -132,3 +132,24 @@ val in_flight : conn -> int
 val srtt_us : conn -> float option
 (** Smoothed RTT estimate in microseconds, once at least one clean
     (non-retransmitted) sample has been taken. *)
+
+(** {1 Queue instrumentation} — peak occupancy of the stack's two
+    buffering points, for backpressure invariant checks. A receiver
+    throttled by {!Simnet.Faults.slow_receiver} drains delivered frames
+    through a per-connection pacing cursor at the capped rate (FIFO
+    order preserved); the retransmission-timer floor uses the capped
+    rate too, so a slow-but-lossless receiver is never mistaken for a
+    dead one. Without a cap (and without a fault plane) the delivery
+    path is untouched. *)
+
+val inbox_peak : conn -> int
+(** Highest number of delivered-but-unconsumed bytes ever buffered on
+    this end. *)
+
+val sendq_peak : conn -> int
+(** Highest go-back-N window occupancy (frames) ever reached by this
+    end — never exceeds the net's [window]. *)
+
+val queue_peaks : net -> int * int
+(** [(inbox bytes, sendq frames)] — the maxima of the two peaks above
+    over every connection of the net. *)

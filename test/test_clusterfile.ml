@@ -105,6 +105,63 @@ let expect_parse_error ~line text =
   | exception Cf.Parse_error (l, _) ->
       Alcotest.(check int) "error line" line l
 
+let test_flow_control_options_parsed () =
+  (* Network-level credits= lands on the BIP short-message window;
+     vchannel-level credits=/gw_pool= arm end-to-end flow control. The
+     config must load and the credit-armed vchannel must still forward. *)
+  let t =
+    Cf.load
+      {|
+network sci  type=sisci
+network myri type=bip credits=6
+node a  nets=sci
+node gw nets=sci,myri
+node b  nets=myri
+channel c-sci  net=sci  nodes=a,gw
+channel c-myri net=myri nodes=gw,b
+vchannel wan channels=c-sci,c-myri mtu=4096 credits=4 gw_pool=2
+|}
+  in
+  let vc = Cf.vchannel t "wan" in
+  let data = Harness.payload 20_000 83L in
+  let sink = Bytes.create 20_000 in
+  Engine.spawn (Cf.engine t) ~name:"s" (fun () ->
+      let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2 in
+      Madeleine.Vchannel.pack oc data;
+      Madeleine.Vchannel.end_packing oc);
+  Engine.spawn (Cf.engine t) ~name:"r" (fun () ->
+      let ic = Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0 in
+      Madeleine.Vchannel.unpack ic sink;
+      Madeleine.Vchannel.end_unpacking ic);
+  Engine.run (Cf.engine t);
+  Alcotest.(check bytes) "content through credit-armed gateway" data sink;
+  Alcotest.(check bool) "credit plane armed" true
+    (Madeleine.Vchannel.credit_stats vc <> None);
+  Alcotest.(check bool) "gateway pool bound in force" true
+    (List.exists
+       (fun q ->
+         q.Madeleine.Vchannel.q_point = "gateway_pool_slots"
+         && q.Madeleine.Vchannel.q_bound <> None)
+       (Madeleine.Vchannel.queue_stats vc))
+
+let test_flow_control_option_errors () =
+  (* credits= at network level only means something for bip's
+     short-message window: any other kind must be rejected, on the
+     offending line. *)
+  expect_parse_error ~line:1 "network t type=tcp credits=8";
+  expect_parse_error ~line:2
+    "network m type=bip\nnetwork s type=sisci credits=8";
+  (* gw_pool= is a vchannel option, never a network one. *)
+  expect_parse_error ~line:1 "network m type=bip gw_pool=2";
+  (* Both demand integers >= 1 wherever they are legal. *)
+  expect_parse_error ~line:1 "network m type=bip credits=0";
+  expect_parse_error ~line:5
+    "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b\nvchannel v channels=c credits=0";
+  expect_parse_error ~line:5
+    "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b\nvchannel v channels=c gw_pool=none"
+
 let test_parse_errors () =
   expect_parse_error ~line:1 "network foo type=quantum";
   expect_parse_error ~line:1 "node lonely nets=nowhere";
@@ -130,6 +187,10 @@ let () =
           Alcotest.test_case "load from file" `Quick test_load_file;
           Alcotest.test_case "channel options" `Quick
             test_channel_options_parsed;
+          Alcotest.test_case "flow-control options" `Quick
+            test_flow_control_options_parsed;
+          Alcotest.test_case "flow-control option errors" `Quick
+            test_flow_control_option_errors;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
         ] );
     ]

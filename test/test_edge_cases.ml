@@ -115,6 +115,7 @@ let test_generic_tm_header_roundtrip () =
       seq = 4242;
       ack = true;
       hs = false;
+      crd = true;
     }
   in
   Alcotest.(check bool) "roundtrip" true (G.decode_header (G.encode_header h) = h);

@@ -222,6 +222,120 @@ let test_seeded_run_is_reproducible () =
   Alcotest.(check bool) "identical fault stats" true (s1 = s2);
   Alcotest.(check bool) "identical transport stats" true (n1 = n2)
 
+(* ------------------------------------------------------------------ *)
+(* Credit-based flow control against the fault plane: a reliable
+   vchannel over one faulty TCP segment. *)
+
+let vc_world ?credits ?(mtu = 2048) ~seed () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let session = Madeleine.Session.create engine in
+  let channel =
+    Madeleine.Channel.create session
+      (Madeleine.Pmm_tcp.driver (function 0 -> s0 | _ -> s1))
+      ~ranks:[ 0; 1 ] ()
+  in
+  let vc =
+    Madeleine.Vchannel.create session ~mtu ?credits ~faults [ channel ]
+  in
+  (engine, vc)
+
+let test_paused_receiver_blocks_sender () =
+  (* The receiver consumes nothing for a long while: with a 2-packet
+     credit window the sender must BLOCK (not drop, not buffer without
+     bound) after two packets, then resume losslessly once the receiver
+     starts unpacking. *)
+  let module Vc = Madeleine.Vchannel in
+  let credits = 2 and mtu = 2048 in
+  let engine, vc = vc_world ~credits ~mtu ~seed:21L () in
+  let size = 8192 and messages = 4 in
+  let intact = ref true in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      for m = 0 to messages - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:1 in
+        Vc.pack oc (payload size (Int64.of_int (500 + m)));
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"paused-receiver" (fun () ->
+      Engine.sleep (Time.us 20_000.0);
+      for m = 0 to messages - 1 do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:1 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload size (Int64.of_int (500 + m)))) then
+          intact := false
+      done);
+  Engine.run engine;
+  Alcotest.(check bool) "delivery intact after the pause" true !intact;
+  (match Vc.credit_stats vc with
+  | None -> Alcotest.fail "credit plane not armed"
+  | Some cs ->
+      Alcotest.(check bool)
+        "sender ran out of credits and blocked" true (cs.Vc.stalls > 0);
+      Alcotest.(check bool) "receiver granted credits" true (cs.Vc.grants > 0));
+  List.iter
+    (fun q ->
+      if q.Vc.q_point = "assembler_bytes" then
+        Alcotest.(check bool)
+          (Printf.sprintf "assembler stayed under credits*mtu (peak %d)"
+             q.Vc.q_peak)
+          true
+          (q.Vc.q_peak <= credits * mtu))
+    (Vc.queue_stats vc)
+
+let test_unacked_log_trimmed_by_acks () =
+  (* Regression: the origin's re-emission log must be trimmed as
+     cumulative acks arrive, so a long flow's peak stays under the cap
+     rather than growing with the stream. *)
+  let module Vc = Madeleine.Vchannel in
+  let mtu = 1024 in
+  let engine, vc = vc_world ~mtu ~seed:23L () in
+  let size = 4096 and messages = 50 in
+  let intact = ref true in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      for m = 0 to messages - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:1 in
+        Vc.pack oc (payload size (Int64.of_int (700 + m)));
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"receiver" (fun () ->
+      for m = 0 to messages - 1 do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:1 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload size (Int64.of_int (700 + m)))) then
+          intact := false
+      done);
+  Engine.run engine;
+  Alcotest.(check bool) "long flow intact" true !intact;
+  let cap = Madeleine.Config.default_unacked_window in
+  let seen = ref false in
+  List.iter
+    (fun q ->
+      if q.Vc.q_point = "unacked_packets" && q.Vc.q_node = 0 then begin
+        seen := true;
+        Alcotest.(check bool)
+          (Printf.sprintf "unacked log peak %d <= cap %d (stream is %d pkts)"
+             q.Vc.q_peak cap
+             (messages * size / mtu))
+          true
+          (q.Vc.q_peak <= cap)
+      end)
+    (Vc.queue_stats vc);
+  Alcotest.(check bool) "origin unacked log was instrumented" true !seen
+
 (* The clusterfile syntax drives the same plane. *)
 let faulty_cfg =
   {|
@@ -300,6 +414,13 @@ let () =
             test_window_survives_reorder_dup_loss;
           Alcotest.test_case "max_retries: give up, attempts" `Quick
             test_max_retries_gives_up_with_attempt_count;
+        ] );
+      ( "flow-control",
+        [
+          Alcotest.test_case "paused receiver blocks sender" `Quick
+            test_paused_receiver_blocks_sender;
+          Alcotest.test_case "unacked log trimmed by acks" `Quick
+            test_unacked_log_trimmed_by_acks;
         ] );
       ( "clusterfile",
         [

@@ -474,6 +474,73 @@ let prop_random_cluster_chain =
           Engine.run (Clusterfile.engine t);
           !ok && !pending = 0)
 
+(* Bounded memory under credit-based flow control: for ANY random
+   bidirectional traffic pattern through the gateway, with credits and
+   the forwarding pool deliberately small, no instrumented buffering
+   point (destination assemblers, gateway pools, origin re-emission
+   logs) ever exceeds its configured bound — and every byte still
+   arrives intact. *)
+let prop_credit_bounded_memory =
+  QCheck.Test.make ~name:"credits bound every queue under random traffic"
+    ~count:20
+    QCheck.(
+      make
+        Gen.(
+          let* credits = int_range 2 6 in
+          let* mtu = oneofl [ 1024; 2048; 4096 ] in
+          let* fwd = list_size (int_range 1 6) (int_range 1 20_000) in
+          let* back = list_size (int_range 1 6) (int_range 1 20_000) in
+          return (credits, mtu, fwd, back))
+        ~print:(fun (credits, mtu, fwd, back) ->
+          Printf.sprintf "credits=%d mtu=%d fwd=[%s] back=[%s]" credits mtu
+            (String.concat ";" (List.map string_of_int fwd))
+            (String.concat ";" (List.map string_of_int back))))
+    (fun (credits, mtu, fwd, back) ->
+      let w = Harness.two_cluster_world () in
+      let vc =
+        Madeleine.Vchannel.create w.H.cw_session ~mtu ~credits ~gw_pool:2
+          [ w.H.ch_sci; w.H.ch_myri ]
+      in
+      let rng = Simnet.Rng.create ~seed:11L in
+      let fwd_payloads = List.map (Simnet.Rng.bytes rng) fwd in
+      let back_payloads = List.map (Simnet.Rng.bytes rng) back in
+      let ok = ref true in
+      let send ~me ~remote payloads name =
+        Engine.spawn w.H.cw_engine ~name (fun () ->
+            List.iter
+              (fun data ->
+                let oc = Madeleine.Vchannel.begin_packing vc ~me ~remote in
+                Madeleine.Vchannel.pack oc data;
+                Madeleine.Vchannel.end_packing oc)
+              payloads)
+      and recv ~me ~remote payloads name =
+        Engine.spawn w.H.cw_engine ~name (fun () ->
+            List.iter
+              (fun expect ->
+                let sink = Bytes.create (Bytes.length expect) in
+                let ic =
+                  Madeleine.Vchannel.begin_unpacking_from vc ~me ~remote
+                in
+                Madeleine.Vchannel.unpack ic sink;
+                Madeleine.Vchannel.end_unpacking ic;
+                if not (Bytes.equal expect sink) then ok := false)
+              payloads)
+      in
+      send ~me:0 ~remote:2 fwd_payloads "fwd-s";
+      recv ~me:2 ~remote:0 fwd_payloads "fwd-r";
+      send ~me:2 ~remote:0 back_payloads "back-s";
+      recv ~me:0 ~remote:2 back_payloads "back-r";
+      Engine.run w.H.cw_engine;
+      let bounded =
+        List.for_all
+          (fun q ->
+            match q.Madeleine.Vchannel.q_bound with
+            | Some b -> q.Madeleine.Vchannel.q_peak <= b
+            | None -> true)
+          (Madeleine.Vchannel.queue_stats vc)
+      in
+      !ok && bounded)
+
 (* Determinism: the same scenario simulated twice gives the same clock. *)
 let prop_determinism =
   QCheck.Test.make ~name:"simulation is deterministic" ~count:10
@@ -503,6 +570,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_mpi_allreduce_sum;
           QCheck_alcotest.to_alcotest prop_pm2_rpc_storm;
           QCheck_alcotest.to_alcotest prop_random_cluster_chain;
+          QCheck_alcotest.to_alcotest prop_credit_bounded_memory;
           QCheck_alcotest.to_alcotest prop_determinism;
         ] );
     ]
