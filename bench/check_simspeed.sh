@@ -5,6 +5,10 @@
 # "@4 domains" sweep must reach at least 2.5x the serial sweep's
 # aggregate events/s (on smaller hosts the floor is skipped — the sweep
 # cannot physically scale past the core count).
+# Also gates scheduler aggregation: the "10k flows 64B" scenario pair
+# (sched=fifo vs sched=aggreg) must show >= 2x simulated goodput with
+# aggregation on. Both finish times are simulated, so this gate is
+# deterministic and never skipped.
 #
 # Usage: bench/check_simspeed.sh [baseline.json]
 # Refresh the baseline with: dune exec bench/main.exe -- simspeed --json

@@ -505,6 +505,58 @@ let parallel_sweep_events pool =
   in
   List.fold_left ( + ) 0 (Parsim.run pool jobs)
 
+(* The SchedOpt workload: 10 000 concurrent small-message logical flows
+   (100 sender threads x 100 one-message flows of 64 B) crossing the
+   two physical connections of the two-cluster world through the
+   gateway. With sched=fifo every message pays its own wire packet and
+   its own ~50 us gateway step; sched=aggreg merges the trains into a
+   few dozen aggregates. The simulated finish times of the two variants
+   give the aggregation goodput ratio recorded in the JSON and gated
+   below. *)
+let sched_flows_senders = 100
+let sched_flows_msgs = 100
+let sched_flows_size = 64
+let sched_fifo_label = "10k flows 64B sched=fifo"
+let sched_aggreg_label = "10k flows 64B sched=aggreg"
+let sched_fifo_finish_us = ref 0.0
+let sched_aggreg_finish_us = ref 0.0
+
+let sched_flows_events ~aggreg =
+  let w = H.two_cluster_world () in
+  let vc =
+    Madeleine.Vchannel.create w.H.cw_session ~mtu:16384
+      ?sched:(if aggreg then Some (Madeleine.Sched.aggreg ()) else None)
+      [ w.H.ch_sci; w.H.ch_myri ]
+  in
+  let total = sched_flows_senders * sched_flows_msgs in
+  let fin = ref 0 in
+  let out = Bytes.create sched_flows_size in
+  for s = 0 to sched_flows_senders - 1 do
+    Marcel.Engine.spawn w.H.cw_engine ~name:(Printf.sprintf "s%d" s)
+      (fun () ->
+        for i = 0 to sched_flows_msgs - 1 do
+          let flow = if aggreg then (s * sched_flows_msgs) + i + 1 else 0 in
+          let oc = Madeleine.Vchannel.begin_packing vc ~flow ~me:0 ~remote:2 in
+          Madeleine.Vchannel.pack oc out;
+          Madeleine.Vchannel.end_packing oc
+        done)
+  done;
+  let finish = ref Marcel.Time.zero in
+  Marcel.Engine.spawn w.H.cw_engine ~name:"r" (fun () ->
+      let sink = Bytes.create sched_flows_size in
+      for _ = 1 to total do
+        let ic = Madeleine.Vchannel.begin_unpacking vc ~me:2 in
+        Madeleine.Vchannel.unpack ic sink;
+        Madeleine.Vchannel.end_unpacking ic;
+        incr fin
+      done;
+      finish := Marcel.Engine.now w.H.cw_engine);
+  Marcel.Engine.run w.H.cw_engine;
+  assert (!fin = total);
+  (if aggreg then sched_aggreg_finish_us else sched_fifo_finish_us) :=
+    Marcel.Time.to_us !finish;
+  Marcel.Engine.events_processed w.H.cw_engine
+
 let simspeed_scenarios : (string * (unit -> int)) list =
   [
     ( "sisci 1MB ping-pong",
@@ -626,6 +678,8 @@ let simspeed_scenarios : (string * (unit -> int)) list =
         Marcel.Engine.run w.H.cw_engine;
         assert (!fin = msgs);
         Marcel.Engine.events_processed w.H.cw_engine );
+    (sched_fifo_label, fun () -> sched_flows_events ~aggreg:false);
+    (sched_aggreg_label, fun () -> sched_flows_events ~aggreg:true);
   ]
 
 let simspeed_measure f =
@@ -761,6 +815,23 @@ let simspeed_gate_speedup ~speedup =
       "  GATE SKIP: speedup floor needs >= %d cores, host has %d\n%!"
       parallel_sweep_domains cores
 
+(* Aggregation must actually buy goodput on the 10k-flow workload; both
+   finish times are simulated, so the ratio is deterministic and the
+   floor always binds — no host-dependent SKIP branch. *)
+let simspeed_aggregation_floor = 2.0
+
+let simspeed_gate_aggregation ~ratio =
+  if ratio < simspeed_aggregation_floor then begin
+    Printf.printf
+      "  GATE FAIL: aggregation goodput %.2fx < %.1fx floor on the 10k-flow \
+       workload\n%!"
+      ratio simspeed_aggregation_floor;
+    simspeed_gate_failed := true
+  end
+  else
+    Printf.printf "  GATE OK:   aggregation goodput %.2fx (floor %.1fx)\n%!"
+      ratio simspeed_aggregation_floor
+
 let simspeed () =
   header "Simulator throughput -- discrete events per host wall-clock second";
   let serial_pool = Parsim.create ~jobs:1 in
@@ -797,6 +868,15 @@ let simspeed () =
   Printf.printf "  parallel sweep speedup: %.2fx over serial (%d domains, %d core(s))\n%!"
     speedup parallel_sweep_domains
     (Domain.recommended_domain_count ());
+  let goodput_ratio =
+    if !sched_aggreg_finish_us > 0.0 then
+      !sched_fifo_finish_us /. !sched_aggreg_finish_us
+    else 0.0
+  in
+  Printf.printf
+    "  aggregation goodput: %.2fx over fifo (fifo %.0f us, aggreg %.0f us \
+     simulated)\n%!"
+    goodput_ratio !sched_fifo_finish_us !sched_aggreg_finish_us;
   let results =
     List.map
       (fun ((label, events, wall, rate, _) as r) ->
@@ -807,6 +887,12 @@ let simspeed () =
             rate,
             Printf.sprintf ", \"domains\": %d, \"speedup_vs_serial\": %.2f"
               parallel_sweep_domains speedup )
+        else if label = sched_aggreg_label then
+          ( label,
+            events,
+            wall,
+            rate,
+            Printf.sprintf ", \"goodput_ratio_vs_fifo\": %.2f" goodput_ratio )
         else r)
       results
   in
@@ -818,7 +904,8 @@ let simspeed () =
   | None -> ()
   | Some file ->
       simspeed_gate file results;
-      simspeed_gate_speedup ~speedup
+      simspeed_gate_speedup ~speedup;
+      simspeed_gate_aggregation ~ratio:goodput_ratio
 
 let sections =
   [

@@ -1,10 +1,14 @@
 (* madbench: a command-line front end to the simulated testbeds.
 
      madbench pingpong --net sisci --size 8192 --iters 10
-     madbench sweep --net bip
+     madbench sweep --net bip --jobs 4
      madbench forward --direction sci-to-myri --mtu 16384
      madbench mpi --device chmad --size 65536
      madbench nexus --proto sci --size 1024
+     madbench chaos --quick --seed 42 --jobs 4 --json chaos.json
+     madbench describe --config examples/clusters/two_cluster.cfg
+     madbench config-pingpong --config cluster.cfg --channel wan \
+         --from a --to b --size 4096
 
    All numbers are simulated time on the paper's calibrated testbed
    (dual PII-450, 33 MHz PCI, BIP/Myrinet + SISCI/SCI + Fast Ethernet). *)
@@ -359,10 +363,12 @@ let chan_arg =
          ~doc:"Channel or vchannel name from the cluster file.")
 
 let from_arg =
-  Arg.(required & opt (some string) None & info [ "from" ] ~docv:"NODE")
+  Arg.(required & opt (some string) None & info [ "from" ] ~docv:"NODE"
+         ~doc:"Sending node name from the cluster file.")
 
 let to_arg =
-  Arg.(required & opt (some string) None & info [ "to" ] ~docv:"NODE")
+  Arg.(required & opt (some string) None & info [ "to" ] ~docv:"NODE"
+         ~doc:"Receiving node name from the cluster file.")
 
 let config_pingpong_cmd =
   Cmd.v
@@ -378,7 +384,10 @@ let () =
     Cmd.info "madbench" ~version:"1.0"
       ~doc:
         "Measurements on the simulated Madeleine II testbed (CLUSTER 2000 \
-         reproduction)."
+         reproduction): ping-pongs and sweeps on each interface, gateway \
+         forwarding, MPI and Nexus layers, the fault-injection chaos \
+         sweep, and cluster-file driven worlds (describe, \
+         config-pingpong)."
   in
   exit
     (Cmd.eval

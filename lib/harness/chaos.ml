@@ -127,6 +127,28 @@ type slow_gateway = {
   sg_finish_us : float;
 }
 
+(* Scheduled aggregation under loss: concurrent small-message logical
+   flows on a sched=aggreg vchannel crossing a lossy gateway route.
+   Delivery must stay bit-identical per flow while the scheduler
+   actually merges — an aggregate lost on the wire is retransmitted as
+   one unit by the go-back-N machinery. *)
+type sched_chaos = {
+  sc_flows : int;
+  sc_messages : int; (* per flow *)
+  sc_size : int;
+  sc_drop_pct : float;
+  sc_merged : int; (* frames that shared their wire packet *)
+  sc_aggregates : int;
+  sc_mean_frames : float;
+  sc_flush_full : int;
+  sc_flush_deadline : int;
+  sc_flush_flow : int;
+  sc_reemitted : int;
+  sc_dup_drops : int;
+  sc_intact : bool;
+  sc_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -136,6 +158,7 @@ type report = {
   rep_crash : crash_restart;
   rep_overload : overload;
   rep_slow_gateway : slow_gateway;
+  rep_sched : sched_chaos;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -718,6 +741,103 @@ let slow_gateway_run ~seed ~size ~messages ~credits ~gw_pool ~rx_cap_mb_s =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Scheduled aggregation under loss: many concurrent logical flows of
+   small messages cross a gateway on a reliable sched=aggreg vchannel
+   while both segments drop frames. Aggregates ride the go-back-N
+   window as single units, so TCP retransmission plus the vchannel's
+   sequence checks must still deliver every flow bit-identical and in
+   per-flow order — and the scheduler must actually have merged
+   something, or the scenario is not testing aggregation at all. *)
+
+let sched_aggreg_run ~seed ~flows ~messages ~size ~drop =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  let fab_a = Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet in
+  let fab_b = Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 3 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2 ];
+  List.iter
+    (fun i -> Faults.set_drop faults ~fabric:"ethA" ~node:i ~rate:drop)
+    [ 0; 1 ];
+  List.iter
+    (fun i -> Faults.set_drop faults ~fabric:"ethB" ~node:i ~rate:drop)
+    [ 1; 2 ];
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let stacks_a = Hashtbl.create 4 and stacks_b = Hashtbl.create 4 in
+  List.iter
+    (fun i -> Hashtbl.add stacks_a i (Tcpnet.attach net_a nodes.(i)))
+    [ 0; 1 ];
+  List.iter
+    (fun i -> Hashtbl.add stacks_b i (Tcpnet.attach net_b nodes.(i)))
+    [ 1; 2 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_a))
+      ~ranks:[ 0; 1 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_b))
+      ~ranks:[ 1; 2 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~faults
+      ~sched:(Madeleine.Sched.aggreg ())
+      [ ch_a; ch_b ]
+  in
+  let payload_of flow m =
+    Harness.payload size (Int64.of_int (600 + (flow * 1000) + m))
+  in
+  let intact = ref true in
+  let finish = ref Time.zero in
+  let done_flows = ref 0 in
+  for flow = 1 to flows do
+    Engine.spawn engine ~name:(Printf.sprintf "sc-send-%d" flow) (fun () ->
+        for m = 0 to messages - 1 do
+          let oc = Vc.begin_packing vc ~flow ~me:0 ~remote:2 in
+          Vc.pack oc (payload_of flow m);
+          Vc.end_packing oc
+        done);
+    Engine.spawn engine ~name:(Printf.sprintf "sc-recv-%d" flow) (fun () ->
+        let sink = Bytes.create size in
+        for m = 0 to messages - 1 do
+          let ic = Vc.begin_unpacking_from vc ~flow ~me:2 ~remote:0 in
+          Vc.unpack ic sink;
+          Vc.end_unpacking ic;
+          if not (Bytes.equal sink (payload_of flow m)) then intact := false
+        done;
+        incr done_flows;
+        if !done_flows = flows then finish := Engine.now engine)
+  done;
+  Engine.run engine;
+  let ss = match Vc.sched_stats vc with Some s -> s | None -> assert false in
+  let rs = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  {
+    sc_flows = flows;
+    sc_messages = messages;
+    sc_size = size;
+    sc_drop_pct = drop *. 100.0;
+    sc_merged = ss.Madeleine.Sched.sched_merged;
+    sc_aggregates = ss.Madeleine.Sched.sched_aggregates;
+    sc_mean_frames = ss.Madeleine.Sched.sched_mean_frames;
+    sc_flush_full = ss.Madeleine.Sched.sched_flush_full;
+    sc_flush_deadline = ss.Madeleine.Sched.sched_flush_deadline;
+    sc_flush_flow = ss.Madeleine.Sched.sched_flush_flow;
+    sc_reemitted = rs.Vc.reemitted;
+    sc_dup_drops = rs.Vc.dup_drops;
+    sc_intact = !intact;
+    sc_finish_us = Time.to_us !finish;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The workload set. Stop-and-wait retransmission gives up after 12
    attempts, so the per-frame survival probability bounds which
    (rate, size) points can complete: at 5% per link a frame of a dozen
@@ -733,6 +853,7 @@ type outcome =
   | Restarted of crash_restart
   | Overloaded_of of overload
   | Slow_gateway_of of slow_gateway
+  | Sched_of of sched_chaos
 
 let run (runner : Sweeps.runner) ~seed ~quick =
   let rates = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.05 ] in
@@ -790,6 +911,12 @@ let run (runner : Sweeps.runner) ~seed ~quick =
             (slow_gateway_run ~seed ~size:16384
                ~messages:(if quick then 6 else 8)
                ~credits:32 ~gw_pool:2 ~rx_cap_mb_s:0.5) );
+      ( "chaos/sched-aggreg",
+        fun () ->
+          Sched_of
+            (sched_aggreg_run ~seed
+               ~flows:(if quick then 16 else 32)
+               ~messages:4 ~size:256 ~drop:0.01) );
     ]
   in
   let outcomes = runner.Sweeps.run (drop_jobs @ corrupt_jobs @ scheduled_jobs) in
@@ -812,6 +939,7 @@ let run (runner : Sweeps.runner) ~seed ~quick =
       pick "overload" (function Overloaded_of o -> Some o | _ -> None);
     rep_slow_gateway =
       pick "slow-gateway" (function Slow_gateway_of s -> Some s | _ -> None);
+    rep_sched = pick "sched-aggreg" (function Sched_of s -> Some s | _ -> None);
   }
 
 (* Named pass/fail gates; CI relies on the process exit code derived
@@ -841,6 +969,8 @@ let gates r =
     ( "slow-gateway-ingress-throttled",
       sg.sg_ingress_mb_s <= 2.0 *. sg.sg_rx_cap_mb_s
       && sg.sg_ingress_mb_s >= 0.2 *. sg.sg_rx_cap_mb_s );
+    ("sched-aggreg-intact", r.rep_sched.sc_intact);
+    ("sched-aggreg-merged", r.rep_sched.sc_merged > 0);
   ]
 
 let failing_gates r =
@@ -969,6 +1099,18 @@ let to_json r =
        s.sg_overload_cleared s.sg_intact s.sg_bounded s.sg_finish_us);
   queues_json b s.sg_queues;
   Buffer.add_string b " },\n";
+  let sc = r.rep_sched in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"sched_aggreg\": { \"flows\": %d, \"messages_per_flow\": %d, \
+        \"size\": %d, \"drop_pct\": %.2f, \"merged\": %d, \
+        \"aggregates\": %d, \"mean_frames\": %.2f, \"flush_full\": %d, \
+        \"flush_deadline\": %d, \"flush_flow\": %d, \"reemitted\": %d, \
+        \"dup_drops\": %d, \"intact\": %b, \"finish_us\": %.2f },\n"
+       sc.sc_flows sc.sc_messages sc.sc_size sc.sc_drop_pct sc.sc_merged
+       sc.sc_aggregates sc.sc_mean_frames sc.sc_flush_full
+       sc.sc_flush_deadline sc.sc_flush_flow sc.sc_reemitted sc.sc_dup_drops
+       sc.sc_intact sc.sc_finish_us);
   Buffer.add_string b "\"gates\": [\n";
   let gs = gates r in
   let last_g = List.length gs - 1 in
@@ -1079,6 +1221,18 @@ let render_table r =
        (if s.sg_overload_cleared then "yes" else "NO")
        (if s.sg_bounded then "yes" else "NO")
        (if s.sg_intact then "yes" else "NO"));
+  let sc = r.rep_sched in
+  Buffer.add_string b
+    (Printf.sprintf
+       "sched-aggreg: %d flows x %d x %d B at %.1f%% drop: %d frame(s) \
+        merged into %d aggregate(s) (%.1f frames each; full=%d \
+        deadline=%d flow=%d), %d re-emitted, %d dup(s) dropped, \
+        intact=%s, finish=%.2f us\n"
+       sc.sc_flows sc.sc_messages sc.sc_size sc.sc_drop_pct sc.sc_merged
+       sc.sc_aggregates sc.sc_mean_frames sc.sc_flush_full
+       sc.sc_flush_deadline sc.sc_flush_flow sc.sc_reemitted sc.sc_dup_drops
+       (if sc.sc_intact then "yes" else "NO")
+       sc.sc_finish_us);
   (match failing_gates r with
   | [] -> Buffer.add_string b "gates: all passed\n"
   | failed ->

@@ -103,6 +103,23 @@ type slow_gateway = {
   sg_finish_us : float;
 }
 
+type sched_chaos = {
+  sc_flows : int;
+  sc_messages : int; (* per flow *)
+  sc_size : int;
+  sc_drop_pct : float;
+  sc_merged : int; (* frames that shared their wire packet *)
+  sc_aggregates : int; (* aggregate wire packets emitted *)
+  sc_mean_frames : float;
+  sc_flush_full : int; (* flushes forced by the aggr_max budget *)
+  sc_flush_deadline : int; (* flushes forced by the aggr_flush deadline *)
+  sc_flush_flow : int; (* flushes forced by per-flow ordering *)
+  sc_reemitted : int;
+  sc_dup_drops : int;
+  sc_intact : bool; (* every flow bit-identical, in per-flow order *)
+  sc_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -112,6 +129,7 @@ type report = {
   rep_crash : crash_restart;
   rep_overload : overload;
   rep_slow_gateway : slow_gateway;
+  rep_sched : sched_chaos;
 }
 
 val failover_run : seed:int -> size:int -> messages:int -> failover
@@ -169,6 +187,22 @@ val slow_gateway_run :
     through {!Madeleine.Vchannel.peer_status} and the sentinels while
     its pool is pinned, and clearing once the stream drains. *)
 
+val sched_aggreg_run :
+  seed:int ->
+  flows:int ->
+  messages:int ->
+  size:int ->
+  drop:float ->
+  sched_chaos
+(** The aggregation-under-loss scenario on its own (also part of
+    {!run}): [flows] concurrent logical flows each stream [messages]
+    messages of [size] bytes from rank 0 to rank 2 through the gateway
+    on a reliable [sched=aggreg] vchannel, with [drop] per-link loss on
+    both segments. The scheduler merges the small-message trains into
+    aggregates, which cross the lossy links as single go-back-N units;
+    delivery must end bit-identical and in order on every flow, and the
+    scheduler must have merged at least one pair of frames. *)
+
 val run : Sweeps.runner -> seed:int -> quick:bool -> report
 (** The full workload set: a drop-rate x size sweep, a corruption sweep,
     a mid-exchange link flap, a reorder/duplication exchange, a PCI
@@ -187,10 +221,12 @@ val gates : report -> (string * bool) list
     everywhere, failover rerouted and detected the partition, goodput
     speedup >= 2x, crash-restart exactly-once with a handshake, the
     overload run stalled the sender with every queue under its bound at
-    a >= 10:1 measured rate mismatch, and the slow-gateway run
-    throttled ingress to the egress bandwidth with the overload
-    reported and cleared. The JSON report embeds this list; [madbench
-    chaos] exits non-zero naming the gates that failed. *)
+    a >= 10:1 measured rate mismatch, the slow-gateway run throttled
+    ingress to the egress bandwidth with the overload reported and
+    cleared, and the sched-aggreg run delivered every logical flow
+    bit-identical under loss while actually merging frames. The JSON
+    report embeds this list; [madbench chaos] exits non-zero naming the
+    gates that failed. *)
 
 val failing_gates : report -> string list
 (** Names of the gates currently false, in {!gates} order. *)

@@ -369,12 +369,20 @@ let parse_line t lineno line =
       let overhead = ref None and cap = ref None in
       let reliable = ref false and patience = ref None in
       let credits = ref None and gw_pool = ref None in
+      let sched = ref None and aggr_max = ref None and aggr_flush = ref None in
       let positive_int key v =
         let n = parse_int lineno key v in
         if n < 1 then
           raise
             (Parse_error (lineno, Printf.sprintf "%s expects an integer >= 1" key));
         n
+      in
+      let positive_float key v =
+        let f = parse_float lineno key v in
+        if f <= 0.0 then
+          raise
+            (Parse_error (lineno, Printf.sprintf "%s expects a number > 0" key));
+        f
       in
       List.iter
         (fun tok ->
@@ -391,9 +399,32 @@ let parse_line t lineno line =
               patience := Some (Time.us (parse_float lineno "patience_us" v))
           | "credits", v -> credits := Some (positive_int "credits" v)
           | "gw_pool", v -> gw_pool := Some (positive_int "gw_pool" v)
+          | "sched", v -> (
+              match v with
+              | "fifo" -> sched := Some `Fifo
+              | "aggreg" -> sched := Some `Aggreg
+              | _ -> raise (Parse_error (lineno, "sched expects fifo|aggreg")))
+          | "aggr_max", v -> aggr_max := Some (positive_int "aggr_max" v)
+          | "aggr_flush_us", v ->
+              aggr_flush := Some (Time.us (positive_float "aggr_flush_us" v))
           | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
         opts;
       if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
+      (match (!sched, !aggr_max, !aggr_flush) with
+      | Some `Aggreg, _, _ | _, None, None -> ()
+      | _, Some _, _ ->
+          raise (Parse_error (lineno, "aggr_max= requires sched=aggreg"))
+      | _, _, Some _ ->
+          raise (Parse_error (lineno, "aggr_flush_us= requires sched=aggreg")));
+      let vc_sched =
+        match !sched with
+        | None -> None
+        | Some `Fifo -> Some Madeleine.Sched.Fifo
+        | Some `Aggreg ->
+            Some
+              (Madeleine.Sched.Aggreg
+                 { aggr_max = !aggr_max; aggr_flush = !aggr_flush })
+      in
       let vc_faults =
         if not !reliable then None
         else
@@ -408,7 +439,8 @@ let parse_line t lineno line =
       let vc =
         Madeleine.Vchannel.create t.cf_session ?mtu:!mtu ?patience:!patience
           ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap
-          ?credits:!credits ?gw_pool:!gw_pool ?faults:vc_faults !chans
+          ?credits:!credits ?gw_pool:!gw_pool ?faults:vc_faults ?sched:vc_sched
+          !chans
       in
       declare lineno t.vchan_tbl "vchannel" name vc;
       t.vchan_order <- name :: t.vchan_order

@@ -135,3 +135,9 @@ val overload_hold : Marcel.Time.span
 (** Hysteresis delay before a gateway that dropped back to its low
     watermark clears its [Overloaded] status — several packet-forwarding
     overheads, so a pool oscillating at full load does not flap. *)
+
+val default_aggr_flush : Marcel.Time.span
+(** Aggregation deadline when [aggr_flush_us=] is not given: the longest
+    a small frame buffered by a [sched=aggreg] vchannel waits for
+    merge partners before its pair is flushed — the latency the
+    aggregating scheduler is allowed to trade for goodput. *)

@@ -8,6 +8,7 @@ type packet_header = {
   ack : bool;  (* cumulative acknowledgment packet (reliable vchannels) *)
   hs : bool;  (* session handshake after a crash epoch (reliable vchannels) *)
   crd : bool;  (* credit-plane packet: grant (4-byte payload) or probe (empty) *)
+  agg : bool;  (* aggregate: payload is a train of flow-framed sub-packets *)
 }
 
 let header_size = Config.packet_header_size
@@ -23,7 +24,8 @@ let encode_header h =
     lor (if h.last then 2 else 0)
     lor (if h.ack then 4 else 0)
     lor (if h.hs then 8 else 0)
-    lor if h.crd then 16 else 0
+    lor (if h.crd then 16 else 0)
+    lor if h.agg then 32 else 0
   in
   Bytes.set b 12 (Char.chr flags);
   Bytes.set b 13 magic;
@@ -48,6 +50,7 @@ let decode_header b =
     ack = flags land 4 <> 0;
     hs = flags land 8 <> 0;
     crd = flags land 16 <> 0;
+    agg = flags land 32 <> 0;
   }
 
 let sub_header_size = Config.buffer_header_size
@@ -68,3 +71,33 @@ let decode_sub_header b =
   ( Int32.to_int (Bytes.get_int32_le b 0),
     Iface.send_mode_of_int (Char.code (Bytes.get b 4)),
     Iface.recv_mode_of_int (Char.code (Bytes.get b 5)) )
+
+(* Flow frames: inside an [agg] packet the payload is a train of
+   sub-packets, each belonging to one logical flow. The frame header
+   carries what the outer header carries for a plain packet — length
+   and first/last message delimiters — plus the 16-bit flow id that
+   multiplexes thousands of logical channels over one physical route. *)
+
+let flow_frame_header_size = 8
+
+let encode_flow_frame_header ~flow ~first ~last ~len =
+  if flow < 0 || flow > 0xffff then
+    invalid_arg "Generic_tm.encode_flow_frame_header: flow id out of range";
+  let b = Bytes.make flow_frame_header_size '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_uint16_le b 4 flow;
+  let flags = (if first then 1 else 0) lor if last then 2 else 0 in
+  Bytes.set b 6 (Char.chr flags);
+  Bytes.set b 7 magic;
+  b
+
+let decode_flow_frame_header b off =
+  if Bytes.length b < off + flow_frame_header_size then
+    invalid_arg "Generic_tm.decode_flow_frame_header: short header";
+  if Bytes.get b (off + 7) <> magic then
+    invalid_arg "Generic_tm.decode_flow_frame_header: bad magic";
+  let flags = Char.code (Bytes.get b (off + 6)) in
+  ( Bytes.get_uint16_le b (off + 4),
+    flags land 1 <> 0,
+    flags land 2 <> 0,
+    Int32.to_int (Bytes.get_int32_le b (off + 0)) )

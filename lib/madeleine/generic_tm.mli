@@ -47,6 +47,16 @@ type packet_header = {
           data. Combined with [ack] on reliable vchannels a grant also
           carries a cumulative acknowledgment in [seq]. Never set when
           credits are unconfigured — the wire format is then unchanged. *)
+  agg : bool;
+      (** Aggregate packet emitted by an aggregating scheduler
+          ([sched=aggreg] vchannels): the payload is a train of flow
+          frames, each prefixed by a {!flow_frame_header_size}-byte
+          sub-header (see {!encode_flow_frame_header}). The outer
+          [first]/[last] flags are meaningless ([false]); message
+          delimiters travel per frame. Gateways forward aggregates
+          without looking inside — only the final destination unpacks
+          the train. Never set without a scheduler — the wire format is
+          then unchanged. *)
 }
 
 val header_size : int
@@ -60,3 +70,24 @@ val encode_sub_header :
   len:int -> Iface.send_mode -> Iface.recv_mode -> Bytes.t
 
 val decode_sub_header : Bytes.t -> int * Iface.send_mode * Iface.recv_mode
+
+(** {1 Flow frames}
+
+    The third level of description, present only inside [agg] packets: a
+    {e flow frame header} in front of each constituent sub-packet. It
+    carries the 16-bit logical-flow id (multiplexing thousands of logical
+    channels over the few physical connections), the frame's payload
+    length, and the first/last message delimiters that the outer packet
+    header carries for unaggregated traffic. *)
+
+val flow_frame_header_size : int
+
+val encode_flow_frame_header :
+  flow:int -> first:bool -> last:bool -> len:int -> Bytes.t
+(** Raises [Invalid_argument] when [flow] does not fit in 16 bits. *)
+
+val decode_flow_frame_header : Bytes.t -> int -> int * bool * bool * int
+(** [decode_flow_frame_header payload off] reads the frame header at
+    byte offset [off] and returns [(flow, first, last, len)]; the frame's
+    payload follows at [off + flow_frame_header_size]. Raises
+    [Invalid_argument] on a corrupt or truncated header. *)

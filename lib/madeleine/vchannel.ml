@@ -197,11 +197,14 @@ type t = {
   mutable routes : (int * int, hop list) Hashtbl.t;
   base_hops : (int * int, int) Hashtbl.t; (* route lengths at creation *)
   rel : rel option;
-  assemblers : (int * int, Assembler.t) Hashtbl.t; (* (me, origin) *)
-  starts : (int * int, unit Mailbox.t) Hashtbl.t; (* message-start events *)
-  incoming : (int, int Mailbox.t) Hashtbl.t; (* any-source: origin queue *)
+  mutable sched : Sched.t option; (* aggregating scheduler (sched=aggreg) *)
+  assemblers : (int * int * int, Assembler.t) Hashtbl.t; (* (me, origin, flow) *)
+  starts : (int * int * int, unit Mailbox.t) Hashtbl.t; (* message-start events *)
+  incoming : (int, (int * int) Mailbox.t) Hashtbl.t;
+      (* any-source: (origin, flow) queue *)
   pumps : (int * int * int, pump) Hashtbl.t; (* (node, out chan id, out dst) *)
-  send_locks : (int * int, Mutex.t) Hashtbl.t; (* message serialization *)
+  send_locks : (int * int * int, Mutex.t) Hashtbl.t;
+      (* per-(src, dst, flow) message serialization *)
   fwd_stats : (int, int ref * int ref) Hashtbl.t; (* node -> packets, bytes *)
   credits : credits option;
   gw_pool : int; (* forwarding buffers per pump (2 = paper's dual buffer) *)
@@ -227,9 +230,11 @@ let memo table key mk =
       Hashtbl.add table key v;
       v
 
-let starts t ~me ~origin = memo t.starts (me, origin) (fun () -> Mailbox.create ())
+let starts t ~me ~origin ~flow =
+  memo t.starts (me, origin, flow) (fun () -> Mailbox.create ())
+
 let incoming t ~me = memo t.incoming me (fun () -> Mailbox.create ())
-let send_lock t ~src ~dst = memo t.send_locks (src, dst) Mutex.create
+let send_lock t ~src ~dst ~flow = memo t.send_locks (src, dst, flow) Mutex.create
 let ranks t = t.all_ranks
 
 let check_ranks t op src dst =
@@ -473,6 +478,7 @@ let send_grant t c ~me ~origin =
       ack;
       hs = false;
       crd = true;
+      agg = false;
     }
   in
   Engine.spawn t.engine ~daemon:true
@@ -500,6 +506,7 @@ let send_probe t c ~src ~dst =
       ack = false;
       hs = false;
       crd = true;
+      agg = false;
     }
   in
   Engine.spawn t.engine ~daemon:true
@@ -523,8 +530,11 @@ let note_consumed t ~me ~origin chunk_len =
       if crx.crx_consumed - crx.crx_last_grant >= c.cr_quantum then
         send_grant t c ~me ~origin
 
-let assembler t ~me ~origin =
-  memo t.assemblers (me, origin) (fun () ->
+(* One assembler per (me, origin, flow): logical flows have independent
+   byte streams. Consumption accounting stays per (me, origin) — credits
+   meter the pair, whichever flows the bytes belong to. *)
+let assembler t ~me ~origin ~flow =
+  memo t.assemblers (me, origin, flow) (fun () ->
       let a = Assembler.create () in
       a.Assembler.on_pop <- (fun n -> note_consumed t ~me ~origin n);
       a)
@@ -573,6 +583,7 @@ let send_ack t r ~me ~origin =
         ack = true;
         hs = false;
         crd = false;
+        agg = false;
       }
     in
     Engine.spawn t.engine ~daemon:true
@@ -643,16 +654,44 @@ let deliver_local t ~me header payload =
   touch_sentinel t ~rank:me;
   let accept () =
     let origin = header.Generic_tm.origin in
-    let asmb = assembler t ~me ~origin in
-    if header.Generic_tm.first then begin
-      Mailbox.put (starts t ~me ~origin) ();
-      Mailbox.put (incoming t ~me) origin
-    end;
-    if Bytes.length payload > 0 then begin
-      pp_add (asm_pp t ~me ~origin) (Bytes.length payload);
-      Assembler.push asmb (Assembler.Data payload)
-    end;
-    if header.Generic_tm.last then Assembler.push asmb Assembler.End_of_message
+    if header.Generic_tm.agg then begin
+      (* Aggregate: split the train back into per-flow frames. Each
+         frame is one Data chunk in its flow's assembler, so the
+         consumption hook fires once per constituent frame — matching
+         the one credit the origin charged for it. *)
+      let total = Bytes.length payload in
+      let off = ref 0 in
+      while !off < total do
+        let flow, first, last, len =
+          Generic_tm.decode_flow_frame_header payload !off
+        in
+        off := !off + Generic_tm.flow_frame_header_size;
+        let asmb = assembler t ~me ~origin ~flow in
+        if first then begin
+          Mailbox.put (starts t ~me ~origin ~flow) ();
+          Mailbox.put (incoming t ~me) (origin, flow)
+        end;
+        if len > 0 then begin
+          let chunk = Bytes.sub payload !off len in
+          off := !off + len;
+          pp_add (asm_pp t ~me ~origin) len;
+          Assembler.push asmb (Assembler.Data chunk)
+        end;
+        if last then Assembler.push asmb Assembler.End_of_message
+      done
+    end
+    else begin
+      let asmb = assembler t ~me ~origin ~flow:0 in
+      if header.Generic_tm.first then begin
+        Mailbox.put (starts t ~me ~origin ~flow:0) ();
+        Mailbox.put (incoming t ~me) (origin, 0)
+      end;
+      if Bytes.length payload > 0 then begin
+        pp_add (asm_pp t ~me ~origin) (Bytes.length payload);
+        Assembler.push asmb (Assembler.Data payload)
+      end;
+      if header.Generic_tm.last then Assembler.push asmb Assembler.End_of_message
+    end
   in
   match t.rel with
   | None -> accept ()
@@ -872,6 +911,173 @@ let spawn_dispatcher t ~node channel =
           Api.abort_unpacking ic
       done)
 
+(* A sender out of credits parks on the flow's condition variable until
+   the receiver's grants catch up. While blocked it ships a zero-window
+   probe every {!Config.credit_probe_interval} (recovering grants lost
+   to crash paths), and on a reliable vchannel it rides out route holes
+   with the usual patience — a flow whose destination never comes back
+   surfaces as [Partitioned] here exactly as it would in [ship_packet]. *)
+let wait_credit t c ~src ~dst =
+  let ctx = credit_tx_state c (src, dst) in
+  if ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget then begin
+    c.cr_stalls <- c.cr_stalls + 1;
+    while ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget do
+      (match t.rel with
+      | Some r when not (Hashtbl.mem t.routes (src, dst)) ->
+          wait_route t r ~at:src ~dst
+      | _ -> ());
+      if ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget then begin
+        let wake_at =
+          Time.add (Engine.now t.engine) Config.credit_probe_interval
+        in
+        Engine.at t.engine wake_at (fun () -> Condition.broadcast ctx.ctx_cond);
+        Mutex.lock ctx.ctx_mu;
+        Condition.wait ctx.ctx_cond ctx.ctx_mu;
+        Mutex.unlock ctx.ctx_mu;
+        if
+          ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget
+          && Time.( <= ) wake_at (Engine.now t.engine)
+        then send_probe t c ~src ~dst
+      end
+    done
+  end;
+  ctx.ctx_shipped <- ctx.ctx_shipped + 1
+
+(* A reliable sender whose re-emission log is full parks until acks trim
+   it: reliable mode obeys the same memory budget as every other point
+   on the path. Acks are arrival-driven (the destination acknowledges
+   every data packet it sees, consumed or not), so the log drains as
+   long as the network delivers — only a crashed or partitioned peer
+   stops it, and that surfaces as [Partitioned] below. *)
+let wait_unacked t r ~src ~dst q =
+  while Queue.length q >= t.unacked_cap do
+    if not (Hashtbl.mem t.routes (src, dst)) then wait_route t r ~at:src ~dst;
+    if Queue.length q >= t.unacked_cap then begin
+      let deadline = Time.add (Engine.now t.engine) t.patience in
+      Engine.suspend ~name:"vchannel.unacked" (fun wake ->
+          let woken = ref false in
+          let wake_once () =
+            if not !woken then begin
+              woken := true;
+              wake ()
+            end
+          in
+          r.ack_waiters <- wake_once :: r.ack_waiters;
+          Engine.at t.engine deadline wake_once);
+      if
+        Queue.length q >= t.unacked_cap
+        && not (Simnet.Faults.node_up r.faults dst)
+      then
+        raise
+          (Partitioned
+             (Printf.sprintf
+                "Vchannel: flow %d->%d blocked on a full unacked log and \
+                 its peer crashed"
+                src dst))
+    end
+  done
+
+(* Emit one aggregate: the scheduler's [emit] callback, running with the
+   pair's emission lock held. The composition rules with the PR 4/5
+   machinery live here. Credits: one per data-carrying constituent
+   frame — the receiver's assembler pops each frame as its own chunk,
+   so consumption-side accounting matches exactly. Reliability: the
+   whole aggregate takes ONE sequence number and ONE re-emission log
+   slot, riding the go-back-N window as a unit. Gateways never look
+   inside: the train is ordinary payload to every pump on the route. *)
+let emit_one_aggregate t ~src ~dst frames =
+  (match t.credits with
+  | Some c ->
+      List.iter
+        (fun fr ->
+          if Bytes.length fr.Sched.fr_data > 0 then wait_credit t c ~src ~dst)
+        frames
+  | None -> ());
+  let seq =
+    match t.rel with
+    | None -> 0
+    | Some r ->
+        wait_handshake t r ~src ~dst;
+        let sq = flow_ref r.tx_seq (src, dst) in
+        let s = !sq in
+        sq := (s + 1) land 0xffff;
+        s
+  in
+  let payload_len =
+    List.fold_left
+      (fun acc fr ->
+        acc + Generic_tm.flow_frame_header_size + Bytes.length fr.Sched.fr_data)
+      0 frames
+  in
+  let payload = Bytes.create payload_len in
+  let _ =
+    List.fold_left
+      (fun off fr ->
+        let data_len = Bytes.length fr.Sched.fr_data in
+        let hdr =
+          Generic_tm.encode_flow_frame_header ~flow:fr.Sched.fr_flow
+            ~first:fr.Sched.fr_first ~last:fr.Sched.fr_last ~len:data_len
+        in
+        Bytes.blit hdr 0 payload off Generic_tm.flow_frame_header_size;
+        let off = off + Generic_tm.flow_frame_header_size in
+        Bytes.blit fr.Sched.fr_data 0 payload off data_len;
+        off + data_len)
+      0 frames
+  in
+  let header =
+    {
+      Generic_tm.final_dst = dst;
+      origin = src;
+      payload_len;
+      first = false;
+      last = false;
+      seq;
+      ack = false;
+      hs = false;
+      crd = false;
+      agg = true;
+    }
+  in
+  (match t.rel with
+  | None -> ()
+  | Some r ->
+      let q = unacked_q r (src, dst) in
+      wait_unacked t r ~src ~dst q;
+      Queue.push (seq, header, Bytes.copy payload) q;
+      let peak = memo t.unacked_peak (src, dst) (fun () -> ref 0) in
+      if Queue.length q > !peak then peak := Queue.length q);
+  ship_packet t ~at:src ~header ~payload ~payload_len
+
+(* The scheduler's [emit] callback. One aggregate may never need more
+   credits than the pair's whole budget: the per-frame charge happens
+   before the packet ships, so grants for its own frames cannot arrive
+   while it waits — a train of more data frames than [cr_budget] would
+   deadlock. Split such trains so each wire packet charges at most the
+   budget. *)
+let emit_frames t ~src ~dst frames =
+  match t.credits with
+  | None -> emit_one_aggregate t ~src ~dst frames
+  | Some c ->
+      let rec groups acc cur n = function
+        | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+        | fr :: rest ->
+            let is_data = Bytes.length fr.Sched.fr_data > 0 in
+            if is_data && n >= c.cr_budget && cur <> [] then
+              groups (List.rev cur :: acc) [ fr ] 1 rest
+            else groups acc (fr :: cur) (n + if is_data then 1 else 0) rest
+      in
+      List.iter (emit_one_aggregate t ~src ~dst) (groups [] [] 0 frames)
+
+(* The lock that serializes emission for a (src, dst) pair: with a
+   scheduler it is the scheduler's pair lock (aggregates are numbered
+   and shipped under it), without one it is the flow-0 message lock —
+   the only flow that exists. Crash re-emission must hold it so
+   re-emitted packets cannot interleave with a packet being emitted. *)
+let emission_lock t ~src ~dst =
+  match t.sched with
+  | Some sc -> Sched.pair_lock sc ~src ~dst
+  | None -> send_lock t ~src ~dst ~flow:0
+
 (* After a membership change, re-emit every unacknowledged packet of
    every live flow over the recomputed routes. One daemon per flow; it
    takes the flow's message lock so re-emitted packets cannot interleave
@@ -884,7 +1090,7 @@ let reemit_flows t r =
         Engine.spawn t.engine ~daemon:true
           ~name:(Printf.sprintf "vchannel.reemit.%d->%d" src dst)
           (fun () ->
-            Mutex.lock (send_lock t ~src ~dst);
+            Mutex.lock (emission_lock t ~src ~dst);
             let snapshot = List.of_seq (Queue.to_seq q) in
             (try
                List.iter
@@ -898,17 +1104,37 @@ let reemit_flows t r =
                    end)
                  snapshot
              with Partitioned _ | Config.Peer_unreachable _ -> ());
-            Mutex.unlock (send_lock t ~src ~dst)))
+            Mutex.unlock (emission_lock t ~src ~dst)))
     r.unacked
 
 let create session ?(mtu = Config.default_vchannel_mtu)
     ?(patience = Config.default_route_patience)
     ?(gateway_overhead = Config.gateway_packet_overhead)
     ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?credits ?gw_pool ?faults
-    channels =
+    ?sched channels =
   if channels = [] then invalid_arg "Vchannel.create: no channels";
   if mtu <= Generic_tm.sub_header_size then
     invalid_arg "Vchannel.create: mtu too small";
+  let sched_cfg =
+    (* [Fifo] IS the unscheduled path: no scheduler state, no [agg]
+       packets, wire format and schedule byte-identical to sched unset. *)
+    match sched with
+    | None | Some Sched.Fifo -> None
+    | Some (Sched.Aggreg { aggr_max; aggr_flush }) ->
+        let aggr_max =
+          match aggr_max with Some m -> m | None -> mtu
+        in
+        let aggr_flush =
+          match aggr_flush with
+          | Some f -> f
+          | None -> Config.default_aggr_flush
+        in
+        if aggr_max <= Generic_tm.flow_frame_header_size then
+          invalid_arg "Vchannel.create: aggr_max too small";
+        if aggr_flush <= 0 then
+          invalid_arg "Vchannel.create: aggr_flush must be positive";
+        Some (aggr_max, aggr_flush)
+  in
   (match ingress_cap_mb_s with
   | Some c when c <= 0.0 -> invalid_arg "Vchannel.create: ingress cap <= 0"
   | Some _ | None -> ());
@@ -991,6 +1217,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
       routes;
       base_hops;
       rel;
+      sched = None;
       assemblers = Hashtbl.create 32;
       starts = Hashtbl.create 32;
       incoming = Hashtbl.create 16;
@@ -1143,6 +1370,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                           ack = false;
                           hs = true;
                           crd = false;
+                          agg = false;
                         }
                       in
                       try ship_packet t ~at:me ~header ~payload ~payload_len:4
@@ -1217,104 +1445,60 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             Hashtbl.add r.sentinels me s
           end)
         all_ranks);
+  (match sched_cfg with
+  | None -> ()
+  | Some (aggr_max, aggr_flush) ->
+      t.sched <-
+        Some
+          (Sched.create t.engine ~aggr_max ~aggr_flush
+             ~emit:(fun ~src ~dst frames -> emit_frames t ~src ~dst frames)));
   t
 
 (* ------------------------------------------------------------------ *)
 (* Emission: the Generic TM's static-copy packetization *)
 
-(* A sender out of credits parks on the flow's condition variable until
-   the receiver's grants catch up. While blocked it ships a zero-window
-   probe every {!Config.credit_probe_interval} (recovering grants lost
-   to crash paths), and on a reliable vchannel it rides out route holes
-   with the usual patience — a flow whose destination never comes back
-   surfaces as [Partitioned] here exactly as it would in [ship_packet]. *)
-let wait_credit t c ~src ~dst =
-  let ctx = credit_tx_state c (src, dst) in
-  if ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget then begin
-    c.cr_stalls <- c.cr_stalls + 1;
-    while ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget do
-      (match t.rel with
-      | Some r when not (Hashtbl.mem t.routes (src, dst)) ->
-          wait_route t r ~at:src ~dst
-      | _ -> ());
-      if ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget then begin
-        let wake_at =
-          Time.add (Engine.now t.engine) Config.credit_probe_interval
-        in
-        Engine.at t.engine wake_at (fun () -> Condition.broadcast ctx.ctx_cond);
-        Mutex.lock ctx.ctx_mu;
-        Condition.wait ctx.ctx_cond ctx.ctx_mu;
-        Mutex.unlock ctx.ctx_mu;
-        if
-          ctx.ctx_shipped - ctx.ctx_granted >= c.cr_budget
-          && Time.( <= ) wake_at (Engine.now t.engine)
-        then send_probe t c ~src ~dst
-      end
-    done
-  end;
-  ctx.ctx_shipped <- ctx.ctx_shipped + 1
-
-(* A reliable sender whose re-emission log is full parks until acks trim
-   it: reliable mode obeys the same memory budget as every other point
-   on the path. Acks are arrival-driven (the destination acknowledges
-   every data packet it sees, consumed or not), so the log drains as
-   long as the network delivers — only a crashed or partitioned peer
-   stops it, and that surfaces as [Partitioned] below. *)
-let wait_unacked t r ~src ~dst q =
-  while Queue.length q >= t.unacked_cap do
-    if not (Hashtbl.mem t.routes (src, dst)) then wait_route t r ~at:src ~dst;
-    if Queue.length q >= t.unacked_cap then begin
-      let deadline = Time.add (Engine.now t.engine) t.patience in
-      Engine.suspend ~name:"vchannel.unacked" (fun wake ->
-          let woken = ref false in
-          let wake_once () =
-            if not !woken then begin
-              woken := true;
-              wake ()
-            end
-          in
-          r.ack_waiters <- wake_once :: r.ack_waiters;
-          Engine.at t.engine deadline wake_once);
-      if
-        Queue.length q >= t.unacked_cap
-        && not (Simnet.Faults.node_up r.faults dst)
-      then
-        raise
-          (Partitioned
-             (Printf.sprintf
-                "Vchannel: flow %d->%d blocked on a full unacked log and \
-                 its peer crashed"
-                src dst))
-    end
-  done
 
 type out_connection = {
   v : t;
   oc_src : int;
   oc_dst : int;
+  oc_flow : int;
   staging : Bytes.t;
   mutable fill : int;
   mutable first_sent : bool;
+  mutable oc_bulk : bool;
+      (* rendezvous-class: the message's first frame filled the MTU, so
+         the whole message bypasses the aggregation buffer *)
   mutable oc_closed : bool;
 }
 
-let begin_packing t ~me ~remote =
+let begin_packing ?(flow = 0) t ~me ~remote =
   if me = remote then invalid_arg "Vchannel.begin_packing: remote is self";
   check_ranks t "begin_packing" me remote;
+  if flow < 0 || flow > 0xffff then
+    invalid_arg "Vchannel.begin_packing: flow id out of range (0..65535)";
+  (match (flow, t.sched) with
+  | 0, _ | _, Some _ -> ()
+  | _, None ->
+      invalid_arg
+        "Vchannel.begin_packing: logical flows need an aggregating scheduler \
+         (sched=aggreg)");
   if not (Hashtbl.mem t.routes (me, remote)) then (
     match t.rel with
     | Some _ -> raise (no_route "begin_packing" me remote)
     | None ->
         invalid_arg
           (Printf.sprintf "Vchannel: no route from %d to %d" me remote));
-  Mutex.lock (send_lock t ~src:me ~dst:remote);
+  Mutex.lock (send_lock t ~src:me ~dst:remote ~flow);
   {
     v = t;
     oc_src = me;
     oc_dst = remote;
+    oc_flow = flow;
     staging = Bytes.create t.mtu;
     fill = 0;
     first_sent = false;
+    oc_bulk = false;
     oc_closed = false;
   }
 
@@ -1324,9 +1508,33 @@ let ship oc ~last =
      surfaces as [Partitioned], not a deadlock. *)
   let fail_with e =
     oc.oc_closed <- true;
-    Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst);
+    Mutex.unlock (send_lock t ~src:oc.oc_src ~dst:oc.oc_dst ~flow:oc.oc_flow);
     raise e
   in
+  match t.sched with
+  | Some sc ->
+      (* Scheduled path: the staged frame goes to the scheduler instead
+         of straight to the wire. Classification happens on the
+         message's first frame — a full-MTU opener marks the whole
+         message rendezvous-class (it ships immediately, overlapping
+         other flows' buffered small trains); anything shorter is a
+         small frame that buffers for aggregation. Credits, sequencing
+         and re-emission logging all happen at emission, per aggregate,
+         in [emit_frames]. *)
+      if (not oc.first_sent) && oc.fill = t.mtu then oc.oc_bulk <- true;
+      let fr =
+        {
+          Sched.fr_flow = oc.oc_flow;
+          fr_first = not oc.first_sent;
+          fr_last = last;
+          fr_data = Bytes.sub oc.staging 0 oc.fill;
+        }
+      in
+      (try Sched.submit sc ~src:oc.oc_src ~dst:oc.oc_dst ~bulk:oc.oc_bulk fr
+       with e -> fail_with e);
+      oc.first_sent <- true;
+      oc.fill <- 0
+  | None ->
   (* Credits are charged per data-carrying packet before it is numbered:
      a sender out of credits blocks here — holding the flow's message
      lock, which is what serializes the flow — until the receiver's
@@ -1362,6 +1570,7 @@ let ship oc ~last =
       ack = false;
       hs = false;
       crd = false;
+      agg = false;
     }
   in
   (match t.rel with
@@ -1416,7 +1625,14 @@ let end_packing oc =
   Engine.sleep Config.end_overhead;
   ship oc ~last:true;
   oc.oc_closed <- true;
-  Mutex.unlock (send_lock oc.v ~src:oc.oc_src ~dst:oc.oc_dst)
+  Mutex.unlock (send_lock oc.v ~src:oc.oc_src ~dst:oc.oc_dst ~flow:oc.oc_flow)
+
+(* Barrier flush: push every aggregate still buffered at [me] to the
+   wire now, instead of waiting for budgets or deadlines — the hook for
+   synchronization points (a collective's last message, an engine
+   drain). No-op without an aggregating scheduler. *)
+let flush t ~me =
+  match t.sched with None -> () | Some sc -> Sched.flush_all sc ~src:me
 
 (* ------------------------------------------------------------------ *)
 (* Reception *)
@@ -1425,34 +1641,38 @@ type in_connection = {
   iv : t;
   ic_me : int;
   ic_origin : int;
+  ic_flow : int;
   asmb : Assembler.t;
   mutable ic_closed : bool;
 }
 
-let begin_unpacking_from t ~me ~remote =
-  Mailbox.take (starts t ~me ~origin:remote);
+let begin_unpacking_from ?(flow = 0) t ~me ~remote =
+  Mailbox.take (starts t ~me ~origin:remote ~flow);
   Engine.sleep Config.begin_overhead;
   {
     iv = t;
     ic_me = me;
     ic_origin = remote;
-    asmb = assembler t ~me ~origin:remote;
+    ic_flow = flow;
+    asmb = assembler t ~me ~origin:remote ~flow;
     ic_closed = false;
   }
 
 let begin_unpacking t ~me =
-  let origin = Mailbox.take (incoming t ~me) in
-  Mailbox.take (starts t ~me ~origin);
+  let origin, flow = Mailbox.take (incoming t ~me) in
+  Mailbox.take (starts t ~me ~origin ~flow);
   Engine.sleep Config.begin_overhead;
   {
     iv = t;
     ic_me = me;
     ic_origin = origin;
-    asmb = assembler t ~me ~origin;
+    ic_flow = flow;
+    asmb = assembler t ~me ~origin ~flow;
     ic_closed = false;
   }
 
 let remote_rank ic = ic.ic_origin
+let remote_flow ic = ic.ic_flow
 
 let unpack ic ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
     ?off ?len data =
@@ -1587,6 +1807,9 @@ let credit_stats t =
           probes = c.cr_probes;
           stalls = c.cr_stalls;
         }
+
+let sched_stats t =
+  match t.sched with None -> None | Some sc -> Some (Sched.stats sc)
 
 let overloaded t =
   Hashtbl.fold (fun node () acc -> node :: acc) t.overloaded []

@@ -42,6 +42,7 @@ val create :
   ?credits:int ->
   ?gw_pool:int ->
   ?faults:Simnet.Faults.t ->
+  ?sched:Sched.strategy ->
   Channel.t list ->
   t
 (** [mtu] defaults to {!Config.default_vchannel_mtu}; it is the payload
@@ -104,6 +105,23 @@ val create :
     Without [faults] (the default) none of this machinery exists and
     the wire format and schedules are byte-identical to the
     pre-reliability library.
+
+    [sched] selects the packet scheduler sitting between the pack path
+    and the transfer modules (see {!Sched}). Unset or {!Sched.Fifo},
+    packets ship exactly as the unscheduled library ships them —
+    byte-identical wire format and schedule. {!Sched.aggreg} merges
+    small pending packets from concurrent logical flows into aggregate
+    wire packets (up to [aggr_max] payload bytes, flushed at the latest
+    after [aggr_flush]), lets rendezvous-class messages (first fragment
+    fills the MTU) overtake other flows' buffered small trains, and
+    unlocks logical-flow multiplexing: [begin_packing ~flow] /
+    [begin_unpacking_from ~flow] carry thousands of independent
+    channels over the same physical connections, distinguished by a
+    per-frame flow id in the aggregate payload. Composition: an
+    aggregate takes one go-back-N sequence number and one re-emission
+    log slot (reliable vchannels re-emit it as a unit), credits are
+    charged per constituent frame, and gateways forward aggregates
+    without unpacking them.
 
     Raises [Invalid_argument] on an empty channel list or an MTU too
     small to carry a buffer sub-header. *)
@@ -169,6 +187,11 @@ type credit_stats = {
 val credit_stats : t -> credit_stats option
 (** Credit-plane counters — [None] without [?credits]. *)
 
+val sched_stats : t -> Sched.stats option
+(** Scheduler counters (frames submitted, frames merged, aggregates
+    emitted, mean frames per aggregate, flush reasons) — [None] unless
+    the vchannel was created with an aggregating [?sched]. *)
+
 val overloaded : t -> int list
 (** Gateways currently above their high watermark, sorted. Always empty
     unless [?credits] or [?gw_pool] armed the watermark machinery. *)
@@ -207,7 +230,15 @@ val suspicion_timeline : t -> (int * Sentinel.event) list
 type out_connection
 type in_connection
 
-val begin_packing : t -> me:int -> remote:int -> out_connection
+val begin_packing : ?flow:int -> t -> me:int -> remote:int -> out_connection
+(** [flow] (default [0]) names the logical channel the message travels
+    on. Non-zero flows exist only on vchannels with an aggregating
+    scheduler — the flow id rides the aggregate's frame headers, and
+    there is nowhere to put it on the plain wire format — and raise
+    [Invalid_argument] otherwise, as does a flow id outside 0..65535.
+    Messages are ordered per (source, destination, flow); distinct
+    flows of a pair may interleave on the wire. *)
+
 val pack :
   out_connection ->
   ?s_mode:Iface.send_mode ->
@@ -219,12 +250,27 @@ val pack :
 
 val end_packing : out_connection -> unit
 
-val begin_unpacking : t -> me:int -> in_connection
-(** Any-source receive. Within one process, do not mix any-source and
-    {!begin_unpacking_from} receives on the same virtual channel. *)
+val flush : t -> me:int -> unit
+(** Barrier flush: ship every aggregate still buffered in [me]'s
+    scheduler now instead of waiting for a budget or deadline — the
+    hook for synchronization points. No-op without an aggregating
+    scheduler (there is never anything buffered). *)
 
-val begin_unpacking_from : t -> me:int -> remote:int -> in_connection
+val begin_unpacking : t -> me:int -> in_connection
+(** Any-source (and any-flow) receive. Within one process, do not mix
+    any-source and {!begin_unpacking_from} receives on the same virtual
+    channel. *)
+
+val begin_unpacking_from :
+  ?flow:int -> t -> me:int -> remote:int -> in_connection
+(** Matched receive: blocks for the next message from [remote] on
+    logical flow [flow] (default [0]). *)
+
 val remote_rank : in_connection -> int
+
+val remote_flow : in_connection -> int
+(** Logical flow the received message arrived on (0 for unflowed
+    traffic). *)
 
 val unpack :
   in_connection ->

@@ -162,6 +162,71 @@ let test_flow_control_option_errors () =
     "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
      channel c net=s nodes=a,b\nvchannel v channels=c gw_pool=none"
 
+let test_sched_options_parsed () =
+  (* sched=aggreg with explicit knobs must load, arm the scheduler
+     (sched_stats becomes Some) and still deliver through the gateway. *)
+  let t =
+    Cf.load
+      {|
+network sci  type=sisci
+network myri type=bip
+node a  nets=sci
+node gw nets=sci,myri
+node b  nets=myri
+channel c-sci  net=sci  nodes=a,gw
+channel c-myri net=myri nodes=gw,b
+vchannel wan channels=c-sci,c-myri mtu=4096 sched=aggreg aggr_max=2048 aggr_flush_us=25
+|}
+  in
+  let vc = Cf.vchannel t "wan" in
+  let data = Harness.payload 300 84L in
+  let sink = Bytes.create 300 in
+  Engine.spawn (Cf.engine t) ~name:"s" (fun () ->
+      let oc = Madeleine.Vchannel.begin_packing vc ~me:0 ~remote:2 in
+      Madeleine.Vchannel.pack oc data;
+      Madeleine.Vchannel.end_packing oc);
+  Engine.spawn (Cf.engine t) ~name:"r" (fun () ->
+      let ic = Madeleine.Vchannel.begin_unpacking_from vc ~me:2 ~remote:0 in
+      Madeleine.Vchannel.unpack ic sink;
+      Madeleine.Vchannel.end_unpacking ic);
+  Engine.run (Cf.engine t);
+  Alcotest.(check bytes) "content through scheduled gateway" data sink;
+  Alcotest.(check bool) "scheduler armed" true
+    (Madeleine.Vchannel.sched_stats vc <> None);
+  (* sched=fifo is the inert spelling: accepted, no scheduler state. *)
+  let t2 =
+    Cf.load
+      {|
+network s type=sisci
+node a nets=s
+node b nets=s
+channel c net=s nodes=a,b
+vchannel v channels=c sched=fifo
+|}
+  in
+  Alcotest.(check bool) "fifo keeps scheduler off" true
+    (Madeleine.Vchannel.sched_stats (Cf.vchannel t2 "v") = None)
+
+let test_sched_option_errors () =
+  let vc_line opts =
+    "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b\nvchannel v channels=c " ^ opts
+  in
+  (* Only the two strategy names exist. *)
+  expect_parse_error ~line:5 (vc_line "sched=lifo");
+  (* The aggregation knobs mean nothing without (or with a non-
+     aggregating) sched= — reject on the vchannel's line. *)
+  expect_parse_error ~line:5 (vc_line "aggr_max=2048");
+  expect_parse_error ~line:5 (vc_line "aggr_flush_us=25");
+  expect_parse_error ~line:5 (vc_line "sched=fifo aggr_max=2048");
+  expect_parse_error ~line:5 (vc_line "sched=fifo aggr_flush_us=25");
+  (* Budget and deadline must be a positive int / positive number. *)
+  expect_parse_error ~line:5 (vc_line "sched=aggreg aggr_max=0");
+  expect_parse_error ~line:5 (vc_line "sched=aggreg aggr_flush_us=0");
+  expect_parse_error ~line:5 (vc_line "sched=aggreg aggr_flush_us=fast");
+  (* sched= is a vchannel option, never a network one. *)
+  expect_parse_error ~line:1 "network m type=bip sched=aggreg"
+
 let test_parse_errors () =
   expect_parse_error ~line:1 "network foo type=quantum";
   expect_parse_error ~line:1 "node lonely nets=nowhere";
@@ -191,6 +256,10 @@ let () =
             test_flow_control_options_parsed;
           Alcotest.test_case "flow-control option errors" `Quick
             test_flow_control_option_errors;
+          Alcotest.test_case "scheduler options" `Quick
+            test_sched_options_parsed;
+          Alcotest.test_case "scheduler option errors" `Quick
+            test_sched_option_errors;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
         ] );
     ]

@@ -116,6 +116,7 @@ let test_generic_tm_header_roundtrip () =
       ack = true;
       hs = false;
       crd = true;
+      agg = true;
     }
   in
   Alcotest.(check bool) "roundtrip" true (G.decode_header (G.encode_header h) = h);
@@ -124,7 +125,14 @@ let test_generic_tm_header_roundtrip () =
       ignore (G.decode_header (Bytes.create G.header_size)));
   let sub = G.encode_sub_header ~len:42 Iface.Send_later Iface.Receive_express in
   Alcotest.(check bool) "sub roundtrip" true
-    (G.decode_sub_header sub = (42, Iface.Send_later, Iface.Receive_express))
+    (G.decode_sub_header sub = (42, Iface.Send_later, Iface.Receive_express));
+  let fr = G.encode_flow_frame_header ~flow:9999 ~first:true ~last:false ~len:777 in
+  Alcotest.(check bool) "flow frame roundtrip" true
+    (G.decode_flow_frame_header fr 0 = (9999, true, false, 777));
+  Alcotest.check_raises "flow out of range"
+    (Invalid_argument "Generic_tm.encode_flow_frame_header: flow id out of range")
+    (fun () ->
+      ignore (G.encode_flow_frame_header ~flow:70000 ~first:false ~last:true ~len:0))
 
 (* ------------------------------------------------------------------ *)
 (* Threshold boundaries: exactly at / around every switch point *)
