@@ -9,6 +9,11 @@
 # (sched=fifo vs sched=aggreg) must show >= 2x simulated goodput with
 # aggregation on. Both finish times are simulated, so this gate is
 # deterministic and never skipped.
+# Also gates the zero-copy long-message path: the "sisci 1MB rendezvous
+# zero-copy" scenario (warm pin-down cache) must beat the staged
+# "sisci 1MB ping-pong" by >= 1.2x in simulated one-way bandwidth.
+# Deterministic for the same reason; the cold-cache scenario rides
+# along as a host-speed line only.
 #
 # Usage: bench/check_simspeed.sh [baseline.json]
 # Refresh the baseline with: dune exec bench/main.exe -- simspeed --json

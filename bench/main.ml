@@ -557,11 +557,43 @@ let sched_flows_events ~aggreg =
     Marcel.Time.to_us !finish;
   Marcel.Engine.events_processed w.H.cw_engine
 
+(* The zero-copy rendezvous scenarios: the same 1 MB ping-pong as the
+   staged line, with the long-message path switched on — once with a
+   warm pin-down cache and once with the cache disabled (a cold pin on
+   every send). The simulated one-way times of all three variants are
+   deterministic; the warm/staged ratio is the zero-copy bandwidth gain
+   recorded in the JSON and gated below. *)
+let rdv_staged_us = ref 0.0
+let rdv_zero_us = ref 0.0
+let rdv_zero_label = "sisci 1MB rendezvous zero-copy"
+let rdv_cold_label = "sisci 1MB rendezvous cold-cache"
+
+let rdv_bench_config ~entries =
+  {
+    Madeleine.Config.default with
+    Madeleine.Config.rendezvous_threshold = Some 32768;
+    regcache_entries = entries;
+  }
+
 let simspeed_scenarios : (string * (unit -> int)) list =
   [
     ( "sisci 1MB ping-pong",
       fun () ->
         let w = H.sisci_world () in
+        rdv_staged_us :=
+          Marcel.Time.to_us
+            (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
+        Marcel.Engine.events_processed w.H.engine );
+    ( rdv_zero_label,
+      fun () ->
+        let w = H.sisci_world ~config:(rdv_bench_config ~entries:8) () in
+        rdv_zero_us :=
+          Marcel.Time.to_us
+            (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
+        Marcel.Engine.events_processed w.H.engine );
+    ( rdv_cold_label,
+      fun () ->
+        let w = H.sisci_world ~config:(rdv_bench_config ~entries:0) () in
         ignore (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:4);
         Marcel.Engine.events_processed w.H.engine );
     ( "gateway forwarding 1MB @16kB",
@@ -832,6 +864,25 @@ let simspeed_gate_aggregation ~ratio =
     Printf.printf "  GATE OK:   aggregation goodput %.2fx (floor %.1fx)\n%!"
       ratio simspeed_aggregation_floor
 
+(* The warm-cache zero-copy path must actually buy bandwidth over the
+   staged path at 1 MB; both one-way times are simulated, so the ratio
+   is deterministic and the floor always binds. *)
+let simspeed_rendezvous_floor = 1.2
+
+let simspeed_gate_rendezvous ~gain =
+  if gain < simspeed_rendezvous_floor then begin
+    Printf.printf
+      "  GATE FAIL: zero-copy rendezvous %.2fx < %.1fx floor over staged at \
+       1 MB\n%!"
+      gain simspeed_rendezvous_floor;
+    simspeed_gate_failed := true
+  end
+  else
+    Printf.printf
+      "  GATE OK:   zero-copy rendezvous %.2fx over staged at 1 MB (floor \
+       %.1fx)\n%!"
+      gain simspeed_rendezvous_floor
+
 let simspeed () =
   header "Simulator throughput -- discrete events per host wall-clock second";
   let serial_pool = Parsim.create ~jobs:1 in
@@ -877,6 +928,13 @@ let simspeed () =
     "  aggregation goodput: %.2fx over fifo (fifo %.0f us, aggreg %.0f us \
      simulated)\n%!"
     goodput_ratio !sched_fifo_finish_us !sched_aggreg_finish_us;
+  let rendezvous_gain =
+    if !rdv_zero_us > 0.0 then !rdv_staged_us /. !rdv_zero_us else 0.0
+  in
+  Printf.printf
+    "  zero-copy rendezvous: %.2fx over staged at 1 MB (staged %.0f us, \
+     zero-copy %.0f us one-way simulated)\n%!"
+    rendezvous_gain !rdv_staged_us !rdv_zero_us;
   let results =
     List.map
       (fun ((label, events, wall, rate, _) as r) ->
@@ -893,6 +951,13 @@ let simspeed () =
             wall,
             rate,
             Printf.sprintf ", \"goodput_ratio_vs_fifo\": %.2f" goodput_ratio )
+        else if label = rdv_zero_label then
+          ( label,
+            events,
+            wall,
+            rate,
+            Printf.sprintf ", \"sim_bw_gain_vs_staged\": %.2f" rendezvous_gain
+          )
         else r)
       results
   in
@@ -905,7 +970,8 @@ let simspeed () =
   | Some file ->
       simspeed_gate file results;
       simspeed_gate_speedup ~speedup;
-      simspeed_gate_aggregation ~ratio:goodput_ratio
+      simspeed_gate_aggregation ~ratio:goodput_ratio;
+      simspeed_gate_rendezvous ~gain:rendezvous_gain
 
 let sections =
   [

@@ -202,6 +202,163 @@ let nexus_cmd =
     (Cmd.info "nexus" ~doc:"Nexus RSR echo measurement.")
     Term.(const nexus $ proto_arg $ size_arg $ iters_arg)
 
+(* -------- crossover -------- *)
+
+(* Bisect, per fabric, the message size where the zero-copy rendezvous
+   path breaks even with the staged eager path, and persist the result
+   (plus bandwidth points and the pin-cache hit rate of a
+   repeated-buffer sweep) in BENCH_crossover.json. Clusterfiles consume
+   the measurement through the channel key rendezvous=auto. *)
+
+let crossover_sizes = [ 32768; 65536; 131072; 262144; 1048576 ]
+
+let rdv_config ~threshold =
+  {
+    Madeleine.Config.default with
+    Madeleine.Config.rendezvous_threshold = Some threshold;
+    regcache_entries = 8;
+  }
+
+type crossover_result = {
+  co_fabric : string;
+  co_bytes : int;
+  co_points : (int * float * float * float) list;
+      (* size, staged MB/s, warm-cache rdv MB/s, cache-off rdv MB/s *)
+  co_hit_rate : float;
+}
+
+let crossover_fabric (name, make) =
+  let staged_time s = H.mad_pingpong (make None) ~bytes_count:s ~iters:8 in
+  let rdv_time s =
+    H.mad_pingpong (make (Some (rdv_config ~threshold:s))) ~bytes_count:s
+      ~iters:8
+  in
+  let rdv_wins s = Time.to_us (rdv_time s) <= Time.to_us (staged_time s) in
+  (* The handshake + pin cost dominates small messages and amortizes on
+     large ones, so the win predicate is monotone enough to bisect. *)
+  let lo = ref 1024 and hi = ref (1 lsl 20) in
+  if rdv_wins !lo then hi := !lo
+  else
+    while !hi - !lo > 1024 do
+      let mid = (!lo + !hi) / 2 in
+      if rdv_wins mid then hi := mid else lo := mid
+    done;
+  let co_bytes = !hi in
+  let cold_time s =
+    let config =
+      { (rdv_config ~threshold:s) with Madeleine.Config.regcache_entries = 0 }
+    in
+    H.mad_pingpong (make (Some config)) ~bytes_count:s ~iters:8
+  in
+  let co_points =
+    List.map
+      (fun s ->
+        ( s,
+          Time.rate_mb_s ~bytes_count:s (staged_time s),
+          Time.rate_mb_s ~bytes_count:s (rdv_time s),
+          Time.rate_mb_s ~bytes_count:s (cold_time s) ))
+      crossover_sizes
+  in
+  (* Repeated-buffer sweep: ping-pong reuses one buffer per side, so a
+     warm cache should serve nearly every send from the first pin. *)
+  let w = make (Some (rdv_config ~threshold:32768)) in
+  ignore (H.mad_pingpong w ~bytes_count:(1 lsl 20) ~iters:16);
+  let co_hit_rate =
+    match
+      Madeleine.Channel.reg_stats
+        (Madeleine.Channel.endpoint w.H.channel ~rank:0)
+    with
+    | Some s ->
+        float_of_int s.Madeleine.Regcache.hits
+        /. float_of_int
+             (max 1 (s.Madeleine.Regcache.hits + s.Madeleine.Regcache.misses))
+    | None -> 0.0
+  in
+  { co_fabric = name; co_bytes; co_points; co_hit_rate }
+
+let crossover_write_json file results =
+  let oc = open_out file in
+  output_string oc "{ \"crossover\": [\n";
+  let last = List.length results - 1 in
+  List.iteri
+    (fun i r ->
+      let points =
+        String.concat ", "
+          (List.map
+             (fun (s, staged, rdv, cold) ->
+               Printf.sprintf
+                 "{ \"bytes\": %d, \"staged_mb_s\": %.2f, \"rdv_mb_s\": \
+                  %.2f, \"rdv_cold_mb_s\": %.2f, \"gain\": %.3f }"
+                 s staged rdv cold (rdv /. Float.max 1e-9 staged))
+             r.co_points)
+      in
+      Printf.fprintf oc
+        "  { \"fabric\": %S, \"crossover_bytes\": %d, \"regcache_hit_rate\": \
+         %.3f, \"points\": [ %s ] }%s\n"
+        r.co_fabric r.co_bytes r.co_hit_rate points
+        (if i = last then "" else ","))
+    results;
+  output_string oc "] }\n";
+  close_out oc
+
+let crossover out =
+  let fabrics =
+    [
+      ("sisci", fun config -> H.sisci_world ?config ());
+      ("via", fun config -> H.via_world ?config ());
+    ]
+  in
+  let results = List.map crossover_fabric fabrics in
+  let failed = ref false in
+  List.iter
+    (fun r ->
+      Format.printf "%s: eager/rendezvous crossover at %d B  (pin-cache hit \
+                     rate %.1f%%)@."
+        r.co_fabric r.co_bytes (100. *. r.co_hit_rate);
+      List.iter
+        (fun (s, staged, rdv, cold) ->
+          Format.printf "  %8d B  staged %7.2f MB/s  zero-copy %7.2f MB/s  \
+                         (%.2fx)  cache-off %7.2f MB/s@."
+            s staged rdv
+            (rdv /. Float.max 1e-9 staged)
+            cold)
+        r.co_points;
+      (* CI keys off the exit code: the sisci zero-copy path must buy
+         >= 1.2x from 32 kB up and the warm cache must serve > 90%. *)
+      if r.co_fabric = "sisci" then begin
+        List.iter
+          (fun (s, staged, rdv, _cold) ->
+            if s >= 32768 && rdv /. Float.max 1e-9 staged < 1.2 then begin
+              Format.eprintf
+                "crossover: gate FAILED: sisci %d B gain %.2fx < 1.2x@." s
+                (rdv /. Float.max 1e-9 staged);
+              failed := true
+            end)
+          r.co_points;
+        if r.co_hit_rate <= 0.9 then begin
+          Format.eprintf
+            "crossover: gate FAILED: sisci pin-cache hit rate %.1f%% <= 90%%@."
+            (100. *. r.co_hit_rate);
+          failed := true
+        end
+      end)
+    results;
+  crossover_write_json out results;
+  Format.printf "wrote %s@." out;
+  if !failed then exit 1
+
+let out_arg =
+  Arg.(value & opt string "BENCH_crossover.json" & info [ "out" ] ~docv:"FILE"
+         ~doc:"File the per-fabric crossover measurements are written to \
+               (the clusterfile key $(b,rendezvous=auto) reads this name).")
+
+let crossover_cmd =
+  Cmd.v
+    (Cmd.info "crossover"
+       ~doc:"Bisect the eager/rendezvous break-even per fabric and persist \
+             it for rendezvous=auto.")
+    Term.(const crossover $ out_arg)
+
 (* -------- chaos -------- *)
 
 let quick_arg =
@@ -394,5 +551,5 @@ let () =
        (Cmd.group info
           [
             pingpong_cmd; sweep_cmd; forward_cmd; mpi_cmd; nexus_cmd;
-            chaos_cmd; describe_cmd; config_pingpong_cmd;
+            crossover_cmd; chaos_cmd; describe_cmd; config_pingpong_cmd;
           ]))

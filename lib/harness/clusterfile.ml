@@ -151,6 +151,13 @@ let parse_float lineno key v =
 
 let comma v = String.split_on_char ',' v |> List.filter (fun s -> s <> "")
 
+let string_of_kind = function
+  | Sisci_k -> "sisci"
+  | Bip_k -> "bip"
+  | Tcp_k -> "tcp"
+  | Via_k -> "via"
+  | Sbp_k -> "sbp"
+
 let kind_of_string lineno = function
   | "sisci" -> Sisci_k
   | "bip" -> Bip_k
@@ -321,11 +328,47 @@ let parse_line t lineno line =
   | "channel" :: name :: opts ->
       let net = ref None and members = ref [] in
       let config = ref Config.default in
+      (* rendezvous=auto resolves against the channel's fabric, which
+         may be named later on the line — defer until net= is known. *)
+      let rendezvous_auto = ref false in
+      let positive_int key v =
+        let n = parse_int lineno key v in
+        if n < 1 then
+          raise
+            (Parse_error (lineno, Printf.sprintf "%s expects an integer >= 1" key));
+        n
+      in
       List.iter
         (fun tok ->
           match split_kv lineno tok with
           | "net", v -> net := Some (find_or lineno t.nets "network" v)
           | "nodes", v -> members := comma v
+          | "slot_payload", v ->
+              config :=
+                { !config with sisci_slot_payload = positive_int "slot_payload" v }
+          | "dma_threshold", v ->
+              config :=
+                { !config with sisci_dma_threshold = positive_int "dma_threshold" v }
+          | "rendezvous", v -> (
+              match v with
+              | "auto" -> rendezvous_auto := true
+              | "off" ->
+                  rendezvous_auto := false;
+                  config := { !config with rendezvous_threshold = None }
+              | _ ->
+                  config :=
+                    { !config with
+                      rendezvous_threshold = Some (positive_int "rendezvous" v) })
+          | "regcache", v ->
+              let n = parse_int lineno "regcache" v in
+              if n < 0 then
+                raise
+                  (Parse_error (lineno, "regcache expects an integer >= 0"));
+              config := { !config with regcache_entries = n }
+          | "regcache_bytes", v ->
+              config :=
+                { !config with
+                  regcache_bytes = Some (positive_int "regcache_bytes" v) }
           | "aggregation", v ->
               config := { !config with aggregation = parse_bool lineno "aggregation" v }
           | "checked", v ->
@@ -355,6 +398,19 @@ let parse_line t lineno line =
         | Some n -> n
         | None -> raise (Parse_error (lineno, "channel needs net="))
       in
+      (if !rendezvous_auto then
+         let fabric = string_of_kind net.kind in
+         match Crossover.lookup ~fabric () with
+         | Some bytes_count ->
+             config := { !config with rendezvous_threshold = Some bytes_count }
+         | None ->
+             raise
+               (Parse_error
+                  (lineno,
+                   Printf.sprintf
+                     "rendezvous=auto: no measured crossover for fabric %S \
+                      in %s (run: madbench crossover)"
+                     fabric Crossover.default_file)));
       let ranks =
         List.map (fun node_name -> rank_of t node_name) !members
       in

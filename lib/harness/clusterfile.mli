@@ -27,7 +27,16 @@
     \[gateway_overhead_us=US\] \[ingress_cap=MB_S\] \[reliable=BOOL\]
     \[patience_us=US\] \[credits=N\] \[gw_pool=N\]]. Channel options:
     [aggregation=BOOL], [checked=BOOL], [slots=INT], [dma=BOOL],
-    [rx=poll|interrupt|adaptive], [connect_timeout_us=US]. Network
+    [rx=poll|interrupt|adaptive], [connect_timeout_us=US],
+    [slot_payload=BYTES] (sisci regular-ring slot payload,
+    {!Madeleine.Config.t.sisci_slot_payload}), [dma_threshold=BYTES]
+    (PIO-to-DMA switch point), [rendezvous=BYTES|auto|off] (zero-copy
+    rendezvous threshold; [auto] reads the fabric's measured crossover
+    from {!Crossover.default_file}, written by [madbench crossover],
+    and is rejected with a line-numbered {!Parse_error} when no
+    measurement exists), [regcache=N] (>= 0 cached registrations; 0 =
+    register per send) and [regcache_bytes=BYTES] (pinned-byte budget
+    of the cache). Network
     types: [sisci], [bip], [tcp], [via], [sbp]; [tcp] networks
     additionally accept [window=FRAMES] (go-back-N sender window) and
     [max_retries=N] (consecutive RTO expiries before a connection is

@@ -141,7 +141,7 @@ type cluster_world = {
   ch_myri : Channel.t;
 }
 
-let two_cluster_world () =
+let two_cluster_world ?config () =
   let engine = Engine.create () in
   let sci_fab = Fabric.create engine ~name:"sci" ~link:Netparams.sci in
   let myri_fab = Fabric.create engine ~name:"myri" ~link:Netparams.myrinet in
@@ -169,8 +169,8 @@ let two_cluster_world () =
       | r -> invalid_arg (string_of_int r))
   in
   let session = Madeleine.Session.create engine in
-  let ch_sci = Channel.create session sisci_drv ~ranks:[ 0; 1 ] () in
-  let ch_myri = Channel.create session bip_drv ~ranks:[ 1; 2 ] () in
+  let ch_sci = Channel.create session sisci_drv ?config ~ranks:[ 0; 1 ] () in
+  let ch_myri = Channel.create session bip_drv ?config ~ranks:[ 1; 2 ] () in
   { cw_engine = engine; cw_session = session; cw_gateway = gw; ch_sci; ch_myri }
 
 (* Inter-cluster one-way bandwidth through the gateway for one packet

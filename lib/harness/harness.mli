@@ -65,7 +65,7 @@ type cluster_world = {
   ch_myri : Madeleine.Channel.t;
 }
 
-val two_cluster_world : unit -> cluster_world
+val two_cluster_world : ?config:Madeleine.Config.t -> unit -> cluster_world
 (** Node 0 on SCI, node 2 on Myrinet, node 1 the gateway with both NICs. *)
 
 val forwarding_bandwidth :

@@ -33,7 +33,7 @@ let begin_packing ep ~remote =
   }
 
 let pack oc ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
-    ?off ?len data =
+    ?(transit = false) ?off ?len data =
   if oc.oc_closed then invalid_arg "Madeleine.pack: connection closed";
   Engine.sleep Config.pack_overhead;
   let buf = Buf.make ?off ?len data in
@@ -41,7 +41,7 @@ let pack oc ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
     Channel.sym_push oc.oc_channel ~src:oc.oc_src ~dst:oc.oc_dst
       (Buf.length buf, s_mode, r_mode);
   let bmms = oc.oc_link.Link.s_bmms in
-  let tm = oc.oc_link.Link.s_select ~len:(Buf.length buf) s_mode r_mode in
+  let tm = oc.oc_link.Link.s_select ~len:(Buf.length buf) ~transit s_mode r_mode in
   Channel.record_usage oc.oc_channel ~tm ~bytes_count:(Buf.length buf);
   (* Switching TMs commits the previous BMM so delivery order across
      transfer methods is preserved (paper §4.1). *)
@@ -84,7 +84,7 @@ let begin_unpacking_from ep ~remote =
 let remote_rank ic = ic.ic_from
 
 let unpack ic ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
-    ?off ?len data =
+    ?(transit = false) ?off ?len data =
   if ic.ic_closed then invalid_arg "Madeleine.unpack: connection closed";
   Engine.sleep Config.unpack_overhead;
   let buf = Buf.make ?off ?len data in
@@ -92,7 +92,7 @@ let unpack ic ?(s_mode = Iface.Send_cheaper) ?(r_mode = Iface.Receive_cheaper)
     Channel.sym_check ic.ic_channel ~src:ic.ic_from ~dst:ic.ic_me
       (Buf.length buf, s_mode, r_mode);
   let bmms = ic.ic_link.Link.r_bmms in
-  let tm = ic.ic_link.Link.r_select ~len:(Buf.length buf) s_mode r_mode in
+  let tm = ic.ic_link.Link.r_select ~len:(Buf.length buf) ~transit s_mode r_mode in
   (* The receiving side replays the sender's Switch decisions; a TM
      change checks the previous BMM out before touching the new stream. *)
   if ic.ic_tm >= 0 && ic.ic_tm <> tm then bmms.(ic.ic_tm).Bmm.checkout ();

@@ -23,12 +23,18 @@ val pack :
   out_connection ->
   ?s_mode:Iface.send_mode ->
   ?r_mode:Iface.recv_mode ->
+  ?transit:bool ->
   ?off:int ->
   ?len:int ->
   Bytes.t ->
   unit
 (** Appends a data block to the message. Defaults: [Send_cheaper],
-    [Receive_cheaper], the whole byte sequence. *)
+    [Receive_cheaper], the whole byte sequence. [transit] (default
+    false) marks a hop that is not endpoint-to-endpoint (data leaving
+    or entering a forwarding gateway's staging buffers); the Switch
+    then avoids TMs that hand off user memory directly, such as the
+    zero-copy rendezvous. Both ends must agree on the flag — it is part
+    of the (len, modes) tuple the receiver replays. *)
 
 val end_packing : out_connection -> unit
 (** Flushes every delayed packet and closes the connection object. *)
@@ -55,13 +61,16 @@ val unpack :
   in_connection ->
   ?s_mode:Iface.send_mode ->
   ?r_mode:Iface.recv_mode ->
+  ?transit:bool ->
   ?off:int ->
   ?len:int ->
   Bytes.t ->
   unit
 (** Extracts the next data block into the given slice. With
     [Receive_express] the data is available when [unpack] returns; with
-    [Receive_cheaper] only after {!end_unpacking}. *)
+    [Receive_cheaper] only after {!end_unpacking}. [transit] must
+    mirror the sender's {!pack} flag (both ends compute it from shared
+    routing knowledge). *)
 
 val end_unpacking : in_connection -> unit
 (** Completes all deferred extractions and closes the connection. *)

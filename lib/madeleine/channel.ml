@@ -80,6 +80,8 @@ let peer_health ep ~remote =
   check_remote ep.ep_channel remote;
   ep.ep_channel.inst.Driver.peer_health ~me:ep.ep_rank ~peer:remote
 
+let reg_stats ep = ep.ep_channel.inst.Driver.reg_stats ~me:ep.ep_rank
+
 let sender_link ep ~remote =
   check_remote ep.ep_channel remote;
   if remote = ep.ep_rank then invalid_arg "Madeleine: cannot connect to self";

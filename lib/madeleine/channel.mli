@@ -38,6 +38,12 @@ val peer_health : endpoint -> remote:int -> Iface.health
     peer is unreachable. Interfaces without failure detection always
     report [Up]. *)
 
+val reg_stats : endpoint -> Regcache.stats option
+(** Counters of this endpoint's sender-side registration (pin-down)
+    cache: hits, misses, evictions, merges and currently pinned bytes.
+    [None] when the channel's driver has no zero-copy rendezvous path or
+    the endpoint has not yet sent through it. *)
+
 val tm_usage : t -> (int * int * int) list
 (** Per-transmission-module usage on this channel: [(tm_index, packets,
     bytes)] sorted by index — which paths the Switch actually chose

@@ -8,6 +8,11 @@ type t = {
   aggregation : bool;
   sisci_ring_slots : int;
   sisci_use_dma : bool;
+  sisci_slot_payload : int;
+  sisci_dma_threshold : int;
+  rendezvous_threshold : int option;
+  regcache_entries : int;
+  regcache_bytes : int option;
   rx_interaction : rx_interaction;
   tcp_connect_timeout : Marcel.Time.span option;
 }
@@ -15,12 +20,21 @@ type t = {
 exception Symmetry_violation of string
 exception Peer_unreachable of string
 
+let default_sisci_slot_payload = 8192
+let default_sisci_dma_threshold = 16 * 1024
+let default_regcache_entries = 8
+
 let default =
   {
     checked = true;
     aggregation = true;
     sisci_ring_slots = 2;
     sisci_use_dma = false;
+    sisci_slot_payload = default_sisci_slot_payload;
+    sisci_dma_threshold = default_sisci_dma_threshold;
+    rendezvous_threshold = None;
+    regcache_entries = default_regcache_entries;
+    regcache_bytes = None;
     rx_interaction = Rx_poll;
     tcp_connect_timeout = None;
   }
@@ -34,8 +48,6 @@ let end_overhead = Time.us 0.5
 
 let sisci_short_max = 480
 let sisci_short_slots = 16
-let sisci_slot_payload = 8192
-let sisci_dma_threshold = 16 * 1024
 let default_adaptive_window = Time.us 30.0
 let slot_header = 8
 

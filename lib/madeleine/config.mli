@@ -27,6 +27,28 @@ type t = {
       (** Route large SISCI blocks through the DMA transmission module.
           Implemented but off by default, exactly as in the paper (the
           D310 DMA tops out at 35 MB/s). *)
+  sisci_slot_payload : int;
+      (** Payload capacity of one regular-ring slot (the paper's 8 kB
+          dual-buffering granularity). Clusterfile key [slot_payload=]. *)
+  sisci_dma_threshold : int;
+      (** Minimum block size routed to the DMA TM when it is enabled.
+          Clusterfile key [dma_threshold=]. *)
+  rendezvous_threshold : int option;
+      (** When set, blocks of at least this many bytes on fabrics with a
+          zero-copy TM (sisci, via) take the RDMA rendezvous path
+          instead of the staged ring — except on gateway transit hops,
+          which stage by construction. [None] (the default) disables
+          the rendezvous entirely: the Switch never selects it and the
+          wire behavior is bit-identical to earlier versions.
+          Clusterfile key [rendezvous=] (bytes, or [auto] to use the
+          measured crossover from [madbench crossover]). *)
+  regcache_entries : int;
+      (** Capacity (registrations) of the sender-side pin-down cache
+          used by the rendezvous path; 0 registers per send. Clusterfile
+          key [regcache=]. *)
+  regcache_bytes : int option;
+      (** Optional cap on total bytes pinned by the cache. Clusterfile
+          key [regcache_bytes=]. *)
   rx_interaction : rx_interaction;
       (** How SISCI receive paths wait for incoming data. Default
           {!Rx_poll}. *)
@@ -64,12 +86,15 @@ val sisci_short_max : int
 (** Largest payload taking the optimized short-message TM. *)
 
 val sisci_short_slots : int
-val sisci_slot_payload : int
-(** Payload capacity of one regular-ring slot (the paper's 8 kB
-    dual-buffering granularity). *)
 
-val sisci_dma_threshold : int
-(** Minimum block size routed to the DMA TM when it is enabled. *)
+val default_sisci_slot_payload : int
+(** Default for {!type-t.sisci_slot_payload} (the paper's 8 kB). *)
+
+val default_sisci_dma_threshold : int
+(** Default for {!type-t.sisci_dma_threshold}. *)
+
+val default_regcache_entries : int
+(** Default for {!type-t.regcache_entries}. *)
 
 val default_adaptive_window : Marcel.Time.span
 (** Polling window suggested for {!Rx_adaptive}: a bit above the

@@ -5,6 +5,10 @@ type instance = {
   receiver_link : me:int -> from:int -> Link.receiver;
   on_data : me:int -> (unit -> unit) -> unit;
   peer_health : me:int -> peer:int -> Iface.health;
+  reg_stats : me:int -> Regcache.stats option;
+      (** Counters of [me]'s sender-side registration cache, when the
+          instance has a zero-copy rendezvous TM and the rank has sent
+          through it; [None] otherwise. *)
 }
 
 type t = {

@@ -22,6 +22,10 @@ type instance = {
   peer_health : me:int -> peer:int -> Iface.health;
       (** Health of the protocol-level path from [me] to [peer].
           Interfaces without failure detection always report [Up]. *)
+  reg_stats : me:int -> Regcache.stats option;
+      (** Counters of [me]'s sender-side registration (pin-down) cache,
+          when the instance has a zero-copy rendezvous TM and the rank
+          has sent through it; [None] otherwise. *)
 }
 
 type t = {

@@ -1,4 +1,5 @@
-type selector = len:int -> Iface.send_mode -> Iface.recv_mode -> int
+type selector =
+  len:int -> transit:bool -> Iface.send_mode -> Iface.recv_mode -> int
 
 type sender = {
   s_mutex : Marcel.Mutex.t;

@@ -3,11 +3,16 @@
     among them (paper Fig. 3, "Switch Module" + "Specific Protocol
     Layer"). *)
 
-type selector = len:int -> Iface.send_mode -> Iface.recv_mode -> int
+type selector =
+  len:int -> transit:bool -> Iface.send_mode -> Iface.recv_mode -> int
 (** Returns the index of the best-suited TM for a packet of [len] bytes
-    with the given mode combination. Must be a pure function of its
-    arguments: the receiving side runs the same selector to mirror the
-    sender's choices. *)
+    with the given mode combination. [transit] is true when the hop is
+    not endpoint-to-endpoint — the packet originates from or is destined
+    to a forwarding gateway — so TMs that hand off user memory directly
+    (the zero-copy rendezvous) must not be chosen: a gateway stages
+    through protocol buffers by construction. Must be a pure function of
+    its arguments: the receiving side runs the same selector to mirror
+    the sender's choices. *)
 
 type sender = {
   s_mutex : Marcel.Mutex.t;

@@ -103,7 +103,7 @@ let recv_long_tm endpoint ~from ~tag =
 
 (* The Switch's query (paper Fig. 3, step 2): short messages take the
    optimized buffered path, everything else the rendezvous path. *)
-let select ~len _s _r = if len < Simnet.Netparams.bip_short_max then 0 else 1
+let select ~len ~transit:_ _s _r = if len < Simnet.Netparams.bip_short_max then 0 else 1
 
 let driver (endpoint_of : int -> Bip.t) =
   let instantiate ~channel_id ~config ~ranks:_ =
@@ -138,6 +138,7 @@ let driver (endpoint_of : int -> Bip.t) =
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Bip.set_data_hook (endpoint_of me) hook);
       peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
+      reg_stats = (fun ~me:_ -> None);
     }
   in
   { Driver.driver_name = "bip"; instantiate }

@@ -13,7 +13,7 @@ val long_tag : int -> int
 val short_capacity : int
 (** Aggregation capacity of one short-message slot. *)
 
-val select : len:int -> Iface.send_mode -> Iface.recv_mode -> int
+val select : len:int -> transit:bool -> Iface.send_mode -> Iface.recv_mode -> int
 (** The Switch query: 0 (short TM) below BIP's threshold, else 1. *)
 
 val driver : (int -> Bip.t) -> Driver.t

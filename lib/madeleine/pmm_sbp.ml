@@ -76,7 +76,7 @@ let recv_tm host ~from ~tag =
     r_probe = (fun () -> Sbp.probe host ~src:from ~tag);
   }
 
-let select ~len:_ _s _r = 0
+let select ~len:_ ~transit:_ _s _r = 0
 
 let driver (host_of : int -> Sbp.t) =
   let instantiate ~channel_id ~config ~ranks:_ =
@@ -101,6 +101,7 @@ let driver (host_of : int -> Sbp.t) =
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Sbp.set_data_hook (host_of me) hook);
       peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
+      reg_stats = (fun ~me:_ -> None);
     }
   in
   { Driver.driver_name = "sbp"; instantiate }

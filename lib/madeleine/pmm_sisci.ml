@@ -11,7 +11,18 @@
      overlap for the ablation study;
    - TM 2, "sisci-dma": same ring discipline driven by the D310 DMA
      engine. Implemented but not selected unless [sisci_use_dma] — the
-     paper ships it disabled because the engine tops out at 35 MB/s.
+     paper ships it disabled because the engine tops out at 35 MB/s;
+   - TM 3, "sisci-rdv": zero-copy RDMA rendezvous for long messages
+     (selected above [rendezvous_threshold], never on gateway transit
+     hops). RTS/CTS handshake over two tiny dedicated segments: the
+     sender announces the length (RTS), the receiver registers (pins)
+     its user buffer, exposes it as a segment and answers with the
+     landing offset (CTS), and the sender issues one busmaster write
+     straight from its own registered buffer — no staging slot, no
+     ring, no receiver copy-out. The sender-side registration is served
+     by a per-rank pin-down cache (Regcache). A done flag riding the
+     same ordered stream as the data tells the receiver the landing is
+     complete.
 
    Rings live in receiver-owned segments. Slot layout: 4-byte length,
    4-byte valid flag, payload. Slot reuse is guarded by a credit
@@ -31,8 +42,15 @@ type ring_geometry = { slots : int; payload : int }
 
 let short_geometry = { slots = Config.sisci_short_slots; payload = Config.sisci_short_max }
 let regular_geometry config =
-  { slots = config.Config.sisci_ring_slots; payload = Config.sisci_slot_payload }
+  { slots = config.Config.sisci_ring_slots; payload = config.Config.sisci_slot_payload }
 let dma_geometry = { slots = 2; payload = 32760 }
+
+(* Rendezvous control blocks. RTS (receiver-owned): [len:4][valid:1]
+   [done:1][pad:2]; CTS (sender-owned, written by the receiver):
+   [landing offset:4][valid:1][pad:3]. One outstanding rendezvous per
+   (src, dst) pair — the link mutex serializes messages and buffers
+   within a message complete in order. *)
+let rdv_ctl_size = 8
 
 let segment_size g = g.slots * (hdr + g.payload)
 let seg_id ~channel_id ~src ~kind = (channel_id * 1024) + (src * 8) + kind
@@ -115,15 +133,103 @@ type pair_state = {
   short_seg : Sisci.local_segment;
   regular_seg : Sisci.local_segment;
   dma_seg : Sisci.local_segment;
+  rts_seg : Sisci.local_segment; (* receiver-owned, kind 3 *)
+  cts_seg : Sisci.local_segment; (* sender-owned, kind 4 *)
   short_sem : Semaphore.t;
   regular_sem : Semaphore.t;
   dma_sem : Semaphore.t;
 }
 
-let select ~config ~len _s _r =
+let select ~config ~len ~transit _s _r =
   if len <= Config.sisci_short_max then 0
-  else if config.Config.sisci_use_dma && len >= Config.sisci_dma_threshold then 2
-  else 1
+  else
+    match config.Config.rendezvous_threshold with
+    | Some threshold when (not transit) && len >= threshold -> 3
+    | _ ->
+        if
+          config.Config.sisci_use_dma
+          && len >= config.Config.sisci_dma_threshold
+        then 2
+        else 1
+
+(* Sender half of the rendezvous TM. Registration of the source buffer
+   goes through the per-rank pin-down cache: a warm resend of the same
+   buffer pays no pin at all. *)
+let rendezvous_send_tm ~name ~adapter ~dst ~rs_rts ~cts_seg ~mode ~cache
+    ~target_seg_id =
+  let rts = Bytes.create rdv_ctl_size in
+  let done_flag = Bytes.make 1 '\001' in
+  let send_one buf =
+    let len = Buf.length buf in
+    Bytes.set_int32_le rts 0 (Int32.of_int len);
+    Bytes.set rts 4 '\001';
+    Bytes.set rts 5 '\000';
+    Sisci.pio_write rs_rts ~off:0 rts;
+    Sisci.wait_until ~mode cts_seg (fun s -> Sisci.get s ~off:4 <> '\000');
+    let landing = Sisci.get_int32_le cts_seg ~off:0 in
+    Sisci.set cts_seg ~off:4 '\000';
+    let entry = Regcache.acquire cache buf.Buf.data ~pos:buf.Buf.off ~len in
+    let target =
+      Sisci.connect adapter ~node_id:dst ~segment_id:target_seg_id
+    in
+    Sisci.rdma_write_direct target ~off:landing (Regcache.handle entry)
+      ~pos:buf.Buf.off ~len;
+    (* Rides the same ordered (src, dst) stream as the data: the
+       receiver seeing it implies the landing is complete. *)
+    Sisci.pio_write rs_rts ~off:5 done_flag;
+    Regcache.release cache entry
+  in
+  {
+    Tm.s_name = name;
+    s_side =
+      Tm.Dynamic_send
+        {
+          Tm.send_buffer = send_one;
+          send_buffer_group = (fun bufs -> Bufs.iter send_one bufs);
+        };
+  }
+
+(* Receiver half: pins the destination user buffer, exposes it under the
+   agreed segment id, answers CTS with the landing offset, and waits for
+   the done flag before unpinning — the data lands straight in user
+   memory, so there is no copy-out to charge. *)
+let rendezvous_recv_tm ~name ~adapter ~rts_seg ~rs_cts ~mode ~target_seg_id =
+  let cts = Bytes.create rdv_ctl_size in
+  let recv_one buf =
+    Sisci.wait_until ~mode rts_seg (fun s -> Sisci.get s ~off:4 <> '\000');
+    let advertised = Sisci.get_int32_le rts_seg ~off:0 in
+    if advertised <> Buf.length buf then
+      raise
+        (Config.Symmetry_violation
+           (Printf.sprintf
+              "rendezvous length mismatch: sender announced %d bytes, \
+               receiver unpacked %d" advertised (Buf.length buf)));
+    Sisci.set rts_seg ~off:4 '\000';
+    let region =
+      Sisci.register adapter buf.Buf.data ~pos:buf.Buf.off
+        ~len:(Buf.length buf)
+    in
+    let exposed =
+      Sisci.expose_region adapter ~segment_id:target_seg_id region
+    in
+    Bytes.set_int32_le cts 0 (Int32.of_int buf.Buf.off);
+    Bytes.set cts 4 '\001';
+    Sisci.pio_write rs_cts ~off:0 cts;
+    Sisci.wait_until ~mode rts_seg (fun s -> Sisci.get s ~off:5 <> '\000');
+    Sisci.set rts_seg ~off:5 '\000';
+    Sisci.retract_segment exposed;
+    Sisci.deregister region
+  in
+  {
+    Tm.r_name = name;
+    r_side =
+      Tm.Dynamic_recv
+        {
+          Tm.receive_buffer = recv_one;
+          receive_buffer_group = (fun bufs -> Bufs.iter recv_one bufs);
+        };
+    r_probe = (fun () -> Sisci.get rts_seg ~off:4 <> '\000');
+  }
 
 let driver (adapter_of : int -> Sisci.t) =
   let instantiate ~channel_id ~config ~ranks =
@@ -145,6 +251,16 @@ let driver (adapter_of : int -> Sisci.t) =
                   short_seg = mk 0 short_geometry;
                   regular_seg = mk 1 reg_geometry;
                   dma_seg = mk 2 dma_geometry;
+                  rts_seg =
+                    Sisci.create_segment adapter
+                      ~segment_id:(seg_id ~channel_id ~src ~kind:3)
+                      ~size:rdv_ctl_size;
+                  cts_seg =
+                    (* Owned by the *sender*, written back by the
+                       receiver: keyed by the receiver's rank. *)
+                    Sisci.create_segment (adapter_of src)
+                      ~segment_id:(seg_id ~channel_id ~src:receiver ~kind:4)
+                      ~size:rdv_ctl_size;
                   short_sem = Semaphore.create short_geometry.slots;
                   regular_sem = Semaphore.create reg_geometry.slots;
                   dma_sem = Semaphore.create dma_geometry.slots;
@@ -152,7 +268,22 @@ let driver (adapter_of : int -> Sisci.t) =
             end)
           ranks)
       ranks;
-    let sel ~len s r = select ~config ~len s r in
+    let caches = Hashtbl.create 8 in
+    let cache_of rank =
+      match Hashtbl.find_opt caches rank with
+      | Some c -> c
+      | None ->
+          let adapter = adapter_of rank in
+          let c =
+            Regcache.create ~entries:config.Config.regcache_entries
+              ?bytes:config.Config.regcache_bytes
+              ~register:(Sisci.register adapter) ~deregister:Sisci.deregister
+              ()
+          in
+          Hashtbl.add caches rank c;
+          c
+    in
+    let sel ~len ~transit s r = select ~config ~len ~transit s r in
     let sender_link =
       Driver.memo_links (fun ~src ~dst ->
           let st = Hashtbl.find states (src, dst) in
@@ -162,7 +293,8 @@ let driver (adapter_of : int -> Sisci.t) =
           in
           let rs_short = connect 0
           and rs_regular = connect 1
-          and rs_dma = connect 2 in
+          and rs_dma = connect 2
+          and rs_rts = connect 3 in
           let tms =
             [|
               ring_send_tm ~name:"sisci-short" ~geometry:short_geometry
@@ -177,6 +309,10 @@ let driver (adapter_of : int -> Sisci.t) =
                 ~sem:st.dma_sem
                 ~ship:(fun ~off ~len frame ->
                   Sisci.dma_write_sub rs_dma ~off frame ~pos:0 ~len);
+              rendezvous_send_tm ~name:"sisci-rdv" ~adapter:(adapter_of src)
+                ~dst ~rs_rts ~cts_seg:st.cts_seg ~mode:(rx_mode config)
+                ~cache:(cache_of src)
+                ~target_seg_id:(seg_id ~channel_id ~src ~kind:5);
             |]
           in
           Link.make_sender sel
@@ -187,6 +323,10 @@ let driver (adapter_of : int -> Sisci.t) =
           (* src = me (receiver), dst = from *)
           let st = Hashtbl.find states (dst, src) in
           let mode = rx_mode config in
+          let rs_cts =
+            Sisci.connect (adapter_of src) ~node_id:dst
+              ~segment_id:(seg_id ~channel_id ~src ~kind:4)
+          in
           let tms =
             [|
               ring_recv_tm ~name:"sisci-short" ~geometry:short_geometry
@@ -195,6 +335,9 @@ let driver (adapter_of : int -> Sisci.t) =
                 ~sem:st.regular_sem ~seg:st.regular_seg ~mode;
               ring_recv_tm ~name:"sisci-dma" ~geometry:dma_geometry
                 ~sem:st.dma_sem ~seg:st.dma_seg ~mode;
+              rendezvous_recv_tm ~name:"sisci-rdv" ~adapter:(adapter_of src)
+                ~rts_seg:st.rts_seg ~rs_cts ~mode
+                ~target_seg_id:(seg_id ~channel_id ~src:dst ~kind:5);
             |]
           in
           let probe () = Array.exists (fun tm -> tm.Tm.r_probe ()) tms in
@@ -212,10 +355,13 @@ let driver (adapter_of : int -> Sisci.t) =
               if receiver = me then begin
                 Sisci.set_data_hook st.short_seg hook;
                 Sisci.set_data_hook st.regular_seg hook;
-                Sisci.set_data_hook st.dma_seg hook
+                Sisci.set_data_hook st.dma_seg hook;
+                Sisci.set_data_hook st.rts_seg hook
               end)
             states);
       peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
+      reg_stats =
+        (fun ~me -> Option.map Regcache.stats (Hashtbl.find_opt caches me));
     }
   in
   { Driver.driver_name = "sisci"; instantiate }

@@ -68,7 +68,7 @@ let recv_tm conn =
     r_probe = (fun () -> Tcpnet.available conn > 0);
   }
 
-let select ~len:_ _s _r = 0
+let select ~len:_ ~transit:_ _s _r = 0
 
 let health_of c =
   if Tcpnet.is_dead c then Iface.Down
@@ -174,6 +174,7 @@ let driver (stack_of : int -> Tcpnet.t) =
               match end_for p ~me ~low:(min me peer) with
               | Some c -> health_of c
               | None -> Iface.Up));
+      reg_stats = (fun ~me:_ -> None);
     }
   in
   { Driver.driver_name = "tcp"; instantiate }

@@ -3,11 +3,26 @@
    VIA receives land in pre-posted registered buffers, so both directions
    go through the static-buffer machinery: one TM whose slots are VIA
    descriptors of up to 32 kB. The receiver keeps a constant window of
-   descriptors posted, re-posting each buffer as it is consumed. *)
+   descriptors posted, re-posting each buffer as it is consumed.
+
+   TM 1, "via-rdv", is the zero-copy long-message path (selected above
+   [rendezvous_threshold], never on gateway transit hops): a dedicated
+   control VI pair carries the RTS (announced length), the CTS (the
+   cookie of the receiver's registered and exposed user buffer) and the
+   DONE notification, while the payload moves in a single one-sided
+   RDMA write from the sender's registered buffer — no 32 kB descriptor
+   chunking, no staging copy on either host. Sender registrations come
+   from the per-rank pin-down cache (Regcache). *)
 
 let memcpy_sleep = Simnet.Cost.memcpy
 
 let capacity = Config.via_slot_payload
+
+(* Control messages are told apart by construction: the protocol is a
+   strict RTS -> CTS -> DONE cycle per buffer, and the control VI pair
+   carries nothing else. *)
+let rdv_ctl_size = 8
+let rdv_ctl_posted = 4
 
 let send_tm vi =
   let staging = Bytes.create capacity in
@@ -61,13 +76,86 @@ let recv_tm vi =
     r_probe = (fun () -> Via.completions_available vi > 0);
   }
 
-let select ~len:_ _s _r = 0
+let select ~config ~len ~transit _s _r =
+  match config.Config.rendezvous_threshold with
+  | Some threshold when (not transit) && len >= threshold -> 1
+  | _ -> 0
+
+let ctl_expect what got want =
+  if got <> want then
+    raise
+      (Config.Symmetry_violation
+         (Printf.sprintf "via rendezvous: %s message of %d bytes, expected %d"
+            what got want))
+
+let rdv_send_tm ~ctl ~cache =
+  let rts = Bytes.create 4 in
+  let done_msg = Bytes.make 1 '\001' in
+  let send_one buf =
+    let len = Buf.length buf in
+    Bytes.set_int32_le rts 0 (Int32.of_int len);
+    Via.send ctl rts ~len:4;
+    let cbuf, clen = Via.recv_wait ctl in
+    ctl_expect "CTS" clen 4;
+    let cookie = Bytes.get_int32_le cbuf 0 |> Int32.to_int in
+    Via.post_recv ctl cbuf;
+    let entry = Regcache.acquire cache buf.Buf.data ~pos:buf.Buf.off ~len in
+    Via.rdma_write ctl (Regcache.handle entry) ~pos:buf.Buf.off ~len ~cookie;
+    Via.send ctl done_msg ~len:1;
+    Regcache.release cache entry
+  in
+  {
+    Tm.s_name = "via-rdv";
+    s_side =
+      Tm.Dynamic_send
+        {
+          Tm.send_buffer = send_one;
+          send_buffer_group = (fun bufs -> Bufs.iter send_one bufs);
+        };
+  }
+
+let rdv_recv_tm ~host ~ctl =
+  let cts = Bytes.create 4 in
+  let recv_one buf =
+    let rbuf, rlen = Via.recv_wait ctl in
+    ctl_expect "RTS" rlen 4;
+    let advertised = Bytes.get_int32_le rbuf 0 |> Int32.to_int in
+    Via.post_recv ctl rbuf;
+    if advertised <> Buf.length buf then
+      raise
+        (Config.Symmetry_violation
+           (Printf.sprintf
+              "rendezvous length mismatch: sender announced %d bytes, \
+               receiver unpacked %d" advertised (Buf.length buf)));
+    let region =
+      Via.register host buf.Buf.data ~pos:buf.Buf.off ~len:(Buf.length buf)
+    in
+    let cookie = Via.expose host region in
+    Bytes.set_int32_le cts 0 (Int32.of_int cookie);
+    Via.send ctl cts ~len:4;
+    let dbuf, dlen = Via.recv_wait ctl in
+    ctl_expect "DONE" dlen 1;
+    Via.post_recv ctl dbuf;
+    Via.retract host ~cookie;
+    Via.deregister region
+  in
+  {
+    Tm.r_name = "via-rdv";
+    r_side =
+      Tm.Dynamic_recv
+        {
+          Tm.receive_buffer = recv_one;
+          receive_buffer_group = (fun bufs -> Bufs.iter recv_one bufs);
+        };
+    r_probe = (fun () -> Via.completions_available ctl > 0);
+  }
 
 let driver (host_of : int -> Via.t) =
   let instantiate ~channel_id:_ ~config ~ranks =
     (* One VI pair per ordered... per unordered node pair; each VI serves
        its end's sends and receives. *)
     let vis = Hashtbl.create 16 in
+    let ctls = Hashtbl.create 16 in
     let rec all_pairs = function
       | [] -> ()
       | a :: rest ->
@@ -77,24 +165,58 @@ let driver (host_of : int -> Via.t) =
               let vb = Via.create_vi (host_of b) in
               Via.vi_connect va vb;
               Hashtbl.add vis (a, b) va;
-              Hashtbl.add vis (b, a) vb)
+              Hashtbl.add vis (b, a) vb;
+              let ca = Via.create_vi (host_of a) in
+              let cb = Via.create_vi (host_of b) in
+              Via.vi_connect ca cb;
+              for _ = 1 to rdv_ctl_posted do
+                Via.post_recv ca (Bytes.create rdv_ctl_size);
+                Via.post_recv cb (Bytes.create rdv_ctl_size)
+              done;
+              Hashtbl.add ctls (a, b) ca;
+              Hashtbl.add ctls (b, a) cb)
             rest;
           all_pairs rest
     in
     all_pairs ranks;
     let vi_of ~me ~peer = Hashtbl.find vis (me, peer) in
+    let ctl_of ~me ~peer = Hashtbl.find ctls (me, peer) in
+    let caches = Hashtbl.create 8 in
+    let cache_of rank =
+      match Hashtbl.find_opt caches rank with
+      | Some c -> c
+      | None ->
+          let host = host_of rank in
+          let c =
+            Regcache.create ~entries:config.Config.regcache_entries
+              ?bytes:config.Config.regcache_bytes
+              ~register:(Via.register host) ~deregister:Via.deregister ()
+          in
+          Hashtbl.add caches rank c;
+          c
+    in
+    let sel ~len ~transit s r = select ~config ~len ~transit s r in
     let sender_link =
       Driver.memo_links (fun ~src ~dst ->
-          Link.make_sender select
+          Link.make_sender sel
             [|
               Bmm.send_of_tm ~aggregation:config.Config.aggregation
                 (send_tm (vi_of ~me:src ~peer:dst));
+              Bmm.send_of_tm ~aggregation:config.Config.aggregation
+                (rdv_send_tm
+                   ~ctl:(ctl_of ~me:src ~peer:dst)
+                   ~cache:(cache_of src));
             |])
     in
     let receiver_link =
       Driver.memo_links (fun ~src ~dst ->
           let tm = recv_tm (vi_of ~me:src ~peer:dst) in
-          Link.make_receiver select [| Bmm.recv_of_tm tm |] ~probe:tm.Tm.r_probe)
+          let rdv =
+            rdv_recv_tm ~host:(host_of src) ~ctl:(ctl_of ~me:src ~peer:dst)
+          in
+          let tms = [| tm; rdv |] in
+          let probe () = Array.exists (fun t -> t.Tm.r_probe ()) tms in
+          Link.make_receiver sel (Array.map Bmm.recv_of_tm tms) ~probe)
     in
     {
       Driver.inst_name = "via";
@@ -105,8 +227,13 @@ let driver (host_of : int -> Via.t) =
         (fun ~me hook ->
           Hashtbl.iter
             (fun (owner, _) vi -> if owner = me then Via.set_data_hook vi hook)
-            vis);
+            vis;
+          Hashtbl.iter
+            (fun (owner, _) vi -> if owner = me then Via.set_data_hook vi hook)
+            ctls);
       peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
+      reg_stats =
+        (fun ~me -> Option.map Regcache.stats (Hashtbl.find_opt caches me));
     }
   in
   { Driver.driver_name = "via"; instantiate }

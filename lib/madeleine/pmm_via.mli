@@ -7,5 +7,11 @@
     buffer as it is consumed. *)
 
 val capacity : int
-val select : len:int -> Iface.send_mode -> Iface.recv_mode -> int
+val select :
+  config:Config.t ->
+  len:int ->
+  transit:bool ->
+  Iface.send_mode ->
+  Iface.recv_mode ->
+  int
 val driver : (int -> Via.t) -> Driver.t

@@ -1,0 +1,74 @@
+(** Sender-side registration (pin-down) cache for zero-copy RDMA.
+
+    Registering a buffer with the NIC (pinning its pages and installing
+    bus translations) is expensive — a fixed base plus a per-page walk
+    ({!Simnet.Cost.pin}) — while applications overwhelmingly resend from
+    the same buffers. Following the MPICH2-over-InfiniBand design, the
+    cache keeps registrations alive after use in an LRU of
+    (buffer, interval) entries:
+
+    - a request covered by a cached interval on the {e same} buffer
+      (physical identity) is a {b hit} — no pin charged;
+    - a request partially overlapping cached intervals {b merges} them
+      with the request into a single hull registration, so an overlap
+      is never pinned twice;
+    - capacity pressure (entry count, or an optional pinned-bytes
+      budget) {b evicts} cold idle entries, deregistering them.
+
+    With capacity 0 the cache degenerates to register-per-send:
+    {!acquire} registers, {!release} deregisters, nothing is retained.
+    Entries referenced by an in-flight transfer are never evicted or
+    merged away. The cache is fabric-agnostic: it is parameterized over
+    the fabric's register/deregister operations and the opaque
+    registration handle they return. *)
+
+type 'r t
+(** A cache of registrations of type ['r] (e.g. [Sisci.region]). *)
+
+type 'r entry
+(** A cached (or, at capacity 0, transient) registration covering at
+    least the interval passed to {!acquire}. *)
+
+type stats = {
+  hits : int;  (** requests served by a live registration *)
+  misses : int;  (** requests that charged a pin (includes merges) *)
+  evictions : int;  (** entries deregistered under capacity pressure *)
+  merges : int;  (** partial overlaps collapsed into hull registrations *)
+  pinned_bytes : int;  (** bytes currently registered through the cache *)
+  entries : int;  (** registrations currently cached *)
+}
+
+val create :
+  ?entries:int ->
+  ?bytes:int ->
+  register:(Bytes.t -> pos:int -> len:int -> 'r) ->
+  deregister:('r -> unit) ->
+  unit ->
+  'r t
+(** [entries] (default 0) caps cached registrations; 0 disables caching
+    (register-per-send). [bytes], if given, additionally caps the total
+    pinned bytes. Raises [Invalid_argument] on a negative entry cap or
+    a non-positive byte cap. *)
+
+val acquire : 'r t -> Bytes.t -> pos:int -> len:int -> 'r entry
+(** Returns an entry whose registration covers [pos, pos+len) of the
+    buffer, registering (and charging the pin) only on a miss. The
+    entry is held (protected from eviction) until {!release}d. *)
+
+val release : 'r t -> 'r entry -> unit
+(** Ends the caller's use of the entry. The registration is retained
+    for reuse — except at capacity 0, where it is deregistered
+    immediately. Raises [Invalid_argument] if the entry is not held. *)
+
+val handle : 'r entry -> 'r
+(** The fabric registration backing the entry. Its interval may be
+    larger than requested (a merged hull). *)
+
+val interval : 'r entry -> int * int
+(** [(pos, len)] actually registered — the hull after any merge. *)
+
+val flush : 'r t -> unit
+(** Deregisters every idle cached entry (counted as evictions). Held
+    entries survive. *)
+
+val stats : 'r t -> stats

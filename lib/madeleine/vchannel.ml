@@ -388,12 +388,22 @@ let ship_packet t ~at ~header ~payload ~payload_len =
         go attempts
     | hop -> (
         let ep = Channel.endpoint hop.hop_channel ~rank:at in
+        (* Endpoint-to-endpoint iff this hop starts at the packet's
+           origin and lands on its final destination; anything else is a
+           gateway transit hop, whose payload lives in protocol staging
+           buffers — the Switch must not hand it to the zero-copy
+           rendezvous. The receiver computes the same predicate from the
+           header it just unpacked, so selection mirrors. *)
+        let transit =
+          at <> header.Generic_tm.origin || hop.hop_to <> dst
+        in
         let oc = Api.begin_packing ep ~remote:hop.hop_to in
         match
           Api.pack oc ~r_mode:Iface.Receive_express
             (Generic_tm.encode_header header);
           if payload_len > 0 then
-            Api.pack oc ~r_mode:Iface.Receive_cheaper ~len:payload_len payload;
+            Api.pack oc ~r_mode:Iface.Receive_cheaper ~transit ~len:payload_len
+              payload;
           Api.end_packing oc
         with
         | () -> ()
@@ -842,10 +852,16 @@ let spawn_dispatcher t ~node channel =
         try
         Api.unpack ic ~r_mode:Iface.Receive_express hdr_bytes;
         let header = Generic_tm.decode_header hdr_bytes in
+        (* Mirror of the sender's transit flag in [ship_packet]: the hop
+           is endpoint-to-endpoint iff it runs origin -> final_dst. *)
+        let transit =
+          Api.remote_rank ic <> header.Generic_tm.origin
+          || header.Generic_tm.final_dst <> node
+        in
         if header.Generic_tm.final_dst = node then begin
           let payload = Bytes.create header.Generic_tm.payload_len in
           if header.Generic_tm.payload_len > 0 then
-            Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+            Api.unpack ic ~r_mode:Iface.Receive_cheaper ~transit payload;
           Api.end_unpacking ic;
           match t.rel with
           | Some r when header.Generic_tm.hs -> handle_hs r ~me:node header payload
@@ -864,7 +880,7 @@ let spawn_dispatcher t ~node channel =
                  consume and drop. *)
               let payload = Bytes.create header.Generic_tm.payload_len in
               if header.Generic_tm.payload_len > 0 then
-                Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+                Api.unpack ic ~r_mode:Iface.Receive_cheaper ~transit payload;
               Api.end_unpacking ic
           | hop -> begin
           (* Bandwidth control (the paper's future-work §7): pace the
@@ -891,7 +907,7 @@ let spawn_dispatcher t ~node channel =
           let payload = Bytes.create header.Generic_tm.payload_len in
           (try
              if header.Generic_tm.payload_len > 0 then
-               Api.unpack ic ~r_mode:Iface.Receive_cheaper payload;
+               Api.unpack ic ~r_mode:Iface.Receive_cheaper ~transit payload;
              Api.end_unpacking ic
            with e ->
              gw_release t ~node p;

@@ -31,7 +31,9 @@ let sci_mpich =
   {
     prof_name = "sci-mpich";
     inline_max = 128;
-    chunk = 16 * 1024;
+    (* Staging chunk = the shared DMA-crossover default, so crossover
+       tuning in Config reaches this baseline too. *)
+    chunk = Madeleine.Config.default_sisci_dma_threshold;
     slots = 1;
     send_overhead = Time.us 0.9;
     recv_overhead = Time.us 0.9;
@@ -46,7 +48,9 @@ let scampi =
   {
     prof_name = "scampi";
     inline_max = 4096;
-    chunk = 8192;
+    (* Eager/staging chunk = the shared slot-payload default rather than
+       a private literal 8192. *)
+    chunk = Madeleine.Config.default_sisci_slot_payload;
     slots = 2;
     send_overhead = Time.us 1.3;
     recv_overhead = Time.us 1.3;

@@ -49,7 +49,7 @@ let recv_tm ctx ~from ~tag =
     r_probe = (fun () -> Mpi.iprobe ctx ~src:from ~tag <> None);
   }
 
-let select ~len:_ _s _r = 0
+let select ~len:_ ~transit:_ _s _r = 0
 
 let driver (ctx_of : int -> Mpi.ctx) =
   let instantiate ~channel_id ~config ~ranks:_ =
@@ -74,6 +74,7 @@ let driver (ctx_of : int -> Mpi.ctx) =
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me hook -> Mpi.on_unexpected (ctx_of me) hook);
       peer_health = (fun ~me:_ ~peer:_ -> Madeleine.Iface.Up);
+      reg_stats = (fun ~me:_ -> None);
     }
   in
   { Driver.driver_name = "mpi"; instantiate }

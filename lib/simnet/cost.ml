@@ -3,3 +3,21 @@ let memcpy bytes_count =
     Marcel.Engine.sleep
       (Marcel.Time.bytes_at_rate ~bytes_count
          ~mb_per_s:Netparams.memcpy_rate_mb_s)
+
+let pages_of len =
+  if len <= 0 then 0
+  else (len + Netparams.page_size - 1) / Netparams.page_size
+
+let pin bytes_count =
+  let pages = pages_of bytes_count in
+  if pages > 0 then
+    Marcel.Engine.sleep
+      (Marcel.Time.span_add Netparams.reg_base
+         (Marcel.Time.span_mul Netparams.reg_per_page pages))
+
+let unpin bytes_count =
+  let pages = pages_of bytes_count in
+  if pages > 0 then
+    Marcel.Engine.sleep
+      (Marcel.Time.span_add Netparams.dereg_base
+         (Marcel.Time.span_mul Netparams.dereg_per_page pages))

@@ -68,6 +68,23 @@ let sbp_buffer_size = 8192
 (* PII-450 with 100 MHz SDRAM: sustained memcpy around 160 MB/s. *)
 let memcpy_rate_mb_s = 160.0
 
+(* Buffer registration (pin-down) for zero-copy RDMA: one syscall-ish
+   fixed entry (mlock + translation setup) plus a per-page walk to pin
+   and translate each 4 kB page. Deregistration only unpins, no
+   translation rebuild, so it is cheaper. Numbers follow the published
+   VIA/InfiniBand registration microbenchmarks of the era (tens of us
+   for the first page, fractions of a us per page after). *)
+let page_size = 4096
+let reg_base = Time.us 10.0
+let reg_per_page = Time.us 0.25
+let dereg_base = Time.us 4.0
+let dereg_per_page = Time.us 0.1
+
+(* Busmaster RDMA engine reading pinned user pages: long aligned bursts
+   on the PCI bus, so it approaches the raw DMA ceiling instead of the
+   D310's descriptor-per-block 35 MB/s staging engine. *)
+let sisci_rdma_rate_cap_mb_s = pci_dma_rate_cap_mb_s
+
 (* Cost of taking a NIC interrupt and rescheduling the blocked thread
    (kernel entry, handler, wakeup) on Linux 2.2 — an order of magnitude
    above the polling detection cost, which is the whole trade-off the

@@ -108,3 +108,24 @@ val memcpy_rate_mb_s : float
 val interrupt_latency : Marcel.Time.span
 (** Kernel interrupt + thread-wakeup cost, vs sub-microsecond polling
     detection: the trade-off behind adaptive network interaction. *)
+
+(** {1 Buffer registration (pin-down) for zero-copy RDMA} *)
+
+val page_size : int
+(** Host page size: registration cost is charged per page pinned. *)
+
+val reg_base : Marcel.Time.span
+(** Fixed cost of registering a buffer (syscall entry, translation
+    table setup), independent of its size. *)
+
+val reg_per_page : Marcel.Time.span
+(** Marginal cost of pinning and translating one page. *)
+
+val dereg_base : Marcel.Time.span
+val dereg_per_page : Marcel.Time.span
+(** Deregistration analogues — cheaper: unpinning rebuilds nothing. *)
+
+val sisci_rdma_rate_cap_mb_s : float
+(** Source-side PCI ceiling of the busmaster engine reading pinned user
+    pages in long aligned bursts — approaches the raw DMA ceiling
+    instead of the D310 staging engine's {!sisci_dma_rate_cap_mb_s}. *)

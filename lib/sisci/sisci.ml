@@ -104,13 +104,16 @@ let spool_get net len =
 let spool_put net b = net.spool <- b :: net.spool
 
 (* Deliver the payload into the remote segment and re-arm every poller. *)
-let commit_write rs ~off data =
+let commit_blit rs ~off src ~pos ~len =
   let seg = rs.remote in
-  Bytes.blit data 0 seg.mem off (Bytes.length data);
+  Bytes.blit src pos seg.mem off len;
   let waiters = seg.waiters in
   seg.waiters <- [];
   List.iter (fun wake -> wake ()) waiters;
   List.iter (fun hook -> hook ()) seg.data_hooks
+
+let commit_write rs ~off data =
+  commit_blit rs ~off data ~pos:0 ~len:(Bytes.length data)
 
 let set_data_hook seg hook = seg.data_hooks <- hook :: seg.data_hooks
 
@@ -205,6 +208,99 @@ let dma_write rs ~off data =
 let dma_write_sub rs ~off data ~pos ~len =
   remote_write rs ~off data ~pos ~len ~src_use:(dma_use rs)
     ~setup:Netparams.sisci_dma_setup
+
+(* --- Zero-copy RDMA: registered user buffers -------------------------- *)
+
+(* A registered (pinned) interval of a user buffer. Registration is a
+   costed operation ({!Simnet.Cost.pin}): the pages are locked and their
+   bus translations installed so the busmaster engine can read them
+   directly, with no staging blit. Positions in the region are absolute
+   offsets into the underlying buffer. *)
+type region = {
+  r_adapter : t;
+  r_mem : Bytes.t;
+  r_pos : int;
+  r_len : int;
+  mutable r_active : bool;
+}
+
+let register t data ~pos ~len =
+  if pos < 0 || len <= 0 || pos + len > Bytes.length data then
+    invalid_arg "Sisci.register: bad range";
+  Simnet.Cost.pin len;
+  { r_adapter = t; r_mem = data; r_pos = pos; r_len = len; r_active = true }
+
+let deregister r =
+  if not r.r_active then invalid_arg "Sisci.deregister: already deregistered";
+  r.r_active <- false;
+  Simnet.Cost.unpin r.r_len
+
+let region_base r = r.r_pos
+let region_length r = r.r_len
+
+(* Expose a registered region as a connectable segment: the receiver side
+   of a rendezvous registers its user buffer and hands the (id, offset)
+   pair to the sender, whose RDMA write then lands directly in user
+   memory. Free beyond the pin already charged by {!register}: exposure
+   is a table insert, not a data movement. *)
+let expose_region t ~segment_id r =
+  if not r.r_active then invalid_arg "Sisci.expose_region: inactive region";
+  if r.r_adapter != t then invalid_arg "Sisci.expose_region: wrong adapter";
+  if Hashtbl.mem t.segments segment_id then
+    invalid_arg "Sisci.expose_region: id in use";
+  let seg =
+    { owner = t; seg_id = segment_id; mem = r.r_mem; waiters = []; data_hooks = [] }
+  in
+  Hashtbl.add t.segments segment_id seg;
+  seg
+
+let retract_segment seg = Hashtbl.remove seg.owner.segments seg.seg_id
+
+let rdma_use rs =
+  {
+    Pipeline.fluid = rs.local_end.adapter_node.Node.pci;
+    weight = Netparams.pci_weight_dma;
+    rate_cap = Some Netparams.sisci_rdma_rate_cap_mb_s;
+    cls = 0;
+  }
+
+(* Single-descriptor busmaster write straight from the pinned user
+   buffer: no spool snapshot, no staging copy on either host. Because
+   there is no snapshot, the transfer reads the live user pages —
+   so unlike the posted staged writes, this one blocks the caller until
+   the data has landed in the remote segment: only then may the source
+   range be modified or unpinned (real zero-copy has the same rule;
+   its local completion means "the NIC read the pages", which the
+   in-order SCI stream converts to remote delivery). *)
+let rdma_write_direct rs ~off region ~pos ~len =
+  if not region.r_active then
+    invalid_arg "Sisci.rdma_write_direct: inactive region";
+  if
+    pos < region.r_pos || len <= 0 || pos + len > region.r_pos + region.r_len
+  then invalid_arg "Sisci.rdma_write_direct: range outside region";
+  check_bounds rs.remote.mem ~off ~len "Sisci.rdma_write_direct";
+  Engine.sleep Netparams.sisci_dma_setup;
+  let { Pipeline.fluid; weight; rate_cap; cls } = rdma_use rs in
+  let st = stream rs in
+  let grain = (Fabric.link rs.local_end.net.fabric).Netparams.hw_mtu in
+  let delivered = ref false in
+  let waiter = ref None in
+  let deliver () =
+    commit_blit rs ~off region.r_mem ~pos ~len;
+    delivered := true;
+    match !waiter with Some wake -> wake () | None -> ()
+  in
+  let rec go sent =
+    let chunk = min grain (len - sent) in
+    let last = sent + chunk >= len in
+    Fluid.transfer fluid ~bytes_count:chunk ~weight ?rate_cap ~cls ();
+    Simnet.Stream.push st ~bytes_count:chunk
+      ~on_delivered:(if last then deliver else nothing);
+    if not last then go (sent + chunk)
+  in
+  go 0;
+  if not !delivered then
+    Engine.suspend ~name:"sisci.rdma" (fun wake -> waiter := Some (fun () -> wake ()))
 
 let read seg ~off ~len =
   check_bounds seg.mem ~off ~len "Sisci.read";

@@ -61,6 +61,50 @@ val dma_write_sub :
   remote_segment -> off:int -> Bytes.t -> pos:int -> len:int -> unit
 (** {!dma_write} from a sub-range of [data]; see {!pio_write_sub}. *)
 
+type region
+(** A registered (pinned) interval of a user buffer; see {!register}. *)
+
+val register : t -> Bytes.t -> pos:int -> len:int -> region
+(** Pins [len] bytes of [data] starting at [pos] so the adapter's
+    busmaster engine can address them directly. Charges the calling
+    thread the registration cost ({!Simnet.Cost.pin}: a fixed base plus
+    a per-page walk). Raises [Invalid_argument] on an empty or
+    out-of-bounds range. *)
+
+val deregister : region -> unit
+(** Unpins the region, charging {!Simnet.Cost.unpin}. The region becomes
+    unusable; raises [Invalid_argument] if already deregistered. *)
+
+val region_base : region -> int
+(** Absolute offset of the region's first byte in its buffer. *)
+
+val region_length : region -> int
+
+val expose_region : t -> segment_id:int -> region -> local_segment
+(** Exposes a registered region as a connectable segment whose memory
+    {e is} the underlying user buffer — remote writes land directly in
+    user memory (offsets are absolute buffer offsets; pass
+    {!region_base} to the writer). Free beyond the pin already charged
+    by {!register}. Raises [Invalid_argument] if the region is inactive,
+    belongs to another adapter, or the id is in use. *)
+
+val retract_segment : local_segment -> unit
+(** Removes a segment from its adapter's table so the id can be reused.
+    Free; pending deliveries already in flight still land in the
+    underlying memory. *)
+
+val rdma_write_direct :
+  remote_segment -> off:int -> region -> pos:int -> len:int -> unit
+(** Zero-copy busmaster write: one descriptor moves [len] bytes from the
+    pinned [region] (at absolute buffer offset [pos]) into the remote
+    segment at [off], with no staging blit on either host. The engine
+    reads pinned pages in long aligned bursts, so the source PCI
+    crossing runs at {!Simnet.Netparams.sisci_rdma_rate_cap_mb_s}
+    rather than the D310 staging engine's 35 MB/s. Because there is no
+    snapshot, the call blocks until the data has landed in the remote
+    segment — only then may the caller modify or unpin the source
+    range. *)
+
 val read : local_segment -> off:int -> len:int -> Bytes.t
 (** CPU read of local segment memory (free: it is plain local RAM). *)
 

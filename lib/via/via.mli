@@ -52,3 +52,35 @@ val completions_available : vi -> int
 
 val set_data_hook : vi -> (unit -> unit) -> unit
 (** [hook] fires when a receive completion is enqueued on this VI. *)
+
+type region
+(** A registered (pinned) interval of a user buffer; see {!register}. *)
+
+val register : t -> Bytes.t -> pos:int -> len:int -> region
+(** Pins [len] bytes of [data] starting at [pos]. Charges the calling
+    thread {!Simnet.Cost.pin} (fixed base plus a per-page walk). Raises
+    [Invalid_argument] on an empty or out-of-bounds range. *)
+
+val deregister : region -> unit
+(** Unpins the region, charging {!Simnet.Cost.unpin}; raises
+    [Invalid_argument] if already deregistered. *)
+
+val region_length : region -> int
+
+val expose : t -> region -> int
+(** Publishes a registered region as an RDMA-write target and returns
+    its cookie (carried to the sender in the rendezvous clear-to-send).
+    Free beyond the pin already charged by {!register}. *)
+
+val retract : t -> cookie:int -> unit
+(** Withdraws an exposed target. Free. *)
+
+val rdma_write : vi -> region -> pos:int -> len:int -> cookie:int -> unit
+(** One-sided RDMA write over a connected VI: moves [len] bytes from the
+    local pinned [region] (at absolute buffer offset [pos]) directly
+    into the peer's exposed target region named by [cookie]. Not bound
+    by {!max_transfer}, consumes no posted descriptor, produces no
+    completion — the receiver learns of the data out of band. Blocks
+    for the doorbell plus the host-to-host DMA transfer. Raises
+    [Invalid_argument] on an unknown cookie, inactive source or target,
+    or a target smaller than [len]. *)

@@ -227,6 +227,65 @@ let test_sched_option_errors () =
   (* sched= is a vchannel option, never a network one. *)
   expect_parse_error ~line:1 "network m type=bip sched=aggreg"
 
+let rdv_cfg_lines extra =
+  Printf.sprintf
+    "network sci type=sisci\nnode a nets=sci\nnode b nets=sci\n\
+     channel c net=sci nodes=a,b %s"
+    extra
+
+let test_rendezvous_options_parsed () =
+  let t =
+    Cf.load
+      (rdv_cfg_lines
+         "slot_payload=4096 dma_threshold=32768 rendezvous=65536 regcache=4 \
+          regcache_bytes=1048576")
+  in
+  let cfg = Madeleine.Channel.config (Cf.channel t "c") in
+  Alcotest.(check int) "slot_payload" 4096
+    cfg.Madeleine.Config.sisci_slot_payload;
+  Alcotest.(check int) "dma_threshold" 32768
+    cfg.Madeleine.Config.sisci_dma_threshold;
+  Alcotest.(check (option int)) "rendezvous" (Some 65536)
+    cfg.Madeleine.Config.rendezvous_threshold;
+  Alcotest.(check int) "regcache" 4 cfg.Madeleine.Config.regcache_entries;
+  Alcotest.(check (option int)) "regcache_bytes" (Some 1048576)
+    cfg.Madeleine.Config.regcache_bytes;
+  (* regcache=0 (register per send) and rendezvous=off are valid. *)
+  let t = Cf.load (rdv_cfg_lines "rendezvous=off regcache=0") in
+  let cfg = Madeleine.Channel.config (Cf.channel t "c") in
+  Alcotest.(check (option int)) "rendezvous off" None
+    cfg.Madeleine.Config.rendezvous_threshold;
+  Alcotest.(check int) "regcache 0" 0 cfg.Madeleine.Config.regcache_entries
+
+let test_rendezvous_auto_from_bench_json () =
+  (* rendezvous=auto consumes the measured crossover written by
+     `madbench crossover`; without a measurement for the fabric it is a
+     line-numbered parse error. *)
+  expect_parse_error ~line:4 (rdv_cfg_lines "rendezvous=auto");
+  let file = Filename.temp_file "crossover" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc
+        "{ \"crossover\": [\n\
+        \  { \"fabric\": \"sisci\", \"crossover_bytes\": 24576 }\n\
+         ] }\n";
+      close_out oc;
+      Alcotest.(check (option int)) "loader finds sisci" (Some 24576)
+        (Crossover.lookup ~file ~fabric:"sisci" ());
+      Alcotest.(check (option int)) "loader misses via" None
+        (Crossover.lookup ~file ~fabric:"via" ()))
+
+let test_rendezvous_option_errors () =
+  expect_parse_error ~line:4 (rdv_cfg_lines "slot_payload=0");
+  expect_parse_error ~line:4 (rdv_cfg_lines "dma_threshold=-1");
+  expect_parse_error ~line:4 (rdv_cfg_lines "rendezvous=0");
+  expect_parse_error ~line:4 (rdv_cfg_lines "rendezvous=sometimes");
+  expect_parse_error ~line:4 (rdv_cfg_lines "regcache=-1");
+  expect_parse_error ~line:4 (rdv_cfg_lines "regcache_bytes=0");
+  expect_parse_error ~line:4 (rdv_cfg_lines "regcache=lots")
+
 let test_parse_errors () =
   expect_parse_error ~line:1 "network foo type=quantum";
   expect_parse_error ~line:1 "node lonely nets=nowhere";
@@ -260,6 +319,12 @@ let () =
             test_sched_options_parsed;
           Alcotest.test_case "scheduler option errors" `Quick
             test_sched_option_errors;
+          Alcotest.test_case "rendezvous options" `Quick
+            test_rendezvous_options_parsed;
+          Alcotest.test_case "rendezvous auto crossover" `Quick
+            test_rendezvous_auto_from_bench_json;
+          Alcotest.test_case "rendezvous option errors" `Quick
+            test_rendezvous_option_errors;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
         ] );
     ]

@@ -167,9 +167,9 @@ let test_sisci_threshold_boundaries () =
   (* Around the short-TM max and the 8 kB slot size. *)
   roundtrip_sizes (H.sisci_world ())
     [ 0; Config.sisci_short_max - 1; Config.sisci_short_max;
-      Config.sisci_short_max + 1; Config.sisci_slot_payload - 1;
-      Config.sisci_slot_payload; Config.sisci_slot_payload + 1;
-      (2 * Config.sisci_slot_payload) + 17 ]
+      Config.sisci_short_max + 1; Config.default_sisci_slot_payload - 1;
+      Config.default_sisci_slot_payload; Config.default_sisci_slot_payload + 1;
+      (2 * Config.default_sisci_slot_payload) + 17 ]
 
 let test_vchannel_mtu_boundaries () =
   (* Message sizes around the Generic-TM packet capacity (remember each

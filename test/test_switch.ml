@@ -34,7 +34,7 @@ let events wire = List.rev wire.log
 let threshold = 100 (* bytes: <= threshold -> static TM 0, else dynamic TM 1 *)
 let slot_capacity = 256
 
-let select ~len _s _r = if len <= threshold then 0 else 1
+let select ~len ~transit:_ _s _r = if len <= threshold then 0 else 1
 
 let send_tms wire =
   let static_staging = Bytes.create slot_capacity in
@@ -160,6 +160,7 @@ let mock_driver wire =
       receiver_link = (fun ~me ~from -> receiver_link ~src:me ~dst:from);
       on_data = (fun ~me:_ _hook -> ());
       peer_health = (fun ~me:_ ~peer:_ -> Iface.Up);
+      reg_stats = (fun ~me:_ -> None);
     }
   in
   { Driver.driver_name = "mock"; instantiate }
