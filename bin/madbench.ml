@@ -374,37 +374,96 @@ let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
          ~doc:"Also write the machine-readable report to FILE.")
 
-let chaos quick seed jobs_opt json_file =
-  let jobs =
-    match jobs_opt with Some n -> n | None -> Parsim.default_jobs ()
-  in
-  let report =
-    Parsim.with_pool ~jobs (fun pool ->
-        Chaos.run (Sweeps.pool_runner pool) ~seed ~quick)
-  in
-  print_string (Chaos.render_table report);
+(* Exit non-zero naming every tripped gate; write a small JSON report
+   when asked. Shared by the full sweep and the single-workload mode. *)
+let chaos_finish ~json_file ~json gates =
   (match json_file with
   | None -> ()
   | Some file ->
       let oc = open_out file in
-      output_string oc (Chaos.to_json report);
+      output_string oc json;
       close_out oc;
       Format.printf "wrote %s@." file);
-  (* CI keys off the exit code: any failed gate makes the run exit 1,
-     naming each gate that tripped. *)
-  match Chaos.failing_gates report with
+  match List.filter_map (fun (n, ok) -> if ok then None else Some n) gates with
   | [] -> ()
   | failed ->
       List.iter (fun name -> Format.eprintf "chaos: gate FAILED: %s@." name)
         failed;
       exit 1
 
+(* A single live-topology scenario (the CI smoke path): run it alone,
+   print its table line and judge only its own gates. *)
+let chaos_one workload quick seed json_file =
+  let messages = if quick then 3 else 4 in
+  let size = 16384 in
+  let line, gates =
+    match workload with
+    | "rolling-restart" ->
+        let rr = Chaos.rolling_restart_run ~seed ~size ~messages in
+        (Chaos.rolling_line rr, Chaos.rolling_gates rr)
+    | "join" ->
+        let e = Chaos.join_load_run ~seed ~size ~messages in
+        (Chaos.elastic_line e, Chaos.elastic_gates e)
+    | "drain" ->
+        let e = Chaos.drain_load_run ~seed ~size ~messages in
+        (Chaos.elastic_line e, Chaos.elastic_gates e)
+    | w ->
+        Format.eprintf
+          "chaos: unknown workload %s (expected rolling-restart, join or \
+           drain)@."
+          w;
+        exit 2
+  in
+  print_string line;
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{ \"chaos\": { \"seed\": %d, \"workload\": %S, \"gates\": [\n" seed
+       workload);
+  let last = List.length gates - 1 in
+  List.iteri
+    (fun i (name, ok) ->
+      Buffer.add_string b
+        (Printf.sprintf "  { \"gate\": %S, \"pass\": %b }%s\n" name ok
+           (if i = last then "" else ",")))
+    gates;
+  Buffer.add_string b "] } }\n";
+  chaos_finish ~json_file ~json:(Buffer.contents b) gates
+
+let chaos workload quick seed jobs_opt json_file =
+  match workload with
+  | Some w -> chaos_one w quick seed json_file
+  | None ->
+      let jobs =
+        match jobs_opt with Some n -> n | None -> Parsim.default_jobs ()
+      in
+      let report =
+        Parsim.with_pool ~jobs (fun pool ->
+            Chaos.run (Sweeps.pool_runner pool) ~seed ~quick)
+      in
+      print_string (Chaos.render_table report);
+      chaos_finish ~json_file ~json:(Chaos.to_json report)
+        (Chaos.gates report)
+
+let workload_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
+         ~doc:"Run a single live-topology scenario instead of the full \
+               sweep: $(b,rolling-restart) (every rank drains, restarts \
+               and rejoins under traffic), $(b,join) (a rank joins \
+               mid-stream and becomes routable without quiescing flows) \
+               or $(b,drain) (the on-route gateway drains mid-stream and \
+               the flow reroutes). Only that scenario's gates decide the \
+               exit code.")
+
 let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Fault-injection sweep: reliable delivery under drops, \
-             corruption, flaps, PCI stalls and gateway crashes.")
-    Term.(const chaos $ quick_arg $ seed_arg $ jobs_arg $ json_arg)
+             corruption, flaps, PCI stalls, gateway crashes and live \
+             topology changes (rolling-restart, join-under-load, \
+             drain-under-load).")
+    Term.(
+      const chaos $ workload_arg $ quick_arg $ seed_arg $ jobs_arg $ json_arg)
 
 (* -------- describe / config-driven runs -------- *)
 

@@ -149,6 +149,52 @@ type sched_chaos = {
   sc_finish_us : float;
 }
 
+(* Rolling restart on a live-topology vchannel: every rank of the
+   redundant-gateway world leaves and comes back mid-sweep — the
+   gateways and the receiver drain, restart and rejoin under their own
+   epochs; the coordinator (also the sender) rides a crash-epoch
+   restart. Delivery must stay exactly-once and bit-identical, no data
+   flow may observe Partitioned, and every queue stays under its
+   bound. *)
+type rolling_restart = {
+  rr_messages : int; (* per phase; two phases *)
+  rr_size : int;
+  rr_restarted : int list; (* every rank, in roll order *)
+  rr_epoch_start : int;
+  rr_epoch_final : int;
+  rr_joins : int; (* epoch swaps that re-admitted a rank *)
+  rr_drains : int; (* epoch swaps that removed a rank *)
+  rr_delivered : int;
+  rr_dup_deliveries : int; (* messages the application saw twice *)
+  rr_reroutes : int;
+  rr_reemitted : int;
+  rr_dup_drops : int; (* wire-level duplicates the rel plane dropped *)
+  rr_handshakes : int;
+  rr_queues : Vc.queue_stat list;
+  rr_partitioned : bool; (* a data flow observed Partitioned *)
+  rr_exactly_once : bool;
+  rr_bounded : bool;
+  rr_finish_us : float;
+}
+
+(* Elastic membership under load: one rank joins (or drains) while
+   unrelated flows stream through the vchannel. Shared shape for the
+   join-under-load and drain-under-load scenarios, told apart by
+   [el_op]. *)
+type elastic = {
+  el_op : string; (* "join" or "drain" *)
+  el_messages : int;
+  el_size : int;
+  el_rank : int; (* the rank that joined / drained *)
+  el_epoch_final : int;
+  el_routable : bool; (* join: rank reachable; drain: rank off every route *)
+  el_status : string; (* peer_status toward the rank after the swap *)
+  el_watched : bool; (* some sentinel still probes the rank *)
+  el_partitioned : bool; (* an in-flight flow observed Partitioned *)
+  el_intact : bool;
+  el_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -159,6 +205,9 @@ type report = {
   rep_overload : overload;
   rep_slow_gateway : slow_gateway;
   rep_sched : sched_chaos;
+  rep_rolling : rolling_restart;
+  rep_join : elastic;
+  rep_drain : elastic;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -562,6 +611,335 @@ let crash_restart_run ~seed ~size ~messages =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Live-topology scenarios: the redundant-gateway world of the failover
+   run, but with the membership promoted to a versioned epoch snapshot
+   (coordinator rank 0, epoch 1) so ranks can drain out of and join
+   back into the session while traffic flows. *)
+
+let elastic_world ~seed =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  let fab_a = Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet in
+  let fab_b = Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 4 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1; 2 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2; 3 ];
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let stacks_a = Hashtbl.create 4 and stacks_b = Hashtbl.create 4 in
+  List.iter
+    (fun i -> Hashtbl.add stacks_a i (Tcpnet.attach net_a nodes.(i)))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun i -> Hashtbl.add stacks_b i (Tcpnet.attach net_b nodes.(i)))
+    [ 1; 2; 3 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_a))
+      ~ranks:[ 0; 1; 2 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_b))
+      ~ranks:[ 1; 2; 3 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~faults ~topology:1 ~coordinator:0
+      [ ch_a; ch_b ]
+  in
+  (engine, faults, vc)
+
+let health_name h = Format.asprintf "%a" Madeleine.Iface.pp_health h
+
+let epoch_of vc =
+  match Vc.topology vc with
+  | Some snap -> Madeleine.Topology.epoch snap
+  | None -> -1
+
+(* Does any member rank's sentinel still probe [rank]? *)
+let some_sentinel_watches vc ~ranks ~rank =
+  List.exists
+    (fun r ->
+      r <> rank
+      &&
+      match Vc.sentinel vc ~rank:r with
+      | Some s -> List.mem rank (Madeleine.Sentinel.watched s)
+      | None -> false)
+    ranks
+
+let rolling_restart_run ~seed ~size ~messages =
+  let engine, faults, vc = elastic_world ~seed in
+  let total = 2 * messages in
+  let payload_of m =
+    let p = Harness.payload size (Int64.of_int 29) in
+    Bytes.set_int32_le p 0 (Int32.of_int m);
+    p
+  in
+  let received = Array.make total 0 in
+  let intact = ref true and partitioned = ref false in
+  let delivered = ref 0 in
+  let phase2_go = ref false in
+  let finish = ref Time.zero in
+  let rolled = ref [] in
+  let epoch_start = epoch_of vc in
+  let gw = List.hd (Vc.route_via vc ~src:0 ~dst:3) in
+  let other_gw = if gw = 1 then 2 else 1 in
+  let send_range lo hi =
+    for m = lo to hi do
+      match Vc.begin_packing vc ~me:0 ~remote:3 with
+      | exception Vc.Partitioned _ -> partitioned := true
+      | oc ->
+          Vc.pack oc (payload_of m);
+          Vc.end_packing oc
+    done
+  in
+  Engine.spawn engine ~name:"rr-sender" (fun () ->
+      send_range 0 (messages - 1);
+      (* The origin is crashed by the controller between phases; this
+         thread models the restarted process resuming the stream. *)
+      while not !phase2_go do
+        Engine.sleep (Time.us 250.0)
+      done;
+      send_range messages (total - 1));
+  Engine.spawn engine ~name:"rr-receiver" (fun () ->
+      for _ = 1 to total do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:3 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        let idx = Int32.to_int (Bytes.get_int32_le sink 0) in
+        (if idx < 0 || idx >= total then intact := false
+         else begin
+           received.(idx) <- received.(idx) + 1;
+           if not (Bytes.equal sink (payload_of idx)) then intact := false
+         end);
+        incr delivered
+      done;
+      finish := Engine.now engine);
+  Engine.spawn engine ~name:"rr-controller" (fun () ->
+      let wait_for cond =
+        while not (cond ()) do
+          Engine.sleep (Time.us 250.0)
+        done
+      in
+      let restart_of node =
+        let before = Faults.epoch faults node in
+        Faults.crash_now faults ~node ~restart_after:(Time.us 2_000.0) ();
+        wait_for (fun () -> Faults.epoch faults node > before)
+      in
+      let roll rank =
+        (match Vc.drain vc ~rank with
+        | () -> ()
+        | exception Vc.Partitioned _ -> partitioned := true);
+        restart_of rank;
+        (match Vc.join vc ~rank with
+        | (_ : int) -> ()
+        | exception Vc.Partitioned _ -> partitioned := true);
+        rolled := !rolled @ [ rank ]
+      in
+      wait_for (fun () -> !delivered >= 1);
+      (* The spare gateway first (no route impact), then the on-route
+         gateway — the 0 -> 3 flow must reroute mid-stream. *)
+      roll other_gw;
+      roll gw;
+      (* The receiver drains between phases, once its journal is
+         covered by cumulative acks. *)
+      wait_for (fun () -> !delivered >= messages);
+      roll 3;
+      (* The coordinator cannot drain itself: a crash-epoch restart,
+         repaired by the session handshake, stands in. *)
+      restart_of 0;
+      rolled := !rolled @ [ 0 ];
+      phase2_go := true);
+  Engine.run engine;
+  let stats = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  let topo =
+    match Vc.topology_stats vc with Some s -> s | None -> assert false
+  in
+  let queues = Vc.queue_stats vc in
+  let bounded =
+    List.for_all
+      (fun q ->
+        match q.Vc.q_bound with Some b -> q.Vc.q_peak <= b | None -> true)
+      queues
+  in
+  {
+    rr_messages = messages;
+    rr_size = size;
+    rr_restarted = !rolled;
+    rr_epoch_start = epoch_start;
+    rr_epoch_final = topo.Vc.topo_epoch;
+    rr_joins = topo.Vc.topo_joins;
+    rr_drains = topo.Vc.topo_drains;
+    rr_delivered = Array.fold_left ( + ) 0 received;
+    rr_dup_deliveries =
+      Array.fold_left (fun acc n -> acc + max 0 (n - 1)) 0 received;
+    rr_reroutes = stats.Vc.reroutes;
+    rr_reemitted = stats.Vc.reemitted;
+    rr_dup_drops = stats.Vc.dup_drops;
+    rr_handshakes = stats.Vc.handshakes;
+    rr_queues = queues;
+    rr_partitioned = !partitioned;
+    rr_exactly_once = !intact && Array.for_all (fun n -> n = 1) received;
+    rr_bounded = bounded;
+    rr_finish_us = Time.to_us !finish;
+  }
+
+let join_load_run ~seed ~size ~messages =
+  let engine, _faults, vc = elastic_world ~seed in
+  let payload m = Harness.payload size (Int64.of_int (400 + m)) in
+  let bg_delivered = ref 0 in
+  let intact = ref true and partitioned = ref false in
+  let joined = ref false in
+  let finish = ref Time.zero in
+  (* Background load 0 -> 1 runs across the epoch swap. *)
+  Engine.spawn engine ~name:"jl-bg-send" (fun () ->
+      for m = 0 to messages - 1 do
+        match Vc.begin_packing vc ~me:0 ~remote:1 with
+        | exception Vc.Partitioned _ -> partitioned := true
+        | oc ->
+            Vc.pack oc (payload m);
+            Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"jl-bg-recv" (fun () ->
+      let sink = Bytes.create size in
+      for m = 0 to messages - 1 do
+        let ic = Vc.begin_unpacking_from vc ~me:1 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload m)) then intact := false;
+        incr bg_delivered
+      done);
+  (* Once the joiner is routable, a fresh flow targets it. *)
+  Engine.spawn engine ~name:"jl-fg-send" (fun () ->
+      while not !joined do
+        Engine.sleep (Time.us 250.0)
+      done;
+      for m = 0 to messages - 1 do
+        match Vc.begin_packing vc ~me:0 ~remote:3 with
+        | exception Vc.Partitioned _ -> partitioned := true
+        | oc ->
+            Vc.pack oc (payload (1000 + m));
+            Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"jl-fg-recv" (fun () ->
+      while not !joined do
+        Engine.sleep (Time.us 250.0)
+      done;
+      let sink = Bytes.create size in
+      for m = 0 to messages - 1 do
+        let ic = Vc.begin_unpacking_from vc ~me:3 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload (1000 + m))) then intact := false
+      done;
+      finish := Engine.now engine);
+  Engine.spawn engine ~name:"jl-controller" (fun () ->
+      (* Rank 3 leaves before any traffic exists, then rejoins while the
+         background stream is mid-flight. *)
+      Vc.drain vc ~rank:3;
+      while !bg_delivered < max 1 (messages / 2) do
+        Engine.sleep (Time.us 100.0)
+      done;
+      (match Vc.join vc ~rank:3 with
+      | (_ : int) -> ()
+      | exception Vc.Partitioned _ -> partitioned := true);
+      joined := true);
+  Engine.run engine;
+  let routable =
+    match Vc.route_via vc ~src:0 ~dst:3 with
+    | _ :: _ -> true
+    | [] -> false
+    | exception _ -> false
+  in
+  {
+    el_op = "join";
+    el_messages = messages;
+    el_size = size;
+    el_rank = 3;
+    el_epoch_final = epoch_of vc;
+    el_routable = routable;
+    el_status = health_name (Vc.peer_status vc ~src:0 ~dst:3);
+    el_watched = some_sentinel_watches vc ~ranks:[ 0; 1; 2 ] ~rank:3;
+    el_partitioned = !partitioned;
+    el_intact = !intact;
+    el_finish_us = Time.to_us !finish;
+  }
+
+let drain_load_run ~seed ~size ~messages =
+  let engine, _faults, vc = elastic_world ~seed in
+  let payload_of m =
+    let p = Harness.payload size (Int64.of_int 31) in
+    Bytes.set_int32_le p 0 (Int32.of_int m);
+    p
+  in
+  let received = Array.make messages 0 in
+  let delivered = ref 0 in
+  let intact = ref true and partitioned = ref false in
+  let finish = ref Time.zero in
+  let gw = List.hd (Vc.route_via vc ~src:0 ~dst:3) in
+  Engine.spawn engine ~name:"dl-sender" (fun () ->
+      for m = 0 to messages - 1 do
+        match Vc.begin_packing vc ~me:0 ~remote:3 with
+        | exception Vc.Partitioned _ -> partitioned := true
+        | oc ->
+            Vc.pack oc (payload_of m);
+            Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"dl-receiver" (fun () ->
+      for _ = 1 to messages do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:3 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        let idx = Int32.to_int (Bytes.get_int32_le sink 0) in
+        (if idx < 0 || idx >= messages then intact := false
+         else begin
+           received.(idx) <- received.(idx) + 1;
+           if not (Bytes.equal sink (payload_of idx)) then intact := false
+         end);
+        incr delivered
+      done;
+      finish := Engine.now engine);
+  Engine.spawn engine ~name:"dl-controller" (fun () ->
+      (* The on-route gateway drains mid-stream: the 0 -> 3 flow must
+         reroute through the spare with no Partitioned. *)
+      while !delivered < 1 do
+        Engine.sleep (Time.us 250.0)
+      done;
+      match Vc.drain vc ~rank:gw with
+      | () -> ()
+      | exception Vc.Partitioned _ -> partitioned := true);
+  Engine.run engine;
+  let off_route =
+    match Vc.route_via vc ~src:0 ~dst:3 with
+    | hops -> not (List.mem gw hops)
+    | exception _ -> false
+  in
+  {
+    el_op = "drain";
+    el_messages = messages;
+    el_size = size;
+    el_rank = gw;
+    el_epoch_final = epoch_of vc;
+    el_routable = off_route;
+    el_status = health_name (Vc.peer_status vc ~src:0 ~dst:gw);
+    el_watched =
+      some_sentinel_watches vc
+        ~ranks:(List.filter (fun r -> r <> gw) [ 0; 1; 2; 3 ])
+        ~rank:gw;
+    el_partitioned = !partitioned;
+    el_intact = !intact && Array.for_all (fun n -> n = 1) received;
+    el_finish_us = Time.to_us !finish;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Overload: one reliable credit-armed vchannel over a single TCP
    segment; the receiving host's drain rate is capped at 1/100 of the
    clean stream's. Run once clean (no cap) for the mismatch baseline,
@@ -854,6 +1232,8 @@ type outcome =
   | Overloaded_of of overload
   | Slow_gateway_of of slow_gateway
   | Sched_of of sched_chaos
+  | Rolled of rolling_restart
+  | Elastic_of of elastic
 
 let run (runner : Sweeps.runner) ~seed ~quick =
   let rates = if quick then [ 0.0; 0.01 ] else [ 0.0; 0.005; 0.01; 0.05 ] in
@@ -917,6 +1297,21 @@ let run (runner : Sweeps.runner) ~seed ~quick =
             (sched_aggreg_run ~seed
                ~flows:(if quick then 16 else 32)
                ~messages:4 ~size:256 ~drop:0.01) );
+      ( "chaos/rolling-restart",
+        fun () ->
+          Rolled
+            (rolling_restart_run ~seed ~size:16384
+               ~messages:(if quick then 3 else 4)) );
+      ( "chaos/join-under-load",
+        fun () ->
+          Elastic_of
+            (join_load_run ~seed ~size:16384
+               ~messages:(if quick then 4 else 6)) );
+      ( "chaos/drain-under-load",
+        fun () ->
+          Elastic_of
+            (drain_load_run ~seed ~size:16384
+               ~messages:(if quick then 4 else 6)) );
     ]
   in
   let outcomes = runner.Sweeps.run (drop_jobs @ corrupt_jobs @ scheduled_jobs) in
@@ -940,10 +1335,50 @@ let run (runner : Sweeps.runner) ~seed ~quick =
     rep_slow_gateway =
       pick "slow-gateway" (function Slow_gateway_of s -> Some s | _ -> None);
     rep_sched = pick "sched-aggreg" (function Sched_of s -> Some s | _ -> None);
+    rep_rolling =
+      pick "rolling-restart" (function Rolled r -> Some r | _ -> None);
+    rep_join =
+      pick "join-under-load" (function
+        | Elastic_of e when e.el_op = "join" -> Some e
+        | _ -> None);
+    rep_drain =
+      pick "drain-under-load" (function
+        | Elastic_of e when e.el_op = "drain" -> Some e
+        | _ -> None);
   }
 
 (* Named pass/fail gates; CI relies on the process exit code derived
-   from these, and a failure prints the gate names that tripped. *)
+   from these, and a failure prints the gate names that tripped. The
+   live-topology gates stand alone so `madbench chaos WORKLOAD` can
+   judge a single scenario. *)
+let rolling_gates rr =
+  [
+    ("rolling-restart-exactly-once", rr.rr_exactly_once);
+    ( "rolling-restart-no-dup-deliveries",
+      rr.rr_dup_deliveries = 0 && rr.rr_delivered = 2 * rr.rr_messages );
+    ("rolling-restart-no-partition", not rr.rr_partitioned);
+    ("rolling-restart-queues-bounded", rr.rr_bounded);
+    ( "rolling-restart-epochs-advanced",
+      rr.rr_joins >= 3 && rr.rr_drains >= 3
+      && rr.rr_epoch_final >= rr.rr_epoch_start + 6 );
+  ]
+
+let elastic_gates e =
+  if e.el_op = "join" then
+    [
+      ( "join-under-load-no-partition",
+        (not e.el_partitioned) && e.el_intact );
+      ( "join-under-load-routable",
+        e.el_routable && e.el_status = "up" && e.el_watched );
+    ]
+  else
+    [
+      ( "drain-under-load-no-partition",
+        (not e.el_partitioned) && e.el_intact );
+      ( "drain-under-load-forgotten",
+        e.el_routable && e.el_status = "departed" && not e.el_watched );
+    ]
+
 let gates r =
   let ov = r.rep_overload and sg = r.rep_slow_gateway in
   [
@@ -972,6 +1407,9 @@ let gates r =
     ("sched-aggreg-intact", r.rep_sched.sc_intact);
     ("sched-aggreg-merged", r.rep_sched.sc_merged > 0);
   ]
+  @ rolling_gates r.rep_rolling
+  @ elastic_gates r.rep_join
+  @ elastic_gates r.rep_drain
 
 let failing_gates r =
   List.filter_map (fun (name, ok) -> if ok then None else Some name) (gates r)
@@ -1111,6 +1549,37 @@ let to_json r =
        sc.sc_aggregates sc.sc_mean_frames sc.sc_flush_full
        sc.sc_flush_deadline sc.sc_flush_flow sc.sc_reemitted sc.sc_dup_drops
        sc.sc_intact sc.sc_finish_us);
+  let rr = r.rep_rolling in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\"rolling_restart\": { \"messages_per_phase\": %d, \"size\": %d, \
+        \"restarted\": [%s], \"epoch_start\": %d, \"epoch_final\": %d, \
+        \"joins\": %d, \"drains\": %d, \"delivered\": %d, \
+        \"dup_deliveries\": %d, \"reroutes\": %d, \"reemitted\": %d, \
+        \"dup_drops\": %d, \"handshakes\": %d, \"partitioned\": %b, \
+        \"exactly_once\": %b, \"bounded\": %b, \"finish_us\": %.2f,\n\
+       \  \"queues\": "
+       rr.rr_messages rr.rr_size
+       (String.concat ", " (List.map string_of_int rr.rr_restarted))
+       rr.rr_epoch_start rr.rr_epoch_final rr.rr_joins rr.rr_drains
+       rr.rr_delivered rr.rr_dup_deliveries rr.rr_reroutes rr.rr_reemitted
+       rr.rr_dup_drops rr.rr_handshakes rr.rr_partitioned rr.rr_exactly_once
+       rr.rr_bounded rr.rr_finish_us);
+  queues_json b rr.rr_queues;
+  Buffer.add_string b " },\n";
+  let elastic_json e =
+    Printf.sprintf
+      "{ \"op\": %S, \"messages\": %d, \"size\": %d, \"rank\": %d, \
+       \"epoch_final\": %d, \"routable\": %b, \"status\": %S, \
+       \"watched\": %b, \"partitioned\": %b, \"intact\": %b, \
+       \"finish_us\": %.2f }"
+      e.el_op e.el_messages e.el_size e.el_rank e.el_epoch_final e.el_routable
+      e.el_status e.el_watched e.el_partitioned e.el_intact e.el_finish_us
+  in
+  Buffer.add_string b
+    (Printf.sprintf "\"join_under_load\": %s,\n\"drain_under_load\": %s,\n"
+       (elastic_json r.rep_join)
+       (elastic_json r.rep_drain));
   Buffer.add_string b "\"gates\": [\n";
   let gs = gates r in
   let last_g = List.length gs - 1 in
@@ -1122,6 +1591,36 @@ let to_json r =
     gs;
   Buffer.add_string b "] } }\n";
   Buffer.contents b
+
+let rolling_line rr =
+  Printf.sprintf
+    "rolling-restart: 2 x %d x %d B while every rank restarts \
+     (order [%s]); epoch %d -> %d (%d join(s), %d drain(s)), \
+     %d delivered (%d dup), %d reroute(s), %d re-emitted, \
+     %d handshake(s), partitioned=%s, exactly-once=%s, bounded=%s, \
+     finish=%.2f us\n"
+    rr.rr_messages rr.rr_size
+    (String.concat "; " (List.map string_of_int rr.rr_restarted))
+    rr.rr_epoch_start rr.rr_epoch_final rr.rr_joins rr.rr_drains
+    rr.rr_delivered rr.rr_dup_deliveries rr.rr_reroutes rr.rr_reemitted
+    rr.rr_handshakes
+    (if rr.rr_partitioned then "YES" else "no")
+    (if rr.rr_exactly_once then "yes" else "NO")
+    (if rr.rr_bounded then "yes" else "NO")
+    rr.rr_finish_us
+
+let elastic_line e =
+  Printf.sprintf
+    "%s-under-load: %d x %d B; rank %d %sed mid-sweep -> epoch %d, \
+     routable-as-expected=%s, status=%s, watched=%s, partitioned=%s, \
+     intact=%s, finish=%.2f us\n"
+    e.el_op e.el_messages e.el_size e.el_rank e.el_op e.el_epoch_final
+    (if e.el_routable then "yes" else "NO")
+    e.el_status
+    (if e.el_watched then "yes" else "no")
+    (if e.el_partitioned then "YES" else "no")
+    (if e.el_intact then "yes" else "NO")
+    e.el_finish_us
 
 let render_table r =
   let b = Buffer.create 4096 in
@@ -1233,6 +1732,9 @@ let render_table r =
        sc.sc_flush_deadline sc.sc_flush_flow sc.sc_reemitted sc.sc_dup_drops
        (if sc.sc_intact then "yes" else "NO")
        sc.sc_finish_us);
+  Buffer.add_string b (rolling_line r.rep_rolling);
+  Buffer.add_string b (elastic_line r.rep_join);
+  Buffer.add_string b (elastic_line r.rep_drain);
   (match failing_gates r with
   | [] -> Buffer.add_string b "gates: all passed\n"
   | failed ->

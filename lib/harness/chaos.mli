@@ -120,6 +120,41 @@ type sched_chaos = {
   sc_finish_us : float;
 }
 
+type rolling_restart = {
+  rr_messages : int; (* per phase; the stream has two phases *)
+  rr_size : int;
+  rr_restarted : int list; (* every rank, in roll order *)
+  rr_epoch_start : int;
+  rr_epoch_final : int;
+  rr_joins : int; (* epoch swaps that re-admitted a rank *)
+  rr_drains : int; (* epoch swaps that removed a rank *)
+  rr_delivered : int;
+  rr_dup_deliveries : int; (* messages the application saw twice *)
+  rr_reroutes : int;
+  rr_reemitted : int;
+  rr_dup_drops : int; (* wire duplicates the reliability plane dropped *)
+  rr_handshakes : int;
+  rr_queues : Madeleine.Vchannel.queue_stat list;
+  rr_partitioned : bool; (* a data flow observed Partitioned *)
+  rr_exactly_once : bool; (* every message once, bit-identical *)
+  rr_bounded : bool; (* every instrumented peak <= its bound *)
+  rr_finish_us : float;
+}
+
+type elastic = {
+  el_op : string; (* "join" or "drain" *)
+  el_messages : int;
+  el_size : int;
+  el_rank : int; (* the rank that joined / drained *)
+  el_epoch_final : int;
+  el_routable : bool; (* join: rank reachable; drain: rank off every route *)
+  el_status : string; (* peer_status toward the rank after the swap *)
+  el_watched : bool; (* some sentinel still probes the rank *)
+  el_partitioned : bool; (* an in-flight flow observed Partitioned *)
+  el_intact : bool;
+  el_finish_us : float;
+}
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -130,6 +165,9 @@ type report = {
   rep_overload : overload;
   rep_slow_gateway : slow_gateway;
   rep_sched : sched_chaos;
+  rep_rolling : rolling_restart;
+  rep_join : elastic;
+  rep_drain : elastic;
 }
 
 val failover_run : seed:int -> size:int -> messages:int -> failover
@@ -203,6 +241,35 @@ val sched_aggreg_run :
     delivery must end bit-identical and in order on every flow, and the
     scheduler must have merged at least one pair of frames. *)
 
+val rolling_restart_run : seed:int -> size:int -> messages:int -> rolling_restart
+(** The headline live-topology scenario on its own (also part of
+    {!run}): the redundant-gateway world with its membership promoted
+    to a versioned epoch snapshot (coordinator rank 0). While rank 0
+    streams [2 * messages] messages to rank 3, every rank restarts —
+    the spare gateway, the on-route gateway and the receiver each
+    drain, crash-restart and rejoin under advancing epochs (the data
+    flow reroutes mid-stream when the on-route gateway leaves), and
+    the coordinator itself rides a crash-epoch restart between
+    phases. Delivery must be exactly-once and bit-identical, no data
+    flow may observe {!Madeleine.Vchannel.Partitioned}, and every
+    instrumented queue stays under its bound. *)
+
+val join_load_run : seed:int -> size:int -> messages:int -> elastic
+(** Join-under-load on its own (also part of {!run}): rank 3 drains
+    before any traffic, a background stream runs 0 -> 1, and rank 3
+    rejoins mid-stream — becoming routable without quiescing the
+    background flow — after which a fresh 0 -> 3 stream completes. No
+    flow may observe [Partitioned]; afterwards the joiner is routable,
+    reports [Up] and is watched by a sentinel again. *)
+
+val drain_load_run : seed:int -> size:int -> messages:int -> elastic
+(** Drain-under-load on its own (also part of {!run}): the on-route
+    gateway of a live 0 -> 3 stream drains mid-sweep. The stream must
+    reroute through the spare gateway with exactly-once delivery and
+    no [Partitioned]; afterwards the drained rank is off every route,
+    reports the typed [Departed] status and has been forgotten by
+    every sentinel. *)
+
 val run : Sweeps.runner -> seed:int -> quick:bool -> report
 (** The full workload set: a drop-rate x size sweep, a corruption sweep,
     a mid-exchange link flap, a reorder/duplication exchange, a PCI
@@ -227,6 +294,17 @@ val gates : report -> (string * bool) list
     bit-identical under loss while actually merging frames. The JSON
     report embeds this list; [madbench chaos] exits non-zero naming the
     gates that failed. *)
+
+val rolling_gates : rolling_restart -> (string * bool) list
+val elastic_gates : elastic -> (string * bool) list
+(** The live-topology subsets of {!gates}, usable on a single scenario
+    run — [madbench chaos rolling-restart|join|drain] keys its exit
+    code off these. *)
+
+val rolling_line : rolling_restart -> string
+val elastic_line : elastic -> string
+(** One-line human renderings of the live-topology scenarios (newline
+    terminated), as embedded in {!render_table}. *)
 
 val failing_gates : report -> string list
 (** Names of the gates currently false, in {!gates} order. *)

@@ -426,6 +426,7 @@ let parse_line t lineno line =
       let reliable = ref false and patience = ref None in
       let credits = ref None and gw_pool = ref None in
       let sched = ref None and aggr_max = ref None and aggr_flush = ref None in
+      let version = ref None and coordinator = ref None in
       let positive_int key v =
         let n = parse_int lineno key v in
         if n < 1 then
@@ -463,6 +464,15 @@ let parse_line t lineno line =
           | "aggr_max", v -> aggr_max := Some (positive_int "aggr_max" v)
           | "aggr_flush_us", v ->
               aggr_flush := Some (Time.us (positive_float "aggr_flush_us" v))
+          | "version", v ->
+              let n = parse_int lineno "version" v in
+              if n < 1 then
+                raise
+                  (Parse_error (lineno, "version expects an integer >= 1"));
+              version := Some n
+          | "coordinator", v ->
+              coordinator :=
+                Some (find_or lineno t.node_tbl "node" v).Node.id
           | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
         opts;
       if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
@@ -472,6 +482,10 @@ let parse_line t lineno line =
           raise (Parse_error (lineno, "aggr_max= requires sched=aggreg"))
       | _, _, Some _ ->
           raise (Parse_error (lineno, "aggr_flush_us= requires sched=aggreg")));
+      (match (!version, !coordinator) with
+      | None, Some _ ->
+          raise (Parse_error (lineno, "coordinator= requires version="))
+      | _ -> ());
       let vc_sched =
         match !sched with
         | None -> None
@@ -496,7 +510,7 @@ let parse_line t lineno line =
         Madeleine.Vchannel.create t.cf_session ?mtu:!mtu ?patience:!patience
           ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap
           ?credits:!credits ?gw_pool:!gw_pool ?faults:vc_faults ?sched:vc_sched
-          !chans
+          ?topology:!version ?coordinator:!coordinator !chans
       in
       declare lineno t.vchan_tbl "vchannel" name vc;
       t.vchan_order <- name :: t.vchan_order

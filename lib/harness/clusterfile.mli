@@ -36,7 +36,13 @@
     and is rejected with a line-numbered {!Parse_error} when no
     measurement exists), [regcache=N] (>= 0 cached registrations; 0 =
     register per send) and [regcache_bytes=BYTES] (pinned-byte budget
-    of the cache). Network
+    of the cache). A vchannel additionally accepts [version=N] (>= 1;
+    arms the live-topology plane with the clusterfile's membership as
+    epoch [N], see {!Madeleine.Vchannel.topology}) and
+    [coordinator=NODE] (a declared node that arbitrates joins and
+    drains; requires [version=], defaults to the lowest rank). Both are
+    rejected with a line-numbered {!Parse_error} on malformed values or
+    unknown nodes. Network
     types: [sisci], [bip], [tcp], [via], [sbp]; [tcp] networks
     additionally accept [window=FRAMES] (go-back-N sender window) and
     [max_retries=N] (consecutive RTO expiries before a connection is

@@ -9,6 +9,7 @@ type packet_header = {
   hs : bool;  (* session handshake after a crash epoch (reliable vchannels) *)
   crd : bool;  (* credit-plane packet: grant (4-byte payload) or probe (empty) *)
   agg : bool;  (* aggregate: payload is a train of flow-framed sub-packets *)
+  top : bool;  (* topology-control packet: join/drain/epoch announcements *)
 }
 
 let header_size = Config.packet_header_size
@@ -25,7 +26,8 @@ let encode_header h =
     lor (if h.ack then 4 else 0)
     lor (if h.hs then 8 else 0)
     lor (if h.crd then 16 else 0)
-    lor if h.agg then 32 else 0
+    lor (if h.agg then 32 else 0)
+    lor if h.top then 64 else 0
   in
   Bytes.set b 12 (Char.chr flags);
   Bytes.set b 13 magic;
@@ -51,6 +53,7 @@ let decode_header b =
     hs = flags land 8 <> 0;
     crd = flags land 16 <> 0;
     agg = flags land 32 <> 0;
+    top = flags land 64 <> 0;
   }
 
 let sub_header_size = Config.buffer_header_size

@@ -57,6 +57,14 @@ type packet_header = {
           without looking inside — only the final destination unpacks
           the train. Never set without a scheduler — the wire format is
           then unchanged. *)
+  top : bool;
+      (** Topology-control packet for live-topology vchannels (clusterfile
+          [version=] set): a join request / join acknowledgment / drain
+          notice addressed to the coordinator or to a member (see
+          {!Vchannel.join} / {!Vchannel.drain}). The payload carries an
+          opcode byte, the subject rank, and the epoch, all little-endian;
+          gateways forward it like data. Never set without a live
+          topology — the wire format is then unchanged. *)
 }
 
 val header_size : int

@@ -32,10 +32,11 @@ let pp_recv_mode ppf m =
     | Receive_express -> "receive_EXPRESS"
     | Receive_cheaper -> "receive_CHEAPER")
 
-type health = Up | Degraded of int | Overloaded | Down
+type health = Up | Degraded of int | Overloaded | Down | Departed
 
 let pp_health ppf = function
   | Up -> Format.pp_print_string ppf "up"
   | Degraded n -> Format.fprintf ppf "degraded(%d)" n
   | Overloaded -> Format.pp_print_string ppf "overloaded"
   | Down -> Format.pp_print_string ppf "down"
+  | Departed -> Format.pp_print_string ppf "departed"

@@ -42,7 +42,10 @@ val pp_recv_mode : Format.formatter -> recv_mode -> unit
     flows cleanly, [Degraded n] after [n] consecutive retransmissions
     (or a lengthened reroute), [Overloaded] while the peer (or a relay on
     the current route to it) is shedding load above its forwarding-pool
-    high watermark, [Down] once the peer is unreachable. *)
-type health = Up | Degraded of int | Overloaded | Down
+    high watermark, [Down] once the peer is unreachable, [Departed] when
+    the peer is absent from the current topology epoch of a live-topology
+    vchannel (drained or not yet joined — see {!Topology}). Failover
+    treats a departed peer like [Down] but never reroutes through it. *)
+type health = Up | Degraded of int | Overloaded | Down | Departed
 
 val pp_health : Format.formatter -> health -> unit

@@ -56,7 +56,7 @@ type t = {
   degraded_phi : float;
   down_phi : float;
   grace : Time.span;
-  peers : peer list;
+  mutable peers : peer list;
   mutable cbs : (int -> state -> state -> unit) list;
   mutable last_touch : Time.t;
   mutable park_wake : (unit -> unit) option;
@@ -136,6 +136,23 @@ let rec loop t =
 let touch t =
   t.last_touch <- Engine.now t.engine;
   match t.park_wake with Some wake -> wake () | None -> ()
+
+let fresh_peer t id =
+  {
+    p_id = id;
+    p_state = Up;
+    p_last_arrival = Time.zero;
+    p_mean_us = Time.to_us t.interval;
+    p_have_arrival = false;
+    p_overloaded = false;
+  }
+
+let learn t id =
+  if id <> t.me && not (List.exists (fun p -> p.p_id = id) t.peers) then
+    t.peers <- t.peers @ [ fresh_peer t id ]
+
+let forget t id = t.peers <- List.filter (fun p -> p.p_id <> id) t.peers
+let watched t = List.map (fun p -> p.p_id) t.peers
 
 let create engine faults ~me ~peers ?fabric ?(interval = Time.us 500.0)
     ?(degraded_phi = 1.0) ?(down_phi = 2.0) ?(grace = Time.ms 2.0) () =

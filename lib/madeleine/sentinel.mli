@@ -66,6 +66,21 @@ val touch : t -> unit
     touch, and a parked daemon is woken. Channels call this on every
     packet they send, forward or deliver. *)
 
+val learn : t -> int -> unit
+(** Starts watching a peer with fresh detector state (no-op when the
+    peer is already watched, or is [me]). Used by live-topology
+    vchannels when a rank joins under a new epoch. *)
+
+val forget : t -> int -> unit
+(** Drops every trace of a peer — EMA, arrival clock, verdict, overload
+    flag. Used when a rank drains: without this the detector's per-rank
+    state would grow unboundedly in a long-lived elastic session. A
+    forgotten peer reports {!state} [Up] (never probed) and is absent
+    from {!suspected} and {!watched}. No-op on unknown peers. *)
+
+val watched : t -> int list
+(** Peers currently being probed, in watch order. *)
+
 val on_transition : t -> (int -> state -> state -> unit) -> unit
 (** [cb peer from to_] runs from the probe daemon on every state
     change; it must not block, but may spawn threads. *)

@@ -184,6 +184,28 @@ type pump = {
   pump_buffers : Semaphore.t; (* the two pipeline buffers *)
 }
 
+(* Live-topology plane, present only when the vchannel was created with
+   [?topology] (clusterfile [version=]). The snapshot is the current
+   epoch's membership; every simulated rank reads the same snapshot, so
+   an epoch swap is one pointer assignment at the coordinator followed
+   by a route recomputation. Joins and drains travel as [top] control
+   packets over the data path, so they cross gateways, cost network
+   time, and interleave with live traffic like any other packet. *)
+type live = {
+  lv_coordinator : int;
+  mutable lv_snapshot : Topology.t;
+  lv_draining : (int, unit) Hashtbl.t;
+      (* ranks mid-drain: still routable, but accept no new flows *)
+  lv_extra : (int, int) Hashtbl.t; (* current extra pool slots per gateway *)
+  lv_extra_peak : (int, int) Hashtbl.t; (* high-water extra, for bounds *)
+  mutable lv_joins : int;
+  mutable lv_drains : int;
+  mutable lv_scale_outs : int;
+  mutable lv_scale_ins : int;
+  mutable lv_waiters : (unit -> unit) list;
+      (* threads parked on the next epoch swap *)
+}
+
 type t = {
   engine : Engine.t;
   mtu : int;
@@ -216,6 +238,8 @@ type t = {
   overload_gen : (int, int) Hashtbl.t; (* cancels stale hold timers *)
   mutable overload_events : int; (* Overloaded transitions (rising edges) *)
   mutable on_overload_change : unit -> unit; (* rel: recompute + reemit *)
+  live : live option; (* live topology (clusterfile version=) *)
+  mutable on_topo_change : unit -> unit; (* epoch swap: recompute + reemit *)
   asm_depth : (int * int, probe_point) Hashtbl.t; (* (me, origin) -> bytes *)
   pump_depth : (int, probe_point) Hashtbl.t; (* node -> busy pool slots *)
   unacked_peak : (int * int, int ref) Hashtbl.t; (* flow -> log peak *)
@@ -489,6 +513,7 @@ let send_grant t c ~me ~origin =
       hs = false;
       crd = true;
       agg = false;
+      top = false;
     }
   in
   Engine.spawn t.engine ~daemon:true
@@ -517,6 +542,7 @@ let send_probe t c ~src ~dst =
       hs = false;
       crd = true;
       agg = false;
+      top = false;
     }
   in
   Engine.spawn t.engine ~daemon:true
@@ -594,6 +620,7 @@ let send_ack t r ~me ~origin =
         hs = false;
         crd = false;
         agg = false;
+        top = false;
       }
     in
     Engine.spawn t.engine ~daemon:true
@@ -656,6 +683,186 @@ let wait_handshake t r ~src ~dst =
                handshake restored it"
               src dst))
   end
+
+(* ------------------------------------------------------------------ *)
+(* Live topology: the join/drain control plane. Membership changes are
+   arbitrated by the coordinator; requests and acknowledgments travel
+   as [top] packets on the data path (gateways forward them like data),
+   and the epoch swap itself is [apply_swap]: publish the new snapshot,
+   recompute routes, re-emit only the flows whose routes changed. *)
+
+let top_join_req = 1
+let top_join_ack = 2
+let top_drain_req = 3
+let top_payload_size = 9
+
+let top_payload ~op ~rank ~epoch =
+  let b = Bytes.create top_payload_size in
+  Bytes.set b 0 (Char.chr op);
+  Bytes.set_int32_le b 1 (Int32.of_int rank);
+  Bytes.set_int32_le b 5 (Int32.of_int epoch);
+  b
+
+let top_header ~src ~dst ~len =
+  {
+    Generic_tm.final_dst = dst;
+    origin = src;
+    payload_len = len;
+    first = false;
+    last = false;
+    seq = 0;
+    ack = false;
+    hs = false;
+    crd = false;
+    agg = false;
+    top = true;
+  }
+
+let topo_wake lv =
+  let waiters = lv.lv_waiters in
+  lv.lv_waiters <- [];
+  List.iter (fun wake -> wake ()) waiters
+
+(* Park until [until ()] holds or patience runs out; epoch swaps wake
+   every parked thread. Returns whether the condition was reached. *)
+let topo_wait t lv ~until =
+  let deadline = Time.add (Engine.now t.engine) t.patience in
+  while (not (until ())) && Time.( < ) (Engine.now t.engine) deadline do
+    Engine.suspend ~name:"vchannel.topology" (fun wake ->
+        let woken = ref false in
+        let wake_once () =
+          if not !woken then begin
+            woken := true;
+            wake ()
+          end
+        in
+        lv.lv_waiters <- wake_once :: lv.lv_waiters;
+        Engine.at t.engine deadline wake_once)
+  done;
+  until ()
+
+let shares_channel t a b =
+  List.exists
+    (fun c -> List.mem a (Channel.ranks c) && List.mem b (Channel.ranks c))
+    t.channels
+
+let sentinels_learn t rank =
+  match t.rel with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove r.suspected rank;
+      Hashtbl.iter
+        (fun me s ->
+          if me <> rank && shares_channel t me rank then Sentinel.learn s rank)
+        r.sentinels
+
+(* Dropping a departed rank from every detector is what keeps a
+   long-lived elastic session's phi-accrual state from growing without
+   bound — and what stops a sentinel from suspecting a rank that left
+   gracefully. *)
+let sentinels_forget t rank =
+  match t.rel with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove r.suspected rank;
+      Hashtbl.iter
+        (fun me s -> if me <> rank then Sentinel.forget s rank)
+        r.sentinels
+
+let apply_swap t lv snap =
+  lv.lv_snapshot <- snap;
+  t.on_topo_change ();
+  topo_wake lv
+
+let send_top t ~src ~dst ~op ~rank ~epoch =
+  let payload = top_payload ~op ~rank ~epoch in
+  let header = top_header ~src ~dst ~len:top_payload_size in
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.top.%d->%d" src dst)
+    (fun () ->
+      try
+        ship_packet t ~at:src ~header ~payload ~payload_len:top_payload_size
+      with Partitioned _ | Config.Peer_unreachable _ -> ())
+
+let handle_top t ~me header payload =
+  match t.live with
+  | None -> () (* stray control packet on a fixed-topology vchannel *)
+  | Some lv ->
+      let alive =
+        match t.rel with
+        | Some r -> Simnet.Faults.node_up r.faults me
+        | None -> true
+      in
+      if alive && Bytes.length payload >= top_payload_size then begin
+        let op = Char.code (Bytes.get payload 0) in
+        let rank = Int32.to_int (Bytes.get_int32_le payload 1) in
+        ignore header;
+        if op = top_join_req then begin
+          if
+            me = lv.lv_coordinator && not (Topology.mem lv.lv_snapshot rank)
+          then begin
+            let snap = Topology.join lv.lv_snapshot rank in
+            lv.lv_joins <- lv.lv_joins + 1;
+            Hashtbl.remove lv.lv_draining rank;
+            sentinels_learn t rank;
+            apply_swap t lv snap;
+            (* The swap above made the joiner routable; the ack rides
+               the recomputed routes and carries the epoch it joined. *)
+            send_top t ~src:me ~dst:rank ~op:top_join_ack ~rank
+              ~epoch:(Topology.epoch snap)
+          end
+        end
+        else if op = top_join_ack then topo_wake lv
+        else if op = top_drain_req then begin
+          if
+            me = lv.lv_coordinator
+            && Topology.mem lv.lv_snapshot rank
+            && rank <> lv.lv_coordinator
+          then begin
+            let snap = Topology.drain lv.lv_snapshot rank in
+            lv.lv_drains <- lv.lv_drains + 1;
+            Hashtbl.remove lv.lv_draining rank;
+            Hashtbl.remove t.overloaded rank;
+            sentinels_forget t rank;
+            apply_swap t lv snap
+          end
+        end
+      end
+
+(* A joining rank is not yet routable (routes exclude non-members), so
+   its join request takes one membership-blind physical hop toward the
+   coordinator; from that member node on, the packet rides the normal
+   routed path like any transit packet. *)
+let ship_top_physical t ~at ~dst ~payload =
+  let down n =
+    match t.rel with
+    | Some r -> not (Simnet.Faults.node_up r.faults n)
+    | None -> false
+  in
+  let phys = compute_routes ~down t.channels t.all_ranks in
+  match Hashtbl.find_opt phys (at, dst) with
+  | Some (hop :: _) ->
+      let header = top_header ~src:at ~dst ~len:(Bytes.length payload) in
+      (* Mirror of the dispatcher's transit predicate: this hop is
+         endpoint-to-endpoint iff it lands on the final destination. *)
+      let transit = hop.hop_to <> dst in
+      let ep = Channel.endpoint hop.hop_channel ~rank:at in
+      let oc = Api.begin_packing ep ~remote:hop.hop_to in
+      (try
+         Api.pack oc ~r_mode:Iface.Receive_express
+           (Generic_tm.encode_header header);
+         Api.pack oc ~r_mode:Iface.Receive_cheaper ~transit
+           ~len:(Bytes.length payload) payload;
+         Api.end_packing oc
+       with Config.Peer_unreachable msg ->
+         Api.abort_packing oc;
+         raise (Partitioned msg))
+  | Some [] | None ->
+      raise
+        (Partitioned
+           (Printf.sprintf
+              "Vchannel.join: no physical path from %d to coordinator %d" at
+              dst))
 
 (* Deliver a packet that reached its final node. Reliable vchannels
    accept only the expected sequence number (re-emitted duplicates and
@@ -737,18 +944,69 @@ let inform_sentinels t node flag =
         (fun me s -> if me <> node then Sentinel.set_overloaded s ~peer:node flag)
         r.sentinels
 
+(* Elastic gateway capacity (live-topology vchannels only): a rising
+   Overloaded edge grows the node's forwarding pools by one slot, up to
+   double the configured pool; the clear edge reclaims the extra slots.
+   Scale-out is a plain [Semaphore.release] per pump — an extra permit
+   with no waiter just raises the pool ceiling; scale-in acquires the
+   permits back from a daemon, so it completes only as traffic drains
+   and never strands a packet already holding a buffer. *)
+let scale_out t node =
+  match t.live with
+  | None -> ()
+  | Some lv ->
+      let cur =
+        match Hashtbl.find_opt lv.lv_extra node with Some n -> n | None -> 0
+      in
+      if cur < t.gw_pool then begin
+        Hashtbl.replace lv.lv_extra node (cur + 1);
+        let peak =
+          match Hashtbl.find_opt lv.lv_extra_peak node with
+          | Some n -> n
+          | None -> 0
+        in
+        if cur + 1 > peak then Hashtbl.replace lv.lv_extra_peak node (cur + 1);
+        lv.lv_scale_outs <- lv.lv_scale_outs + 1;
+        Hashtbl.iter
+          (fun (n, _, _) p ->
+            if n = node then Semaphore.release p.pump_buffers)
+          t.pumps
+      end
+
+let scale_in t node =
+  match t.live with
+  | None -> ()
+  | Some lv -> (
+      match Hashtbl.find_opt lv.lv_extra node with
+      | None | Some 0 -> ()
+      | Some cur ->
+          Hashtbl.replace lv.lv_extra node 0;
+          lv.lv_scale_ins <- lv.lv_scale_ins + 1;
+          Hashtbl.iter
+            (fun (n, _, _) p ->
+              if n = node then
+                Engine.spawn t.engine ~daemon:true
+                  ~name:(Printf.sprintf "vchannel.scalein.%d" node)
+                  (fun () ->
+                    for _ = 1 to cur do
+                      Semaphore.acquire p.pump_buffers
+                    done))
+            t.pumps)
+
 let set_overload t node flag =
   if flag then begin
     if not (Hashtbl.mem t.overloaded node) then begin
       Hashtbl.replace t.overloaded node ();
       t.overload_events <- t.overload_events + 1;
       inform_sentinels t node true;
+      scale_out t node;
       t.on_overload_change ()
     end
   end
   else if Hashtbl.mem t.overloaded node then begin
     Hashtbl.remove t.overloaded node;
     inform_sentinels t node false;
+    scale_in t node;
     t.on_overload_change ()
   end
 
@@ -808,6 +1066,17 @@ let rec pump_for t ~node (hop : hop) =
         }
       in
       Hashtbl.add t.pumps key p;
+      (* A pump created while its node is scaled out starts with the
+         extra slots its siblings already received. *)
+      (match t.live with
+      | Some lv -> (
+          match Hashtbl.find_opt lv.lv_extra node with
+          | Some extra ->
+              for _ = 1 to extra do
+                Semaphore.release p.pump_buffers
+              done
+          | None -> ())
+      | None -> ());
       spawn_forwarder t ~node p;
       p
 
@@ -864,6 +1133,7 @@ let spawn_dispatcher t ~node channel =
             Api.unpack ic ~r_mode:Iface.Receive_cheaper ~transit payload;
           Api.end_unpacking ic;
           match t.rel with
+          | _ when header.Generic_tm.top -> handle_top t ~me:node header payload
           | Some r when header.Generic_tm.hs -> handle_hs r ~me:node header payload
           | _ when header.Generic_tm.crd -> handle_crd t ~me:node header payload
           | Some r when header.Generic_tm.ack -> handle_ack r header
@@ -1052,6 +1322,7 @@ let emit_one_aggregate t ~src ~dst frames =
       hs = false;
       crd = false;
       agg = true;
+      top = false;
     }
   in
   (match t.rel with
@@ -1095,14 +1366,18 @@ let emission_lock t ~src ~dst =
   | None -> send_lock t ~src ~dst ~flow:0
 
 (* After a membership change, re-emit every unacknowledged packet of
-   every live flow over the recomputed routes. One daemon per flow; it
-   takes the flow's message lock so re-emitted packets cannot interleave
-   with (and overtake) a message in progress — the receiver's sequence
-   check would then discard the overtaken packets for good. *)
-let reemit_flows t r =
+   the affected live flows over the recomputed routes ([only] narrows
+   the set — an epoch swap re-emits just the flows whose route actually
+   changed). One daemon per flow; it takes the flow's message lock so
+   re-emitted packets cannot interleave with (and overtake) a message
+   in progress — the receiver's sequence check would then discard the
+   overtaken packets for good. *)
+let reemit_flows ?(only = fun _ _ -> true) t r =
   Hashtbl.iter
     (fun (src, dst) q ->
-      if Simnet.Faults.node_up r.faults src && not (Queue.is_empty q) then
+      if only src dst && Simnet.Faults.node_up r.faults src
+         && not (Queue.is_empty q)
+      then
         Engine.spawn t.engine ~daemon:true
           ~name:(Printf.sprintf "vchannel.reemit.%d->%d" src dst)
           (fun () ->
@@ -1127,7 +1402,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
     ?(patience = Config.default_route_patience)
     ?(gateway_overhead = Config.gateway_packet_overhead)
     ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?credits ?gw_pool ?faults
-    ?sched channels =
+    ?sched ?topology ?coordinator channels =
   if channels = [] then invalid_arg "Vchannel.create: no channels";
   if mtu <= Generic_tm.sub_header_size then
     invalid_arg "Vchannel.create: mtu too small";
@@ -1162,6 +1437,53 @@ let create session ?(mtu = Config.default_vchannel_mtu)
   | Some _ | None -> ());
   let all_ranks =
     List.concat_map Channel.ranks channels |> List.sort_uniq compare
+  in
+  let live_plane =
+    match topology with
+    | None ->
+        (match coordinator with
+        | Some _ ->
+            invalid_arg
+              "Vchannel.create: coordinator without a topology version"
+        | None -> ());
+        None
+    | Some version ->
+        if version < 0 then
+          invalid_arg "Vchannel.create: topology version < 0";
+        let coord =
+          (* [all_ranks] is sorted: default to the lowest rank. *)
+          match coordinator with Some c -> c | None -> List.hd all_ranks
+        in
+        if not (List.mem coord all_ranks) then
+          invalid_arg
+            (Printf.sprintf
+               "Vchannel.create: coordinator %d not part of the virtual \
+                channel"
+               coord);
+        Some
+          {
+            lv_coordinator = coord;
+            lv_snapshot = Topology.make ~epoch:version ~coordinator:coord
+                all_ranks;
+            lv_draining = Hashtbl.create 4;
+            lv_extra = Hashtbl.create 4;
+            lv_extra_peak = Hashtbl.create 4;
+            lv_joins = 0;
+            lv_drains = 0;
+            lv_scale_outs = 0;
+            lv_scale_ins = 0;
+            lv_waiters = [];
+          }
+  in
+  (* Non-members of the current epoch are excluded from routing exactly
+     like crashed nodes: never a relay, never an endpoint. With no live
+     topology every physical rank is a member and the predicate reduces
+     to the crash/suspicion test — routes (and the schedule) are
+     byte-identical to a fixed-topology vchannel. *)
+  let member n =
+    match live_plane with
+    | None -> true
+    | Some lv -> Topology.mem lv.lv_snapshot n
   in
   let rel =
     match faults with
@@ -1208,10 +1530,11 @@ let create session ?(mtu = Config.default_vchannel_mtu)
   in
   let down =
     match rel with
-    | None -> fun _ -> false
+    | None -> fun n -> not (member n)
     | Some r ->
         fun n ->
-          (not (Simnet.Faults.node_up r.faults n))
+          (not (member n))
+          || (not (Simnet.Faults.node_up r.faults n))
           || Hashtbl.mem r.suspected n
   in
   let routes = compute_routes ~down channels all_ranks in
@@ -1253,6 +1576,8 @@ let create session ?(mtu = Config.default_vchannel_mtu)
       overload_gen = Hashtbl.create 4;
       overload_events = 0;
       on_overload_change = (fun () -> ());
+      live = live_plane;
+      on_topo_change = (fun () -> ());
       asm_depth = Hashtbl.create 32;
       pump_depth = Hashtbl.create 8;
       unacked_peak = Hashtbl.create 32;
@@ -1262,6 +1587,11 @@ let create session ?(mtu = Config.default_vchannel_mtu)
         | None -> Config.default_unacked_window);
     }
   in
+  (* Epoch swaps recompute routes even without a reliability plane;
+     with one, the rel section below upgrades this to the selective
+     re-emission path. *)
+  t.on_topo_change <-
+    (fun () -> t.routes <- compute_routes ~down channels all_ranks);
   List.iter
     (fun node ->
       Hashtbl.add t.next_ingress_slot node (ref Time.zero);
@@ -1308,11 +1638,22 @@ let create session ?(mtu = Config.default_vchannel_mtu)
           routes []
         |> List.sort compare
       in
-      t.on_overload_change <-
-        (fun () ->
-          let before = route_sig t.routes in
-          recompute ();
-          if route_sig t.routes <> before then reemit_flows t r);
+      let swap_routes () =
+        let before = route_sig t.routes in
+        recompute ();
+        let after = route_sig t.routes in
+        if after <> before then
+          reemit_flows t r ~only:(fun src dst ->
+              List.assoc_opt (src, dst) before
+              <> List.assoc_opt (src, dst) after)
+      in
+      t.on_overload_change <- swap_routes;
+      (* A topology epoch swap is the same move as an overload
+         transition: recompute route preferences, then re-emit only the
+         flows whose routes actually changed — under each flow's
+         emission lock, so re-emitted packets never interleave with a
+         message (or aggregate) in progress. *)
+      t.on_topo_change <- swap_routes;
       Simnet.Faults.on_crash r.faults (fun node ->
           if List.mem node t.all_ranks then begin
             r.reroutes <- r.reroutes + 1;
@@ -1387,6 +1728,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                           hs = true;
                           crd = false;
                           agg = false;
+                          top = false;
                         }
                       in
                       try ship_packet t ~at:me ~header ~payload ~payload_len:4
@@ -1499,6 +1841,24 @@ let begin_packing ?(flow = 0) t ~me ~remote =
       invalid_arg
         "Vchannel.begin_packing: logical flows need an aggregating scheduler \
          (sched=aggreg)");
+  (* A draining rank stays routable (its in-flight flows must finish)
+     but accepts no NEW flows — that is what lets its journals drain. A
+     departed rank is simply unroutable, caught by the route check
+     below like any partition. *)
+  (match t.live with
+  | Some lv ->
+      let refuse r reason =
+        raise
+          (Partitioned
+             (Printf.sprintf "Vchannel.begin_packing: rank %d is %s" r reason))
+      in
+      if Hashtbl.mem lv.lv_draining me then refuse me "draining"
+      else if Hashtbl.mem lv.lv_draining remote then refuse remote "draining"
+      else if not (Topology.mem lv.lv_snapshot me) then
+        refuse me "not in the current topology epoch"
+      else if not (Topology.mem lv.lv_snapshot remote) then
+        refuse remote "not in the current topology epoch"
+  | None -> ());
   if not (Hashtbl.mem t.routes (me, remote)) then (
     match t.rel with
     | Some _ -> raise (no_route "begin_packing" me remote)
@@ -1587,6 +1947,7 @@ let ship oc ~last =
       hs = false;
       crd = false;
       agg = false;
+      top = false;
     }
   in
   (match t.rel with
@@ -1649,6 +2010,126 @@ let end_packing oc =
    drain). No-op without an aggregating scheduler. *)
 let flush t ~me =
   match t.sched with None -> () | Some sc -> Sched.flush_all sc ~src:me
+
+(* ------------------------------------------------------------------ *)
+(* Live topology: the public membership verbs *)
+
+let topology t =
+  match t.live with Some lv -> Some lv.lv_snapshot | None -> None
+
+let draining t =
+  match t.live with
+  | None -> []
+  | Some lv ->
+      Hashtbl.fold (fun r () acc -> r :: acc) lv.lv_draining []
+      |> List.sort compare
+
+let join t ~rank =
+  match t.live with
+  | None -> invalid_arg "Vchannel.join: no live topology (version= unset)"
+  | Some lv ->
+      if not (List.mem rank t.all_ranks) then
+        invalid_arg
+          (Printf.sprintf
+             "Vchannel.join: rank %d not part of the virtual channel" rank);
+      if Topology.mem lv.lv_snapshot rank then
+        invalid_arg
+          (Printf.sprintf "Vchannel.join: rank %d is already a member" rank);
+      (match t.rel with
+      | Some r when not (Simnet.Faults.node_up r.faults rank) ->
+          raise
+            (Partitioned
+               (Printf.sprintf "Vchannel.join: rank %d is down" rank))
+      | _ -> ());
+      let payload =
+        top_payload ~op:top_join_req ~rank
+          ~epoch:(Topology.epoch lv.lv_snapshot)
+      in
+      ship_top_physical t ~at:rank ~dst:lv.lv_coordinator ~payload;
+      if not (topo_wait t lv ~until:(fun () -> Topology.mem lv.lv_snapshot rank))
+      then
+        raise
+          (Partitioned
+             (Printf.sprintf
+                "Vchannel.join: coordinator %d did not admit rank %d within \
+                 patience"
+                lv.lv_coordinator rank));
+      Topology.epoch lv.lv_snapshot
+
+let drain t ~rank =
+  match t.live with
+  | None -> invalid_arg "Vchannel.drain: no live topology (version= unset)"
+  | Some lv ->
+      if not (Topology.mem lv.lv_snapshot rank) then
+        invalid_arg
+          (Printf.sprintf "Vchannel.drain: rank %d is not a member" rank);
+      if rank = lv.lv_coordinator then
+        invalid_arg
+          (Printf.sprintf "Vchannel.drain: rank %d is the coordinator" rank);
+      (* Phase 1 — stop accepting new flows involving this rank. *)
+      Hashtbl.replace lv.lv_draining rank ();
+      (* Phase 2 — quiesce: cumulative acks must cover every journal
+         entry the rank originated or is owed, and its forwarding pools
+         must be idle, so nothing in flight dies with its departure. *)
+      let quiet () =
+        let logs_drained =
+          match t.rel with
+          | None -> true
+          | Some r ->
+              Hashtbl.fold
+                (fun (s, d) q acc ->
+                  acc && ((s <> rank && d <> rank) || Queue.is_empty q))
+                r.unacked true
+        in
+        logs_drained
+        && (match Hashtbl.find_opt t.gw_busy rank with
+           | Some busy -> !busy = 0
+           | None -> true)
+      in
+      let deadline = Time.add (Engine.now t.engine) t.patience in
+      while (not (quiet ())) && Time.( < ) (Engine.now t.engine) deadline do
+        Engine.sleep (Time.us 50.0)
+      done;
+      if not (quiet ()) then begin
+        Hashtbl.remove lv.lv_draining rank;
+        raise
+          (Partitioned
+             (Printf.sprintf
+                "Vchannel.drain: rank %d could not flush its journals within \
+                 patience"
+                rank))
+      end;
+      (* Phase 3 — tell the coordinator; it swaps the epoch, forgets the
+         rank in every sentinel, and the recomputed routes drop it. *)
+      let payload =
+        top_payload ~op:top_drain_req ~rank
+          ~epoch:(Topology.epoch lv.lv_snapshot)
+      in
+      let header =
+        top_header ~src:rank ~dst:lv.lv_coordinator ~len:top_payload_size
+      in
+      (try
+         ship_packet t ~at:rank ~header ~payload
+           ~payload_len:top_payload_size
+       with Partitioned _ | Config.Peer_unreachable _ ->
+         Hashtbl.remove lv.lv_draining rank;
+         raise
+           (Partitioned
+              (Printf.sprintf "Vchannel.drain: coordinator %d unreachable"
+                 lv.lv_coordinator)));
+      if
+        not
+          (topo_wait t lv ~until:(fun () ->
+               not (Topology.mem lv.lv_snapshot rank)))
+      then begin
+        Hashtbl.remove lv.lv_draining rank;
+        raise
+          (Partitioned
+             (Printf.sprintf
+                "Vchannel.drain: coordinator %d did not confirm the \
+                 departure of rank %d within patience"
+                lv.lv_coordinator rank))
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Reception *)
@@ -1722,6 +2203,16 @@ let end_unpacking ic =
 
 let peer_status t ~src ~dst =
   check_ranks t "peer_status" src dst;
+  (* Absence from the current topology epoch outranks everything: a
+     departed rank is a typed verdict, not a lookup failure — and not
+     [Down], which failover would keep trying to route around. The
+     routes already exclude it, so nothing ever reroutes *to* it. *)
+  match t.live with
+  | Some lv
+    when (not (Topology.mem lv.lv_snapshot dst))
+         || not (Topology.mem lv.lv_snapshot src) ->
+      Iface.Departed
+  | _ -> (
   match t.rel with
   | Some r
     when (not (Simnet.Faults.node_up r.faults dst))
@@ -1748,7 +2239,7 @@ let peer_status t ~src ~dst =
               || List.exists (fun h -> Hashtbl.mem t.overloaded h.hop_to) hops
             then Iface.Overloaded
             else if n > base then Iface.Degraded (n - base)
-            else Iface.Up)
+            else Iface.Up))
 
 type rel_stats = {
   reroutes : int;
@@ -1870,13 +2361,22 @@ let queue_stats t =
           q_node = node;
           q_peer = -1;
           q_peak = pp.pp_peak;
-          (* one pool per outgoing link *)
+          (* one pool per outgoing link; elastic scale-out raises the
+             per-pool ceiling by the node's high-water extra slots *)
           q_bound =
-            Some
-              (t.gw_pool
-              * Hashtbl.fold
-                  (fun (n, _, _) _ k -> if n = node then k + 1 else k)
-                  t.pumps 0);
+            (let extra =
+               match t.live with
+               | Some lv -> (
+                   match Hashtbl.find_opt lv.lv_extra_peak node with
+                   | Some n -> n
+                   | None -> 0)
+               | None -> 0
+             in
+             Some
+               ((t.gw_pool + extra)
+               * Hashtbl.fold
+                   (fun (n, _, _) _ k -> if n = node then k + 1 else k)
+                   t.pumps 0));
         }
         :: !acc)
     t.pump_depth;
@@ -1893,6 +2393,31 @@ let queue_stats t =
         :: !acc)
     t.unacked_peak;
   List.sort compare !acc
+
+type topology_stats = {
+  topo_epoch : int;
+  topo_members : int list;
+  topo_coordinator : int;
+  topo_joins : int;
+  topo_drains : int;
+  topo_scale_outs : int;
+  topo_scale_ins : int;
+}
+
+let topology_stats t =
+  match t.live with
+  | None -> None
+  | Some lv ->
+      Some
+        {
+          topo_epoch = Topology.epoch lv.lv_snapshot;
+          topo_members = Topology.ranks lv.lv_snapshot;
+          topo_coordinator = lv.lv_coordinator;
+          topo_joins = lv.lv_joins;
+          topo_drains = lv.lv_drains;
+          topo_scale_outs = lv.lv_scale_outs;
+          topo_scale_ins = lv.lv_scale_ins;
+        }
 
 let sentinel t ~rank =
   match t.rel with

@@ -43,6 +43,8 @@ val create :
   ?gw_pool:int ->
   ?faults:Simnet.Faults.t ->
   ?sched:Sched.strategy ->
+  ?topology:int ->
+  ?coordinator:int ->
   Channel.t list ->
   t
 (** [mtu] defaults to {!Config.default_vchannel_mtu}; it is the payload
@@ -123,8 +125,23 @@ val create :
     charged per constituent frame, and gateways forward aggregates
     without unpacking them.
 
-    Raises [Invalid_argument] on an empty channel list or an MTU too
-    small to carry a buffer sub-header. *)
+    [topology] (the clusterfile's [version=] key) arms the live-topology
+    plane: the rank set becomes a versioned {!Topology} snapshot starting
+    at epoch [topology], with [coordinator] (default: the lowest rank)
+    arbitrating membership. Ranks can then {!drain} out of and {!join}
+    back into the session at runtime, under traffic: an epoch swap
+    recomputes routes and re-emits only the flows whose routes actually
+    changed (under their emission locks), the sentinels learn/forget
+    ranks as epochs advance, and a gateway reported Overloaded scales
+    its forwarding pools out by one slot per rising edge (up to double
+    [gw_pool]) and back in when the report clears. Unset (the default)
+    none of this machinery exists, [coordinator] is rejected, and routes
+    and schedules are byte-identical to the fixed-topology library.
+
+    Raises [Invalid_argument] on an empty channel list, an MTU too
+    small to carry a buffer sub-header, a negative [topology] version,
+    a [coordinator] outside the rank set, or a [coordinator] given
+    without [topology]. *)
 
 val ranks : t -> int list
 (** All nodes reachable through the virtual channel. *)
@@ -141,11 +158,63 @@ val route_via : t -> src:int -> dst:int -> int list
     element is [dst]). Same errors as {!route_length}. *)
 
 val peer_status : t -> src:int -> dst:int -> Iface.health
-(** Health of the [src -> dst] flow: [Down] when the destination is
+(** Health of the [src -> dst] flow: [Departed] when either rank is
+    absent from the current topology epoch of a live-topology vchannel
+    (a typed verdict, not a lookup failure — failover treats it like
+    [Down] but never reroutes to it), [Down] when the destination is
     crashed or unroutable, [Overloaded] when the destination or a relay
     on the current route is shedding load above its watermark,
     [Degraded n] when failover lengthened the route by [n] hops over
     the original, [Up] otherwise. *)
+
+(** {1 Live topology}
+
+    Available only on vchannels created with [?topology]; every verb
+    below raises [Invalid_argument] otherwise. *)
+
+val topology : t -> Topology.t option
+(** The current epoch snapshot — [None] without [?topology]. *)
+
+val join : t -> rank:int -> int
+(** Re-admit a drained rank, called from the joining rank's context. The
+    join request takes one membership-blind physical hop toward the
+    coordinator (the joiner is not yet routable), the coordinator swaps
+    in the next epoch — making the joiner routable without quiescing any
+    existing flow — and acknowledges over the recomputed routes. Returns
+    the epoch joined. Raises [Invalid_argument] if [rank] is already a
+    member or not physically part of the channel, and {!Partitioned} if
+    the rank is down, no physical path reaches the coordinator, or the
+    coordinator does not answer within [patience]. *)
+
+val drain : t -> rank:int -> unit
+(** Gracefully remove a member rank, called from that rank's context.
+    Three phases: the rank stops accepting new flows (its
+    {!begin_packing} raises {!Partitioned} while draining); it quiesces —
+    waits until cumulative acks cover every re-emission-log entry it
+    originated or is owed and its forwarding pools are idle; then it
+    notifies the coordinator, which swaps in the next epoch, drops the
+    rank from every sentinel ({!Sentinel.forget}), and recomputes routes
+    without it. Raises [Invalid_argument] on a non-member or the
+    coordinator itself, and {!Partitioned} (aborting the drain) if the
+    journals cannot flush or the coordinator cannot confirm within
+    [patience]. *)
+
+val draining : t -> int list
+(** Ranks currently mid-drain (still routable, accepting no new flows),
+    sorted. *)
+
+type topology_stats = {
+  topo_epoch : int;
+  topo_members : int list;
+  topo_coordinator : int;
+  topo_joins : int;  (** epoch swaps that admitted a rank *)
+  topo_drains : int;  (** epoch swaps that removed a rank *)
+  topo_scale_outs : int;  (** gateway pool slots added on Overloaded *)
+  topo_scale_ins : int;  (** pool reclaims when the report cleared *)
+}
+
+val topology_stats : t -> topology_stats option
+(** Live-topology counters — [None] without [?topology]. *)
 
 val forwarded : t -> (int * int * int) list
 (** Per-gateway forwarding counters: [(node, packets, payload bytes)]

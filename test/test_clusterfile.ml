@@ -286,6 +286,70 @@ let test_rendezvous_option_errors () =
   expect_parse_error ~line:4 (rdv_cfg_lines "regcache_bytes=0");
   expect_parse_error ~line:4 (rdv_cfg_lines "regcache=lots")
 
+let test_topology_options_parsed () =
+  (* version=/coordinator= arm the live-topology plane: the vchannel
+     gets an epoch-numbered snapshot whose membership is the clusterfile
+     world and whose coordinator is the named node's rank. *)
+  let t =
+    Cf.load
+      {|
+network sci  type=sisci
+network myri type=bip
+node a  nets=sci
+node gw nets=sci,myri
+node b  nets=myri
+channel c-sci  net=sci  nodes=a,gw
+channel c-myri net=myri nodes=gw,b
+vchannel wan channels=c-sci,c-myri mtu=4096 version=3 coordinator=gw
+|}
+  in
+  let vc = Cf.vchannel t "wan" in
+  (match Madeleine.Vchannel.topology vc with
+  | None -> Alcotest.fail "live plane not armed"
+  | Some snap ->
+      Alcotest.(check int) "epoch" 3 (Madeleine.Topology.epoch snap);
+      Alcotest.(check int) "coordinator" (Cf.rank_of t "gw")
+        (Madeleine.Topology.coordinator snap);
+      Alcotest.(check (list int)) "members" [ 0; 1; 2 ]
+        (Madeleine.Topology.ranks snap));
+  (* version= alone defaults the coordinator to the lowest rank. *)
+  let t2 =
+    Cf.load
+      {|
+network s type=sisci
+node a nets=s
+node b nets=s
+channel c net=s nodes=a,b
+vchannel v channels=c version=1
+|}
+  in
+  (match Madeleine.Vchannel.topology (Cf.vchannel t2 "v") with
+  | None -> Alcotest.fail "live plane not armed"
+  | Some snap ->
+      Alcotest.(check int) "default coordinator" 0
+        (Madeleine.Topology.coordinator snap));
+  (* Without the keys the plane stays off. *)
+  let t3 = Cf.load two_cluster_cfg in
+  Alcotest.(check bool) "inert without version=" true
+    (Madeleine.Vchannel.topology (Cf.vchannel t3 "wan") = None)
+
+let test_topology_option_errors () =
+  let vc_line opts =
+    "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b\nvchannel v channels=c " ^ opts
+  in
+  (* Epochs are integers >= 1, rejected on the vchannel's line. *)
+  expect_parse_error ~line:5 (vc_line "version=0");
+  expect_parse_error ~line:5 (vc_line "version=-2");
+  expect_parse_error ~line:5 (vc_line "version=latest");
+  (* The coordinator must be a declared node... *)
+  expect_parse_error ~line:5 (vc_line "version=1 coordinator=ghost");
+  (* ...and means nothing without an epoch to arbitrate. *)
+  expect_parse_error ~line:5 (vc_line "coordinator=a");
+  (* Both are vchannel options, never network ones. *)
+  expect_parse_error ~line:1 "network m type=bip version=1";
+  expect_parse_error ~line:1 "network m type=bip coordinator=a"
+
 let test_parse_errors () =
   expect_parse_error ~line:1 "network foo type=quantum";
   expect_parse_error ~line:1 "node lonely nets=nowhere";
@@ -325,6 +389,10 @@ let () =
             test_rendezvous_auto_from_bench_json;
           Alcotest.test_case "rendezvous option errors" `Quick
             test_rendezvous_option_errors;
+          Alcotest.test_case "topology options" `Quick
+            test_topology_options_parsed;
+          Alcotest.test_case "topology option errors" `Quick
+            test_topology_option_errors;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
         ] );
     ]

@@ -117,6 +117,7 @@ let test_generic_tm_header_roundtrip () =
       hs = false;
       crd = true;
       agg = true;
+      top = true;
     }
   in
   Alcotest.(check bool) "roundtrip" true (G.decode_header (G.encode_header h) = h);

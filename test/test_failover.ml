@@ -134,6 +134,258 @@ let test_window_beats_stop_and_wait () =
   Alcotest.(check bool) "go-back-N >= 2x stop-and-wait at 1% drop" true
     (g.Chaos.gp_speedup >= 2.0)
 
+(* ------------------------------------------------------------------ *)
+(* Live topology: a 4-rank redundant-gateway world with the membership
+   promoted to a versioned epoch snapshot (coordinator 0, epoch 1).
+   ethA joins 0,1,2 and ethB joins 1,2,3, so ranks 1 and 2 are
+   interchangeable gateways for the 0 <-> 3 flows. *)
+
+let live_world ?(seed = 7L) () =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed in
+  let fab_a = Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet in
+  let fab_b = Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 4 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1; 2 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2; 3 ];
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let sa = Hashtbl.create 4 and sb = Hashtbl.create 4 in
+  List.iter (fun i -> Hashtbl.add sa i (Tcpnet.attach net_a nodes.(i))) [ 0; 1; 2 ];
+  List.iter (fun i -> Hashtbl.add sb i (Tcpnet.attach net_b nodes.(i))) [ 1; 2; 3 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find sa))
+      ~ranks:[ 0; 1; 2 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find sb))
+      ~ranks:[ 1; 2; 3 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~faults ~topology:1 ~coordinator:0
+      [ ch_a; ch_b ]
+  in
+  (engine, faults, vc)
+
+(* Two concurrent flows, one epoch swap mid-stream. [drain_spare]
+   drains the gateway NOT on the 0 -> 3 route (no flow's route changes:
+   nothing may be re-emitted); otherwise the on-route gateway drains
+   (the 0 -> 3 flow reroutes and only its unacked packets re-emit).
+   Either way both flows must land exactly-once, bit-identical. *)
+let run_topology_swap ~drain_spare =
+  let engine, _faults, vc = live_world () in
+  let messages = 6 and size = 8192 in
+  let gw = List.hd (Vc.route_via vc ~src:0 ~dst:3) in
+  let spare = if gw = 1 then 2 else 1 in
+  let target = if drain_spare then spare else gw in
+  (* The second flow goes to whichever gateway is NOT drained; its
+     single-hop route never changes. *)
+  let keep = if target = gw then spare else gw in
+  let mk tag m =
+    let p = payload size (Int64.of_int (50 + tag)) in
+    Bytes.set_int32_le p 0 (Int32.of_int m);
+    p
+  in
+  let rec_far = Array.make messages 0 and rec_near = Array.make messages 0 in
+  let intact = ref true and partitioned = ref false in
+  let delivered = ref 0 in
+  let recv_flow ~me ~tag arr =
+    Engine.spawn engine ~name:(Printf.sprintf "recv%d" me) (fun () ->
+        for _ = 1 to messages do
+          let sink = Bytes.create size in
+          let ic = Vc.begin_unpacking_from vc ~me ~remote:0 in
+          Vc.unpack ic sink;
+          Vc.end_unpacking ic;
+          let idx = Int32.to_int (Bytes.get_int32_le sink 0) in
+          (if idx < 0 || idx >= messages then intact := false
+           else begin
+             arr.(idx) <- arr.(idx) + 1;
+             if not (Bytes.equal sink (mk tag idx)) then intact := false
+           end);
+          incr delivered
+        done)
+  in
+  Engine.spawn engine ~name:"sender" (fun () ->
+      for m = 0 to messages - 1 do
+        List.iter
+          (fun (remote, tag) ->
+            match Vc.begin_packing vc ~me:0 ~remote with
+            | exception Vc.Partitioned _ -> partitioned := true
+            | oc ->
+                Vc.pack oc (mk tag m);
+                Vc.end_packing oc)
+          [ (3, 0); (keep, 1) ]
+      done);
+  recv_flow ~me:3 ~tag:0 rec_far;
+  recv_flow ~me:keep ~tag:1 rec_near;
+  Engine.spawn engine ~name:"swapper" (fun () ->
+      while !delivered < 2 do
+        Engine.sleep (Time.us 200.0)
+      done;
+      match Vc.drain vc ~rank:target with
+      | () -> ()
+      | exception Vc.Partitioned _ -> partitioned := true);
+  Engine.run engine;
+  let stats = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  let exactly_once =
+    !intact
+    && Array.for_all (fun n -> n = 1) rec_far
+    && Array.for_all (fun n -> n = 1) rec_near
+  in
+  (vc, target, stats, exactly_once, !partitioned)
+
+let test_topology_swap_reemits_only_changed () =
+  (* On-route gateway drains: the 0 -> 3 flow reroutes and re-emits. *)
+  let vc, target, stats, exactly_once, partitioned =
+    run_topology_swap ~drain_spare:false
+  in
+  Alcotest.(check bool) "exactly-once across the swap" true exactly_once;
+  Alcotest.(check bool) "no flow saw Partitioned" false partitioned;
+  Alcotest.(check bool) "route-changed flow re-emitted" true
+    (stats.Vc.reemitted > 0);
+  Alcotest.(check bool) "drained gateway left the route" true
+    (not (List.mem target (Vc.route_via vc ~src:0 ~dst:3)));
+  (* Spare gateway drains: the epoch advances but no flow's route
+     changes — nothing may be re-emitted. *)
+  let _vc, _target, stats2, exactly_once2, partitioned2 =
+    run_topology_swap ~drain_spare:true
+  in
+  Alcotest.(check bool) "exactly-once across the no-op swap" true
+    exactly_once2;
+  Alcotest.(check bool) "no flow saw Partitioned (spare)" false partitioned2;
+  Alcotest.(check int) "unchanged flows not re-emitted" 0 stats2.Vc.reemitted
+
+let test_departed_peer_status () =
+  let engine, _faults, vc = live_world () in
+  let gw = List.hd (Vc.route_via vc ~src:0 ~dst:3) in
+  Engine.spawn engine ~name:"drainer" (fun () ->
+      Vc.drain vc ~rank:gw;
+      (* A departed rank gets the typed verdict, in both directions. *)
+      (match Vc.peer_status vc ~src:0 ~dst:gw with
+      | Madeleine.Iface.Departed -> ()
+      | h ->
+          Alcotest.failf "peer_status to departed rank: %a, expected Departed"
+            Madeleine.Iface.pp_health h);
+      (match Vc.peer_status vc ~src:gw ~dst:0 with
+      | Madeleine.Iface.Departed -> ()
+      | h ->
+          Alcotest.failf "peer_status from departed rank: %a" Madeleine.Iface.pp_health h);
+      (* Failover treats it like Down: new flows refuse... *)
+      (match Vc.begin_packing vc ~me:0 ~remote:gw with
+      | exception Vc.Partitioned _ -> ()
+      | _ -> Alcotest.fail "begin_packing to a departed rank must raise");
+      (* ...and no recomputed route relays through it. *)
+      List.iter
+        (fun dst ->
+          if dst <> 0 && dst <> gw then
+            Alcotest.(check bool)
+              (Printf.sprintf "route 0->%d avoids departed %d" dst gw)
+              true
+              (not (List.mem gw (Vc.route_via vc ~src:0 ~dst))))
+        (Vc.ranks vc);
+      (* Member flows still report normally. *)
+      match Vc.peer_status vc ~src:0 ~dst:3 with
+      | Madeleine.Iface.Up | Madeleine.Iface.Degraded _ -> ()
+      | h -> Alcotest.failf "live flow status: %a" Madeleine.Iface.pp_health h);
+  Engine.run engine
+
+(* Random join/drain sequences: membership converges to the final
+   epoch's snapshot, routes never relay through a non-member, and
+   member-pair reachability matches a reference BFS over the physical
+   adjacency restricted to members. *)
+let physical_pairs =
+  (* ethA is 0,1,2 all-pairs; ethB is 1,2,3 all-pairs. *)
+  [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+
+let reference_reachable members a b =
+  let adj n =
+    List.filter_map
+      (fun (x, y) ->
+        if x = n && List.mem y members then Some y
+        else if y = n && List.mem x members then Some x
+        else None)
+      physical_pairs
+  in
+  let rec bfs seen = function
+    | [] -> false
+    | n :: _ when n = b -> true
+    | n :: rest ->
+        let next =
+          List.filter (fun m -> not (List.mem m seen)) (adj n)
+        in
+        bfs (next @ seen) (rest @ next)
+  in
+  a = b || bfs [ a ] [ a ]
+
+let prop_join_drain_converges =
+  QCheck.Test.make ~name:"random join/drain sequences converge" ~count:30
+    QCheck.(list_of_size Gen.(int_range 1 10) (pair (int_range 1 3) bool))
+    (fun ops ->
+      let engine, _faults, vc = live_world () in
+      let applied = ref 0 in
+      Engine.spawn engine ~name:"ops" (fun () ->
+          List.iter
+            (fun (rank, is_drain) ->
+              let members =
+                match Vc.topology vc with
+                | Some s -> Madeleine.Topology.ranks s
+                | None -> assert false
+              in
+              let mem = List.mem rank members in
+              if is_drain && mem then (
+                (* May legitimately abort when the drain request cannot
+                   reach the coordinator through the remaining members. *)
+                match Vc.drain vc ~rank with
+                | () -> incr applied
+                | exception Vc.Partitioned _ -> ())
+              else if (not is_drain) && not mem then (
+                match Vc.join vc ~rank with
+                | (_ : int) -> incr applied
+                | exception Vc.Partitioned _ -> ()))
+            ops);
+      Engine.run engine;
+      let snap =
+        match Vc.topology vc with Some s -> s | None -> assert false
+      in
+      let members = Madeleine.Topology.ranks snap in
+      (* Every applied op advanced the epoch exactly once. *)
+      let epoch_ok = Madeleine.Topology.epoch snap = 1 + !applied in
+      (* Non-members: typed Departed, and on no member-pair route. *)
+      let departed_ok =
+        List.for_all
+          (fun r ->
+            List.mem r members
+            || Vc.peer_status vc ~src:0 ~dst:r = Madeleine.Iface.Departed)
+          [ 1; 2; 3 ]
+      in
+      (* Member pairs route exactly when the member-restricted physical
+         graph connects them, and never relay through a non-member. *)
+      let routes_ok =
+        List.for_all
+          (fun s ->
+            List.for_all
+              (fun d ->
+                s = d
+                ||
+                match Vc.route_via vc ~src:s ~dst:d with
+                | hops ->
+                    reference_reachable members s d
+                    && List.for_all (fun h -> List.mem h members) hops
+                | exception Vc.Partitioned _ ->
+                    not (reference_reachable members s d))
+              members)
+          members
+      in
+      epoch_ok && departed_ok && routes_ok)
+
 let test_chaos_report_reproducible () =
   let report () =
     Chaos.to_json (Chaos.run Sweeps.serial_runner ~seed:42 ~quick:true)
@@ -158,6 +410,14 @@ let () =
             test_crash_restart_exactly_once;
           Alcotest.test_case "window beats stop-and-wait" `Quick
             test_window_beats_stop_and_wait;
+        ] );
+      ( "live-topology",
+        [
+          Alcotest.test_case "swap re-emits only route-changed flows" `Quick
+            test_topology_swap_reemits_only_changed;
+          Alcotest.test_case "departed rank: typed status, no reroute to it"
+            `Quick test_departed_peer_status;
+          QCheck_alcotest.to_alcotest prop_join_drain_converges;
         ] );
       ( "chaos",
         [

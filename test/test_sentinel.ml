@@ -134,6 +134,47 @@ let test_seeded_timeline_reproducible () =
   Alcotest.(check int) "same probe count" p1 p2;
   Alcotest.(check bool) "same seed, identical timeline" true (t1 = t2)
 
+(* Elastic membership must not leak detector state: forgetting a
+   drained rank drops its EMA, arrival clock, verdict and overload flag,
+   and learning it back starts from scratch. *)
+let test_forget_drops_peer_state () =
+  let engine, faults = world () in
+  let s = Sentinel.create engine faults ~me:0 ~peers:[ 1 ] ~fabric:"eth" () in
+  Sentinel.start s;
+  (* Crash the peer so it accumulates a real verdict worth leaking. *)
+  Engine.spawn engine ~name:"killer" (fun () ->
+      Engine.sleep (Time.us 2_000.0);
+      Faults.crash_now faults ~node:1 ());
+  drive engine s ~until_us:8_000.0;
+  Engine.run engine;
+  Alcotest.(check bool) "peer Down before forget" true
+    (Sentinel.state s 1 = Sentinel.Down);
+  Sentinel.set_overloaded s ~peer:1 true;
+  Alcotest.(check (list int)) "watched before forget" [ 1 ]
+    (Sentinel.watched s);
+  Sentinel.forget s 1;
+  (* Every per-rank trace is gone: never-probed peers report Up, are
+     unsuspected, and the watch list is empty. *)
+  Alcotest.(check (list int)) "watched after forget" [] (Sentinel.watched s);
+  Alcotest.(check (list int)) "suspected after forget" []
+    (Sentinel.suspected s);
+  Alcotest.(check bool) "verdict reset to Up" true
+    (Sentinel.state s 1 = Sentinel.Up);
+  Alcotest.(check bool) "phi reset" true (Sentinel.phi s 1 = 0.0);
+  (* A stale overload report on a forgotten peer must be ignored. *)
+  Sentinel.set_overloaded s ~peer:1 true;
+  Alcotest.(check bool) "overload report on unknown peer ignored" true
+    (Sentinel.state s 1 = Sentinel.Up);
+  (* Forgetting twice is a no-op; learning starts a fresh detector. *)
+  Sentinel.forget s 1;
+  Sentinel.learn s 1;
+  Alcotest.(check (list int)) "learned back" [ 1 ] (Sentinel.watched s);
+  Alcotest.(check bool) "fresh state is Up" true
+    (Sentinel.state s 1 = Sentinel.Up);
+  (* [me] never becomes a peer. *)
+  Sentinel.learn s 0;
+  Alcotest.(check (list int)) "me not learnable" [ 1 ] (Sentinel.watched s)
+
 let () =
   Alcotest.run "sentinel"
     [
@@ -149,5 +190,7 @@ let () =
             test_activity_gated_quiescence;
           Alcotest.test_case "seeded timeline reproducible" `Quick
             test_seeded_timeline_reproducible;
+          Alcotest.test_case "forget drops per-rank state" `Quick
+            test_forget_drops_peer_state;
         ] );
     ]
