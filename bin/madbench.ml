@@ -396,21 +396,70 @@ let chaos_finish ~json_file ~json gates =
 let chaos_one workload quick seed json_file =
   let messages = if quick then 3 else 4 in
   let size = 16384 in
-  let line, gates =
+  let coll_metrics (c : Chaos.coll_chaos) =
+    [
+      ("completed", string_of_int c.Chaos.co_completed);
+      ("failed", string_of_int c.Chaos.co_failed);
+      ("repairs", string_of_int c.Chaos.co_repairs);
+      ("combined", string_of_int c.Chaos.co_combined);
+      ("root_contribs", string_of_int c.Chaos.co_root_contribs);
+      ("dup_suppressed", string_of_int c.Chaos.co_dup_suppressed);
+    ]
+  in
+  let line, gates, metrics =
     match workload with
     | "rolling-restart" ->
         let rr = Chaos.rolling_restart_run ~seed ~size ~messages in
-        (Chaos.rolling_line rr, Chaos.rolling_gates rr)
+        (Chaos.rolling_line rr, Chaos.rolling_gates rr, [])
     | "join" ->
         let e = Chaos.join_load_run ~seed ~size ~messages in
-        (Chaos.elastic_line e, Chaos.elastic_gates e)
+        (Chaos.elastic_line e, Chaos.elastic_gates e, [])
     | "drain" ->
         let e = Chaos.drain_load_run ~seed ~size ~messages in
-        (Chaos.elastic_line e, Chaos.elastic_gates e)
+        (Chaos.elastic_line e, Chaos.elastic_gates e, [])
+    | "coll-crash-barrier" ->
+        let c = Chaos.coll_crash_barrier_run ~seed in
+        (Chaos.coll_line c, Chaos.coll_gates c, coll_metrics c)
+    | "coll-spine-overload" ->
+        let c =
+          Chaos.coll_spine_overload_run ~seed ~size:4096
+            ~messages:(if quick then 24 else 48)
+            ~credits:64 ~gw_pool:4 ~rx_cap_mb_s:1.0
+        in
+        (Chaos.coll_line c, Chaos.coll_gates c, coll_metrics c)
+    | "coll-rolling-allreduce" ->
+        let c = Chaos.coll_rolling_allreduce_run ~seed ~clusters:8 ~per:8 in
+        (Chaos.coll_line c, Chaos.coll_gates c, coll_metrics c)
+    | "coll-scale" ->
+        (* quick drops the 1024-rank row; the scale ratio is recorded in
+           the JSON metrics and gated. *)
+        let sizes =
+          if quick then [ (8, 8); (16, 16) ]
+          else [ (8, 8); (16, 16); (32, 32) ]
+        in
+        let cs = Chaos.coll_scale_run ~seed ~fanout:4 ~sizes in
+        let largest =
+          List.nth cs.Chaos.cs_rows (List.length cs.Chaos.cs_rows - 1)
+        in
+        ( Chaos.coll_scale_line cs,
+          Chaos.coll_scale_gates cs,
+          [
+            ("ranks", string_of_int largest.Chaos.sr_ranks);
+            ("tree_depth", string_of_int largest.Chaos.sr_depth);
+            ("tree_rounds", string_of_int largest.Chaos.sr_rounds);
+            ("tree_us", Printf.sprintf "%.2f" largest.Chaos.sr_tree_us);
+            ("flat_us", Printf.sprintf "%.2f" largest.Chaos.sr_flat_us);
+            ("ratio", Printf.sprintf "%.2f" cs.Chaos.cs_ratio);
+            ( "tree_root_contribs",
+              string_of_int largest.Chaos.sr_tree_root_contribs );
+            ( "flat_root_contribs",
+              string_of_int largest.Chaos.sr_flat_root_contribs );
+          ] )
     | w ->
         Format.eprintf
-          "chaos: unknown workload %s (expected rolling-restart, join or \
-           drain)@."
+          "chaos: unknown workload %s (expected rolling-restart, join, \
+           drain, coll-crash-barrier, coll-spine-overload, \
+           coll-rolling-allreduce or coll-scale)@."
           w;
         exit 2
   in
@@ -418,8 +467,18 @@ let chaos_one workload quick seed json_file =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       "{ \"chaos\": { \"seed\": %d, \"workload\": %S, \"gates\": [\n" seed
-       workload);
+       "{ \"chaos\": { \"seed\": %d, \"workload\": %S,\n" seed workload);
+  (if metrics <> [] then begin
+     Buffer.add_string b "\"metrics\": {\n";
+     let last_m = List.length metrics - 1 in
+     List.iteri
+       (fun i (k, v) ->
+         Buffer.add_string b
+           (Printf.sprintf "  %S: %s%s\n" k v (if i = last_m then "" else ",")))
+       metrics;
+     Buffer.add_string b "},\n"
+   end);
+  Buffer.add_string b "\"gates\": [\n";
   let last = List.length gates - 1 in
   List.iteri
     (fun i (name, ok) ->
@@ -447,13 +506,21 @@ let chaos workload quick seed jobs_opt json_file =
 
 let workload_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD"
-         ~doc:"Run a single live-topology scenario instead of the full \
-               sweep: $(b,rolling-restart) (every rank drains, restarts \
-               and rejoins under traffic), $(b,join) (a rank joins \
-               mid-stream and becomes routable without quiescing flows) \
-               or $(b,drain) (the on-route gateway drains mid-stream and \
-               the flow reroutes). Only that scenario's gates decide the \
-               exit code.")
+         ~doc:"Run a single scenario instead of the full sweep: \
+               $(b,rolling-restart) (every rank drains, restarts and \
+               rejoins under traffic), $(b,join) (a rank joins mid-stream \
+               and becomes routable without quiescing flows), $(b,drain) \
+               (the on-route gateway drains mid-stream and the flow \
+               reroutes), $(b,coll-crash-barrier) (a rank crashes \
+               mid-barrier, survivors decide, the restart re-joins from \
+               the journal exactly-once), $(b,coll-spine-overload) (an \
+               Overloaded gateway is routed off the collective tree \
+               spine), $(b,coll-rolling-allreduce) (rolling restarts \
+               during a 64-rank allreduce; every survivor agrees \
+               bit-identically) or $(b,coll-scale) (tree-vs-flat barrier \
+               latency at 64/256/1024 ranks; the ratio is recorded in \
+               the JSON metrics and gated). Only that scenario's gates \
+               decide the exit code.")
 
 let chaos_cmd =
   Cmd.v

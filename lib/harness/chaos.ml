@@ -1216,6 +1216,407 @@ let sched_aggreg_run ~seed ~flows ~messages ~size ~drop =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Collectives chaos: the recovery matrix of the {!Madeleine.Collectives}
+   layer. Three fault workloads (a rank crash mid-barrier with a
+   restart re-join, an Overloaded gateway on the tree spine, a rolling
+   restart during a 64-rank allreduce) plus the scaling measurement
+   that contrasts the topology-aware tree against the flat star at
+   64-1024 ranks — the log-vs-linear headline figure. Everything below
+   is a pure function of the seed, like the rest of the harness. *)
+
+module Coll = Madeleine.Collectives
+
+type coll_chaos = {
+  co_workload : string;
+  co_ranks : int;
+  co_expected : int; (* collective calls issued across all ranks *)
+  co_completed : int; (* calls that returned a decision *)
+  co_failed : int; (* calls that raised Collective_failed *)
+  co_agree : bool; (* every completing rank got bit-identical bytes *)
+  co_value_ok : bool; (* decided value = sum over the covered ranks *)
+  co_covered : int list; (* ranks the last decision covers *)
+  co_rejoined : bool; (* >= 1 late contribution answered from the journal *)
+  co_spine_ok : bool; (* no Overloaded gateway sat on the sampled spine *)
+  co_repairs : int;
+  co_packets : int;
+  co_combined : int;
+  co_root_contribs : int;
+  co_dup_suppressed : int;
+  co_finish_us : float;
+}
+
+(* 64-bit little-endian sum: associative, commutative, and a different
+   result for every distinct subset of contributors — so a value match
+   against the covered set doubles as the no-double-count check. *)
+let coll_sum a b =
+  let out = Bytes.create 8 in
+  Bytes.set_int64_le out 0
+    (Int64.add (Bytes.get_int64_le a 0) (Bytes.get_int64_le b 0));
+  out
+
+let coll_contrib r =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int (r + 1));
+  b
+
+let coll_expected_sum covered =
+  List.fold_left (fun acc r -> Int64.add acc (Int64.of_int (r + 1))) 0L covered
+
+let coll_agree_and_value results covered =
+  let vals = Hashtbl.fold (fun _ v acc -> v :: acc) results [] in
+  match vals with
+  | [] -> (false, false)
+  | v :: rest ->
+      ( List.for_all (Bytes.equal v) rest,
+        Bytes.length v = 8
+        && Bytes.get_int64_le v 0 = coll_expected_sum covered )
+
+(* Crash mid-barrier, restart, re-join. Rank 3 holds the first barrier
+   open (everyone else is parked waiting for its contribution when the
+   controller crashes it), the survivors repair and complete among
+   themselves, and the restarted rank re-enters the same collective and
+   is answered from the decision journal — then the same cast runs an
+   allreduce whose value proves nobody was counted twice. *)
+let coll_crash_barrier_run ~seed =
+  let engine, faults, vc = elastic_world ~seed in
+  let coll = Coll.create ~fanout:2 vc in
+  let ranks = Vc.ranks vc in
+  let n = List.length ranks in
+  let barriers = ref 0 and allreds = ref 0 and failed = ref 0 in
+  let results = Hashtbl.create 8 in
+  let finish = ref Time.zero in
+  List.iter
+    (fun r ->
+      Engine.spawn engine ~name:(Printf.sprintf "coll-cb-%d" r) (fun () ->
+          Engine.sleep (Time.ms (if r = 3 then 6.0 else 1.0));
+          (try
+             Coll.barrier coll ~me:r;
+             incr barriers
+           with Coll.Collective_failed _ -> incr failed);
+          (try
+             let v = Coll.allreduce coll ~me:r ~op:coll_sum (coll_contrib r) in
+             Hashtbl.replace results r v;
+             incr allreds
+           with Coll.Collective_failed _ -> incr failed);
+          finish := Engine.now engine))
+    ranks;
+  Engine.spawn engine ~name:"coll-cb-controller" (fun () ->
+      (* Ranks 0-2 are parked in the barrier waiting for rank 3's
+         contribution; kill it under them, bring it back after the
+         survivors have decided. *)
+      Engine.sleep (Time.ms 3.0);
+      Faults.crash_now faults ~node:3 ~restart_after:(Time.ms 5.0) ());
+  Engine.run engine;
+  let st = Coll.stats coll in
+  let agree, value_ok = coll_agree_and_value results st.Coll.last_covered in
+  {
+    co_workload = "coll-crash-barrier";
+    co_ranks = n;
+    co_expected = 2 * n;
+    co_completed = !barriers + !allreds;
+    co_failed = !failed;
+    co_agree = agree;
+    co_value_ok = value_ok;
+    co_covered = st.Coll.last_covered;
+    co_rejoined = st.Coll.journal_answers >= 1;
+    co_spine_ok = true;
+    co_repairs = st.Coll.repairs;
+    co_packets = st.Coll.packets;
+    co_combined = st.Coll.combined;
+    co_root_contribs = st.Coll.root_contribs;
+    co_dup_suppressed = st.Coll.dup_suppressed;
+    co_finish_us = Time.to_us !finish;
+  }
+
+(* An Overloaded gateway on the tree spine: a background stream pins
+   the on-route gateway's forwarding pool (the PR 5 watermark), the
+   health-change hook bumps the repair generation, and the next tree
+   hangs the far rank off the spare gateway instead — the barrier
+   completes around the load instead of through it. *)
+let coll_spine_overload_run ~seed ~size ~messages ~credits ~gw_pool
+    ~rx_cap_mb_s =
+  let engine = Engine.create () in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  let fab_a = Fabric.create engine ~name:"ethA" ~link:Netparams.fast_ethernet in
+  let fab_b = Fabric.create engine ~name:"ethB" ~link:Netparams.fast_ethernet in
+  Fabric.set_faults fab_a faults;
+  Fabric.set_faults fab_b faults;
+  let nodes =
+    Array.init 4 (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  List.iter (fun i -> Fabric.attach fab_a nodes.(i)) [ 0; 1; 2 ];
+  List.iter (fun i -> Fabric.attach fab_b nodes.(i)) [ 1; 2; 3 ];
+  Faults.slow_receiver faults ~fabric:"ethB" ~node:3 ~mb_per_s:rx_cap_mb_s;
+  let net_a = Tcpnet.make_net engine fab_a in
+  let net_b = Tcpnet.make_net engine fab_b in
+  let stacks_a = Hashtbl.create 4 and stacks_b = Hashtbl.create 4 in
+  List.iter
+    (fun i -> Hashtbl.add stacks_a i (Tcpnet.attach net_a nodes.(i)))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun i -> Hashtbl.add stacks_b i (Tcpnet.attach net_b nodes.(i)))
+    [ 1; 2; 3 ];
+  let session = Madeleine.Session.create engine in
+  let ch_a =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_a))
+      ~ranks:[ 0; 1; 2 ] ()
+  in
+  let ch_b =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks_b))
+      ~ranks:[ 1; 2; 3 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~credits ~gw_pool ~faults [ ch_a; ch_b ]
+  in
+  let coll = Coll.create ~fanout:2 vc in
+  let gw = List.hd (Vc.route_via vc ~src:0 ~dst:3) in
+  let other_gw = if gw = 1 then 2 else 1 in
+  let payload_of m = Harness.payload size (Int64.of_int (500 + m)) in
+  let intact = ref true in
+  let barriers = ref 0 and failed = ref 0 in
+  let spine = ref [] and overloaded_at_sample = ref [] in
+  let finish = ref Time.zero in
+  Engine.spawn engine ~name:"coll-so-sender" (fun () ->
+      for m = 0 to messages - 1 do
+        let oc = Vc.begin_packing vc ~me:0 ~remote:3 in
+        Vc.pack oc (payload_of m);
+        Vc.end_packing oc
+      done);
+  Engine.spawn engine ~name:"coll-so-receiver" (fun () ->
+      for m = 0 to messages - 1 do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:3 ~remote:0 in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        if not (Bytes.equal sink (payload_of m)) then intact := false
+      done;
+      finish := Engine.now engine);
+  Engine.spawn engine ~name:"coll-so-controller" (fun () ->
+      while Vc.overloaded vc = [] do
+        Engine.sleep (Time.us 250.0)
+      done;
+      overloaded_at_sample := Vc.overloaded vc;
+      spine := Coll.tree_spine coll;
+      List.iter
+        (fun r ->
+          Engine.spawn engine ~name:(Printf.sprintf "coll-so-%d" r)
+            (fun () ->
+              try
+                Coll.barrier coll ~me:r;
+                incr barriers
+              with Coll.Collective_failed _ -> incr failed))
+        (Vc.ranks vc));
+  Engine.run engine;
+  let st = Coll.stats coll in
+  let spine_ok =
+    List.mem gw !overloaded_at_sample
+    && List.assoc_opt 3 !spine = Some other_gw
+    && List.for_all
+         (fun (_, parent) -> not (List.mem parent !overloaded_at_sample))
+         !spine
+  in
+  {
+    co_workload = "coll-spine-overload";
+    co_ranks = 4;
+    co_expected = 4;
+    co_completed = !barriers;
+    co_failed = !failed;
+    co_agree = true;
+    co_value_ok = !intact;
+    co_covered = st.Coll.last_covered;
+    co_rejoined = true;
+    co_spine_ok = spine_ok;
+    co_repairs = st.Coll.repairs;
+    co_packets = st.Coll.packets;
+    co_combined = st.Coll.combined;
+    co_root_contribs = st.Coll.root_contribs;
+    co_dup_suppressed = st.Coll.dup_suppressed;
+    co_finish_us = Time.to_us !finish;
+  }
+
+(* A hierarchical cluster-of-clusters world: [clusters] leaf channels
+   of [per] ranks each, bridged by a backbone channel of the gateway
+   ranks (rank [k * per] of each cluster) — the shape the collectives
+   tree is supposed to exploit. Faultless worlds skip the sentinel
+   plane entirely, which is what makes the 1024-rank scaling row
+   affordable. *)
+let coll_world ~seed ~clusters ~per ~with_faults =
+  let engine = Engine.create () in
+  let n = clusters * per in
+  let faults =
+    if with_faults then Some (Faults.create engine ~seed:(Int64.of_int seed))
+    else None
+  in
+  let nodes =
+    Array.init n (fun i ->
+        Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i)
+  in
+  let session = Madeleine.Session.create engine in
+  let channel_on name member_ranks =
+    let fabric =
+      Fabric.create engine ~name ~link:Netparams.fast_ethernet
+    in
+    (match faults with Some f -> Fabric.set_faults fabric f | None -> ());
+    List.iter (fun i -> Fabric.attach fabric nodes.(i)) member_ranks;
+    let net = Tcpnet.make_net engine fabric in
+    let stacks = Hashtbl.create 16 in
+    List.iter
+      (fun i -> Hashtbl.add stacks i (Tcpnet.attach net nodes.(i)))
+      member_ranks;
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (Hashtbl.find stacks))
+      ~ranks:member_ranks ()
+  in
+  let leaf k = List.init per (fun i -> (k * per) + i) in
+  let backbone = List.init clusters (fun k -> k * per) in
+  let chans =
+    List.init clusters (fun k ->
+        channel_on (Printf.sprintf "leaf%d" k) (leaf k))
+    @ [ channel_on "backbone" backbone ]
+  in
+  let vc = Vc.create session ~mtu:4096 ?faults chans in
+  (engine, faults, vc)
+
+(* Rolling restarts during one allreduce: a leaf rank and then a whole
+   gateway (cutting its cluster off) crash and come back while the
+   collective is held open. Every rank's call must return the same
+   bytes, and the decided value must equal the sum over exactly the
+   covered set — the no-double-count property under repair. *)
+let coll_rolling_allreduce_run ~seed ~clusters ~per =
+  let engine, faults, vc = coll_world ~seed ~clusters ~per ~with_faults:true in
+  let faults = match faults with Some f -> f | None -> assert false in
+  let coll = Coll.create ~fanout:4 vc in
+  let n = clusters * per in
+  let completed = ref 0 and failed = ref 0 in
+  let results = Hashtbl.create n in
+  let finish = ref Time.zero in
+  List.iter
+    (fun r ->
+      Engine.spawn engine ~name:(Printf.sprintf "coll-ra-%d" r) (fun () ->
+          (* Rank 1 holds the collective open until after the rolls, so
+             both crashes land mid-allreduce. *)
+          Engine.sleep (Time.ms (if r = 1 then 6.0 else 1.0));
+          (try
+             let v = Coll.allreduce coll ~me:r ~op:coll_sum (coll_contrib r) in
+             Hashtbl.replace results r v;
+             incr completed
+           with Coll.Collective_failed _ -> incr failed);
+          finish := Engine.now engine))
+    (Vc.ranks vc);
+  Engine.spawn engine ~name:"coll-ra-roller" (fun () ->
+      Engine.sleep (Time.ms 2.0);
+      Faults.crash_now faults ~node:(per + 1) ~restart_after:(Time.ms 3.0) ();
+      Engine.sleep (Time.ms 1.0);
+      (* The second roll takes out a gateway: its whole cluster drops
+         off the tree until the restart, then re-joins through the
+         decision journal. *)
+      Faults.crash_now faults ~node:(2 * per) ~restart_after:(Time.ms 4.0) ());
+  Engine.run engine;
+  let st = Coll.stats coll in
+  let agree, value_ok = coll_agree_and_value results st.Coll.last_covered in
+  {
+    co_workload = "coll-rolling-allreduce";
+    co_ranks = n;
+    co_expected = n;
+    co_completed = !completed;
+    co_failed = !failed;
+    co_agree = agree;
+    co_value_ok = value_ok;
+    co_covered = st.Coll.last_covered;
+    co_rejoined = st.Coll.journal_answers >= 1;
+    co_spine_ok = true;
+    co_repairs = st.Coll.repairs;
+    co_packets = st.Coll.packets;
+    co_combined = st.Coll.combined;
+    co_root_contribs = st.Coll.root_contribs;
+    co_dup_suppressed = st.Coll.dup_suppressed;
+    co_finish_us = Time.to_us !finish;
+  }
+
+type coll_scale_row = {
+  sr_ranks : int;
+  sr_depth : int;
+  sr_rounds : int;
+  sr_tree_us : float;
+  sr_tree_root_contribs : int;
+  sr_tree_packets : int;
+  sr_flat_us : float;
+  sr_flat_root_contribs : int;
+  sr_flat_packets : int;
+}
+
+type coll_scale = {
+  cs_fanout : int;
+  cs_rows : coll_scale_row list;
+  cs_ratio : float; (* flat / tree barrier latency at the largest size *)
+  cs_log_like : bool; (* tree depth <= 2 * ceil(log2 n) at every size *)
+}
+
+let coll_barrier_once ~seed ~clusters ~per ~algo ~fanout =
+  let engine, _faults, vc = coll_world ~seed ~clusters ~per ~with_faults:false in
+  (* The world is faultless, so the repair patience is pure slack — but
+     it must exceed the barrier itself or the participants declare a
+     stall and abandon their partial aggregates mid-cascade. The flat
+     baseline at 1024 ranks serializes every contribution through the
+     backbone, so give it room. *)
+  let coll = Coll.create ~algo ~fanout ~patience:(Time.ms 2000.0) vc in
+  let finish = ref Time.zero in
+  List.iter
+    (fun r ->
+      Engine.spawn engine ~name:(Printf.sprintf "coll-sc-%d" r) (fun () ->
+          Engine.sleep (Time.ms 1.0);
+          Coll.barrier coll ~me:r;
+          finish := Engine.now engine))
+    (Vc.ranks vc);
+  Engine.run engine;
+  (Time.to_us !finish -. 1000.0, Coll.stats coll)
+
+(* The headline figure: one barrier over the hierarchical world, tree
+   vs flat, at every requested scale. Latency is simulated time, so
+   the rows are byte-identical for a given seed. *)
+let coll_scale_run ~seed ~fanout ~sizes =
+  let rows =
+    List.map
+      (fun (clusters, per) ->
+        let n = clusters * per in
+        let tree_us, tree_st =
+          coll_barrier_once ~seed ~clusters ~per ~algo:Coll.Tree ~fanout
+        in
+        let flat_us, flat_st =
+          coll_barrier_once ~seed ~clusters ~per ~algo:Coll.Flat ~fanout
+        in
+        {
+          sr_ranks = n;
+          sr_depth = tree_st.Coll.last_depth;
+          sr_rounds = tree_st.Coll.last_rounds;
+          sr_tree_us = tree_us;
+          sr_tree_root_contribs = tree_st.Coll.root_contribs;
+          sr_tree_packets = tree_st.Coll.packets;
+          sr_flat_us = flat_us;
+          sr_flat_root_contribs = flat_st.Coll.root_contribs;
+          sr_flat_packets = flat_st.Coll.packets;
+        })
+      sizes
+  in
+  let log2_ceil n =
+    let rec go k acc = if acc >= n then k else go (k + 1) (2 * acc) in
+    go 0 1
+  in
+  let largest = List.nth rows (List.length rows - 1) in
+  {
+    cs_fanout = fanout;
+    cs_rows = rows;
+    cs_ratio = largest.sr_flat_us /. largest.sr_tree_us;
+    cs_log_like =
+      List.for_all
+        (fun r -> r.sr_depth <= 2 * log2_ceil r.sr_ranks)
+        rows;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* The workload set. Stop-and-wait retransmission gives up after 12
    attempts, so the per-frame survival probability bounds which
    (rate, size) points can complete: at 5% per link a frame of a dozen
@@ -1378,6 +1779,33 @@ let elastic_gates e =
       ( "drain-under-load-forgotten",
         e.el_routable && e.el_status = "departed" && not e.el_watched );
     ]
+
+let coll_gates c =
+  let tag s = c.co_workload ^ "-" ^ s in
+  [
+    ( tag "completed",
+      c.co_completed = c.co_expected && c.co_failed = 0 );
+    (tag "agree", c.co_agree);
+    ( tag "exactly-once",
+      c.co_value_ok && c.co_dup_suppressed >= 0 );
+  ]
+  @ (if c.co_workload = "coll-spine-overload" then
+       [ (tag "spine-avoids-overloaded", c.co_spine_ok) ]
+     else
+       [
+         (tag "rejoined-from-journal", c.co_rejoined);
+         (tag "repaired", c.co_repairs >= 1);
+       ])
+
+let coll_scale_gates cs =
+  [
+    ("coll-scale-tree-log-rounds", cs.cs_log_like);
+    ("coll-scale-speedup", cs.cs_ratio >= 4.0);
+    ( "coll-scale-combining",
+      List.for_all
+        (fun r -> r.sr_tree_root_contribs < r.sr_flat_root_contribs)
+        cs.cs_rows );
+  ]
 
 let gates r =
   let ov = r.rep_overload and sg = r.rep_slow_gateway in
@@ -1621,6 +2049,42 @@ let elastic_line e =
     (if e.el_partitioned then "YES" else "no")
     (if e.el_intact then "yes" else "NO")
     e.el_finish_us
+
+let coll_line c =
+  Printf.sprintf
+    "%s: %d rank(s), %d/%d call(s) completed (%d failed typed); \
+     agree=%s, value-correct=%s, covered=[%s], repairs=%d, \
+     combined=%d, root-contribs=%d, dup-suppressed=%d, \
+     journal-answers=%s, spine-ok=%s, packets=%d, finish=%.2f us\n"
+    c.co_workload c.co_ranks c.co_completed c.co_expected c.co_failed
+    (if c.co_agree then "yes" else "NO")
+    (if c.co_value_ok then "yes" else "NO")
+    (String.concat "; " (List.map string_of_int c.co_covered))
+    c.co_repairs c.co_combined c.co_root_contribs c.co_dup_suppressed
+    (if c.co_rejoined then "yes" else "no")
+    (if c.co_spine_ok then "yes" else "NO")
+    c.co_packets c.co_finish_us
+
+let coll_scale_line cs =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "coll-scale (fanout %d): barrier tree-vs-flat, ratio %.2fx at \
+        largest size, log-like=%s\n"
+       cs.cs_fanout cs.cs_ratio
+       (if cs.cs_log_like then "yes" else "NO"));
+  Buffer.add_string b
+    (Printf.sprintf "  %6s %6s %7s %12s %12s %8s %11s %11s\n" "ranks" "depth"
+       "rounds" "tree(us)" "flat(us)" "ratio" "tree-root" "flat-root");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  %6d %6d %7d %12.2f %12.2f %7.2fx %11d %11d\n"
+           r.sr_ranks r.sr_depth r.sr_rounds r.sr_tree_us r.sr_flat_us
+           (r.sr_flat_us /. r.sr_tree_us) r.sr_tree_root_contribs
+           r.sr_flat_root_contribs))
+    cs.cs_rows;
+  Buffer.contents b
 
 let render_table r =
   let b = Buffer.create 4096 in

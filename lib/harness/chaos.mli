@@ -155,6 +155,48 @@ type elastic = {
   el_finish_us : float;
 }
 
+type coll_chaos = {
+  co_workload : string;
+  co_ranks : int;
+  co_expected : int; (* collective calls issued across all ranks *)
+  co_completed : int; (* calls that returned a decision *)
+  co_failed : int; (* calls that raised [Collective_failed] *)
+  co_agree : bool; (* every completing rank got bit-identical bytes *)
+  co_value_ok : bool; (* decided value = sum over the covered ranks *)
+  co_covered : int list; (* ranks the last decision covers, sorted *)
+  co_rejoined : bool; (* >= 1 late contribution answered from the journal *)
+  co_spine_ok : bool; (* no Overloaded gateway sat on the sampled spine *)
+  co_repairs : int;
+  co_packets : int;
+  co_combined : int;
+  co_root_contribs : int;
+  co_dup_suppressed : int;
+  co_finish_us : float;
+}
+(** Outcome of one collectives chaos workload; which invariants are
+    meaningful depends on [co_workload] (see {!coll_gates}). *)
+
+type coll_scale_row = {
+  sr_ranks : int;
+  sr_depth : int; (* depth of the deciding tree *)
+  sr_rounds : int; (* up+down rounds of the barrier *)
+  sr_tree_us : float;
+  sr_tree_root_contribs : int;
+  sr_tree_packets : int;
+  sr_flat_us : float;
+  sr_flat_root_contribs : int;
+  sr_flat_packets : int;
+}
+
+type coll_scale = {
+  cs_fanout : int;
+  cs_rows : coll_scale_row list;
+  cs_ratio : float; (* flat / tree barrier latency at the largest size *)
+  cs_log_like : bool; (* tree depth <= 2 * ceil(log2 n) at every size *)
+}
+(** The log-vs-linear scaling measurement: one barrier per (size, algo)
+    over the hierarchical cluster-of-clusters world. *)
+
 type report = {
   rep_seed : int;
   rep_quick : bool;
@@ -270,6 +312,48 @@ val drain_load_run : seed:int -> size:int -> messages:int -> elastic
     reports the typed [Departed] status and has been forgotten by
     every sentinel. *)
 
+val coll_crash_barrier_run : seed:int -> coll_chaos
+(** Crash mid-barrier with a restart re-join: on the 4-rank redundant
+    gateway world, rank 3 holds a barrier open while the others park
+    waiting for its contribution, the controller crashes it under them
+    (restart 5 ms later), the survivors repair and decide among
+    themselves, and the restarted rank re-enters the same collective
+    and is answered from the decision journal. A follow-up allreduce
+    proves exactly-once: its value must equal the sum over exactly the
+    covered ranks — a double-counted contribution cannot produce it. *)
+
+val coll_spine_overload_run :
+  seed:int ->
+  size:int ->
+  messages:int ->
+  credits:int ->
+  gw_pool:int ->
+  rx_cap_mb_s:float ->
+  coll_chaos
+(** An [Overloaded] gateway on the tree spine: a background stream
+    through the redundant-gateway world pins the on-route gateway's
+    forwarding pool until the overload watermark trips, then a barrier
+    runs. The sampled spine must hang the far rank off the spare
+    gateway — the tree routes around the load — and the barrier must
+    complete. *)
+
+val coll_rolling_allreduce_run :
+  seed:int -> clusters:int -> per:int -> coll_chaos
+(** Rolling restarts during one allreduce over a hierarchical world of
+    [clusters] leaf channels of [per] ranks bridged by a gateway
+    backbone: a leaf rank and then a whole gateway (cutting its cluster
+    off the tree) crash and restart while rank 1 holds the collective
+    open. Every rank's call must return bit-identical bytes equal to
+    the sum over exactly the covered set, with at least one journal
+    re-join and repair generation observed. *)
+
+val coll_scale_run :
+  seed:int -> fanout:int -> sizes:(int * int) list -> coll_scale
+(** The headline scaling figure: for each [(clusters, per)] size, one
+    faultless barrier under [Tree] and one under [Flat], measuring
+    simulated completion latency and root contribution counts.
+    Deterministic for a given seed. *)
+
 val run : Sweeps.runner -> seed:int -> quick:bool -> report
 (** The full workload set: a drop-rate x size sweep, a corruption sweep,
     a mid-exchange link flap, a reorder/duplication exchange, a PCI
@@ -301,10 +385,28 @@ val elastic_gates : elastic -> (string * bool) list
     run — [madbench chaos rolling-restart|join|drain] keys its exit
     code off these. *)
 
+val coll_gates : coll_chaos -> (string * bool) list
+(** Pass/fail invariants of one collectives chaos workload, prefixed
+    with its name: all calls completed with none failed typed, results
+    agree bit-identically, the decided value matches the covered set
+    exactly once — plus, per workload, the journal re-join and repair
+    gates (crash / rolling) or the spine-avoids-overloaded gate. *)
+
+val coll_scale_gates : coll_scale -> (string * bool) list
+(** The scaling gates: tree depth stays logarithmic at every size, the
+    flat/tree latency ratio at the largest size is >= 4x, and gateway
+    combining delivers fewer root contributions than the flat star at
+    every size. *)
+
 val rolling_line : rolling_restart -> string
 val elastic_line : elastic -> string
 (** One-line human renderings of the live-topology scenarios (newline
     terminated), as embedded in {!render_table}. *)
+
+val coll_line : coll_chaos -> string
+val coll_scale_line : coll_scale -> string
+(** Human renderings of the collectives workloads ([coll_scale_line]
+    is a small table, one row per size). *)
 
 val failing_gates : report -> string list
 (** Names of the gates currently false, in {!gates} order. *)

@@ -30,6 +30,7 @@ type t = {
   mutable chan_order : string list;
   vchan_tbl : (string, Madeleine.Vchannel.t) Hashtbl.t;
   mutable vchan_order : string list;
+  coll_tbl : (string, Madeleine.Collectives.t) Hashtbl.t;
   mutable net_order : string list;
 }
 
@@ -44,6 +45,7 @@ let node t name = Hashtbl.find t.node_tbl name
 let rank_of t name = (node t name).Node.id
 let channel t name = Hashtbl.find t.chan_tbl name
 let vchannel t name = Hashtbl.find t.vchan_tbl name
+let collectives t name = Hashtbl.find_opt t.coll_tbl name
 
 (* ------------------------------------------------------------------ *)
 (* Per-kind glue: how to attach a node and build a driver. *)
@@ -427,6 +429,7 @@ let parse_line t lineno line =
       let credits = ref None and gw_pool = ref None in
       let sched = ref None and aggr_max = ref None and aggr_flush = ref None in
       let version = ref None and coordinator = ref None in
+      let coll = ref None and coll_fanout = ref None and coll_quorum = ref None in
       let positive_int key v =
         let n = parse_int lineno key v in
         if n < 1 then
@@ -473,6 +476,19 @@ let parse_line t lineno line =
           | "coordinator", v ->
               coordinator :=
                 Some (find_or lineno t.node_tbl "node" v).Node.id
+          | "coll", v -> (
+              match v with
+              | "tree" -> coll := Some Madeleine.Collectives.Tree
+              | "flat" -> coll := Some Madeleine.Collectives.Flat
+              | _ -> raise (Parse_error (lineno, "coll expects tree|flat")))
+          | "coll_fanout", v ->
+              let n = parse_int lineno "coll_fanout" v in
+              if n < 2 then
+                raise
+                  (Parse_error (lineno, "coll_fanout expects an integer >= 2"));
+              coll_fanout := Some n
+          | "coll_quorum", v ->
+              coll_quorum := Some (positive_int "coll_quorum" v)
           | k, _ -> raise (Parse_error (lineno, "unknown vchannel option " ^ k)))
         opts;
       if !chans = [] then raise (Parse_error (lineno, "vchannel needs channels="));
@@ -485,6 +501,14 @@ let parse_line t lineno line =
       (match (!version, !coordinator) with
       | None, Some _ ->
           raise (Parse_error (lineno, "coordinator= requires version="))
+      | _ -> ());
+      (match (!coll, !coll_fanout) with
+      | Some Madeleine.Collectives.Tree, _ | _, None -> ()
+      | _, Some _ ->
+          raise (Parse_error (lineno, "coll_fanout= requires coll=tree")));
+      (match (!coll, !coll_quorum) with
+      | None, Some _ ->
+          raise (Parse_error (lineno, "coll_quorum= requires coll="))
       | _ -> ());
       let vc_sched =
         match !sched with
@@ -513,6 +537,12 @@ let parse_line t lineno line =
           ?topology:!version ?coordinator:!coordinator !chans
       in
       declare lineno t.vchan_tbl "vchannel" name vc;
+      (match !coll with
+      | None -> ()
+      | Some algo ->
+          Hashtbl.replace t.coll_tbl name
+            (Madeleine.Collectives.create ~algo ?fanout:!coll_fanout
+               ?quorum:!coll_quorum vc));
       t.vchan_order <- name :: t.vchan_order
   | keyword :: _ ->
       raise (Parse_error (lineno, Printf.sprintf "unknown declaration %S" keyword))
@@ -531,6 +561,7 @@ let load text =
       chan_order = [];
       vchan_tbl = Hashtbl.create 4;
       vchan_order = [];
+      coll_tbl = Hashtbl.create 4;
       net_order = [];
     }
   in

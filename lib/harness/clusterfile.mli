@@ -42,7 +42,15 @@
     [coordinator=NODE] (a declared node that arbitrates joins and
     drains; requires [version=], defaults to the lowest rank). Both are
     rejected with a line-numbered {!Parse_error} on malformed values or
-    unknown nodes. Network
+    unknown nodes. [coll=tree|flat] attaches a fault-tolerant
+    collectives layer ({!Madeleine.Collectives}, retrieved with
+    {!collectives}); [coll_fanout=N] (>= 2, requires [coll=tree]) caps
+    the children per spanning-tree node and [coll_quorum=N] (>= 1,
+    requires [coll=]) is the live-rank minimum below which a collective
+    fails typed. Malformed values, [coll_fanout=] without [coll=tree]
+    and [coll_quorum=] without [coll=] are all rejected with a
+    line-numbered {!Parse_error}; with [coll=] unset no layer is
+    created and the vchannel behaves exactly as before. Network
     types: [sisci], [bip], [tcp], [via], [sbp]; [tcp] networks
     additionally accept [window=FRAMES] (go-back-N sender window) and
     [max_retries=N] (consecutive RTO expiries before a connection is
@@ -103,3 +111,8 @@ val node : t -> string -> Simnet.Node.t
 val rank_of : t -> string -> int
 val channel : t -> string -> Madeleine.Channel.t
 val vchannel : t -> string -> Madeleine.Vchannel.t
+
+val collectives : t -> string -> Madeleine.Collectives.t option
+(** The collectives layer of a [coll=] vchannel declaration, by
+    vchannel name; [None] when the vchannel was declared without
+    [coll=] (unknown names also yield [None]). *)

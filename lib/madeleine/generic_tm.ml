@@ -10,6 +10,7 @@ type packet_header = {
   crd : bool;  (* credit-plane packet: grant (4-byte payload) or probe (empty) *)
   agg : bool;  (* aggregate: payload is a train of flow-framed sub-packets *)
   top : bool;  (* topology-control packet: join/drain/epoch announcements *)
+  col : bool;  (* collective-control packet: contribution / decision frames *)
 }
 
 let header_size = Config.packet_header_size
@@ -27,7 +28,8 @@ let encode_header h =
     lor (if h.hs then 8 else 0)
     lor (if h.crd then 16 else 0)
     lor (if h.agg then 32 else 0)
-    lor if h.top then 64 else 0
+    lor (if h.top then 64 else 0)
+    lor if h.col then 128 else 0
   in
   Bytes.set b 12 (Char.chr flags);
   Bytes.set b 13 magic;
@@ -54,6 +56,7 @@ let decode_header b =
     crd = flags land 16 <> 0;
     agg = flags land 32 <> 0;
     top = flags land 64 <> 0;
+    col = flags land 128 <> 0;
   }
 
 let sub_header_size = Config.buffer_header_size

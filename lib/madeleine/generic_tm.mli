@@ -65,6 +65,15 @@ type packet_header = {
           opcode byte, the subject rank, and the epoch, all little-endian;
           gateways forward it like data. Never set without a live
           topology — the wire format is then unchanged. *)
+  col : bool;
+      (** Collective-control packet for vchannels with a {!Collectives}
+          layer attached: a contribution travelling up a spanning tree
+          (possibly already combining several descendants' values), a
+          decision travelling down it, or an all-to-all block. The payload
+          carries a kind byte, the collective id, the repair generation,
+          and the operand bytes, all little-endian; gateways forward it
+          like data. Never set without a collectives layer — the wire
+          format is then unchanged. *)
 }
 
 val header_size : int

@@ -240,6 +240,10 @@ type t = {
   mutable on_overload_change : unit -> unit; (* rel: recompute + reemit *)
   live : live option; (* live topology (clusterfile version=) *)
   mutable on_topo_change : unit -> unit; (* epoch swap: recompute + reemit *)
+  mutable on_col : me:int -> origin:int -> Bytes.t -> unit;
+      (* collective-control packets, delivered to the Collectives layer *)
+  mutable on_health_change : unit -> unit;
+      (* any liveness/overload/epoch transition; Collectives repair hook *)
   asm_depth : (int * int, probe_point) Hashtbl.t; (* (me, origin) -> bytes *)
   pump_depth : (int, probe_point) Hashtbl.t; (* node -> busy pool slots *)
   unacked_peak : (int * int, int ref) Hashtbl.t; (* flow -> log peak *)
@@ -308,6 +312,28 @@ let forwarded t =
    excludes crashed nodes, both as relays and as endpoints. *)
 let compute_routes ?(down = fun _ -> false) channels all_ranks =
   let routes = Hashtbl.create 64 in
+  (* Per-node adjacency, built once per call: for each node, the channels
+     containing it (in channel-list order) with their member lists. The
+     BFS below visits exactly the nodes the naive per-pop channel rescan
+     visited, in the same order — routes are unchanged; only the
+     O(channels × members) scan per frontier pop goes away, which
+     dominates route computation beyond a few hundred ranks. *)
+  let adj : (int, (Channel.t * int list) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun c ->
+      let members = Channel.ranks c in
+      List.iter
+        (fun u ->
+          match Hashtbl.find_opt adj u with
+          | Some cell -> cell := (c, members) :: !cell
+          | None -> Hashtbl.add adj u (ref [ (c, members) ]))
+        members)
+    channels;
+  let adj_of u =
+    match Hashtbl.find_opt adj u with Some cell -> List.rev !cell | None -> []
+  in
   List.iter
     (fun src ->
       if not (down src) then begin
@@ -319,19 +345,17 @@ let compute_routes ?(down = fun _ -> false) channels all_ranks =
         while not (Queue.is_empty frontier) do
           let u = Queue.pop frontier in
           List.iter
-            (fun c ->
-              let members = Channel.ranks c in
-              if List.mem u members then
-                List.iter
-                  (fun v ->
-                    if v <> u && (not (down v)) && not (Hashtbl.mem visited v)
-                    then begin
-                      Hashtbl.add visited v ();
-                      Hashtbl.add pred v (u, { hop_channel = c; hop_to = v });
-                      Queue.push v frontier
-                    end)
-                  members)
-            channels
+            (fun (c, members) ->
+              List.iter
+                (fun v ->
+                  if v <> u && (not (down v)) && not (Hashtbl.mem visited v)
+                  then begin
+                    Hashtbl.add visited v ();
+                    Hashtbl.add pred v (u, { hop_channel = c; hop_to = v });
+                    Queue.push v frontier
+                  end)
+                members)
+            (adj_of u)
         done;
         List.iter
           (fun dst ->
@@ -514,6 +538,7 @@ let send_grant t c ~me ~origin =
       crd = true;
       agg = false;
       top = false;
+      col = false;
     }
   in
   Engine.spawn t.engine ~daemon:true
@@ -543,6 +568,7 @@ let send_probe t c ~src ~dst =
       crd = true;
       agg = false;
       top = false;
+      col = false;
     }
   in
   Engine.spawn t.engine ~daemon:true
@@ -621,6 +647,7 @@ let send_ack t r ~me ~origin =
         crd = false;
         agg = false;
         top = false;
+        col = false;
       }
     in
     Engine.spawn t.engine ~daemon:true
@@ -716,6 +743,7 @@ let top_header ~src ~dst ~len =
     crd = false;
     agg = false;
     top = true;
+    col = false;
   }
 
 let topo_wake lv =
@@ -772,6 +800,7 @@ let sentinels_forget t rank =
 let apply_swap t lv snap =
   lv.lv_snapshot <- snap;
   t.on_topo_change ();
+  t.on_health_change ();
   topo_wake lv
 
 let send_top t ~src ~dst ~op ~rank ~epoch =
@@ -828,6 +857,72 @@ let handle_top t ~me header payload =
           end
         end
       end
+
+(* ------------------------------------------------------------------ *)
+(* Collective control plane. The Collectives layer (see collectives.ml)
+   rides [col] packets over the ordinary forwarding path: contributions
+   travel up a spanning tree, decisions travel down it, and gateways
+   forward them like data. The vchannel stays policy-free here — it
+   only delivers [col] payloads to whatever handler the layer installed
+   and ships the ones the layer emits, exactly like the [top] plane. *)
+
+let col_header ~src ~dst ~len =
+  {
+    Generic_tm.final_dst = dst;
+    origin = src;
+    payload_len = len;
+    first = false;
+    last = false;
+    seq = 0;
+    ack = false;
+    hs = false;
+    crd = false;
+    agg = false;
+    top = false;
+    col = true;
+  }
+
+let send_col t ~src ~dst payload =
+  check_ranks t "send_col" src dst;
+  let len = Bytes.length payload in
+  let header = col_header ~src ~dst ~len in
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.col.%d->%d" src dst)
+    (fun () ->
+      try ship_packet t ~at:src ~header ~payload ~payload_len:len
+      with Partitioned _ | Config.Peer_unreachable _ -> ())
+
+let set_on_col t f = t.on_col <- f
+let set_on_health_change t f = t.on_health_change <- f
+
+let handle_col t ~me header payload =
+  let alive =
+    match t.rel with
+    | Some r -> Simnet.Faults.node_up r.faults me
+    | None -> true
+  in
+  if alive then t.on_col ~me ~origin:header.Generic_tm.origin payload
+
+(* Physical neighbours: the ranks sharing at least one channel with
+   [rank], in channel-list then member-list order. The Collectives
+   layer builds its spanning trees over this graph, so every tree edge
+   is a single fabric link and interior nodes are genuine gateways. *)
+let neighbours t rank =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iter
+    (fun c ->
+      let members = Channel.ranks c in
+      if List.mem rank members then
+        List.iter
+          (fun v ->
+            if v <> rank && not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              out := v :: !out
+            end)
+          members)
+    t.channels;
+  List.rev !out
 
 (* A joining rank is not yet routable (routes exclude non-members), so
    its join request takes one membership-blind physical hop toward the
@@ -1000,14 +1095,16 @@ let set_overload t node flag =
       t.overload_events <- t.overload_events + 1;
       inform_sentinels t node true;
       scale_out t node;
-      t.on_overload_change ()
+      t.on_overload_change ();
+      t.on_health_change ()
     end
   end
   else if Hashtbl.mem t.overloaded node then begin
     Hashtbl.remove t.overloaded node;
     inform_sentinels t node false;
     scale_in t node;
-    t.on_overload_change ()
+    t.on_overload_change ();
+    t.on_health_change ()
   end
 
 (* Clearing is held for {!Config.overload_hold}: a pool oscillating one
@@ -1133,6 +1230,7 @@ let spawn_dispatcher t ~node channel =
             Api.unpack ic ~r_mode:Iface.Receive_cheaper ~transit payload;
           Api.end_unpacking ic;
           match t.rel with
+          | _ when header.Generic_tm.col -> handle_col t ~me:node header payload
           | _ when header.Generic_tm.top -> handle_top t ~me:node header payload
           | Some r when header.Generic_tm.hs -> handle_hs r ~me:node header payload
           | _ when header.Generic_tm.crd -> handle_crd t ~me:node header payload
@@ -1323,6 +1421,7 @@ let emit_one_aggregate t ~src ~dst frames =
       crd = false;
       agg = true;
       top = false;
+      col = false;
     }
   in
   (match t.rel with
@@ -1578,6 +1677,8 @@ let create session ?(mtu = Config.default_vchannel_mtu)
       on_overload_change = (fun () -> ());
       live = live_plane;
       on_topo_change = (fun () -> ());
+      on_col = (fun ~me:_ ~origin:_ _ -> ());
+      on_health_change = (fun () -> ());
       asm_depth = Hashtbl.create 32;
       pump_depth = Hashtbl.create 8;
       unacked_peak = Hashtbl.create 32;
@@ -1694,7 +1795,8 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                     end)
                   c.cr_rx);
             recompute ();
-            reemit_flows t r
+            reemit_flows t r;
+            t.on_health_change ()
           end);
       Simnet.Faults.on_restart r.faults (fun node ->
           if List.mem node t.all_ranks then begin
@@ -1729,6 +1831,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                           crd = false;
                           agg = false;
                           top = false;
+                          col = false;
                         }
                       in
                       try ship_packet t ~at:me ~header ~payload ~payload_len:4
@@ -1751,7 +1854,8 @@ let create session ?(mtu = Config.default_vchannel_mtu)
               r.hs_waiters <- [];
               List.iter (fun wake -> wake ()) waiters
             end;
-            reemit_flows t r
+            reemit_flows t r;
+            t.on_health_change ()
           end);
       (* One phi-accrual sentinel per rank, probing its channel
          neighbours. A sentinel calling a still-live peer Down is a
@@ -1791,12 +1895,14 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                       Hashtbl.replace r.suspected peer ();
                       r.reroutes <- r.reroutes + 1;
                       recompute ();
-                      reemit_flows t r
+                      reemit_flows t r;
+                      t.on_health_change ()
                     end
                 | Sentinel.Up ->
                     if Hashtbl.mem r.suspected peer then begin
                       Hashtbl.remove r.suspected peer;
-                      recompute ()
+                      recompute ();
+                      t.on_health_change ()
                     end
                 | _ -> ());
             Sentinel.start s;
@@ -1948,6 +2054,7 @@ let ship oc ~last =
       crd = false;
       agg = false;
       top = false;
+      col = false;
     }
   in
   (match t.rel with
@@ -2434,3 +2541,26 @@ let suspicion_timeline t =
         r.sentinels []
       |> List.sort (fun (_, a) (_, b) ->
              compare a.Sentinel.ev_at b.Sentinel.ev_at)
+
+let engine t = t.engine
+
+(* The Collectives layer's liveness oracle: a rank participates in a
+   collective iff it is part of the vchannel, a member of the current
+   topology epoch (and not mid-drain), actually up, and not under
+   suspicion — the same predicate routing uses, so a tree built over
+   live ranks is also routable. *)
+let rank_alive t rank =
+  List.mem rank t.all_ranks
+  && (match t.live with
+     | Some lv ->
+         Topology.mem lv.lv_snapshot rank
+         && not (Hashtbl.mem lv.lv_draining rank)
+     | None -> true)
+  &&
+  match t.rel with
+  | Some r ->
+      Simnet.Faults.node_up r.faults rank
+      && not (Hashtbl.mem r.suspected rank)
+  | None -> true
+
+let rank_overloaded t rank = Hashtbl.mem t.overloaded rank

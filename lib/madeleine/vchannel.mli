@@ -216,6 +216,52 @@ type topology_stats = {
 val topology_stats : t -> topology_stats option
 (** Live-topology counters — [None] without [?topology]. *)
 
+(** {1 Collective control plane}
+
+    Hooks for the {!Collectives} layer. [col] packets ride the ordinary
+    forwarding path (gateways forward them like data) but bypass
+    sequencing, credits and scheduling exactly like [top] packets: the
+    vchannel delivers their payloads to the installed handler and ships
+    the ones the layer emits, with no policy of its own. Without a
+    handler installed, the wire format and schedule of every existing
+    workload are unchanged. *)
+
+val send_col : t -> src:int -> dst:int -> Bytes.t -> unit
+(** Ship a collective-control payload from [src] to [dst] over the
+    current routes, asynchronously and unreliably (a partition or crash
+    en route silently drops it — the Collectives repair generation
+    covers the loss). Raises [Invalid_argument] when either rank is not
+    part of the vchannel. *)
+
+val set_on_col : t -> (me:int -> origin:int -> Bytes.t -> unit) -> unit
+(** Install the collective-control handler, called from the dispatcher
+    of the destination rank [me] for every [col] payload that reaches
+    it while [me] is up. One handler per vchannel (last install wins). *)
+
+val set_on_health_change : t -> (unit -> unit) -> unit
+(** Install a hook called after every liveness transition the vchannel
+    acts on: a crash or restart, a sentinel suspicion raised or cleared,
+    an Overloaded watermark edge, and a topology epoch swap. The
+    Collectives layer uses it to bump its repair generation. One hook
+    per vchannel (last install wins). *)
+
+val neighbours : t -> int -> int list
+(** Ranks sharing at least one physical channel with the given rank, in
+    channel-declaration order — the adjacency the Collectives layer
+    builds its spanning trees over. *)
+
+val rank_alive : t -> int -> bool
+(** Whether a rank can take part in a collective right now: part of the
+    vchannel, a member of the current topology epoch (not mid-drain),
+    up, and not suspected — the predicate routing itself uses. *)
+
+val rank_overloaded : t -> int -> bool
+(** Whether the rank is currently reporting Overloaded (see
+    {!overloaded}). *)
+
+val engine : t -> Marcel.Engine.t
+(** The engine the vchannel runs on. *)
+
 val forwarded : t -> (int * int * int) list
 (** Per-gateway forwarding counters: [(node, packets, payload bytes)]
     for every node that has relayed traffic, sorted by node. *)

@@ -4,6 +4,8 @@ module Ivar = Marcel.Ivar
 
 type status = { status_src : int; status_tag : int; status_len : int }
 
+exception Collective_failed of string
+
 let any_source = -1
 let any_tag = -1
 
@@ -27,6 +29,15 @@ type ctx = {
   unexpected : unexpected Queue.t;
   mutable probe_waiters : (unit -> unit) list;
   mutable arrival_hooks : (unit -> unit) list;
+  mutable liveness : (int -> bool) option;
+      (* [None] (the default) keeps the classic blocking receives and a
+         byte-identical schedule; with a predicate installed, a
+         collective receive polls it and surfaces a typed
+         [Collective_failed] naming the dead peer instead of blocking
+         forever in the fan-in/fan-out tree. *)
+  mutable coll : Madeleine.Collectives.t option;
+      (* world-level collectives retargeted onto the fault-tolerant
+         vchannel layer (see [use_collectives]) *)
 }
 
 and world = {
@@ -114,6 +125,8 @@ let create_world engine ~devices =
           unexpected = Queue.create ();
           probe_waiters = [];
           arrival_hooks = [];
+          liveness = None;
+          coll = None;
         })
       devices
   in
@@ -133,6 +146,17 @@ let ctx w ~rank = w.ctxs.(rank)
 let rank c = c.c_rank
 let size c = c.c_size
 let wtime c = Time.to_s (Engine.now c.c_engine)
+let set_liveness c pred = c.liveness <- pred
+
+let use_collectives w coll =
+  Array.iter (fun c -> c.coll <- Some coll) w.ctxs
+
+(* The retargeted verbs speak the vchannel layer's typed failure; fold
+   it into this module's so callers match one exception either way. *)
+let coll_guard f =
+  try f ()
+  with Madeleine.Collectives.Collective_failed msg ->
+    raise (Collective_failed msg)
 
 let send_ctx c ~dst ~tag ~context data =
   c.device.Device.dev_send ~dst
@@ -297,26 +321,84 @@ let generic_reduce ~size ~me ~root ~op ~vsend ~vrecv data =
 
 let world_vsend c ~dst ~tag data = send_ctx c ~dst ~tag ~context:coll_context data
 
+let liveness_poll_interval = Time.us 200.0
+
+(* A collective receive. Without a liveness predicate this is the
+   classic blocking wait (and the schedule is byte-identical to what it
+   always was). With one installed, park in short sleeps instead: if
+   the awaited peer goes down first, withdraw the posted receive and
+   fail typed — the fan-in/fan-out trees otherwise block forever in
+   vrecv when a peer dies mid-collective. *)
+let wait_coll c ~peer ~tag req =
+  match c.liveness with
+  | None -> Ivar.read req
+  | Some alive ->
+      let rec poll () =
+        if Ivar.is_filled req then Ivar.read req
+        else if peer <> any_source && not (alive peer) then begin
+          c.posted <- List.filter (fun p -> p.p_done != req) c.posted;
+          raise
+            (Collective_failed
+               (Printf.sprintf
+                  "rank %d died mid-collective (rank %d was waiting on tag %d)"
+                  peer c.c_rank tag))
+        end
+        else begin
+          Engine.sleep liveness_poll_interval;
+          poll ()
+        end
+      in
+      poll ()
+
 let world_vrecv c ~src ~tag buf =
-  wait (irecv_ctx c ~src ~tag ~context:coll_context buf)
+  wait_coll c ~peer:src ~tag (irecv_ctx c ~src ~tag ~context:coll_context buf)
+
+(* With a Collectives layer installed ({!use_collectives}) the world
+   collectives run on the vchannel's fault-tolerant spanning trees
+   (gateway combining, crash repair) instead of the binomial trees
+   over point-to-point messages; world ranks map one-to-one onto
+   vchannel ranks. *)
 
 let barrier c =
-  generic_barrier ~size:c.c_size ~me:c.c_rank ~vsend:(world_vsend c)
-    ~vrecv:(world_vrecv c)
+  match c.coll with
+  | Some coll ->
+      coll_guard (fun () -> Madeleine.Collectives.barrier coll ~me:c.c_rank)
+  | None ->
+      generic_barrier ~size:c.c_size ~me:c.c_rank ~vsend:(world_vsend c)
+        ~vrecv:(world_vrecv c)
 
 let bcast c ~root buf =
-  generic_bcast ~size:c.c_size ~me:c.c_rank ~root ~vsend:(world_vsend c)
-    ~vrecv:(world_vrecv c) buf
+  match c.coll with
+  | Some coll ->
+      coll_guard (fun () ->
+          let v =
+            Madeleine.Collectives.bcast coll ~me:c.c_rank ~root
+              (if c.c_rank = root then Some (Bytes.copy buf) else None)
+          in
+          Bytes.blit v 0 buf 0 (min (Bytes.length v) (Bytes.length buf)))
+  | None ->
+      generic_bcast ~size:c.c_size ~me:c.c_rank ~root ~vsend:(world_vsend c)
+        ~vrecv:(world_vrecv c) buf
 
 let reduce c ~root ~op data =
-  generic_reduce ~size:c.c_size ~me:c.c_rank ~root ~op ~vsend:(world_vsend c)
-    ~vrecv:(world_vrecv c) data
+  match c.coll with
+  | Some coll ->
+      coll_guard (fun () ->
+          Madeleine.Collectives.reduce coll ~me:c.c_rank ~root ~op data)
+  | None ->
+      generic_reduce ~size:c.c_size ~me:c.c_rank ~root ~op
+        ~vsend:(world_vsend c) ~vrecv:(world_vrecv c) data
 
 let allreduce c ~op data =
-  let result = reduce c ~root:0 ~op data in
-  let out = Bytes.copy result in
-  bcast c ~root:0 out;
-  out
+  match c.coll with
+  | Some coll ->
+      coll_guard (fun () ->
+          Madeleine.Collectives.allreduce coll ~me:c.c_rank ~op data)
+  | None ->
+      let result = reduce c ~root:0 ~op data in
+      let out = Bytes.copy result in
+      bcast c ~root:0 out;
+      out
 
 let gather c ~root data =
   if c.c_rank = root then begin
@@ -453,8 +535,9 @@ let comm_vsend cm ~dst ~tag data =
   send_ctx cm.cm_ctx ~dst:cm.members.(dst) ~tag ~context:cm.coll_ctx data
 
 let comm_vrecv cm ~src ~tag buf =
-  wait
-    (irecv_ctx cm.cm_ctx ~src:cm.members.(src) ~tag ~context:cm.coll_ctx buf)
+  let world_src = cm.members.(src) in
+  wait_coll cm.cm_ctx ~peer:world_src ~tag
+    (irecv_ctx cm.cm_ctx ~src:world_src ~tag ~context:cm.coll_ctx buf)
 
 let cbarrier cm =
   generic_barrier ~size:(comm_size cm) ~me:cm.my_index ~vsend:(comm_vsend cm)

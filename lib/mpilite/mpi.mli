@@ -16,6 +16,14 @@ type ctx
 type status = { status_src : int; status_tag : int; status_len : int }
 type request
 
+exception Collective_failed of string
+(** A collective could not complete because a peer died. Raised by the
+    classic tree collectives only when a liveness predicate is
+    installed ({!set_liveness}) — without one they keep the historic
+    blocking behaviour — and by the retargeted collectives
+    ({!use_collectives}) when the underlying layer gives up (no quorum
+    of live ranks remains). The message names the dead rank. *)
+
 val any_source : int
 val any_tag : int
 
@@ -28,6 +36,24 @@ val size : ctx -> int
 
 val wtime : ctx -> float
 (** Virtual wall-clock seconds since simulation start (MPI_Wtime). *)
+
+val set_liveness : ctx -> (int -> bool) option -> unit
+(** Install (or clear) a per-rank liveness predicate, e.g.
+    [Madeleine.Vchannel.rank_alive vc]. [None] — the default — keeps
+    every collective receive a plain blocking wait with a
+    byte-identical schedule. With a predicate, a collective receive
+    whose awaited peer the predicate declares dead raises
+    {!Collective_failed} naming that rank instead of blocking forever
+    in the fan-in/fan-out tree. *)
+
+val use_collectives : world -> Madeleine.Collectives.t -> unit
+(** Retarget the world-level collectives ({!barrier}, {!bcast},
+    {!reduce}, {!allreduce}) of every rank onto a fault-tolerant
+    vchannel collectives layer: topology-aware spanning trees with
+    gateway combining and mid-collective crash repair. World ranks map
+    one-to-one onto vchannel ranks. [reduce] then delivers the result
+    to every live caller (not just the root), and failures surface as
+    {!Collective_failed}. Communicator collectives are unaffected. *)
 
 (** {1 Point-to-point} *)
 

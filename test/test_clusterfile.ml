@@ -350,6 +350,81 @@ let test_topology_option_errors () =
   expect_parse_error ~line:1 "network m type=bip version=1";
   expect_parse_error ~line:1 "network m type=bip coordinator=a"
 
+let test_coll_options_parsed () =
+  (* coll= attaches a fault-tolerant collectives layer to the vchannel;
+     fanout and quorum flow through to Collectives.create. *)
+  let t =
+    Cf.load
+      {|
+network sci  type=sisci
+network myri type=bip
+node a  nets=sci
+node gw nets=sci,myri
+node b  nets=myri
+channel c-sci  net=sci  nodes=a,gw
+channel c-myri net=myri nodes=gw,b
+vchannel wan channels=c-sci,c-myri mtu=4096 coll=tree coll_fanout=2 coll_quorum=2
+|}
+  in
+  (match Cf.collectives t "wan" with
+  | None -> Alcotest.fail "coll=tree did not attach a collectives layer"
+  | Some coll ->
+      Alcotest.(check bool) "algo tree" true
+        (Madeleine.Collectives.algo coll = Madeleine.Collectives.Tree);
+      Alcotest.(check int) "quorum" 2 (Madeleine.Collectives.quorum coll);
+      (* The layer is live: run a barrier over it. *)
+      let engine = Cf.engine t in
+      for r = 0 to 2 do
+        Marcel.Engine.spawn engine ~name:(Printf.sprintf "r%d" r) (fun () ->
+            Madeleine.Collectives.barrier coll ~me:r)
+      done;
+      Marcel.Engine.run engine;
+      Alcotest.(check bool) "barrier moved packets" true
+        ((Madeleine.Collectives.stats coll).Madeleine.Collectives.packets > 0));
+  (* coll=flat is the measured linear baseline. *)
+  let t2 =
+    Cf.load
+      {|
+network s type=sisci
+node a nets=s
+node b nets=s
+channel c net=s nodes=a,b
+vchannel v channels=c coll=flat
+|}
+  in
+  (match Cf.collectives t2 "v" with
+  | Some coll ->
+      Alcotest.(check bool) "algo flat" true
+        (Madeleine.Collectives.algo coll = Madeleine.Collectives.Flat)
+  | None -> Alcotest.fail "coll=flat did not attach a collectives layer");
+  (* With coll= unset no layer exists at all. *)
+  let t3 = Cf.load two_cluster_cfg in
+  Alcotest.(check bool) "inert without coll=" true
+    (Cf.collectives t3 "wan" = None)
+
+let test_coll_option_errors () =
+  let vc_line opts =
+    "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b\nvchannel v channels=c " ^ opts
+  in
+  (* The algorithm is tree or flat, rejected on the vchannel's line. *)
+  expect_parse_error ~line:5 (vc_line "coll=ring");
+  expect_parse_error ~line:5 (vc_line "coll=");
+  (* Fanout caps tree children: an integer >= 2, and only with a tree. *)
+  expect_parse_error ~line:5 (vc_line "coll=tree coll_fanout=1");
+  expect_parse_error ~line:5 (vc_line "coll=tree coll_fanout=wide");
+  expect_parse_error ~line:5 (vc_line "coll_fanout=2");
+  expect_parse_error ~line:5 (vc_line "coll=flat coll_fanout=2");
+  (* Quorum is an integer >= 1 and means nothing without a layer. *)
+  expect_parse_error ~line:5 (vc_line "coll=tree coll_quorum=0");
+  expect_parse_error ~line:5 (vc_line "coll=tree coll_quorum=most");
+  expect_parse_error ~line:5 (vc_line "coll_quorum=1");
+  (* All three are vchannel options, never network or channel ones. *)
+  expect_parse_error ~line:1 "network m type=bip coll=tree";
+  expect_parse_error ~line:4
+    "network s type=sisci\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b coll_fanout=2"
+
 let test_parse_errors () =
   expect_parse_error ~line:1 "network foo type=quantum";
   expect_parse_error ~line:1 "node lonely nets=nowhere";
@@ -393,6 +468,10 @@ let () =
             test_topology_options_parsed;
           Alcotest.test_case "topology option errors" `Quick
             test_topology_option_errors;
+          Alcotest.test_case "collectives options" `Quick
+            test_coll_options_parsed;
+          Alcotest.test_case "collectives option errors" `Quick
+            test_coll_option_errors;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
         ] );
     ]

@@ -118,6 +118,7 @@ let test_generic_tm_header_roundtrip () =
       crd = true;
       agg = true;
       top = true;
+      col = true;
     }
   in
   Alcotest.(check bool) "roundtrip" true (G.decode_header (G.encode_header h) = h);

@@ -532,6 +532,79 @@ let test_hetero_mpi_allreduce () =
   Engine.run engine
 
 (* ------------------------------------------------------------------ *)
+(* Fault-tolerance: dead peers mid-collective. *)
+
+(* Regression: a barrier over a world where two ranks never show up
+   used to block every survivor forever in vrecv. With a liveness
+   predicate installed, each survivor now fails typed, naming the rank
+   it was waiting on (binomial fan-in at n=4: 0 waits on 1, 2 waits
+   on 3). *)
+let test_collective_failure_typed () =
+  let w = make_mpi_world ~n:4 `Chmad in
+  let alive r = r <> 1 && r <> 3 in
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      spawn_rank w (Printf.sprintf "r%d" r) (fun () ->
+          let c = rank_ctx w r in
+          Mpi.set_liveness c (Some alive);
+          match Mpi.barrier c with
+          | () -> Alcotest.failf "rank %d: barrier completed" r
+          | exception Mpi.Collective_failed msg ->
+              failures := (r, msg) :: !failures))
+    [ 0; 2 ];
+  Engine.run w.engine;
+  let msg_of r = List.assoc r !failures in
+  Alcotest.(check int) "both survivors failed" 2 (List.length !failures);
+  let names_dead ~dead msg =
+    let prefix = Printf.sprintf "rank %d died" dead in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S names rank %d" msg dead)
+      true
+      (String.length msg >= String.length prefix
+      && String.sub msg 0 (String.length prefix) = prefix)
+  in
+  names_dead ~dead:1 (msg_of 0);
+  names_dead ~dead:3 (msg_of 2)
+
+(* Retargeting the world collectives onto the vchannel's fault-tolerant
+   spanning trees keeps the MPI-level semantics: barrier synchronizes,
+   allreduce sums, bcast delivers. *)
+let test_use_collectives_retarget () =
+  let w = Harness.two_cluster_world () in
+  let engine = w.Harness.cw_engine in
+  let vc =
+    Madeleine.Vchannel.create w.Harness.cw_session ~mtu:16384
+      [ w.Harness.ch_sci; w.Harness.ch_myri ]
+  in
+  let devices = Array.init 3 (fun rank -> Mpilite.Dev_chmad_v.make vc ~rank) in
+  let world = Mpi.create_world engine ~devices in
+  let coll = Madeleine.Collectives.create vc in
+  Mpi.use_collectives world coll;
+  for r = 0 to 2 do
+    Engine.spawn engine ~name:(Printf.sprintf "r%d" r) (fun () ->
+        let c = Mpi.ctx world ~rank:r in
+        Mpi.barrier c;
+        let mine = Bytes.create 8 in
+        Bytes.set_int64_le mine 0 (Int64.of_int ((r + 1) * 10));
+        let total = Mpi.allreduce c ~op:int_sum mine in
+        Alcotest.(check int)
+          (Printf.sprintf "rank %d allreduce" r)
+          60
+          (Int64.to_int (Bytes.get_int64_le total 0));
+        let msg = Bytes.make 5 (if r = 1 then '!' else '.') in
+        Mpi.bcast c ~root:1 msg;
+        Alcotest.(check bytes)
+          (Printf.sprintf "rank %d bcast" r)
+          (Bytes.make 5 '!') msg)
+  done;
+  Engine.run engine;
+  let st = Madeleine.Collectives.stats coll in
+  Alcotest.(check bool)
+    "tree collectives actually ran" true
+    (st.Madeleine.Collectives.packets > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "mpi"
@@ -576,6 +649,13 @@ let () =
           Alcotest.test_case "p2p across gateway" `Quick test_hetero_mpi_p2p;
           Alcotest.test_case "allreduce across clusters" `Quick
             test_hetero_mpi_allreduce;
+        ] );
+      ( "fault tolerance",
+        [
+          Alcotest.test_case "collective failure surfaces typed" `Quick
+            test_collective_failure_typed;
+          Alcotest.test_case "retargeted collectives" `Quick
+            test_use_collectives_retarget;
         ] );
       ( "madeleine over mpi",
         [
