@@ -411,6 +411,26 @@ let chaos_one workload quick seed json_file =
     | "rolling-restart" ->
         let rr = Chaos.rolling_restart_run ~seed ~size ~messages in
         (Chaos.rolling_line rr, Chaos.rolling_gates rr, [])
+    | "partition-majority" | "coordinator-loss" | "partition-flapping" ->
+        let p =
+          match workload with
+          | "partition-majority" ->
+              Chaos.partition_majority_run ~seed ~size ~messages
+          | "coordinator-loss" ->
+              Chaos.coordinator_loss_run ~seed ~size ~messages
+          | _ ->
+              Chaos.partition_flapping_run ~seed ~size ~messages ~cycles:3
+        in
+        ( Chaos.partition_line p,
+          Chaos.partition_gates p,
+          [
+            ("elections", string_of_int p.Chaos.pt_elections);
+            ( "reelect_latency_us",
+              Printf.sprintf "%.2f" p.Chaos.pt_reelect_latency_us );
+            ("cut_delivered", string_of_int p.Chaos.pt_cut_delivered);
+            ("pending_after", string_of_int p.Chaos.pt_pending_after);
+            ("reemitted", string_of_int p.Chaos.pt_reemitted);
+          ] )
     | "join" ->
         let e = Chaos.join_load_run ~seed ~size ~messages in
         (Chaos.elastic_line e, Chaos.elastic_gates e, [])
@@ -458,7 +478,8 @@ let chaos_one workload quick seed json_file =
     | w ->
         Format.eprintf
           "chaos: unknown workload %s (expected rolling-restart, join, \
-           drain, coll-crash-barrier, coll-spine-overload, \
+           drain, partition-majority, coordinator-loss, \
+           partition-flapping, coll-crash-barrier, coll-spine-overload, \
            coll-rolling-allreduce or coll-scale)@."
           w;
         exit 2
@@ -511,7 +532,16 @@ let workload_arg =
                rejoins under traffic), $(b,join) (a rank joins mid-stream \
                and becomes routable without quiescing flows), $(b,drain) \
                (the on-route gateway drains mid-stream and the flow \
-               reroutes), $(b,coll-crash-barrier) (a rank crashes \
+               reroutes), $(b,partition-majority) (a minority rank is \
+               cut off; the majority keeps its coordinator and goodput, \
+               the minority fails typed, the heal replays its parked \
+               join), $(b,coordinator-loss) (the partition strands the \
+               coordinator itself; the majority elects a replacement and \
+               the re-election latency is recorded), \
+               $(b,partition-flapping) (repeated cut/heal cycles each \
+               isolating the sitting coordinator; every flap forces a \
+               committed re-election and membership survives), \
+               $(b,coll-crash-barrier) (a rank crashes \
                mid-barrier, survivors decide, the restart re-joins from \
                the journal exactly-once), $(b,coll-spine-overload) (an \
                Overloaded gateway is routed off the collective tree \
@@ -528,7 +558,8 @@ let chaos_cmd =
        ~doc:"Fault-injection sweep: reliable delivery under drops, \
              corruption, flaps, PCI stalls, gateway crashes and live \
              topology changes (rolling-restart, join-under-load, \
-             drain-under-load).")
+             drain-under-load), plus standalone partition scenarios \
+             (partition-majority, coordinator-loss, partition-flapping).")
     Term.(
       const chaos $ workload_arg $ quick_arg $ seed_arg $ jobs_arg $ json_arg)
 

@@ -940,6 +940,438 @@ let drain_load_run ~seed ~size ~messages =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Partition chaos: four ranks on one Ethernet segment with the
+   coordinator seat quorum-elected, cuts injected at the fault plane.
+   The gates are the paper-grade partition invariants: at most one
+   coordinator ever commits an epoch, the majority side keeps its
+   goodput during the cut, the minority surfaces typed errors instead
+   of hanging, and post-heal delivery is exactly-once. *)
+
+type partition_chaos = {
+  pt_workload : string;
+  pt_messages : int;
+  pt_size : int;
+  pt_cycles : int; (* partition/heal cycles injected *)
+  pt_coordinator_before : int;
+  pt_coordinator_after : int; (* -1 = no committed coordinator *)
+  pt_elections : int;
+  pt_epochs_unique : bool;
+  pt_reelect_latency_us : float;
+  pt_cut_delivered : int;
+  pt_minority_typed : bool;
+  pt_pending_after : int;
+  pt_members_final : int list;
+  pt_reemitted : int;
+  pt_exactly_once : bool;
+  pt_finish_us : float;
+}
+
+let election_world ~seed =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:(Int64.of_int seed) in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 4 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net engine fabric in
+  let stacks = Array.map (Tcpnet.attach net) nodes in
+  let session = Madeleine.Session.create engine in
+  let ch =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (fun i -> stacks.(i)))
+      ~ranks:[ 0; 1; 2; 3 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~faults ~topology:1 ~coordinator:0
+      ~election:true [ ch ]
+  in
+  (engine, faults, vc)
+
+(* Sentinel probing is activity-gated; the streams pause during a cut,
+   so keep every detector's grace window open explicitly. *)
+let spawn_probe_loop engine vc ~stop =
+  Engine.spawn engine ~name:"pt-prober" (fun () ->
+      while not !stop do
+        List.iter
+          (fun r ->
+            match Vc.sentinel vc ~rank:r with
+            | Some s -> Madeleine.Sentinel.touch s
+            | None -> ())
+          (Vc.ranks vc);
+        Engine.sleep (Time.us 400.0)
+      done)
+
+let members_of vc =
+  match Vc.topology vc with
+  | Some snap -> List.sort compare (Madeleine.Topology.ranks snap)
+  | None -> []
+
+let election_summary vc =
+  match Vc.election_stats vc with Some s -> s | None -> assert false
+
+let commit_epochs_unique (s : Vc.election_stats) =
+  let epochs = List.map fst s.Vc.commits in
+  List.sort_uniq compare epochs = List.sort compare epochs
+
+(* A deadline-bounded condition wait, so a broken invariant trips a
+   gate instead of hanging the harness. *)
+let wait_until engine ?(deadline_us = 200_000.0) cond =
+  let deadline = Time.add (Engine.now engine) (Time.us deadline_us) in
+  while (not (cond ())) && Time.( < ) (Engine.now engine) deadline do
+    Engine.sleep (Time.us 250.0)
+  done
+
+(* One exactly-once verified stream: sender/receiver pair with per-index
+   delivery counts. [gate] parks the sender until released; [retry]
+   keeps retrying a [Partitioned] send (a post-heal flow starts before
+   the suspicion has drained). *)
+let pt_stream engine vc ~tag ~src ~dst ~size ~messages ?(gate = ref true)
+    ?(retry = false) ~on_delivery () =
+  let payload_of m =
+    let p = Harness.payload size (Int64.of_int (tag + m)) in
+    Bytes.set_int32_le p 0 (Int32.of_int m);
+    p
+  in
+  let received = Array.make messages 0 in
+  let intact = ref true in
+  Engine.spawn engine ~name:(Printf.sprintf "pt-send-%d-%d" src dst)
+    (fun () ->
+      while not !gate do
+        Engine.sleep (Time.us 250.0)
+      done;
+      for m = 0 to messages - 1 do
+        let rec send tries =
+          match Vc.begin_packing vc ~me:src ~remote:dst with
+          | exception Vc.Partitioned _ when retry && tries < 400 ->
+              Engine.sleep (Time.us 500.0);
+              send (tries + 1)
+          | exception Vc.Partitioned _ -> intact := false
+          | oc ->
+              Vc.pack oc (payload_of m);
+              Vc.end_packing oc
+        in
+        send 0
+      done);
+  Engine.spawn engine ~name:(Printf.sprintf "pt-recv-%d-%d" src dst)
+    (fun () ->
+      while not !gate do
+        Engine.sleep (Time.us 250.0)
+      done;
+      for _ = 1 to messages do
+        let sink = Bytes.create size in
+        let ic = Vc.begin_unpacking_from vc ~me:dst ~remote:src in
+        Vc.unpack ic sink;
+        Vc.end_unpacking ic;
+        let idx = Int32.to_int (Bytes.get_int32_le sink 0) in
+        (if idx < 0 || idx >= messages then intact := false
+         else begin
+           received.(idx) <- received.(idx) + 1;
+           if not (Bytes.equal sink (payload_of idx)) then intact := false
+         end);
+        on_delivery ()
+      done);
+  fun () -> !intact && Array.for_all (fun n -> n = 1) received
+
+(* The majority keeps working while a non-member host is cut off: rank 3
+   drains cleanly, the cut isolates its (now outsider) host, a
+   mid-stream 0 -> 1 flow keeps delivering, the cut-side join parks with
+   the typed [No_quorum], and the heal replays it — after which a fresh
+   0 -> 3 stream must land exactly-once over the revived paths. *)
+let partition_majority_run ~seed ~size ~messages =
+  let engine, faults, vc = election_world ~seed in
+  let stop = ref false in
+  spawn_probe_loop engine vc ~stop;
+  let coordinator_before =
+    match Vc.coordinator vc with Some c -> c | None -> -1
+  in
+  let cut_active = ref false in
+  let cut_delivered = ref 0 in
+  let bg_delivered = ref 0 in
+  let bg_half = ref false in
+  let minority_typed = ref false in
+  let fg_gate = ref false in
+  let finish = ref Time.zero in
+  let bg_ok =
+    pt_stream engine vc ~tag:500 ~src:0 ~dst:1 ~size
+      ~messages:(2 * messages)
+      ~gate:(ref true)
+      ~on_delivery:(fun () ->
+        incr bg_delivered;
+        if !cut_active then incr cut_delivered;
+        if !bg_delivered = messages then bg_half := true)
+      ()
+  in
+  let fg_ok =
+    pt_stream engine vc ~tag:900 ~src:0 ~dst:3 ~size ~messages ~gate:fg_gate
+      ~retry:true
+      ~on_delivery:(fun () -> ())
+      ()
+  in
+  Engine.spawn engine ~name:"pt-controller" (fun () ->
+      (* Rank 3 leaves cleanly before any cut exists. *)
+      (match Vc.drain vc ~rank:3 with
+      | () -> ()
+      | exception (Vc.Partitioned _ | Vc.No_quorum _) -> ());
+      wait_until engine (fun () -> !bg_half);
+      Faults.partition faults ~fabric:"eth" [ 3 ] [ 0; 1; 2 ];
+      cut_active := true;
+      Engine.sleep (Time.ms 10.0);
+      (* The cut-side host asks back in: its request cannot reach the
+         coordinator, so the intent parks with the typed error. *)
+      (match Vc.join vc ~rank:3 with
+      | (_ : int) -> ()
+      | exception Vc.No_quorum _ -> minority_typed := true
+      | exception Vc.Partitioned _ -> ());
+      wait_until engine (fun () -> !bg_delivered >= 2 * messages);
+      Faults.heal faults ~fabric:"eth";
+      cut_active := false;
+      (* The replay must re-admit rank 3 before the fresh stream can
+         target it. *)
+      wait_until engine (fun () -> List.mem 3 (members_of vc));
+      fg_gate := true;
+      wait_until engine ~deadline_us:500_000.0 (fun () -> fg_ok ());
+      Engine.sleep (Time.ms 5.0);
+      finish := Engine.now engine;
+      stop := true);
+  Engine.run engine;
+  let stats = election_summary vc in
+  let rel = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  {
+    pt_workload = "partition-majority";
+    pt_messages = messages;
+    pt_size = size;
+    pt_cycles = 1;
+    pt_coordinator_before = coordinator_before;
+    pt_coordinator_after =
+      (match Vc.coordinator vc with Some c -> c | None -> -1);
+    pt_elections = stats.Vc.elections;
+    pt_epochs_unique = commit_epochs_unique stats;
+    pt_reelect_latency_us = stats.Vc.last_latency_us;
+    pt_cut_delivered = !cut_delivered;
+    pt_minority_typed = !minority_typed;
+    pt_pending_after = stats.Vc.pending;
+    pt_members_final = members_of vc;
+    pt_reemitted = rel.Vc.reemitted;
+    pt_exactly_once = bg_ok () && fg_ok ();
+    pt_finish_us = Time.to_us !finish;
+  }
+
+(* The coordinator itself is cut off: the majority elects its lowest
+   member and keeps its goodput, the isolated old seat sees typed
+   [Partitioned] flows and no quorum, and after the heal it rejoins as
+   a plain member — a fresh stream from it must land exactly-once. *)
+let coordinator_loss_run ~seed ~size ~messages =
+  let engine, faults, vc = election_world ~seed in
+  let stop = ref false in
+  spawn_probe_loop engine vc ~stop;
+  let coordinator_before =
+    match Vc.coordinator vc with Some c -> c | None -> -1
+  in
+  let cut_active = ref false in
+  let cut_delivered = ref 0 in
+  let bg_delivered = ref 0 in
+  let bg_half = ref false in
+  let minority_typed = ref false in
+  let fg_gate = ref false in
+  let finish = ref Time.zero in
+  let bg_ok =
+    pt_stream engine vc ~tag:600 ~src:1 ~dst:3 ~size
+      ~messages:(2 * messages)
+      ~gate:(ref true)
+      ~on_delivery:(fun () ->
+        incr bg_delivered;
+        if !cut_active then incr cut_delivered;
+        if !bg_delivered = messages then bg_half := true)
+      ()
+  in
+  let fg_ok =
+    pt_stream engine vc ~tag:950 ~src:0 ~dst:3 ~size ~messages ~gate:fg_gate
+      ~retry:true
+      ~on_delivery:(fun () -> ())
+      ()
+  in
+  Engine.spawn engine ~name:"pt-controller" (fun () ->
+      wait_until engine (fun () -> !bg_half);
+      Faults.partition faults ~fabric:"eth" [ coordinator_before ]
+        (List.filter (fun r -> r <> coordinator_before) [ 0; 1; 2; 3 ]);
+      cut_active := true;
+      (* The majority stands its lowest member for the vacated seat. *)
+      wait_until engine (fun () ->
+          match Vc.coordinator vc with
+          | Some c -> c <> coordinator_before
+          | None -> false);
+      (* The deposed side: once its own detectors caught up, it has no
+         quorum and a new flow fails with the typed error immediately
+         instead of hanging on re-emission. *)
+      wait_until engine (fun () ->
+          not (Vc.has_quorum vc ~viewer:coordinator_before));
+      (minority_typed :=
+         (not (Vc.has_quorum vc ~viewer:coordinator_before))
+         &&
+         match Vc.begin_packing vc ~me:coordinator_before ~remote:1 with
+         | exception Vc.Partitioned _ -> true
+         | _oc -> false);
+      wait_until engine (fun () -> !bg_delivered >= 2 * messages);
+      Faults.heal faults ~fabric:"eth";
+      cut_active := false;
+      fg_gate := true;
+      wait_until engine ~deadline_us:500_000.0 (fun () -> fg_ok ());
+      Engine.sleep (Time.ms 5.0);
+      finish := Engine.now engine;
+      stop := true);
+  Engine.run engine;
+  let stats = election_summary vc in
+  let rel = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  {
+    pt_workload = "coordinator-loss";
+    pt_messages = messages;
+    pt_size = size;
+    pt_cycles = 1;
+    pt_coordinator_before = coordinator_before;
+    pt_coordinator_after =
+      (match Vc.coordinator vc with Some c -> c | None -> -1);
+    pt_elections = stats.Vc.elections;
+    pt_epochs_unique = commit_epochs_unique stats;
+    pt_reelect_latency_us = stats.Vc.last_latency_us;
+    pt_cut_delivered = !cut_delivered;
+    pt_minority_typed = !minority_typed;
+    pt_pending_after = stats.Vc.pending;
+    pt_members_final = members_of vc;
+    pt_reemitted = rel.Vc.reemitted;
+    pt_exactly_once = bg_ok () && fg_ok ();
+    pt_finish_us = Time.to_us !finish;
+  }
+
+(* Repeated cut/heal cycles, each isolating whoever holds the seat: the
+   coordinator flip-flops between the two lowest ranks, every cycle
+   commits exactly one new epoch (the audit trail stays duplicate-free),
+   and a stream between two never-cut ranks keeps delivering through
+   the churn. *)
+let partition_flapping_run ~seed ~size ~messages ~cycles =
+  let engine, faults, vc = election_world ~seed in
+  let stop = ref false in
+  spawn_probe_loop engine vc ~stop;
+  let coordinator_before =
+    match Vc.coordinator vc with Some c -> c | None -> -1
+  in
+  let cut_active = ref false in
+  let cut_delivered = ref 0 in
+  let bg_done = ref false in
+  let minority_typed = ref true in
+  let finish = ref Time.zero in
+  let total = messages * cycles in
+  let bg_ok =
+    pt_stream engine vc ~tag:700 ~src:2 ~dst:3 ~size ~messages:total
+      ~gate:(ref true)
+      ~on_delivery:(fun () -> if !cut_active then incr cut_delivered)
+      ()
+  in
+  Engine.spawn engine ~name:"pt-bg-watch" (fun () ->
+      wait_until engine ~deadline_us:1_000_000.0 (fun () -> bg_ok ());
+      bg_done := true);
+  Engine.spawn engine ~name:"pt-controller" (fun () ->
+      for _ = 1 to cycles do
+        let seat =
+          match Vc.coordinator vc with Some c -> c | None -> 0
+        in
+        Faults.partition faults ~fabric:"eth" [ seat ]
+          (List.filter (fun r -> r <> seat) [ 0; 1; 2; 3 ]);
+        cut_active := true;
+        wait_until engine (fun () ->
+            match Vc.coordinator vc with
+            | Some c -> c <> seat
+            | None -> false);
+        (* The isolated old seat must know it lost quorum. *)
+        if Vc.has_quorum vc ~viewer:seat then minority_typed := false;
+        Faults.heal faults ~fabric:"eth";
+        cut_active := false;
+        (* Let the suspicion drain before the next flap, so each cycle
+           starts from a fully trusted membership. *)
+        Engine.sleep (Time.ms 15.0)
+      done;
+      wait_until engine ~deadline_us:1_000_000.0 (fun () -> !bg_done);
+      Engine.sleep (Time.ms 5.0);
+      finish := Engine.now engine;
+      stop := true);
+  Engine.run engine;
+  let stats = election_summary vc in
+  let rel = match Vc.rel_stats vc with Some s -> s | None -> assert false in
+  {
+    pt_workload = "partition-flapping";
+    pt_messages = total;
+    pt_size = size;
+    pt_cycles = cycles;
+    pt_coordinator_before = coordinator_before;
+    pt_coordinator_after =
+      (match Vc.coordinator vc with Some c -> c | None -> -1);
+    pt_elections = stats.Vc.elections;
+    pt_epochs_unique = commit_epochs_unique stats;
+    pt_reelect_latency_us = stats.Vc.last_latency_us;
+    pt_cut_delivered = !cut_delivered;
+    pt_minority_typed = !minority_typed;
+    pt_pending_after = stats.Vc.pending;
+    pt_members_final = members_of vc;
+    pt_reemitted = rel.Vc.reemitted;
+    pt_exactly_once = bg_ok ();
+    pt_finish_us = Time.to_us !finish;
+  }
+
+let partition_gates p =
+  let w = p.pt_workload in
+  [
+    (w ^ ": at most one coordinator committed per epoch", p.pt_epochs_unique);
+    (w ^ ": majority goodput continued during the cut", p.pt_cut_delivered > 0);
+    (w ^ ": minority surfaced typed errors, never hung", p.pt_minority_typed);
+    (w ^ ": no intent left parked after the heal", p.pt_pending_after = 0);
+    (w ^ ": post-heal delivery exactly-once, bit-identical",
+     p.pt_exactly_once);
+  ]
+  @ (match w with
+    | "partition-majority" ->
+        [
+          ( w ^ ": coordinator seat never moved",
+            p.pt_coordinator_after = p.pt_coordinator_before );
+          ( w ^ ": heal replayed the parked join",
+            p.pt_members_final = [ 0; 1; 2; 3 ] );
+        ]
+    | "coordinator-loss" ->
+        [
+          ( w ^ ": majority elected a replacement coordinator",
+            p.pt_elections >= 1
+            && p.pt_coordinator_after >= 0
+            && p.pt_coordinator_after <> p.pt_coordinator_before );
+          (w ^ ": re-election latency measured", p.pt_reelect_latency_us > 0.0);
+        ]
+    | _ ->
+        [
+          ( w ^ ": every flap forced a committed re-election",
+            p.pt_elections >= p.pt_cycles );
+          ( w ^ ": membership survived the flapping",
+            p.pt_members_final = [ 0; 1; 2; 3 ] );
+        ])
+
+let partition_line p =
+  Printf.sprintf
+    "%s: %d x %d B over %d cut/heal cycle(s); coordinator %d -> %d \
+     (%d election(s), epochs-unique=%s, last re-election %.2f us), \
+     %d delivered mid-cut, minority-typed=%s, pending=%d, members=[%s], \
+     %d re-emitted, exactly-once=%s, finish=%.2f us\n"
+    p.pt_workload p.pt_messages p.pt_size p.pt_cycles
+    p.pt_coordinator_before p.pt_coordinator_after p.pt_elections
+    (if p.pt_epochs_unique then "yes" else "NO")
+    p.pt_reelect_latency_us p.pt_cut_delivered
+    (if p.pt_minority_typed then "yes" else "NO")
+    p.pt_pending_after
+    (String.concat "; " (List.map string_of_int p.pt_members_final))
+    p.pt_reemitted
+    (if p.pt_exactly_once then "yes" else "NO")
+    p.pt_finish_us
+
+(* ------------------------------------------------------------------ *)
 (* Overload: one reliable credit-armed vchannel over a single TCP
    segment; the receiving host's drain rate is capped at 1/100 of the
    clean stream's. Run once clean (no cap) for the mismatch baseline,

@@ -155,6 +155,33 @@ type elastic = {
   el_finish_us : float;
 }
 
+type partition_chaos = {
+  pt_workload : string;
+      (* "partition-majority", "coordinator-loss" or "partition-flapping" *)
+  pt_messages : int;
+  pt_size : int;
+  pt_cycles : int; (* partition/heal cycles injected *)
+  pt_coordinator_before : int;
+  pt_coordinator_after : int; (* -1 = no committed coordinator *)
+  pt_elections : int; (* committed coordinator changes *)
+  pt_epochs_unique : bool; (* at most one commit per epoch, the
+                              split-brain audit *)
+  pt_reelect_latency_us : float; (* candidacy-start -> commit, last
+                                    election *)
+  pt_cut_delivered : int; (* majority-side messages landed mid-cut *)
+  pt_minority_typed : bool; (* minority ops failed typed, never hung *)
+  pt_pending_after : int; (* intents still parked at the end *)
+  pt_members_final : int list;
+  pt_reemitted : int;
+  pt_exactly_once : bool; (* every stream exactly-once, bit-identical *)
+  pt_finish_us : float;
+}
+(** Outcome of one partition chaos workload on the quorum-election
+    world: four ranks on one Ethernet segment, the coordinator seat
+    elected with a majority of the current membership (see
+    {!Madeleine.Vchannel.election_stats}), cuts injected with
+    {!Simnet.Faults.partition}. *)
+
 type coll_chaos = {
   co_workload : string;
   co_ranks : int;
@@ -311,6 +338,41 @@ val drain_load_run : seed:int -> size:int -> messages:int -> elastic
     no [Partitioned]; afterwards the drained rank is off every route,
     reports the typed [Departed] status and has been forgotten by
     every sentinel. *)
+
+val partition_majority_run : seed:int -> size:int -> messages:int -> partition_chaos
+(** The majority keeps working while a cut isolates an outsider host:
+    rank 3 drains cleanly, the cut isolates its host, a mid-stream
+    0 -> 1 flow keeps delivering, the cut-side re-join parks with the
+    typed {!Madeleine.Vchannel.No_quorum}, and the heal replays it —
+    after which a fresh 0 -> 3 stream must land exactly-once over the
+    revived paths. The coordinator seat must never move. *)
+
+val coordinator_loss_run : seed:int -> size:int -> messages:int -> partition_chaos
+(** The coordinator itself is cut off mid-stream: the majority elects
+    its lowest member (the re-election latency is recorded) and keeps
+    its goodput, the isolated old seat sees typed [Partitioned] flows
+    and no quorum, and after the heal a fresh stream from it must land
+    exactly-once. *)
+
+val partition_flapping_run :
+  seed:int -> size:int -> messages:int -> cycles:int -> partition_chaos
+(** [cycles] cut/heal cycles, each isolating whoever currently holds
+    the seat: every flap must commit exactly one new epoch (the commit
+    audit trail stays duplicate-free), the membership must survive
+    unchanged, and a stream between two never-cut ranks delivers
+    exactly-once through the churn. *)
+
+val partition_gates : partition_chaos -> (string * bool) list
+(** Pass/fail invariants of one partition workload, prefixed with its
+    name: unique commit epochs, mid-cut majority goodput, typed
+    minority errors, no parked intent surviving the heal, exactly-once
+    delivery — plus, per workload, the seat-stability / re-election /
+    flap-count gates. [madbench chaos partition-majority|
+    coordinator-loss|partition-flapping] keys its exit code off
+    these. *)
+
+val partition_line : partition_chaos -> string
+(** One-line human rendering (newline terminated). *)
 
 val coll_crash_barrier_run : seed:int -> coll_chaos
 (** Crash mid-barrier with a restart re-join: on the 4-rank redundant

@@ -429,6 +429,7 @@ let parse_line t lineno line =
       let credits = ref None and gw_pool = ref None in
       let sched = ref None and aggr_max = ref None and aggr_flush = ref None in
       let version = ref None and coordinator = ref None in
+      let election = ref false and topo_quorum = ref None in
       let coll = ref None and coll_fanout = ref None and coll_quorum = ref None in
       let positive_int key v =
         let n = parse_int lineno key v in
@@ -476,6 +477,13 @@ let parse_line t lineno line =
           | "coordinator", v ->
               coordinator :=
                 Some (find_or lineno t.node_tbl "node" v).Node.id
+          | "election", v -> (
+              match v with
+              | "on" -> election := true
+              | "off" -> election := false
+              | _ -> raise (Parse_error (lineno, "election expects on|off")))
+          | "topo_quorum", v ->
+              topo_quorum := Some (positive_int "topo_quorum" v)
           | "coll", v -> (
               match v with
               | "tree" -> coll := Some Madeleine.Collectives.Tree
@@ -502,6 +510,16 @@ let parse_line t lineno line =
       | None, Some _ ->
           raise (Parse_error (lineno, "coordinator= requires version="))
       | _ -> ());
+      (* Election rides the live-topology and reliability planes: quorum
+         is counted over sentinel ballots and membership epochs. *)
+      (match (!election, !topo_quorum) with
+      | false, Some _ ->
+          raise (Parse_error (lineno, "topo_quorum= requires election=on"))
+      | _ -> ());
+      if !election && !version = None then
+        raise (Parse_error (lineno, "election=on requires version="));
+      if !election && not !reliable then
+        raise (Parse_error (lineno, "election=on requires reliable=true"));
       (match (!coll, !coll_fanout) with
       | Some Madeleine.Collectives.Tree, _ | _, None -> ()
       | _, Some _ ->
@@ -534,7 +552,8 @@ let parse_line t lineno line =
         Madeleine.Vchannel.create t.cf_session ?mtu:!mtu ?patience:!patience
           ?gateway_overhead:!overhead ?ingress_cap_mb_s:!cap
           ?credits:!credits ?gw_pool:!gw_pool ?faults:vc_faults ?sched:vc_sched
-          ?topology:!version ?coordinator:!coordinator !chans
+          ?topology:!version ?coordinator:!coordinator ~election:!election
+          ?topo_quorum:!topo_quorum !chans
       in
       declare lineno t.vchan_tbl "vchannel" name vc;
       (match !coll with

@@ -42,7 +42,16 @@
     [coordinator=NODE] (a declared node that arbitrates joins and
     drains; requires [version=], defaults to the lowest rank). Both are
     rejected with a line-numbered {!Parse_error} on malformed values or
-    unknown nodes. [coll=tree|flat] attaches a fault-tolerant
+    unknown nodes. [election=on|off] (default [off]) replaces the
+    static coordinator with a quorum-elected one
+    ({!Madeleine.Vchannel.election_stats}); it requires [version=] and
+    [reliable=true], and [coordinator=] then merely seats the initial
+    incumbent. [topo_quorum=N] (>= 1) pins the election's ballot
+    quorum (default: a majority of the current membership) and
+    requires [election=on].
+    Malformed values, [election=on] without its prerequisites and
+    [topo_quorum=] without [election=on] are all rejected with a
+    line-numbered {!Parse_error}. [coll=tree|flat] attaches a fault-tolerant
     collectives layer ({!Madeleine.Collectives}, retrieved with
     {!collectives}); [coll_fanout=N] (>= 2, requires [coll=tree]) caps
     the children per spanning-tree node and [coll_quorum=N] (>= 1,

@@ -536,6 +536,20 @@ let fail_no_progress inst ~me attempts =
           "collective %d: no progress at rank %d after %d repair attempts"
           inst.i_id me attempts))
 
+(* On an election-enabled vchannel a rank cut onto a minority side must
+   fail fast: the shared snapshot's live-member count never drops below
+   quorum *for it* (membership is global), so without this check the
+   generic quorum test below would keep bumping repair generations into
+   the partition until max_attempts. *)
+let fail_if_minority t inst ~me =
+  if not (Vchannel.has_quorum t.vc ~viewer:me) then
+    raise
+      (Collective_failed
+         (Printf.sprintf
+            "collective %d: rank %d cannot reach a membership quorum \
+             (partitioned minority)"
+            inst.i_id me))
+
 (* Reduce-family participant (barrier, reduce, allreduce): contribute
    under the current generation, park; on a repair generation re-send
    under the fresh tree; on the decision's arrival return it. A dead
@@ -566,6 +580,7 @@ let run_reduce t inst ~me value =
              unnoticed by the sentinels — force a repair generation
              and re-send. *)
           incr attempts;
+          fail_if_minority t inst ~me;
           let live = live_members t in
           if List.length live < t.quorum then fail_no_quorum t inst live
           else if !attempts >= max_attempts then
@@ -617,6 +632,7 @@ let run_bcast t inst ~me value_opt =
         then go ()
         else begin
           incr attempts;
+          fail_if_minority t inst ~me;
           let live = live_members t in
           if List.length live < t.quorum then fail_no_quorum t inst live
           else if !attempts >= max_attempts then
@@ -670,6 +686,7 @@ let run_a2a t inst ~me blocks =
       if wait_progress t inst ~gen ~progressed:complete then go ()
       else begin
         incr attempts;
+        fail_if_minority t inst ~me;
         let live = live_members t in
         if List.length live < t.quorum then fail_no_quorum t inst live
         else if !attempts >= max_attempts then

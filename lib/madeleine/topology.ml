@@ -44,6 +44,14 @@ let drain t rank =
       (Printf.sprintf "Topology.drain: rank %d is the coordinator" rank);
   { t with epoch = t.epoch + 1; ranks = List.filter (( <> ) rank) t.ranks }
 
+let with_coordinator t rank =
+  if not (mem t rank) then
+    invalid_arg
+      (Printf.sprintf "Topology.with_coordinator: rank %d is not a member"
+         rank);
+  if rank = t.coordinator then t
+  else { t with epoch = t.epoch + 1; coordinator = rank }
+
 let diff a b =
   {
     joined = List.filter (fun r -> not (mem a r)) b.ranks;

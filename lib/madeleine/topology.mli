@@ -41,6 +41,12 @@ val drain : t -> int -> t
 (** Next epoch with [rank] removed. Raises [Invalid_argument] if it is
     not a member or is the coordinator. *)
 
+val with_coordinator : t -> int -> t
+(** Next epoch with the coordinator moved to [rank] — the snapshot a
+    quorum election commits. Raises [Invalid_argument] if [rank] is not
+    a member; returns the snapshot unchanged (same epoch) if [rank]
+    already coordinates. *)
+
 val diff : t -> t -> change
 (** [diff old new_] lists the ranks that joined and departed going from
     [old] to [new_]. *)

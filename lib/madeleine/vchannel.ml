@@ -87,6 +87,8 @@ type hop = { hop_channel : Channel.t; hop_to : int }
 
 exception Partitioned of string
 
+exception No_quorum of string
+
 (* End-to-end reliability state, present only when the vchannel was
    created with a fault plane. Sequence numbers are per (origin, final
    destination) flow, 16 bits, carried in the packet header; every
@@ -113,8 +115,16 @@ type rel = {
       (* flows whose origin crashed: sends block until the peer's
          session handshake restores the cursor *)
   sentinels : (int, Sentinel.t) Hashtbl.t; (* per-rank failure detectors *)
-  suspected : (int, unit) Hashtbl.t;
-      (* live nodes the sentinels currently call Down *)
+  suspected : (int * int, unit) Hashtbl.t;
+      (* (observer, peer): observer's sentinel currently calls the
+         still-live peer Down. Under a partition the two sides suspect
+         each other, so suspicion is meaningful only relative to who is
+         looking — a global "someone suspects it" bit would take every
+         rank down at once. *)
+  susp_count : (int, int) Hashtbl.t;
+      (* peer -> number of observers suspecting it; the O(1)
+         "suspected by anyone" view used when no election plane makes
+         suspicion viewer-relative *)
   mutable route_waiters : (unit -> unit) list;
   mutable hs_waiters : (unit -> unit) list;
   mutable ack_waiters : (unit -> unit) list;
@@ -192,7 +202,9 @@ type pump = {
    packets over the data path, so they cross gateways, cost network
    time, and interleave with live traffic like any other packet. *)
 type live = {
-  lv_coordinator : int;
+  mutable lv_coordinator : int;
+      (* follows the snapshot's coordinator; mutable because a quorum
+         election can move it away from the clusterfile's choice *)
   mutable lv_snapshot : Topology.t;
   lv_draining : (int, unit) Hashtbl.t;
       (* ranks mid-drain: still routable, but accept no new flows *)
@@ -204,6 +216,32 @@ type live = {
   mutable lv_scale_ins : int;
   mutable lv_waiters : (unit -> unit) list;
       (* threads parked on the next epoch swap *)
+}
+
+(* Suppressed membership intents of a partitioned minority, replayed
+   through the winning coordinator once the cut heals. *)
+type intent = P_join of int | P_drain of int
+
+(* Quorum-election plane, present only when the vchannel was created
+   with [~election:true] (clusterfile [election=on]). Candidacy is
+   epoch-numbered: term = current topology epoch + 1, and a commit is
+   [Topology.with_coordinator] — which bumps the epoch to exactly the
+   term — so two candidates can never both commit the same epoch: the
+   loser's re-check ([epoch < term]) fails after the winner's swap.
+   Ballots live in the candidate's {!Sentinel} tagged with the voter's
+   crash epoch, so a restarted voter's stale ballot stops counting
+   without any revocation traffic. *)
+type elect = {
+  el_quorum : int option; (* pinned ballot quorum ([?topo_quorum]);
+                             [None] = majority of the current membership *)
+  mutable el_term : int; (* highest term seen locally *)
+  mutable el_elections : int; (* committed elections *)
+  mutable el_attempts : int; (* candidacies started *)
+  mutable el_refusals : int; (* candidacies/epoch bumps refused: no quorum *)
+  mutable el_commits : (int * int) list; (* (epoch, coordinator), newest first *)
+  mutable el_last_latency : Time.span; (* trigger -> commit, last election *)
+  mutable el_running : bool; (* a candidacy is in flight *)
+  mutable el_pending : intent list; (* minority's suppressed intents *)
 }
 
 type t = {
@@ -239,6 +277,7 @@ type t = {
   mutable overload_events : int; (* Overloaded transitions (rising edges) *)
   mutable on_overload_change : unit -> unit; (* rel: recompute + reemit *)
   live : live option; (* live topology (clusterfile version=) *)
+  elect : elect option; (* quorum elections (clusterfile election=on) *)
   mutable on_topo_change : unit -> unit; (* epoch swap: recompute + reemit *)
   mutable on_col : me:int -> origin:int -> Bytes.t -> unit;
       (* collective-control packets, delivered to the Collectives layer *)
@@ -308,9 +347,15 @@ let forwarded t =
   |> List.sort compare
 
 (* Fewest-channel-hops routing over the channel membership graph:
-   breadth-first search keeping (node -> predecessor node * hop). [down]
-   excludes crashed nodes, both as relays and as endpoints. *)
-let compute_routes ?(down = fun _ -> false) channels all_ranks =
+   breadth-first search keeping (node -> predecessor node * hop).
+   [down u v] excludes the hop u -> v: crashed or departed nodes are
+   down for every u, and viewer-relative suspicion (quorum-election
+   vchannels) makes the predicate genuinely edge-shaped — a hop exists
+   only when its sender trusts its receiver, so a route never enters a
+   region its own relays would refuse to forward into. With a
+   viewer-blind predicate this reduces exactly to the old node
+   exclusion. *)
+let compute_routes ?(down = fun _ _ -> false) channels all_ranks =
   let routes = Hashtbl.create 64 in
   (* Per-node adjacency, built once per call: for each node, the channels
      containing it (in channel-list order) with their member lists. The
@@ -336,7 +381,7 @@ let compute_routes ?(down = fun _ -> false) channels all_ranks =
   in
   List.iter
     (fun src ->
-      if not (down src) then begin
+      if not (down src src) then begin
         let pred : (int, int * hop) Hashtbl.t = Hashtbl.create 16 in
         let visited = Hashtbl.create 16 in
         Hashtbl.add visited src ();
@@ -348,7 +393,7 @@ let compute_routes ?(down = fun _ -> false) channels all_ranks =
             (fun (c, members) ->
               List.iter
                 (fun v ->
-                  if v <> u && (not (down v)) && not (Hashtbl.mem visited v)
+                  if v <> u && (not (down u v)) && not (Hashtbl.mem visited v)
                   then begin
                     Hashtbl.add visited v ();
                     Hashtbl.add pred v (u, { hop_channel = c; hop_to = v });
@@ -721,13 +766,33 @@ let wait_handshake t r ~src ~dst =
 let top_join_req = 1
 let top_join_ack = 2
 let top_drain_req = 3
+
+(* Election ops ride the same [top] control plane. Their payload is the
+   9-byte membership layout extended by two fields: the sender's highest
+   committed epoch and a watermark — the candidate's delivery-journal
+   depth on a vote request (the audit surface for highest-committed-wins
+   reconciliation), the voter's crash epoch on a vote ack (what lets the
+   candidate discard ballots from voters that have since restarted). *)
+let top_vote_req = 4
+let top_vote_ack = 5
+let top_coord = 6
 let top_payload_size = 9
+let top_ext_payload_size = 17
 
 let top_payload ~op ~rank ~epoch =
   let b = Bytes.create top_payload_size in
   Bytes.set b 0 (Char.chr op);
   Bytes.set_int32_le b 1 (Int32.of_int rank);
   Bytes.set_int32_le b 5 (Int32.of_int epoch);
+  b
+
+let top_ext_payload ~op ~rank ~term ~committed ~watermark =
+  let b = Bytes.create top_ext_payload_size in
+  Bytes.set b 0 (Char.chr op);
+  Bytes.set_int32_le b 1 (Int32.of_int rank);
+  Bytes.set_int32_le b 5 (Int32.of_int term);
+  Bytes.set_int32_le b 9 (Int32.of_int committed);
+  Bytes.set_int32_le b 13 (Int32.of_int watermark);
   b
 
 let top_header ~src ~dst ~len =
@@ -774,11 +839,30 @@ let shares_channel t a b =
     (fun c -> List.mem a (Channel.ranks c) && List.mem b (Channel.ranks c))
     t.channels
 
+(* Drop every suspicion record involving [rank] — as the suspect (any
+   observer's entry) and as an observer (its own verdicts die with its
+   departure), keeping the by-any count in step. *)
+let unsuspect_all r rank =
+  let stale =
+    Hashtbl.fold
+      (fun ((o, p) as key) () acc ->
+        if o = rank || p = rank then key :: acc else acc)
+      r.suspected []
+  in
+  List.iter
+    (fun ((_, p) as key) ->
+      Hashtbl.remove r.suspected key;
+      match Hashtbl.find_opt r.susp_count p with
+      | Some n when n <= 1 -> Hashtbl.remove r.susp_count p
+      | Some n -> Hashtbl.replace r.susp_count p (n - 1)
+      | None -> ())
+    stale
+
 let sentinels_learn t rank =
   match t.rel with
   | None -> ()
   | Some r ->
-      Hashtbl.remove r.suspected rank;
+      unsuspect_all r rank;
       Hashtbl.iter
         (fun me s ->
           if me <> rank && shares_channel t me rank then Sentinel.learn s rank)
@@ -787,18 +871,20 @@ let sentinels_learn t rank =
 (* Dropping a departed rank from every detector is what keeps a
    long-lived elastic session's phi-accrual state from growing without
    bound — and what stops a sentinel from suspecting a rank that left
-   gracefully. *)
+   gracefully. Sentinel.forget also voids the rank's recorded ballots,
+   so a drained rank stops counting toward any quorum. *)
 let sentinels_forget t rank =
   match t.rel with
   | None -> ()
   | Some r ->
-      Hashtbl.remove r.suspected rank;
+      unsuspect_all r rank;
       Hashtbl.iter
         (fun me s -> if me <> rank then Sentinel.forget s rank)
         r.sentinels
 
 let apply_swap t lv snap =
   lv.lv_snapshot <- snap;
+  lv.lv_coordinator <- Topology.coordinator snap;
   t.on_topo_change ();
   t.on_health_change ();
   topo_wake lv
@@ -813,6 +899,55 @@ let send_top t ~src ~dst ~op ~rank ~epoch =
         ship_packet t ~at:src ~header ~payload ~payload_len:top_payload_size
       with Partitioned _ | Config.Peer_unreachable _ -> ())
 
+let send_top_ext t ~src ~dst ~op ~rank ~term ~committed ~watermark =
+  let payload = top_ext_payload ~op ~rank ~term ~committed ~watermark in
+  let header = top_header ~src ~dst ~len:top_ext_payload_size in
+  Engine.spawn t.engine ~daemon:true
+    ~name:(Printf.sprintf "vchannel.top.%d->%d" src dst)
+    (fun () ->
+      try
+        ship_packet t ~at:src ~header ~payload
+          ~payload_len:top_ext_payload_size
+      with Partitioned _ | Config.Peer_unreachable _ -> ())
+
+(* The members of [viewer]'s side of the world: reachable over hops
+   whose sender trusts the receiver (the routes are computed with the
+   edge-shaped [down] predicate, so presence of a route IS trust-path
+   reachability), plus [viewer] itself. Under no partition this is the
+   whole live membership. *)
+let side_members t lv ~viewer =
+  List.filter
+    (fun m ->
+      (match t.rel with
+      | Some r -> Simnet.Faults.node_up r.faults m
+      | None -> true)
+      && (m = viewer || Hashtbl.mem t.routes (viewer, m)))
+    (Topology.ranks lv.lv_snapshot)
+
+(* The ballot quorum in force right now. Unpinned, it is a majority of
+   the CURRENT committed membership, not of the founding one — so a
+   legitimately shrunk topology (drains below the founding majority)
+   keeps its liveness, while two disjoint partition sides still can
+   never both hold a majority of the same membership. *)
+let quorum_needed lv el =
+  match el.el_quorum with
+  | Some q -> q
+  | None -> (List.length (Topology.ranks lv.lv_snapshot) / 2) + 1
+
+let side_has_quorum t lv el ~viewer =
+  List.length (side_members t lv ~viewer) >= quorum_needed lv el
+
+(* Depth of a rank's delivery journals — the watermark a candidacy
+   carries so reconciliation debates are auditable on the wire. *)
+let journal_watermark t rank =
+  match t.rel with
+  | None -> 0
+  | Some r ->
+      Hashtbl.fold
+        (fun (me, _) expected acc ->
+          if me = rank then acc + !expected else acc)
+        r.rx_next 0
+
 let handle_top t ~me header payload =
   match t.live with
   | None -> () (* stray control packet on a fixed-topology vchannel *)
@@ -826,9 +961,23 @@ let handle_top t ~me header payload =
         let op = Char.code (Bytes.get payload 0) in
         let rank = Int32.to_int (Bytes.get_int32_le payload 1) in
         ignore header;
+        (* A coordinator that cannot see a quorum refuses to bump the
+           epoch: a partitioned minority must surface typed errors, not
+           diverge from the majority's membership history. Without an
+           election plane the static coordinator always commits. *)
+        let may_commit () =
+          match t.elect with
+          | None -> true
+          | Some el ->
+              let ok = side_has_quorum t lv el ~viewer:me in
+              if not ok then el.el_refusals <- el.el_refusals + 1;
+              ok
+        in
         if op = top_join_req then begin
           if
-            me = lv.lv_coordinator && not (Topology.mem lv.lv_snapshot rank)
+            me = lv.lv_coordinator
+            && (not (Topology.mem lv.lv_snapshot rank))
+            && may_commit ()
           then begin
             let snap = Topology.join lv.lv_snapshot rank in
             lv.lv_joins <- lv.lv_joins + 1;
@@ -847,6 +996,7 @@ let handle_top t ~me header payload =
             me = lv.lv_coordinator
             && Topology.mem lv.lv_snapshot rank
             && rank <> lv.lv_coordinator
+            && may_commit ()
           then begin
             let snap = Topology.drain lv.lv_snapshot rank in
             lv.lv_drains <- lv.lv_drains + 1;
@@ -855,6 +1005,50 @@ let handle_top t ~me header payload =
             sentinels_forget t rank;
             apply_swap t lv snap
           end
+        end
+        else if Bytes.length payload >= top_ext_payload_size then begin
+          let term = Int32.to_int (Bytes.get_int32_le payload 5) in
+          let committed = Int32.to_int (Bytes.get_int32_le payload 9) in
+          let watermark = Int32.to_int (Bytes.get_int32_le payload 13) in
+          if op = top_vote_req then begin
+            (* [rank] asks for this rank's ballot in [term]. Refuse
+               candidates behind our committed epoch (highest-committed
+               wins on merge) and grant at most one ballot per term; the
+               ack carries our crash epoch so the candidate can discard
+               the ballot if we restart before it counts. *)
+            match (t.elect, t.rel) with
+            | Some el, Some r when Topology.mem lv.lv_snapshot me ->
+                el.el_term <- max el.el_term term;
+                if committed >= Topology.epoch lv.lv_snapshot then begin
+                  match Hashtbl.find_opt r.sentinels me with
+                  | Some s when Sentinel.grant_vote s ~term ->
+                      send_top_ext t ~src:me ~dst:rank ~op:top_vote_ack
+                        ~rank:me ~term
+                        ~committed:(Topology.epoch lv.lv_snapshot)
+                        ~watermark:(Simnet.Faults.epoch r.faults me)
+                  | _ -> ()
+                end
+            | _ -> ()
+          end
+          else if op = top_vote_ack then begin
+            (* A ballot granted to this rank: [watermark] is the voter's
+               crash epoch at the grant. *)
+            match (t.elect, t.rel) with
+            | Some _, Some r ->
+                (match Hashtbl.find_opt r.sentinels me with
+                | Some s ->
+                    Sentinel.record_ballot s ~voter:rank ~term
+                      ~voter_epoch:watermark
+                | None -> ());
+                topo_wake lv
+            | _ -> ()
+          end
+          else if op = top_coord then
+            (* Commit announcement from the winner; the swap itself
+               already happened at the electorate's shared snapshot —
+               this packet is what makes the result observable on the
+               wire and wakes anyone parked on the old coordinator. *)
+            topo_wake lv
         end
       end
 
@@ -929,7 +1123,7 @@ let neighbours t rank =
    coordinator; from that member node on, the packet rides the normal
    routed path like any transit packet. *)
 let ship_top_physical t ~at ~dst ~payload =
-  let down n =
+  let down _viewer n =
     match t.rel with
     | Some r -> not (Simnet.Faults.node_up r.faults n)
     | None -> false
@@ -958,6 +1152,140 @@ let ship_top_physical t ~at ~dst ~payload =
            (Printf.sprintf
               "Vchannel.join: no physical path from %d to coordinator %d" at
               dst))
+
+(* ------------------------------------------------------------------ *)
+(* Quorum elections. A candidacy is one epoch-numbered round: term =
+   current epoch + 1, a self-vote plus vote requests to every live
+   member, then a patience-bounded wait for [el_quorum] countable
+   ballots. The commit is [Topology.with_coordinator], which advances
+   the epoch to exactly the term — and is guarded by a lost-race
+   re-check, so of two concurrent candidacies in the same term at most
+   one ever commits that epoch. A minority side's candidacy simply
+   never reaches quorum and is recorded as a refusal. *)
+
+(* The lowest live member of [viewer]'s side — who should stand. *)
+let elect_candidate t lv ~viewer =
+  match side_members t lv ~viewer with c :: _ -> Some c | [] -> None
+
+let run_election t lv el ~candidate =
+  match t.rel with
+  | None -> ()
+  | Some r ->
+      if el.el_running then
+        (* A candidacy is already in flight; park until it settles so
+           callers retrying a join/drain observe its outcome. *)
+        ignore (topo_wait t lv ~until:(fun () -> not el.el_running))
+      else begin
+        el.el_running <- true;
+        el.el_attempts <- el.el_attempts + 1;
+        let started = Engine.now t.engine in
+        let term = Topology.epoch lv.lv_snapshot + 1 in
+        el.el_term <- max el.el_term term;
+        let committed = Topology.epoch lv.lv_snapshot in
+        (match Hashtbl.find_opt r.sentinels candidate with
+        | None -> el.el_refusals <- el.el_refusals + 1
+        | Some s ->
+            if Sentinel.grant_vote s ~term then
+              Sentinel.record_ballot s ~voter:candidate ~term
+                ~voter_epoch:(Simnet.Faults.epoch r.faults candidate);
+            List.iter
+              (fun peer ->
+                if peer <> candidate && Simnet.Faults.node_up r.faults peer
+                then
+                  send_top_ext t ~src:candidate ~dst:peer ~op:top_vote_req
+                    ~rank:candidate ~term ~committed
+                    ~watermark:(journal_watermark t candidate))
+              (Topology.ranks lv.lv_snapshot);
+            let quorum_now () =
+              List.length (Sentinel.ballots s ~term) >= quorum_needed lv el
+            in
+            let won = topo_wait t lv ~until:quorum_now in
+            if
+              won
+              && Topology.epoch lv.lv_snapshot < term
+              && candidate <> Topology.coordinator lv.lv_snapshot
+            then begin
+              let snap = Topology.with_coordinator lv.lv_snapshot candidate in
+              el.el_elections <- el.el_elections + 1;
+              el.el_commits <-
+                (Topology.epoch snap, candidate) :: el.el_commits;
+              el.el_last_latency <- Time.diff (Engine.now t.engine) started;
+              apply_swap t lv snap;
+              List.iter
+                (fun peer ->
+                  if peer <> candidate then
+                    send_top_ext t ~src:candidate ~dst:peer ~op:top_coord
+                      ~rank:candidate ~term
+                      ~committed:(Topology.epoch snap)
+                      ~watermark:(journal_watermark t candidate))
+                (Topology.ranks lv.lv_snapshot)
+            end
+            else if not won then el.el_refusals <- el.el_refusals + 1);
+        el.el_running <- false;
+        topo_wake lv
+      end
+
+(* Post-heal reconciliation: the shared snapshot already embodies the
+   majority's history (highest-committed-wins is structural — the
+   minority was refused every bump), so merging is replaying the
+   loser's suppressed join/drain intents through the winning
+   coordinator. Idempotent against the coordinator's membership guards;
+   intents that still cannot get through go back on the pending list
+   for the next heal. *)
+let replay_pending t lv el =
+  let pend = List.rev el.el_pending in
+  el.el_pending <- [];
+  List.iter
+    (fun intent ->
+      match intent with
+      | P_join rank ->
+          if not (Topology.mem lv.lv_snapshot rank) then begin
+            let attempt () =
+              let payload =
+                top_payload ~op:top_join_req ~rank
+                  ~epoch:(Topology.epoch lv.lv_snapshot)
+              in
+              (try
+                 ship_top_physical t ~at:rank ~dst:lv.lv_coordinator ~payload
+               with Partitioned _ | Config.Peer_unreachable _ -> ());
+              topo_wait t lv ~until:(fun () ->
+                  Topology.mem lv.lv_snapshot rank)
+            in
+            if not (attempt () || attempt ()) then
+              el.el_pending <- P_join rank :: el.el_pending
+          end
+      | P_drain rank ->
+          if
+            Topology.mem lv.lv_snapshot rank && rank <> lv.lv_coordinator
+          then begin
+            (* The routed drain notification needs the trust paths back
+               first: suspicion drains via Up probes shortly after the
+               heal, so wait for the rank-to-coordinator route before
+               shipping (patience-bounded; a failed ship is retried
+               once, then the intent goes back on the pending list). *)
+            ignore
+              (topo_wait t lv ~until:(fun () ->
+                   Hashtbl.mem t.routes (rank, lv.lv_coordinator)));
+            let attempt () =
+              let payload =
+                top_payload ~op:top_drain_req ~rank
+                  ~epoch:(Topology.epoch lv.lv_snapshot)
+              in
+              let header =
+                top_header ~src:rank ~dst:lv.lv_coordinator
+                  ~len:top_payload_size
+              in
+              (try
+                 ship_packet t ~at:rank ~header ~payload
+                   ~payload_len:top_payload_size
+               with Partitioned _ | Config.Peer_unreachable _ -> ());
+              topo_wait t lv ~until:(fun () ->
+                  not (Topology.mem lv.lv_snapshot rank))
+            in
+            if not (attempt () || attempt ()) then
+              el.el_pending <- P_drain rank :: el.el_pending
+          end)
+    pend
 
 (* Deliver a packet that reached its final node. Reliable vchannels
    accept only the expected sequence number (re-emitted duplicates and
@@ -1501,7 +1829,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
     ?(patience = Config.default_route_patience)
     ?(gateway_overhead = Config.gateway_packet_overhead)
     ?(extra_gateway_copy = false) ?ingress_cap_mb_s ?credits ?gw_pool ?faults
-    ?sched ?topology ?coordinator channels =
+    ?sched ?topology ?coordinator ?(election = false) ?topo_quorum channels =
   if channels = [] then invalid_arg "Vchannel.create: no channels";
   if mtu <= Generic_tm.sub_header_size then
     invalid_arg "Vchannel.create: mtu too small";
@@ -1584,6 +1912,47 @@ let create session ?(mtu = Config.default_vchannel_mtu)
     | None -> true
     | Some lv -> Topology.mem lv.lv_snapshot n
   in
+  (* Election wants the whole stack under it: a topology to elect over
+     and a fault plane (sentinels carry both the suspicion verdicts the
+     candidacy triggers ride and the ballot registries). *)
+  let elect_plane =
+    if not election then begin
+      (match topo_quorum with
+      | Some _ ->
+          invalid_arg "Vchannel.create: topo_quorum requires election"
+      | None -> ());
+      None
+    end
+    else begin
+      (match live_plane with
+      | None ->
+          invalid_arg
+            "Vchannel.create: election requires a topology version"
+      | Some _ -> ());
+      (match faults with
+      | None ->
+          invalid_arg "Vchannel.create: election requires a fault plane"
+      | Some _ -> ());
+      let n = List.length all_ranks in
+      (match topo_quorum with
+      | Some q when q < 1 || q > n ->
+          invalid_arg
+            (Printf.sprintf "Vchannel.create: topo_quorum %d outside 1..%d" q n)
+      | _ -> ());
+      Some
+        {
+          el_quorum = topo_quorum;
+          el_term = 0;
+          el_elections = 0;
+          el_attempts = 0;
+          el_refusals = 0;
+          el_commits = [];
+          el_last_latency = Time.zero;
+          el_running = false;
+          el_pending = [];
+        }
+    end
+  in
   let rel =
     match faults with
     | None -> None
@@ -1597,6 +1966,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             tx_lost = Hashtbl.create 8;
             sentinels = Hashtbl.create 8;
             suspected = Hashtbl.create 8;
+            susp_count = Hashtbl.create 8;
             route_waiters = [];
             hs_waiters = [];
             ack_waiters = [];
@@ -1627,14 +1997,26 @@ let create session ?(mtu = Config.default_vchannel_mtu)
   let pool =
     match gw_pool with Some p -> p | None -> Config.default_gateway_pool
   in
+  let election_on = match elect_plane with Some _ -> true | None -> false in
   let down =
     match rel with
-    | None -> fun n -> not (member n)
+    | None -> fun _viewer n -> not (member n)
     | Some r ->
-        fun n ->
-          (not (member n))
-          || (not (Simnet.Faults.node_up r.faults n))
-          || Hashtbl.mem r.suspected n
+        if election_on then
+          (* Viewer-relative suspicion: the hop viewer -> n exists only
+             when the viewer's own sentinel trusts n. Under a symmetric
+             partition each side keeps full routes within itself instead
+             of everyone going dark because somebody somewhere suspects
+             them. *)
+          fun viewer n ->
+            (not (member n))
+            || (not (Simnet.Faults.node_up r.faults n))
+            || (viewer <> n && Hashtbl.mem r.suspected (viewer, n))
+        else
+          fun _viewer n ->
+            (not (member n))
+            || (not (Simnet.Faults.node_up r.faults n))
+            || Hashtbl.mem r.susp_count n
   in
   let routes = compute_routes ~down channels all_ranks in
   let base_hops = Hashtbl.create 64 in
@@ -1676,6 +2058,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
       overload_events = 0;
       on_overload_change = (fun () -> ());
       live = live_plane;
+      elect = elect_plane;
       on_topo_change = (fun () -> ());
       on_col = (fun ~me:_ ~origin:_ _ -> ());
       on_health_change = (fun () -> ());
@@ -1712,7 +2095,7 @@ let create session ?(mtu = Config.default_vchannel_mtu)
            at the price of reachability: pairs only connected through an
            overloaded node keep their direct route. *)
         if Hashtbl.length t.overloaded > 0 then begin
-          let down_or_overloaded n = down n || Hashtbl.mem t.overloaded n in
+          let down_or_overloaded u n = down u n || Hashtbl.mem t.overloaded n in
           let strict =
             compute_routes ~down:down_or_overloaded channels all_ranks
           in
@@ -1796,10 +2179,35 @@ let create session ?(mtu = Config.default_vchannel_mtu)
                   c.cr_rx);
             recompute ();
             reemit_flows t r;
-            t.on_health_change ()
+            t.on_health_change ();
+            (* A crashed coordinator needs no phi verdict: the fault
+               plane's word is definitive, so stand a candidate at
+               once — the lowest still-live member. *)
+            match (t.elect, t.live) with
+            | Some el, Some lv when node = lv.lv_coordinator -> (
+                topo_wake lv;
+                match
+                  List.find_opt
+                    (fun m -> Simnet.Faults.node_up r.faults m)
+                    (Topology.ranks lv.lv_snapshot)
+                with
+                | Some candidate ->
+                    Engine.spawn t.engine ~daemon:true
+                      ~name:
+                        (Printf.sprintf "vchannel.elect.crash.%d" candidate)
+                      (fun () -> run_election t lv el ~candidate)
+                | None -> ())
+            | _ -> ()
           end);
       Simnet.Faults.on_restart r.faults (fun node ->
           if List.mem node t.all_ranks then begin
+            (* The restarted rank's pre-crash vote grant is void — the
+               epoch bump announces it to everyone — so it may vote
+               afresh, and any ballots it had collected as a candidate
+               are dead. *)
+            (match Hashtbl.find_opt r.sentinels node with
+            | Some s -> Sentinel.reset_election s
+            | None -> ());
             recompute ();
             (* Crash-epoch session handshake: every live peer holding a
                delivery journal for the restarted origin tells it (over
@@ -1857,6 +2265,25 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             reemit_flows t r;
             t.on_health_change ()
           end);
+      (match (t.elect, t.live) with
+      | Some el, Some lv ->
+          Simnet.Faults.on_heal r.faults (fun _fabric ->
+              (* Healing restores the wire but not the detectors'
+                 opinions: touch every sentinel so activity-gated
+                 probing re-arms and suspicion drains organically via
+                 Up probes, then replay the minority's suppressed
+                 join/drain intents once the coordinator's side holds
+                 quorum again. *)
+              Hashtbl.iter (fun _ s -> Sentinel.touch s) r.sentinels;
+              topo_wake lv;
+              if el.el_pending <> [] then
+                Engine.spawn t.engine ~daemon:true
+                  ~name:"vchannel.heal.replay" (fun () ->
+                    if
+                      topo_wait t lv ~until:(fun () ->
+                          side_has_quorum t lv el ~viewer:lv.lv_coordinator)
+                    then replay_pending t lv el))
+      | _ -> ());
       (* One phi-accrual sentinel per rank, probing its channel
          neighbours. A sentinel calling a still-live peer Down is a
          suspicion: routes are recomputed around the suspect and
@@ -1891,16 +2318,64 @@ let create session ?(mtu = Config.default_vchannel_mtu)
             Sentinel.on_transition s (fun peer _from to_ ->
                 match to_ with
                 | Sentinel.Down when Simnet.Faults.node_up r.faults peer ->
-                    if not (Hashtbl.mem r.suspected peer) then begin
-                      Hashtbl.replace r.suspected peer ();
-                      r.reroutes <- r.reroutes + 1;
-                      recompute ();
-                      reemit_flows t r;
-                      t.on_health_change ()
+                    if not (Hashtbl.mem r.suspected (me, peer)) then begin
+                      (* With election off the first observer acts for
+                         everyone (the by-any view is what routing sees,
+                         so later observers change nothing); with it on,
+                         every observer's own view shifts, so each one
+                         recomputes. *)
+                      let was = Hashtbl.mem r.susp_count peer in
+                      Hashtbl.replace r.suspected (me, peer) ();
+                      Hashtbl.replace r.susp_count peer
+                        (1
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt r.susp_count peer));
+                      if election_on || not was then begin
+                        r.reroutes <- r.reroutes + 1;
+                        recompute ();
+                        reemit_flows t r;
+                        t.on_health_change ()
+                      end;
+                      match (t.elect, t.live) with
+                      | Some el, Some lv when peer = lv.lv_coordinator ->
+                          (* The coordinator just went dark for [me]:
+                             stand the side's lowest reachable member
+                             (not necessarily [me] — the observer may
+                             not be the side's natural candidate). *)
+                          topo_wake lv;
+                          Engine.spawn t.engine ~daemon:true
+                            ~name:(Printf.sprintf "vchannel.elect.%d" me)
+                            (fun () ->
+                              match elect_candidate t lv ~viewer:me with
+                              | Some candidate ->
+                                  run_election t lv el ~candidate
+                              | None -> ())
+                      | Some _, Some lv -> topo_wake lv
+                      | _ -> ()
                     end
                 | Sentinel.Up ->
-                    if Hashtbl.mem r.suspected peer then begin
-                      Hashtbl.remove r.suspected peer;
+                    if election_on then begin
+                      if Hashtbl.mem r.suspected (me, peer) then begin
+                        Hashtbl.remove r.suspected (me, peer);
+                        (match Hashtbl.find_opt r.susp_count peer with
+                        | Some n when n <= 1 -> Hashtbl.remove r.susp_count peer
+                        | Some n -> Hashtbl.replace r.susp_count peer (n - 1)
+                        | None -> ());
+                        recompute ();
+                        t.on_health_change ();
+                        match t.live with
+                        | Some lv -> topo_wake lv
+                        | None -> ()
+                      end
+                    end
+                    else if Hashtbl.mem r.susp_count peer then begin
+                      (* By-any semantics: the first good probe anywhere
+                         rehabilitates the peer for everyone. *)
+                      Hashtbl.iter
+                        (fun (o, p) () ->
+                          if p = peer then Hashtbl.remove r.suspected (o, p))
+                        (Hashtbl.copy r.suspected);
+                      Hashtbl.remove r.susp_count peer;
                       recompute ();
                       t.on_health_change ()
                     end
@@ -2148,19 +2623,61 @@ let join t ~rank =
             (Partitioned
                (Printf.sprintf "Vchannel.join: rank %d is down" rank))
       | _ -> ());
-      let payload =
-        top_payload ~op:top_join_req ~rank
-          ~epoch:(Topology.epoch lv.lv_snapshot)
-      in
-      ship_top_physical t ~at:rank ~dst:lv.lv_coordinator ~payload;
-      if not (topo_wait t lv ~until:(fun () -> Topology.mem lv.lv_snapshot rank))
-      then
-        raise
-          (Partitioned
-             (Printf.sprintf
-                "Vchannel.join: coordinator %d did not admit rank %d within \
-                 patience"
-                lv.lv_coordinator rank));
+      let admitted () = Topology.mem lv.lv_snapshot rank in
+      (match t.elect with
+      | None ->
+          let payload =
+            top_payload ~op:top_join_req ~rank
+              ~epoch:(Topology.epoch lv.lv_snapshot)
+          in
+          ship_top_physical t ~at:rank ~dst:lv.lv_coordinator ~payload;
+          if not (topo_wait t lv ~until:admitted) then
+            raise
+              (Partitioned
+                 (Printf.sprintf
+                    "Vchannel.join: coordinator %d did not admit rank %d \
+                     within patience"
+                    lv.lv_coordinator rank))
+      | Some el ->
+          (* Transparently re-targeted join: if the coordinator does not
+             answer, stand a replacement and retry against whoever holds
+             the (possibly new) post-election coordinator seat. A joiner
+             that still cannot get through is on a minority side — park
+             the intent for post-heal replay and surface a typed error. *)
+          let attempt () =
+            let payload =
+              top_payload ~op:top_join_req ~rank
+                ~epoch:(Topology.epoch lv.lv_snapshot)
+            in
+            (try
+               ship_top_physical t ~at:rank ~dst:lv.lv_coordinator ~payload;
+               true
+             with Partitioned _ | Config.Peer_unreachable _ -> false)
+            && topo_wait t lv ~until:admitted
+          in
+          if not (attempt ()) && not (admitted ()) then begin
+            (match t.rel with
+            | Some r -> (
+                (* The joiner is an outsider: its trust view is empty,
+                   so stand the lowest live member instead. *)
+                match
+                  List.find_opt
+                    (fun m -> Simnet.Faults.node_up r.faults m)
+                    (Topology.ranks lv.lv_snapshot)
+                with
+                | Some candidate -> run_election t lv el ~candidate
+                | None -> ())
+            | None -> ());
+            if not (attempt ()) && not (admitted ()) then begin
+              el.el_pending <- P_join rank :: el.el_pending;
+              raise
+                (No_quorum
+                   (Printf.sprintf
+                      "Vchannel.join: no quorum reachable to admit rank %d \
+                       (intent parked for post-heal replay)"
+                      rank))
+            end
+          end);
       Topology.epoch lv.lv_snapshot
 
 let drain t ~rank =
@@ -2208,35 +2725,68 @@ let drain t ~rank =
       end;
       (* Phase 3 — tell the coordinator; it swaps the epoch, forgets the
          rank in every sentinel, and the recomputed routes drop it. *)
-      let payload =
-        top_payload ~op:top_drain_req ~rank
-          ~epoch:(Topology.epoch lv.lv_snapshot)
+      let departed () = not (Topology.mem lv.lv_snapshot rank) in
+      let ship_drain () =
+        let payload =
+          top_payload ~op:top_drain_req ~rank
+            ~epoch:(Topology.epoch lv.lv_snapshot)
+        in
+        let header =
+          top_header ~src:rank ~dst:lv.lv_coordinator ~len:top_payload_size
+        in
+        ship_packet t ~at:rank ~header ~payload ~payload_len:top_payload_size
       in
-      let header =
-        top_header ~src:rank ~dst:lv.lv_coordinator ~len:top_payload_size
-      in
-      (try
-         ship_packet t ~at:rank ~header ~payload
-           ~payload_len:top_payload_size
-       with Partitioned _ | Config.Peer_unreachable _ ->
-         Hashtbl.remove lv.lv_draining rank;
-         raise
-           (Partitioned
-              (Printf.sprintf "Vchannel.drain: coordinator %d unreachable"
-                 lv.lv_coordinator)));
-      if
-        not
-          (topo_wait t lv ~until:(fun () ->
-               not (Topology.mem lv.lv_snapshot rank)))
-      then begin
-        Hashtbl.remove lv.lv_draining rank;
-        raise
-          (Partitioned
-             (Printf.sprintf
-                "Vchannel.drain: coordinator %d did not confirm the \
-                 departure of rank %d within patience"
-                lv.lv_coordinator rank))
-      end
+      (match t.elect with
+      | None ->
+          (try ship_drain ()
+           with Partitioned _ | Config.Peer_unreachable _ ->
+             Hashtbl.remove lv.lv_draining rank;
+             raise
+               (Partitioned
+                  (Printf.sprintf "Vchannel.drain: coordinator %d unreachable"
+                     lv.lv_coordinator)));
+          if not (topo_wait t lv ~until:departed) then begin
+            Hashtbl.remove lv.lv_draining rank;
+            raise
+              (Partitioned
+                 (Printf.sprintf
+                    "Vchannel.drain: coordinator %d did not confirm the \
+                     departure of rank %d within patience"
+                    lv.lv_coordinator rank))
+          end
+      | Some el ->
+          let attempt () =
+            (try
+               ship_drain ();
+               true
+             with Partitioned _ | Config.Peer_unreachable _ -> false)
+            && topo_wait t lv ~until:departed
+          in
+          if not (attempt ()) && not (departed ()) then begin
+            (* A rank on its way out must not stand itself: pick the
+               side's lowest member other than the drainer. *)
+            (match
+               List.filter (fun m -> m <> rank) (side_members t lv ~viewer:rank)
+             with
+            | candidate :: _ -> run_election t lv el ~candidate
+            | [] -> ());
+            if
+              (rank <> lv.lv_coordinator && not (attempt ()))
+              && not (departed ())
+            then begin
+              (* Minority side: withdraw the drain mark (the rank stays
+                 a member until the majority hears about it) and park
+                 the intent for the post-heal replay. *)
+              Hashtbl.remove lv.lv_draining rank;
+              el.el_pending <- P_drain rank :: el.el_pending;
+              raise
+                (No_quorum
+                   (Printf.sprintf
+                      "Vchannel.drain: no quorum reachable to retire rank %d \
+                       (intent parked for post-heal replay)"
+                      rank))
+            end
+          end)
 
 (* ------------------------------------------------------------------ *)
 (* Reception *)
@@ -2323,7 +2873,13 @@ let peer_status t ~src ~dst =
   match t.rel with
   | Some r
     when (not (Simnet.Faults.node_up r.faults dst))
-         || Hashtbl.mem r.suspected dst ->
+         ||
+         (* With an election plane suspicion is observer-relative (the
+            asker's own verdict); without one any observer's verdict
+            stands for everybody — the pre-election global semantics. *)
+         (match t.elect with
+         | Some _ -> Hashtbl.mem r.suspected (src, dst)
+         | None -> Hashtbl.mem r.susp_count dst) ->
       Iface.Down
   | _ -> (
       if src = dst then Iface.Up
@@ -2526,6 +3082,49 @@ let topology_stats t =
           topo_scale_ins = lv.lv_scale_ins;
         }
 
+let election t = match t.elect with Some _ -> true | None -> false
+
+let coordinator t =
+  match t.live with Some lv -> Some lv.lv_coordinator | None -> None
+
+(* The collectives' fail-fast oracle: can [viewer] currently see a
+   quorum of members on its own side of whatever cuts exist? Always
+   true without an election plane — quorum is then not a concept the
+   channel tracks. *)
+let has_quorum t ~viewer =
+  match (t.elect, t.live, t.rel) with
+  | Some el, Some lv, Some r ->
+      Simnet.Faults.node_up r.faults viewer && side_has_quorum t lv el ~viewer
+  | _ -> true
+
+type election_stats = {
+  quorum : int;
+  elections : int;  (** committed coordinator changes *)
+  attempts : int;  (** candidacies started *)
+  refusals : int;  (** quorum refusals: failed candidacies + vetoed bumps *)
+  commits : (int * int) list;  (** (epoch, coordinator), oldest first *)
+  pending : int;  (** parked minority intents awaiting a heal *)
+  last_latency_us : float;
+}
+
+let election_stats t =
+  match t.elect with
+  | None -> None
+  | Some el ->
+      Some
+        {
+          quorum =
+            (match t.live with
+            | Some lv -> quorum_needed lv el
+            | None -> Option.value el.el_quorum ~default:0);
+          elections = el.el_elections;
+          attempts = el.el_attempts;
+          refusals = el.el_refusals;
+          commits = List.rev el.el_commits;
+          pending = List.length el.el_pending;
+          last_latency_us = Time.to_us el.el_last_latency;
+        }
+
 let sentinel t ~rank =
   match t.rel with
   | None -> None
@@ -2558,9 +3157,18 @@ let rank_alive t rank =
      | None -> true)
   &&
   match t.rel with
-  | Some r ->
+  | Some r -> (
       Simnet.Faults.node_up r.faults rank
-      && not (Hashtbl.mem r.suspected rank)
+      &&
+      match (t.elect, t.live) with
+      | Some _, Some lv ->
+          (* Election on: alive means "in the coordinator's trust
+             component" — the committed side's view, so majority trees
+             exclude the whole minority, not just directly-suspected
+             neighbours. Route presence is the trust-path closure. *)
+          rank = lv.lv_coordinator
+          || Hashtbl.mem t.routes (lv.lv_coordinator, rank)
+      | _ -> not (Hashtbl.mem r.susp_count rank))
   | None -> true
 
 let rank_overloaded t rank = Hashtbl.mem t.overloaded rank

@@ -32,6 +32,12 @@ exception Partitioned of string
     gateway path to the destination is gone, and by the route queries
     below when two ranks are disconnected. *)
 
+exception No_quorum of string
+(** On an election-enabled vchannel, the caller's side of a partition
+    cannot assemble a membership quorum: minority-side {!join}/{!drain}
+    raise this (after parking the intent for post-heal replay) instead
+    of hanging or silently diverging from the majority's history. *)
+
 val create :
   Session.t ->
   ?mtu:int ->
@@ -45,6 +51,8 @@ val create :
   ?sched:Sched.strategy ->
   ?topology:int ->
   ?coordinator:int ->
+  ?election:bool ->
+  ?topo_quorum:int ->
   Channel.t list ->
   t
 (** [mtu] defaults to {!Config.default_vchannel_mtu}; it is the payload
@@ -138,10 +146,36 @@ val create :
     none of this machinery exists, [coordinator] is rejected, and routes
     and schedules are byte-identical to the fixed-topology library.
 
+    [election] (the clusterfile's [election=on] key; requires both
+    [topology] and [faults]) replaces the static coordinator with a
+    quorum-elected one. Suspicion becomes observer-relative and routes
+    follow trust paths — an edge is usable only if its sender trusts
+    the next hop — so each side of a partition keeps routing among
+    itself. When a rank observes the coordinator dark (sentinel Down or
+    a crash), its side's lowest reachable member stands for term
+    [epoch + 1]: one ballot per rank per term (ballots are voided by
+    the voter's crash-epoch restart — see {!Sentinel.reset_election}),
+    and a candidacy commits the epoch bump only with [topo_quorum]
+    countable ballots (unpinned, a majority of the {e current}
+    committed membership, so a legitimately shrunk topology keeps its
+    liveness; two disjoint partition sides still can never both hold
+    a majority of the same membership) — so of two concurrent
+    candidacies at most one ever commits a given
+    epoch, and a minority side can neither elect nor commit membership
+    changes: its coordinator refuses epoch bumps ({e refusals} in
+    {!election_stats}) and its {!join}/{!drain} raise {!No_quorum}
+    after parking the intent. On heal, reconciliation is
+    highest-committed-wins (structural: the minority never advanced)
+    and parked intents replay through the winning coordinator once it
+    holds quorum again, exactly once. Unset (the default) the election
+    plane does not exist: suspicion semantics, routes and schedules are
+    byte-identical to the static-coordinator library.
+
     Raises [Invalid_argument] on an empty channel list, an MTU too
     small to carry a buffer sub-header, a negative [topology] version,
-    a [coordinator] outside the rank set, or a [coordinator] given
-    without [topology]. *)
+    a [coordinator] outside the rank set, a [coordinator] given
+    without [topology], [election] without [topology] or [faults], or
+    [topo_quorum] outside [1..n] or given without [election]. *)
 
 val ranks : t -> int list
 (** All nodes reachable through the virtual channel. *)
@@ -184,7 +218,11 @@ val join : t -> rank:int -> int
     the epoch joined. Raises [Invalid_argument] if [rank] is already a
     member or not physically part of the channel, and {!Partitioned} if
     the rank is down, no physical path reaches the coordinator, or the
-    coordinator does not answer within [patience]. *)
+    coordinator does not answer within [patience]. On an
+    election-enabled vchannel an unanswered join instead stands a
+    replacement coordinator and retries against the election winner
+    transparently; if no quorum is reachable it parks the intent for
+    post-heal replay and raises {!No_quorum}. *)
 
 val drain : t -> rank:int -> unit
 (** Gracefully remove a member rank, called from that rank's context.
@@ -197,7 +235,11 @@ val drain : t -> rank:int -> unit
     without it. Raises [Invalid_argument] on a non-member or the
     coordinator itself, and {!Partitioned} (aborting the drain) if the
     journals cannot flush or the coordinator cannot confirm within
-    [patience]. *)
+    [patience]. On an election-enabled vchannel an unconfirmed phase-3
+    notification stands a replacement coordinator (never the draining
+    rank itself) and retries; with no quorum reachable the drain mark
+    is withdrawn, the intent parked for post-heal replay, and
+    {!No_quorum} raised. *)
 
 val draining : t -> int list
 (** Ranks currently mid-drain (still routable, accepting no new flows),
@@ -215,6 +257,44 @@ type topology_stats = {
 
 val topology_stats : t -> topology_stats option
 (** Live-topology counters — [None] without [?topology]. *)
+
+(** {1 Quorum elections}
+
+    Available only on vchannels created with [?election] (see
+    {!create}); without it the queries below degenerate as noted. *)
+
+val election : t -> bool
+(** Whether the election plane is armed. *)
+
+val coordinator : t -> int option
+(** The currently committed coordinator — [None] without [?topology]. *)
+
+val has_quorum : t -> viewer:int -> bool
+(** Whether [viewer]'s side of whatever cuts exist currently holds a
+    membership quorum, judged over [viewer]'s trust-path reachability.
+    Always [true] without an election plane. The Collectives layer uses
+    this to fail minority-side collectives fast instead of retrying
+    into a partition. *)
+
+type election_stats = {
+  quorum : int;
+      (** ballots needed to commit right now — [topo_quorum] when
+          pinned, else a majority of the current membership *)
+  elections : int;  (** committed coordinator changes *)
+  attempts : int;  (** candidacies started *)
+  refusals : int;
+      (** failed candidacies plus minority-coordinator epoch-bump
+          vetoes *)
+  commits : (int * int) list;
+      (** every committed [(epoch, coordinator)], oldest first — the
+          split-brain audit trail: at most one entry per epoch *)
+  pending : int;  (** parked minority intents awaiting a heal *)
+  last_latency_us : float;
+      (** candidacy-start to commit of the latest election *)
+}
+
+val election_stats : t -> election_stats option
+(** Election counters — [None] without [?election]. *)
 
 (** {1 Collective control plane}
 
@@ -253,7 +333,11 @@ val neighbours : t -> int -> int list
 val rank_alive : t -> int -> bool
 (** Whether a rank can take part in a collective right now: part of the
     vchannel, a member of the current topology epoch (not mid-drain),
-    up, and not suspected — the predicate routing itself uses. *)
+    up, and not suspected — the predicate routing itself uses. With an
+    election plane, "not suspected" becomes "inside the committed
+    coordinator's trust component", so majority-side trees exclude an
+    entire partitioned minority, not just directly-suspected
+    neighbours. *)
 
 val rank_overloaded : t -> int -> bool
 (** Whether the rank is currently reporting Overloaded (see

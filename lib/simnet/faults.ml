@@ -22,6 +22,9 @@ type stats = {
   crashes : int;
   flaps : int;
   stalls : int;
+  partitions : int;
+  heals : int;
+  frames_cut : int;
 }
 
 type t = {
@@ -30,8 +33,13 @@ type t = {
   links : (string * int, link_faults) Hashtbl.t;
   node_down : (int, unit) Hashtbl.t;
   epochs : (int, int) Hashtbl.t;
+  (* Directional partition cuts: presence of (fabric, src, dst) means a
+     frame src -> dst on that fabric is consumed by the cut. Symmetric
+     partitions insert both directions; asymmetric ones only one. *)
+  cuts : (string * int * int, unit) Hashtbl.t;
   mutable crash_cbs : (int -> unit) list;
   mutable restart_cbs : (int -> unit) list;
+  mutable heal_cbs : (string -> unit) list;
   mutable frames_dropped : int;
   mutable frames_corrupted : int;
   mutable frames_duplicated : int;
@@ -40,6 +48,9 @@ type t = {
   mutable crashes : int;
   mutable flaps : int;
   mutable stalls : int;
+  mutable partitions : int;
+  mutable heals : int;
+  mutable frames_cut : int;
 }
 
 let create eng ~seed =
@@ -49,8 +60,10 @@ let create eng ~seed =
     links = Hashtbl.create 16;
     node_down = Hashtbl.create 8;
     epochs = Hashtbl.create 8;
+    cuts = Hashtbl.create 16;
     crash_cbs = [];
     restart_cbs = [];
+    heal_cbs = [];
     frames_dropped = 0;
     frames_corrupted = 0;
     frames_duplicated = 0;
@@ -59,6 +72,9 @@ let create eng ~seed =
     crashes = 0;
     flaps = 0;
     stalls = 0;
+    partitions = 0;
+    heals = 0;
+    frames_cut = 0;
   }
 
 let engine t = t.eng
@@ -130,7 +146,72 @@ let rx_cap t ~fabric ~node =
 
 let node_up t node = not (Hashtbl.mem t.node_down node)
 
+(* ------------------------------------------------------------------ *)
+(* Partitions. A cut is a set of directional (src, dst) pairs on one
+   fabric; the check is a plain table lookup, so a plane with no cut
+   configured costs one miss and zero randomness. *)
+
+let partitioned t ~fabric ~src ~dst = Hashtbl.mem t.cuts (fabric, src, dst)
+
+let partition t ~fabric ?(oneway = false) a b =
+  if a = [] || b = [] then invalid_arg "Faults.partition: empty rank set";
+  List.iter
+    (fun x ->
+      if List.mem x b then
+        invalid_arg
+          (Printf.sprintf "Faults.partition: rank %d on both sides of the cut"
+             x))
+    a;
+  t.partitions <- t.partitions + 1;
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          Hashtbl.replace t.cuts (fabric, x, y) ();
+          if not oneway then Hashtbl.replace t.cuts (fabric, y, x) ())
+        b)
+    a
+
+let on_heal t f = t.heal_cbs <- f :: t.heal_cbs
+
+let fire_heal t fabric = List.iter (fun cb -> cb fabric) (List.rev t.heal_cbs)
+
+let heal t ~fabric =
+  let stale =
+    Hashtbl.fold
+      (fun ((f, _, _) as key) () acc -> if f = fabric then key :: acc else acc)
+      t.cuts []
+  in
+  if stale <> [] then begin
+    t.heals <- t.heals + 1;
+    List.iter (Hashtbl.remove t.cuts) stale;
+    fire_heal t fabric
+  end
+
+let heal_all t =
+  if Hashtbl.length t.cuts > 0 then begin
+    let fabrics =
+      Hashtbl.fold
+        (fun (f, _, _) () acc -> if List.mem f acc then acc else f :: acc)
+        t.cuts []
+    in
+    t.heals <- t.heals + 1;
+    Hashtbl.reset t.cuts;
+    List.iter (fire_heal t) (List.sort compare fabrics)
+  end
+
+(* True when the node sits on either side of an active cut on [fabric]:
+   its NIC still carries its own partition's traffic, but the link as a
+   whole is no longer fully connected. *)
+let node_in_cut t ~fabric ~node =
+  Hashtbl.length t.cuts > 0
+  && Hashtbl.fold
+       (fun (f, s, d) () acc -> acc || (f = fabric && (s = node || d = node)))
+       t.cuts false
+
 let link_up t ~fabric ~node =
+  (not (node_in_cut t ~fabric ~node))
+  &&
   match Hashtbl.find_opt t.links (fabric, node) with
   | None -> true
   | Some l -> Time.( <= ) l.down_until (Engine.now t.eng)
@@ -185,7 +266,11 @@ let stall_pci t node ~at ~duration =
             ~weight:1000.0 ()))
 
 let frame_verdict t ~fabric ~src ~dst ~fragments =
-  if not (node_up t src && node_up t dst) then begin
+  if partitioned t ~fabric ~src ~dst then begin
+    t.frames_cut <- t.frames_cut + 1;
+    Drop
+  end
+  else if not (node_up t src && node_up t dst) then begin
     t.frames_dropped <- t.frames_dropped + 1;
     Drop
   end
@@ -263,6 +348,8 @@ let heartbeat t ?fabric ~src ~dst () =
     match fabric with
     | None -> true
     | Some fabric ->
+        (not (partitioned t ~fabric ~src ~dst))
+        &&
         let s = Hashtbl.find_opt t.links (fabric, src) in
         let d = Hashtbl.find_opt t.links (fabric, dst) in
         let now = Engine.now t.eng in
@@ -300,4 +387,7 @@ let stats t =
     crashes = t.crashes;
     flaps = t.flaps;
     stalls = t.stalls;
+    partitions = t.partitions;
+    heals = t.heals;
+    frames_cut = t.frames_cut;
   }

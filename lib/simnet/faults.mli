@@ -94,12 +94,42 @@ val stall_pci :
     saturating high-weight transfer): concurrent PIO/DMA slows to a
     crawl, modelling a misbehaving third-party device holding the bus. *)
 
+(** {1 Partitions}
+
+    A partition is a set of directional cuts on one fabric: every frame
+    (data, ack, control) whose (src, dst) crosses a cut is consumed,
+    heartbeats across it are lost, and {!link_up} reports the affected
+    NICs down — the three observables a transport consults, kept
+    consistent. Cuts are exact-match on rank pairs and consume no
+    randomness, so a plane with no cut configured is byte-identical to
+    one without the machinery. *)
+
+val partition :
+  t -> fabric:string -> ?oneway:bool -> int list -> int list -> unit
+(** [partition t ~fabric a b] cuts every frame between a rank in [a] and
+    a rank in [b] on [fabric], in both directions; with [~oneway:true]
+    only [a] -> [b] traffic is cut (an asymmetric failure: [b] still
+    reaches [a]). The sets must be non-empty and disjoint or
+    [Invalid_argument] is raised. Counts into {!stats}. *)
+
+val heal : t -> fabric:string -> unit
+(** Removes every cut on [fabric]. Counts into {!stats} when at least
+    one cut was removed. *)
+
+val heal_all : t -> unit
+(** Removes every cut on every fabric. *)
+
+val partitioned : t -> fabric:string -> src:int -> dst:int -> bool
+(** Whether a frame [src] -> [dst] on [fabric] currently crosses a cut
+    (directional: an asymmetric cut answers true one way only). *)
+
 (** {1 Queries and subscriptions} *)
 
 val node_up : t -> int -> bool
 
 val link_up : t -> fabric:string -> node:int -> bool
-(** False while the link is flapped down. *)
+(** False while the link is flapped down, or while the node sits on
+    either side of an active partition cut on this fabric. *)
 
 val epoch : t -> int -> int
 (** Number of times the node has restarted (0 = never crashed). *)
@@ -110,6 +140,13 @@ val on_crash : t -> (int -> unit) -> unit
 
 val on_restart : t -> (int -> unit) -> unit
 
+val on_heal : t -> (string -> unit) -> unit
+(** [f fabric] runs whenever {!heal} (or {!heal_all}) removes at least
+    one cut on [fabric] — the hook reliable transports use to revive
+    connections declared dead while the partition starved their
+    retransmissions. Runs synchronously from the healing call: it must
+    not block, but may spawn threads. *)
+
 val frame_verdict :
   t -> fabric:string -> src:int -> dst:int -> fragments:int -> verdict
 (** The fate of one frame of [fragments] MTU units crossing [fabric]
@@ -118,10 +155,11 @@ val frame_verdict :
 
 val heartbeat : t -> ?fabric:string -> src:int -> dst:int -> unit -> bool
 (** Whether one heartbeat probe from [src] reaches [dst]: false if
-    either node is down, and — when [fabric] is given — if the link is
-    flapped down or a per-fragment loss draw (drop + corruption rates,
-    since a corrupted heartbeat fails its checksum) consumes it. Counts
-    losses into {!stats}; consumes randomness only on lossy links. *)
+    either node is down, and — when [fabric] is given — if the pair
+    crosses a partition cut, the link is flapped down, or a per-fragment
+    loss draw (drop + corruption rates, since a corrupted heartbeat
+    fails its checksum) consumes it. Counts losses into {!stats};
+    consumes randomness only on lossy links. *)
 
 val corrupt_copy : t -> Bytes.t -> Bytes.t
 (** A copy of the frame with one byte flipped at a random position —
@@ -136,6 +174,9 @@ type stats = {
   crashes : int;
   flaps : int;
   stalls : int;
+  partitions : int;  (** {!partition} calls *)
+  heals : int;  (** {!heal}/{!heal_all} calls that removed a cut *)
+  frames_cut : int;  (** frames consumed by partition cuts *)
 }
 
 val stats : t -> stats

@@ -401,7 +401,29 @@ let install_fault_hooks net faults =
             wake_acked c;
             wake_readers c));
     Simnet.Faults.on_restart faults (fun node ->
-        each_pair node (fun c peer -> reset_socket c peer))
+        each_pair node (fun c peer -> reset_socket c peer));
+    (* A partition starves retransmissions until [max_retries] declares
+       the conn dead, but neither host crashed — so no epoch ever moves
+       and [session_resync] would leave it dead forever. Healing the
+       fabric revives such conns directly: the socket state is reset
+       (in-flight frames of the cut era are gone for good, exactly as
+       after a restart) and the session layer above replays from its
+       origin-side logs. Conns dead because a host is still down are
+       left for the restart path. *)
+    Simnet.Faults.on_heal faults (fun fabric ->
+        if Fabric.name net.fabric = fabric then
+          List.iter
+            (fun c ->
+              match c.peer with
+              | Some peer
+                when c.dead
+                     && Simnet.Faults.node_up faults (host_id c)
+                     && Simnet.Faults.node_up faults (host_id peer) ->
+                  reset_socket c peer;
+                  c.dead <- false;
+                  peer.dead <- false
+              | _ -> ())
+            net.conns)
   end
 
 (* Serialization lower bound for one frame's RTO, given every byte

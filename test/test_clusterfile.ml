@@ -350,6 +350,74 @@ let test_topology_option_errors () =
   expect_parse_error ~line:1 "network m type=bip version=1";
   expect_parse_error ~line:1 "network m type=bip coordinator=a"
 
+let test_election_options_parsed () =
+  (* election=on swaps the static coordinator for a quorum-elected one;
+     topo_quorum overrides the default majority. *)
+  let t =
+    Cf.load
+      {|
+faults seed=3
+network s type=tcp
+node a nets=s
+node b nets=s
+node c nets=s
+channel x net=s nodes=a,b,c
+vchannel v channels=x reliable=true version=1 election=on topo_quorum=3
+|}
+  in
+  let vc = Cf.vchannel t "v" in
+  Alcotest.(check bool) "election armed" true (Madeleine.Vchannel.election vc);
+  (match Madeleine.Vchannel.election_stats vc with
+  | None -> Alcotest.fail "election stats missing"
+  | Some es ->
+      Alcotest.(check int) "topo_quorum honoured" 3
+        es.Madeleine.Vchannel.quorum;
+      Alcotest.(check int) "no election yet" 0
+        es.Madeleine.Vchannel.elections);
+  Alcotest.(check (option int)) "initial coordinator seated" (Some 0)
+    (Madeleine.Vchannel.coordinator vc);
+  (* election=off (and unset) leave the plane off entirely. *)
+  let t2 =
+    Cf.load
+      {|
+faults seed=3
+network s type=tcp
+node a nets=s
+node b nets=s
+channel x net=s nodes=a,b
+vchannel v channels=x reliable=true version=1 election=off
+|}
+  in
+  Alcotest.(check bool) "election=off is inert" false
+    (Madeleine.Vchannel.election (Cf.vchannel t2 "v"));
+  Alcotest.(check bool) "no stats when off" true
+    (Madeleine.Vchannel.election_stats (Cf.vchannel t2 "v") = None)
+
+let test_election_option_errors () =
+  let base =
+    "faults seed=3\nnetwork s type=tcp\nnode a nets=s\nnode b nets=s\n\
+     channel c net=s nodes=a,b\nvchannel v channels=c "
+  in
+  (* Malformed values and cross-option constraints, all on the
+     vchannel's line. *)
+  expect_parse_error ~line:6 (base ^ "reliable=true version=1 election=maybe");
+  expect_parse_error ~line:6
+    (base ^ "reliable=true version=1 topo_quorum=2");
+  expect_parse_error ~line:6
+    (base ^ "reliable=true version=1 election=on topo_quorum=0");
+  expect_parse_error ~line:6
+    (base ^ "reliable=true version=1 election=on topo_quorum=two");
+  (* Election needs both the live-topology and reliability planes. *)
+  expect_parse_error ~line:6 (base ^ "reliable=true election=on");
+  expect_parse_error ~line:6 (base ^ "version=1 election=on");
+  (* A quorum wider than the membership is rejected by the vchannel. *)
+  match
+    Cf.load
+      (base ^ "reliable=true version=1 election=on topo_quorum=5")
+  with
+  | _ -> Alcotest.fail "oversized quorum accepted"
+  | exception Invalid_argument _ -> ()
+
 let test_coll_options_parsed () =
   (* coll= attaches a fault-tolerant collectives layer to the vchannel;
      fanout and quorum flow through to Collectives.create. *)
@@ -466,6 +534,10 @@ let () =
             test_rendezvous_option_errors;
           Alcotest.test_case "topology options" `Quick
             test_topology_options_parsed;
+          Alcotest.test_case "election options" `Quick
+            test_election_options_parsed;
+          Alcotest.test_case "election option errors" `Quick
+            test_election_option_errors;
           Alcotest.test_case "topology option errors" `Quick
             test_topology_option_errors;
           Alcotest.test_case "collectives options" `Quick

@@ -386,6 +386,209 @@ let prop_join_drain_converges =
       in
       epoch_ok && departed_ok && routes_ok)
 
+(* ------------------------------------------------------------------ *)
+(* Quorum elections: a 4-rank single-fabric world with the coordinator
+   seat quorum-elected (majority of the initial membership, 3 of 4).
+   Partitions are injected at the fault plane, so detection, candidacy
+   and commit all ride the normal sentinel/control-plane machinery. *)
+
+let election_world ?(seed = 11L) ?topo_quorum () =
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 4 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net engine fabric in
+  let stacks = Array.map (Tcpnet.attach net) nodes in
+  let session = Madeleine.Session.create engine in
+  let ch =
+    Channel.create session
+      (Madeleine.Pmm_tcp.driver (fun i -> stacks.(i)))
+      ~ranks:[ 0; 1; 2; 3 ] ()
+  in
+  let vc =
+    Vc.create session ~mtu:4096 ~faults ~topology:1 ~coordinator:0
+      ~election:true ?topo_quorum [ ch ]
+  in
+  (engine, faults, vc)
+
+(* Sentinel probing is activity-gated; keep every detector's grace
+   window open while a scenario runs, as real traffic would. *)
+let spawn_prober engine vc ~stop =
+  Engine.spawn engine ~name:"prober" (fun () ->
+      while not !stop do
+        List.iter
+          (fun r ->
+            match Vc.sentinel vc ~rank:r with
+            | Some s -> Madeleine.Sentinel.touch s
+            | None -> ())
+          (Vc.ranks vc);
+        Engine.sleep (Time.us 400.0)
+      done)
+
+let vc_members vc =
+  match Vc.topology vc with
+  | Some s -> List.sort compare (Madeleine.Topology.ranks s)
+  | None -> assert false
+
+let epochs_unique stats =
+  let epochs = List.map fst stats.Vc.commits in
+  List.sort_uniq compare epochs = List.sort compare epochs
+
+(* Cut the coordinator off: the majority elects its lowest member, the
+   minority loses quorum and its drain parks with the typed error, and
+   the heal replays the parked intent exactly once. *)
+let test_partition_elects_majority_coordinator () =
+  let engine, faults, vc = election_world () in
+  let stop = ref false in
+  spawn_prober engine vc ~stop;
+  let mid_coord = ref None in
+  let minority_quorum = ref true and majority_quorum = ref false in
+  let minority_verdict = ref "none" in
+  Engine.spawn engine ~name:"script" (fun () ->
+      Engine.sleep (Time.ms 2.0);
+      Faults.partition faults ~fabric:"eth" [ 0 ] [ 1; 2; 3 ];
+      Engine.sleep (Time.ms 60.0);
+      mid_coord := Vc.coordinator vc;
+      minority_quorum := Vc.has_quorum vc ~viewer:0;
+      majority_quorum := Vc.has_quorum vc ~viewer:1;
+      (* Rank 0 lost the seat to the majority's election, so draining
+         it is legal — but its own side cannot reach a quorum. *)
+      (match Vc.drain vc ~rank:0 with
+      | () -> minority_verdict := "applied"
+      | exception Vc.No_quorum _ -> minority_verdict := "no-quorum"
+      | exception Vc.Partitioned _ -> minority_verdict := "partitioned"
+      | exception Invalid_argument _ -> minority_verdict := "invalid");
+      Faults.heal faults ~fabric:"eth";
+      Engine.sleep (Time.ms 100.0);
+      stop := true);
+  Engine.run engine;
+  let stats =
+    match Vc.election_stats vc with Some s -> s | None -> assert false
+  in
+  Alcotest.(check bool) "majority elected a new coordinator" true
+    (!mid_coord = Some 1);
+  Alcotest.(check bool) "minority side lost quorum" false !minority_quorum;
+  Alcotest.(check bool) "majority side kept quorum" true !majority_quorum;
+  Alcotest.(check string) "minority drain surfaced the typed error"
+    "no-quorum" !minority_verdict;
+  Alcotest.(check (list int)) "heal replayed the parked drain" [ 1; 2; 3 ]
+    (vc_members vc);
+  Alcotest.(check bool) "coordinator survived the heal" true
+    (Vc.coordinator vc = Some 1);
+  (match Vc.peer_status vc ~src:1 ~dst:0 with
+  | Madeleine.Iface.Departed -> ()
+  | h ->
+      Alcotest.failf "replayed drain: peer_status %a, expected Departed"
+        Madeleine.Iface.pp_health h);
+  (* The replayed drain shrank the membership to 3, so the unpinned
+     quorum follows it down to 2. *)
+  Alcotest.(check int) "quorum tracks the current membership" 2
+    stats.Vc.quorum;
+  Alcotest.(check bool) "at least one committed election" true
+    (stats.Vc.elections >= 1);
+  Alcotest.(check bool) "commit latency measured" true
+    (stats.Vc.last_latency_us > 0.0);
+  Alcotest.(check int) "no intent left parked" 0 stats.Vc.pending;
+  Alcotest.(check bool) "at most one coordinator per epoch" true
+    (epochs_unique stats)
+
+(* Random partition/heal/coordinator-crash/join/drain schedules. Safety:
+   at most one coordinator ever commits any given epoch (the commits
+   audit trail has unique epochs). Liveness: once the cuts heal, the
+   membership converges to the model — every join/drain that returned
+   [()] or parked with [No_quorum] eventually lands, nothing else does.
+   Membership ops target ranks 2 and 3 only, so a parked drain can
+   never collide with its own rank later winning an election (with a
+   quorum of 3 over 4 ranks, only 0 or 1 can ever assemble one). *)
+let prop_split_brain_safe =
+  QCheck.Test.make ~name:"random partition/heal/crash schedules stay safe"
+    ~count:12
+    QCheck.(list_of_size Gen.(int_range 1 8) (pair (int_range 0 4) (int_range 0 3)))
+    (fun ops ->
+      let engine, faults, vc = election_world () in
+      let stop = ref false in
+      spawn_prober engine vc ~stop;
+      let expected = ref [ 0; 1; 2; 3 ] in
+      let cut = ref false in
+      Engine.spawn engine ~name:"schedule" (fun () ->
+          List.iter
+            (fun (kind, rank) ->
+              (match kind with
+              | 0 ->
+                  if not !cut then begin
+                    Faults.partition faults ~fabric:"eth" [ rank ]
+                      (List.filter (fun r -> r <> rank) [ 0; 1; 2; 3 ]);
+                    cut := true
+                  end
+              | 1 ->
+                  if !cut then begin
+                    Faults.heal faults ~fabric:"eth";
+                    cut := false
+                  end
+              | 2 -> (
+                  match Vc.coordinator vc with
+                  | Some c when Simnet.Faults.node_up faults c ->
+                      Faults.crash_now faults ~node:c
+                        ~restart_after:(Time.ms 3.0) ()
+                  | _ -> ())
+              | 3 ->
+                  let rank = 2 + (rank land 1) in
+                  if
+                    List.mem rank (vc_members vc)
+                    && Vc.coordinator vc <> Some rank
+                    && Simnet.Faults.node_up faults rank
+                  then (
+                    match Vc.drain vc ~rank with
+                    | () | (exception Vc.No_quorum _) ->
+                        expected :=
+                          List.filter (fun r -> r <> rank) !expected
+                    | exception (Vc.Partitioned _ | Invalid_argument _) -> ())
+              | _ ->
+                  let rank = 2 + (rank land 1) in
+                  if
+                    (not (List.mem rank (vc_members vc)))
+                    && Simnet.Faults.node_up faults rank
+                  then (
+                    match Vc.join vc ~rank with
+                    | (_ : int) | (exception Vc.No_quorum _) ->
+                        expected := List.sort_uniq compare (rank :: !expected)
+                    | exception (Vc.Partitioned _ | Invalid_argument _) -> ()));
+              Engine.sleep (Time.ms 8.0))
+            ops;
+          (* Restore the physical world and let the replay settle. *)
+          Faults.heal_all faults;
+          Engine.sleep (Time.ms 120.0);
+          (* A replay can be interrupted by a cut or crash landing in
+             its patience window; it re-parks and waits for the next
+             heal. Kick one more heal cycle if anything is left. *)
+          (match Vc.election_stats vc with
+          | Some s when s.Vc.pending > 0 ->
+              Faults.partition faults ~fabric:"eth" [ 0 ] [ 1 ];
+              Faults.heal faults ~fabric:"eth";
+              Engine.sleep (Time.ms 120.0)
+          | _ -> ());
+          stop := true);
+      Engine.run engine;
+      let stats =
+        match Vc.election_stats vc with Some s -> s | None -> assert false
+      in
+      let members = vc_members vc in
+      let coordinator_live =
+        match Vc.coordinator vc with
+        | Some c -> List.mem c members
+        | None -> false
+      in
+      epochs_unique stats
+      && members = List.sort compare !expected
+      && stats.Vc.pending = 0
+      && coordinator_live)
+
 let test_chaos_report_reproducible () =
   let report () =
     Chaos.to_json (Chaos.run Sweeps.serial_runner ~seed:42 ~quick:true)
@@ -418,6 +621,12 @@ let () =
           Alcotest.test_case "departed rank: typed status, no reroute to it"
             `Quick test_departed_peer_status;
           QCheck_alcotest.to_alcotest prop_join_drain_converges;
+        ] );
+      ( "elections",
+        [
+          Alcotest.test_case "partition: majority elects, minority parks"
+            `Quick test_partition_elects_majority_coordinator;
+          QCheck_alcotest.to_alcotest prop_split_brain_safe;
         ] );
       ( "chaos",
         [

@@ -336,6 +336,124 @@ let test_unacked_log_trimmed_by_acks () =
     (Vc.queue_stats vc);
   Alcotest.(check bool) "origin unacked log was instrumented" true !seen
 
+(* ------------------------------------------------------------------ *)
+(* Partitions: first-class directional cuts over rank sets, driving
+   frame verdicts, heartbeats and link_up consistently. *)
+
+let test_partition_observables () =
+  let w = faulty_world () in
+  Faults.partition w.faults ~fabric:"eth" [ 0 ] [ 1 ];
+  Alcotest.(check bool) "cut 0->1" true
+    (Faults.partitioned w.faults ~fabric:"eth" ~src:0 ~dst:1);
+  Alcotest.(check bool) "cut 1->0" true
+    (Faults.partitioned w.faults ~fabric:"eth" ~src:1 ~dst:0);
+  Alcotest.(check bool) "link reported down across the cut" false
+    (Faults.link_up w.faults ~fabric:"eth" ~node:0);
+  Alcotest.(check bool) "heartbeat suppressed" false
+    (Faults.heartbeat w.faults ~fabric:"eth" ~src:0 ~dst:1 ());
+  (match
+     Faults.frame_verdict w.faults ~fabric:"eth" ~src:0 ~dst:1 ~fragments:1
+   with
+  | Faults.Drop -> ()
+  | _ -> Alcotest.fail "expected Drop across the cut");
+  Faults.heal w.faults ~fabric:"eth";
+  Alcotest.(check bool) "heartbeat restored after heal" true
+    (Faults.heartbeat w.faults ~fabric:"eth" ~src:0 ~dst:1 ());
+  Alcotest.(check bool) "link back up after heal" true
+    (Faults.link_up w.faults ~fabric:"eth" ~node:0);
+  let st = Faults.stats w.faults in
+  Alcotest.(check int) "one partition recorded" 1 st.Faults.partitions;
+  Alcotest.(check int) "one heal recorded" 1 st.Faults.heals;
+  Alcotest.(check bool) "cut frames counted" true (st.Faults.frames_cut >= 1)
+
+let test_partition_oneway () =
+  let w = faulty_world () in
+  Faults.partition w.faults ~fabric:"eth" ~oneway:true [ 0 ] [ 1 ];
+  Alcotest.(check bool) "0->1 cut" true
+    (Faults.partitioned w.faults ~fabric:"eth" ~src:0 ~dst:1);
+  Alcotest.(check bool) "1->0 still open" false
+    (Faults.partitioned w.faults ~fabric:"eth" ~src:1 ~dst:0);
+  Alcotest.(check bool) "heartbeat 0->1 lost" false
+    (Faults.heartbeat w.faults ~fabric:"eth" ~src:0 ~dst:1 ());
+  Alcotest.(check bool) "heartbeat 1->0 delivered" true
+    (Faults.heartbeat w.faults ~fabric:"eth" ~src:1 ~dst:0 ())
+
+let test_partition_validation () =
+  let w = faulty_world () in
+  (match Faults.partition w.faults ~fabric:"eth" [] [ 1 ] with
+  | () -> Alcotest.fail "empty side accepted"
+  | exception Invalid_argument _ -> ());
+  match Faults.partition w.faults ~fabric:"eth" [ 0; 1 ] [ 1 ] with
+  | () -> Alcotest.fail "overlapping sides accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_partition_heal_revives_dead_tcp () =
+  (* A cut long enough for the retransmitter to exhaust max_retries
+     declares the connection dead — and since nobody's crash epoch
+     moved, the session-resync path alone would never revive it. The
+     heal hook must bring the session back and later sends complete. *)
+  let engine = Engine.create () in
+  let fabric = Fabric.create engine ~name:"eth" ~link:Netparams.fast_ethernet in
+  let faults = Faults.create engine ~seed:7L in
+  Fabric.set_faults fabric faults;
+  let nodes =
+    Array.init 2 (fun i ->
+        let n = Node.create engine ~name:(Printf.sprintf "n%d" i) ~id:i in
+        Fabric.attach fabric n;
+        n)
+  in
+  let net = Tcpnet.make_net ~max_retries:3 engine fabric in
+  let s0 = Tcpnet.attach net nodes.(0) and s1 = Tcpnet.attach net nodes.(1) in
+  let c0, c1 = Tcpnet.socketpair s0 s1 in
+  let d1 = payload 2048 41L and d2 = payload 2048 42L in
+  let died = ref false and intact = ref [] in
+  Engine.spawn engine ~name:"cutter" (fun () ->
+      Engine.sleep (Time.us 500.0);
+      Faults.partition faults ~fabric:"eth" [ 0 ] [ 1 ];
+      Engine.sleep (Time.us 300_000.0);
+      Faults.heal faults ~fabric:"eth");
+  Engine.spawn engine ~name:"send" (fun () ->
+      Tcpnet.send c0 d1;
+      Engine.sleep (Time.us 1_000.0);
+      (* Queued into the open cut: the retransmitter gives up on it and
+         the heal-time session reset discards it — the sender must
+         re-offer it on the fresh session. *)
+      (try Tcpnet.send c0 d2 with Tcpnet.Timeout _ -> ());
+      Engine.sleep (Time.us 250_000.0);
+      died := Tcpnet.is_dead c0;
+      let rec resend () =
+        match Tcpnet.send c0 d2 with
+        | () -> ()
+        | exception Tcpnet.Timeout _ ->
+            Engine.sleep (Time.us 20_000.0);
+            resend ()
+      in
+      resend ());
+  Engine.spawn engine ~name:"recv" (fun () ->
+      List.iter
+        (fun d ->
+          let sink = Bytes.create 2048 in
+          (* A receiver blocked on a connection that dies is woken with
+             the terminal error; it re-enters once the session revives. *)
+          let rec rerecv () =
+            match Tcpnet.recv c1 sink ~off:0 ~len:2048 with
+            | () -> ()
+            | exception Tcpnet.Timeout _ ->
+                Engine.sleep (Time.us 20_000.0);
+                rerecv ()
+          in
+          rerecv ();
+          intact := Bytes.equal sink d :: !intact)
+        [ d1; d2 ]);
+  Engine.run engine;
+  Alcotest.(check bool) "connection was declared dead mid-cut" true !died;
+  Alcotest.(check (list bool))
+    "both messages intact across death and heal" [ true; true ] !intact;
+  let st = Faults.stats faults in
+  Alcotest.(check int) "one partition" 1 st.Faults.partitions;
+  Alcotest.(check int) "one heal" 1 st.Faults.heals;
+  Alcotest.(check bool) "the cut consumed frames" true (st.Faults.frames_cut > 0)
+
 (* The clusterfile syntax drives the same plane. *)
 let faulty_cfg =
   {|
@@ -414,6 +532,17 @@ let () =
             test_window_survives_reorder_dup_loss;
           Alcotest.test_case "max_retries: give up, attempts" `Quick
             test_max_retries_gives_up_with_attempt_count;
+        ] );
+      ( "partitions",
+        [
+          Alcotest.test_case "cut drives verdict/heartbeat/link_up" `Quick
+            test_partition_observables;
+          Alcotest.test_case "asymmetric cut is one-way" `Quick
+            test_partition_oneway;
+          Alcotest.test_case "malformed cuts rejected" `Quick
+            test_partition_validation;
+          Alcotest.test_case "heal revives a dead connection" `Quick
+            test_partition_heal_revives_dead_tcp;
         ] );
       ( "flow-control",
         [
